@@ -1,0 +1,34 @@
+//! Fig. 12a/14 bench: bounded-join time across the ε sweep (the pass
+//! count grows quadratically as ε shrinks), against the ε-independent
+//! accurate variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raster_gpu::exec::default_workers;
+use raster_gpu::Device;
+use raster_join::{AccurateRasterJoin, BoundedRasterJoin, Query};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12a_accuracy_time");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let polys = bench::workloads::neighborhoods();
+    let pts = bench::workloads::taxi(100_000);
+    let dev = Device::default();
+    let w = default_workers();
+    for eps in [20.0f64, 10.0, 5.0, 2.5] {
+        let q = Query::count().with_epsilon(eps);
+        g.bench_with_input(
+            BenchmarkId::new("bounded_eps_m", format!("{eps}")),
+            &q,
+            |b, q| b.iter(|| BoundedRasterJoin::new(w).execute(&pts, polys, q, &dev)),
+        );
+    }
+    g.bench_function("accurate_reference", |b| {
+        b.iter(|| AccurateRasterJoin::new(w).execute(&pts, polys, &Query::count(), &dev))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Table 2 bench: materializing join [72] vs fused Index Join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raster_gpu::exec::default_workers;
+use raster_gpu::Device;
+use raster_join::{IndexJoin, MaterializingJoin, Query};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_baseline_choice");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let polys = bench::workloads::neighborhoods();
+    let dev = Device::default();
+    let w = default_workers();
+    let q = Query::count();
+    for n in [50_000usize, 100_000] {
+        let pts = bench::workloads::taxi(n);
+        g.bench_with_input(BenchmarkId::new("materializing", n), &pts, |b, pts| {
+            b.iter(|| MaterializingJoin::new(w).execute(pts, polys, &q, &dev))
+        });
+        g.bench_with_input(BenchmarkId::new("index_join", n), &pts, |b, pts| {
+            b.iter(|| IndexJoin::gpu(w).execute(pts, polys, &q, &dev))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

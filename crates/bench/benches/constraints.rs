@@ -1,0 +1,31 @@
+//! Fig. 11 bench: queries with 0–5 attribute constraints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raster_data::filter::{CmpOp, Predicate};
+use raster_gpu::exec::default_workers;
+use raster_gpu::Device;
+use raster_join::{BoundedRasterJoin, Query};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11_constraints");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let polys = bench::workloads::neighborhoods();
+    let pts = bench::workloads::taxi(100_000);
+    let dev = Device::default();
+    let w = default_workers();
+    for k in 0..=5usize {
+        let preds: Vec<Predicate> = (0..k)
+            .map(|a| Predicate::new(a, CmpOp::Ge, 0.0))
+            .collect();
+        let q = Query::count().with_epsilon(10.0).with_predicates(preds);
+        g.bench_with_input(BenchmarkId::new("bounded", k), &q, |b, q| {
+            b.iter(|| BoundedRasterJoin::new(w).execute(&pts, polys, q, &dev))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

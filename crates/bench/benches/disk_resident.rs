@@ -1,0 +1,46 @@
+//! Fig. 13 bench: disk-resident Twitter ⋈ US-Counties (chunked scan +
+//! bounded join per chunk).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raster_data::disk::{write_table, ChunkedReader};
+use raster_data::PointTable;
+use raster_gpu::exec::default_workers;
+use raster_gpu::{Device, DeviceConfig};
+use raster_join::{BoundedRasterJoin, Query};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_disk_resident");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let polys = bench::workloads::counties();
+    let w = default_workers();
+    let q = Query::count().with_epsilon(1_000.0);
+    let chunk_rows = 100_000usize;
+    let dev = Device::new(DeviceConfig::small(
+        chunk_rows * PointTable::point_bytes(0),
+        8192,
+    ));
+    for n in [200_000usize, 400_000] {
+        let pts = bench::workloads::twitter(n);
+        let path = std::env::temp_dir().join(format!("rjr-bench-fig13-{n}.bin"));
+        write_table(&path, &pts).expect("write table");
+        g.bench_with_input(BenchmarkId::new("bounded_disk", n), &path, |b, path| {
+            b.iter(|| {
+                let mut reader = ChunkedReader::open(path, chunk_rows).expect("open");
+                let joiner = BoundedRasterJoin::new(w);
+                let mut total = 0u64;
+                while let Some(chunk) = reader.next_chunk().expect("chunk") {
+                    let out = joiner.execute(&chunk, polys, &q, &dev);
+                    total += out.total_count();
+                }
+                total
+            })
+        });
+        std::fs::remove_file(&path).ok();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

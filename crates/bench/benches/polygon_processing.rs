@@ -1,0 +1,33 @@
+//! Table 1 bench: polygon triangulation and grid-index creation costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raster_geom::triangulate::triangulate_all;
+use raster_gpu::exec::default_workers;
+use raster_index::{AssignMode, GridIndex};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_polygon_processing");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let nyc = bench::workloads::neighborhoods();
+    let w = default_workers();
+    let extent = raster_join::bounded::polygon_extent(nyc);
+
+    g.bench_function("triangulate/nyc260", |b| {
+        b.iter(|| triangulate_all(std::hint::black_box(nyc)))
+    });
+    for (label, mode, workers) in [
+        ("index_gpu_mbr", AssignMode::Mbr, w),
+        ("index_mcpu_exact", AssignMode::Exact, w),
+        ("index_1cpu_exact", AssignMode::Exact, 1),
+    ] {
+        g.bench_with_input(BenchmarkId::new(label, "nyc260"), &mode, |b, &mode| {
+            b.iter(|| GridIndex::build(nyc, extent, 1024, 1024, mode, workers))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fig. 8 bench: point scaling when the data fits in device memory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use raster_gpu::exec::default_workers;
+use raster_gpu::Device;
+use raster_join::{AccurateRasterJoin, BoundedRasterJoin, IndexJoin, Query};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_scale_points_incore");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let polys = bench::workloads::neighborhoods();
+    let dev = Device::default();
+    let w = default_workers();
+    let q = Query::count().with_epsilon(10.0);
+    for n in [50_000usize, 100_000, 200_000] {
+        let pts = bench::workloads::taxi(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("bounded", n), &pts, |b, pts| {
+            b.iter(|| BoundedRasterJoin::new(w).execute(pts, polys, &q, &dev))
+        });
+        g.bench_with_input(BenchmarkId::new("accurate", n), &pts, |b, pts| {
+            b.iter(|| AccurateRasterJoin::new(w).execute(pts, polys, &q, &dev))
+        });
+        g.bench_with_input(BenchmarkId::new("baseline_gpu", n), &pts, |b, pts| {
+            b.iter(|| IndexJoin::gpu(w).execute(pts, polys, &q, &dev))
+        });
+        if n == 50_000 {
+            g.bench_with_input(BenchmarkId::new("cpu_single", n), &pts, |b, pts| {
+                b.iter(|| IndexJoin::cpu_single().execute(pts, polys, &q, &dev))
+            });
+            g.bench_with_input(BenchmarkId::new("cpu_multi", n), &pts, |b, pts| {
+                b.iter(|| IndexJoin::cpu_multi(w).execute(pts, polys, &q, &dev))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

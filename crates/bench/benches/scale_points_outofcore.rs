@@ -1,0 +1,35 @@
+//! Fig. 9 bench: point scaling past the device memory budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raster_data::PointTable;
+use raster_gpu::exec::default_workers;
+use raster_gpu::{Device, DeviceConfig};
+use raster_join::{BoundedRasterJoin, IndexJoin, Query};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_scale_points_outofcore");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let polys = bench::workloads::neighborhoods();
+    let w = default_workers();
+    let q = Query::count().with_epsilon(10.0);
+    // 50k-point budget: the sweep crosses into multi-batch execution.
+    let dev = Device::new(DeviceConfig::small(
+        50_000 * PointTable::point_bytes(0),
+        8192,
+    ));
+    for n in [100_000usize, 200_000, 400_000] {
+        let pts = bench::workloads::taxi(n);
+        g.bench_with_input(BenchmarkId::new("bounded_ooc", n), &pts, |b, pts| {
+            b.iter(|| BoundedRasterJoin::new(w).execute(pts, polys, &q, &dev))
+        });
+        g.bench_with_input(BenchmarkId::new("baseline_gpu_ooc", n), &pts, |b, pts| {
+            b.iter(|| IndexJoin::gpu(w).execute(pts, polys, &q, &dev))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

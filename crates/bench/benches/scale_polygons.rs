@@ -1,0 +1,35 @@
+//! Fig. 10 bench: scaling with the number of query polygons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use raster_gpu::exec::default_workers;
+use raster_gpu::Device;
+use raster_join::{AccurateRasterJoin, BoundedRasterJoin, IndexJoin, Query};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_scale_polygons");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let pts = bench::workloads::taxi(100_000);
+    let dev = Device::default();
+    let w = default_workers();
+    let q = Query::count().with_epsilon(10.0);
+    for count in [256usize, 1_024, 4_096] {
+        let polys = bench::workloads::polygon_sweep(count);
+        g.bench_with_input(BenchmarkId::new("bounded", count), &polys, |b, polys| {
+            b.iter(|| BoundedRasterJoin::new(w).execute(&pts, polys, &q, &dev))
+        });
+        g.bench_with_input(BenchmarkId::new("accurate", count), &polys, |b, polys| {
+            b.iter(|| AccurateRasterJoin::new(w).execute(&pts, polys, &q, &dev))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("baseline_gpu", count),
+            &polys,
+            |b, polys| b.iter(|| IndexJoin::gpu(w).execute(&pts, polys, &q, &dev)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all                 # every experiment, paper order
+//! repro table1 table2       # specific experiments
+//! repro fig12a --scale 2.0  # grow the point sweeps 2x
+//! ```
+
+use bench::{experiments, Scale};
+
+const USAGE: &str = "usage: repro [--scale F] [all | table1 | table2 | fig6 | fig8 | fig9 | fig10 | fig11 | fig12a | fig12b | fig12c | fig13 | fig14 | ablations]...";
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default();
+    if let Some(i) = args.iter().position(|a| a == "--scale") {
+        if i + 1 >= args.len() {
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        scale = Scale(args[i + 1].parse().unwrap_or_else(|_| {
+            eprintln!("bad --scale value");
+            std::process::exit(2);
+        }));
+        args.drain(i..=i + 1);
+    }
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    let started = std::time::Instant::now();
+    for name in &args {
+        let reports = match name.as_str() {
+            "all" => experiments::all(scale),
+            "table1" => vec![experiments::table1(scale)],
+            "table2" => vec![experiments::table2(scale)],
+            "fig6" => vec![experiments::fig6(scale)],
+            "fig8" => vec![experiments::fig8(scale)],
+            "fig9" => vec![experiments::fig9(scale)],
+            "fig10" => vec![experiments::fig10(scale)],
+            "fig11" => vec![experiments::fig11(scale)],
+            "fig12a" => vec![experiments::fig12a(scale)],
+            "fig12b" => vec![experiments::fig12b(scale)],
+            "fig12c" => vec![experiments::fig12c(scale)],
+            "fig13" => vec![experiments::fig13(scale)],
+            "fig14" => vec![experiments::fig14(scale)],
+            "ablations" => vec![experiments::ablations(scale)],
+            other => {
+                eprintln!("unknown experiment `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        for r in reports {
+            println!("{}", r.render());
+        }
+    }
+    eprintln!("(total wall time: {:.1?})", started.elapsed());
+}

@@ -1,0 +1,201 @@
+//! `rjquery` — run a SQL spatial-aggregation query from the command line.
+//!
+//! Ties the whole stack together the way §9 envisions ("easy to
+//! incorporate as an operator in existing database systems"): a columnar
+//! table (binary `.bin` from `raster-data::disk` or `.csv`), a polygon
+//! set (generated on the fly), and the paper's SQL dialect.
+//!
+//! ```text
+//! rjquery --points taxi.bin --polygons 64 \
+//!         --sql "SELECT AVG(fare) FROM P, R WHERE P.loc INSIDE R.geometry \
+//!                AND passengers >= 2 GROUP BY R.id" \
+//!         [--epsilon 10] [--exact] [--auto]
+//!
+//! # no --points: generate a synthetic taxi workload of N points
+//! rjquery --generate 1000000 --polygons 32 --sql "..." --epsilon 20
+//!
+//! # prefix the SQL with EXPLAIN to print the §8 optimizer's plan instead
+//! # of executing
+//! rjquery --generate 1000000 --sql "EXPLAIN SELECT COUNT(*) FROM P, R \
+//!         WHERE P.loc INSIDE R.geometry GROUP BY R.id"
+//! ```
+
+use raster_data::generators::{nyc_extent, TaxiModel};
+use raster_data::polygons::synthetic_polygons;
+use raster_data::PointTable;
+use raster_gpu::Device;
+use raster_join::optimizer::AutoRasterJoin;
+use raster_join::{AccurateRasterJoin, BoundedRasterJoin, Query};
+use std::path::PathBuf;
+
+struct Args {
+    points: Option<PathBuf>,
+    generate: usize,
+    polygons: usize,
+    sql: String,
+    epsilon: f64,
+    exact: bool,
+    auto: bool,
+    top: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut a = Args {
+        points: None,
+        generate: 500_000,
+        polygons: 32,
+        sql: String::new(),
+        epsilon: 10.0,
+        exact: false,
+        auto: false,
+        top: 10,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let need = |i: usize, argv: &[String]| -> Result<String, String> {
+        argv.get(i + 1)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[i]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--points" => {
+                a.points = Some(PathBuf::from(need(i, &argv)?));
+                i += 2;
+            }
+            "--generate" => {
+                a.generate = need(i, &argv)?.parse().map_err(|_| "bad --generate")?;
+                i += 2;
+            }
+            "--polygons" => {
+                a.polygons = need(i, &argv)?.parse().map_err(|_| "bad --polygons")?;
+                i += 2;
+            }
+            "--sql" => {
+                a.sql = need(i, &argv)?;
+                i += 2;
+            }
+            "--epsilon" => {
+                a.epsilon = need(i, &argv)?.parse().map_err(|_| "bad --epsilon")?;
+                i += 2;
+            }
+            "--top" => {
+                a.top = need(i, &argv)?.parse().map_err(|_| "bad --top")?;
+                i += 2;
+            }
+            "--exact" => {
+                a.exact = true;
+                i += 1;
+            }
+            "--auto" => {
+                a.auto = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if a.sql.is_empty() {
+        return Err("required: --sql \"SELECT ...\"".into());
+    }
+    Ok(a)
+}
+
+fn load_points(args: &Args) -> Result<PointTable, String> {
+    match &args.points {
+        Some(path) => {
+            let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+            if ext == "csv" {
+                // Default TLC-like projection: lon, lat, then numeric columns
+                // named in the header are not introspected here — use the
+                // binary format for full schemas.
+                let spec = raster_data::csv::CsvSpec::new(0, 1);
+                let (t, stats) = raster_data::csv::read_csv_file(path, &spec)
+                    .map_err(|e| e.to_string())?;
+                eprintln!(
+                    "loaded {} rows from {} ({} skipped)",
+                    stats.rows_ok,
+                    path.display(),
+                    stats.rows_skipped
+                );
+                Ok(t)
+            } else {
+                raster_data::disk::read_table(path).map_err(|e| e.to_string())
+            }
+        }
+        None => {
+            eprintln!("generating {} synthetic taxi points…", args.generate);
+            Ok(TaxiModel::default().generate(args.generate, 7))
+        }
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let points = match load_points(&args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error loading points: {e}");
+            std::process::exit(1);
+        }
+    };
+    let polys = synthetic_polygons(args.polygons, &nyc_extent(), 1);
+    let device = Device::default();
+
+    // EXPLAIN: print the optimizer's plan and stop.
+    if args.sql.trim_start().to_ascii_uppercase().starts_with("EXPLAIN") {
+        match raster_join::sql::explain_query(&args.sql, &points, points.len(), &polys, &device)
+        {
+            Ok(plan) => {
+                print!("{plan}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let query: Query = match raster_join::sql::parse_query(&args.sql, &points) {
+        Ok(q) => q.with_epsilon(args.epsilon),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    let (label, out) = if args.auto {
+        let (variant, out) = AutoRasterJoin::default().execute(&points, &polys, &query, &device);
+        (format!("auto → {variant:?}"), out)
+    } else if args.exact {
+        (
+            "accurate".to_string(),
+            AccurateRasterJoin::default().execute(&points, &polys, &query, &device),
+        )
+    } else {
+        (
+            format!("bounded ε={}", query.epsilon),
+            BoundedRasterJoin::default().execute(&points, &polys, &query, &device),
+        )
+    };
+
+    let values = out.values(query.aggregate);
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
+    println!("executor: {label}");
+    println!(
+        "time: {:?} processing, {:?} transfer (modelled), {} PIP tests",
+        out.stats.processing, out.stats.transfer, out.stats.pip_tests
+    );
+    println!("\n  region |        value");
+    println!("  -------+-------------");
+    for &i in order.iter().take(args.top) {
+        println!("  {i:6} | {:12.2}", values[i]);
+    }
+}

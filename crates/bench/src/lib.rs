@@ -1,0 +1,34 @@
+//! Benchmark harness for the paper reproduction.
+//!
+//! * [`workloads`] — lazily built, cached data sets shared by all
+//!   experiments (so `repro all` builds each input once);
+//! * [`report`] — plain-text table rendering for the `repro` binary;
+//! * [`experiments`] — one function per paper table/figure, each printing
+//!   the same rows/series the paper reports (see DESIGN.md §4 for the
+//!   experiment index).
+//!
+//! Scale note: the paper runs 10⁸–10⁹ points on a GTX 1060; this harness
+//! defaults to 10⁵–10⁶ on the host CPU and exposes `--scale` to grow the
+//! sweep. All verified claims are *relative* (speedups, crossovers, error
+//! distributions), which are preserved at reduced scale because every
+//! executor sees identical inputs.
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;
+
+/// Global scale knob: multiplies every point-count in the sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    pub fn apply(&self, n: usize) -> usize {
+        ((n as f64 * self.0) as usize).max(1)
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(1.0)
+    }
+}

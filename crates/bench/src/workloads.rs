@@ -1,0 +1,82 @@
+//! Lazily built, process-cached workloads shared across experiments.
+
+use raster_data::generators::{nyc_extent, TaxiModel, TwitterModel};
+use raster_data::polygons;
+use raster_data::PointTable;
+use raster_geom::Polygon;
+use std::sync::OnceLock;
+
+static TAXI: OnceLock<PointTable> = OnceLock::new();
+static TWITTER: OnceLock<PointTable> = OnceLock::new();
+static NEIGHBORHOODS: OnceLock<Vec<Polygon>> = OnceLock::new();
+static COUNTIES: OnceLock<Vec<Polygon>> = OnceLock::new();
+
+/// Largest taxi table any experiment asks for; prefixes serve smaller
+/// sizes (prefix = time-range selection, §7.1).
+pub const TAXI_MAX: usize = 3_200_000;
+
+/// Largest twitter table (disk-resident experiment).
+pub const TWITTER_MAX: usize = 2_000_000;
+
+/// The taxi-like point set, truncated to `n` points.
+pub fn taxi(n: usize) -> PointTable {
+    let full = TAXI.get_or_init(|| TaxiModel::default().generate(TAXI_MAX, 0x7A51));
+    full.prefix(n.min(TAXI_MAX))
+}
+
+/// The twitter-like point set, truncated to `n` points.
+pub fn twitter(n: usize) -> PointTable {
+    let full = TWITTER.get_or_init(|| TwitterModel::default().generate(TWITTER_MAX, 0x7717));
+    full.prefix(n.min(TWITTER_MAX))
+}
+
+/// NYC-neighborhood stand-in polygons (260).
+pub fn neighborhoods() -> &'static [Polygon] {
+    NEIGHBORHOODS.get_or_init(polygons::nyc_neighborhoods)
+}
+
+/// US-county stand-in polygons (3 945).
+pub fn counties() -> &'static [Polygon] {
+    COUNTIES.get_or_init(polygons::us_counties)
+}
+
+/// Synthetic polygon sweep over the NYC extent (Fig. 10).
+pub fn polygon_sweep(count: usize) -> Vec<Polygon> {
+    polygons::synthetic_polygons(count, &nyc_extent(), 0xF16)
+}
+
+pub use raster_data::generators::nyc_extent as nyc;
+pub use raster_data::generators::us_extent as us;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_are_nested() {
+        let a = taxi(1_000);
+        let b = taxi(2_000);
+        assert_eq!(a.len(), 1_000);
+        assert_eq!(b.len(), 2_000);
+        assert_eq!(a.point(999), b.point(999));
+    }
+
+    #[test]
+    fn polygon_sets_have_paper_cardinalities() {
+        assert_eq!(neighborhoods().len(), 260);
+    }
+
+    #[test]
+    fn extents_contain_their_points() {
+        let t = taxi(500);
+        let e = nyc();
+        for i in 0..t.len() {
+            assert!(e.contains(t.point(i)));
+        }
+        let w = twitter(500);
+        let ue = us();
+        for i in 0..w.len() {
+            assert!(ue.contains(w.point(i)));
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Binary columnar on-disk format with a chunked out-of-core reader.
+//!
+//! The paper stores both data sets as binary columns on disk (§7.1) and,
+//! for the disk-resident experiment (§7.7 / Fig. 13), "simply reads data
+//! from disk as and when required to transfer to the GPU" without parallel
+//! prefetching. This module mirrors that: a self-describing little-endian
+//! columnar file plus [`ChunkedReader`], which streams fixed-size record
+//! batches so a query never holds more than one chunk in memory.
+//!
+//! Layout (little-endian):
+//! ```text
+//! magic  u64   = 0x524a5054424c3031 ("RJPTBL01")
+//! rows   u64
+//! ncols  u32
+//! per column: name_len u32, name bytes (UTF-8)
+//! xs     rows × f64
+//! ys     rows × f64
+//! per column: rows × f32
+//! ```
+
+use crate::table::PointTable;
+use bytes::{Buf, BufMut, BytesMut};
+use raster_geom::Point;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: u64 = 0x524a_5054_424c_3031;
+
+/// Serialize a table to the columnar format.
+pub fn write_table(path: &Path, table: &PointTable) -> io::Result<()> {
+    let f = File::create(path)?;
+    let mut w = BufWriter::new(f);
+    let mut header = BytesMut::new();
+    header.put_u64_le(MAGIC);
+    header.put_u64_le(table.len() as u64);
+    header.put_u32_le(table.attr_count() as u32);
+    for name in table.attr_names() {
+        header.put_u32_le(name.len() as u32);
+        header.put_slice(name.as_bytes());
+    }
+    w.write_all(&header)?;
+
+    let mut buf = BytesMut::with_capacity(table.len() * 8);
+    for &x in table.xs() {
+        buf.put_f64_le(x);
+    }
+    w.write_all(&buf)?;
+    buf.clear();
+    for &y in table.ys() {
+        buf.put_f64_le(y);
+    }
+    w.write_all(&buf)?;
+    for c in 0..table.attr_count() {
+        buf.clear();
+        for &v in table.attr(c) {
+            buf.put_f32_le(v);
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()
+}
+
+/// File metadata read from the header.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    pub rows: u64,
+    pub attr_names: Vec<String>,
+    header_bytes: u64,
+}
+
+impl TableMeta {
+    fn col_count(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    fn xs_offset(&self) -> u64 {
+        self.header_bytes
+    }
+
+    fn ys_offset(&self) -> u64 {
+        self.xs_offset() + self.rows * 8
+    }
+
+    fn attr_offset(&self, c: usize) -> u64 {
+        self.ys_offset() + self.rows * 8 + (c as u64) * self.rows * 4
+    }
+
+    /// Total file size implied by the header.
+    pub fn file_bytes(&self) -> u64 {
+        self.attr_offset(self.col_count())
+    }
+}
+
+fn read_meta<R: Read>(r: &mut R) -> io::Result<TableMeta> {
+    let mut fixed = [0u8; 20];
+    r.read_exact(&mut fixed)?;
+    let mut b = &fixed[..];
+    let magic = b.get_u64_le();
+    if magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let rows = b.get_u64_le();
+    let ncols = b.get_u32_le();
+    let mut names = Vec::with_capacity(ncols as usize);
+    let mut header_bytes = 20u64;
+    for _ in 0..ncols {
+        let mut lenb = [0u8; 4];
+        r.read_exact(&mut lenb)?;
+        let len = u32::from_le_bytes(lenb) as usize;
+        let mut name = vec![0u8; len];
+        r.read_exact(&mut name)?;
+        header_bytes += 4 + len as u64;
+        names.push(String::from_utf8(name).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 column name")
+        })?);
+    }
+    Ok(TableMeta {
+        rows,
+        attr_names: names,
+        header_bytes,
+    })
+}
+
+/// Load the whole file into memory (the in-memory experiments).
+pub fn read_table(path: &Path) -> io::Result<PointTable> {
+    let mut reader = ChunkedReader::open(path, usize::MAX)?;
+    reader
+        .next_chunk()?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "empty table file"))
+}
+
+/// Streams record batches of at most `chunk_rows` from a columnar file.
+pub struct ChunkedReader {
+    file: BufReader<File>,
+    meta: TableMeta,
+    cursor: u64,
+    chunk_rows: usize,
+}
+
+impl ChunkedReader {
+    pub fn open(path: &Path, chunk_rows: usize) -> io::Result<Self> {
+        let f = File::open(path)?;
+        let actual_bytes = f.metadata()?.len();
+        let mut file = BufReader::new(f);
+        let meta = read_meta(&mut file)?;
+        // Fail fast on truncated or inconsistent files: a header claiming
+        // more data than the file holds would otherwise surface as an
+        // UnexpectedEof deep inside a chunked scan (possibly hours into
+        // the §7.7 disk-resident experiment).
+        if actual_bytes < meta.file_bytes() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "table file truncated: header implies {} bytes, file has {}",
+                    meta.file_bytes(),
+                    actual_bytes
+                ),
+            ));
+        }
+        Ok(ChunkedReader {
+            file,
+            meta,
+            cursor: 0,
+            chunk_rows: chunk_rows.max(1),
+        })
+    }
+
+    pub fn meta(&self) -> &TableMeta {
+        &self.meta
+    }
+
+    /// Rows remaining to be read.
+    pub fn remaining(&self) -> u64 {
+        self.meta.rows - self.cursor
+    }
+
+    /// Read the next chunk, or `None` at end of data. Each call performs
+    /// one seek+read per column, as a columnar scan does.
+    pub fn next_chunk(&mut self) -> io::Result<Option<PointTable>> {
+        if self.cursor >= self.meta.rows {
+            return Ok(None);
+        }
+        let n = (self.meta.rows - self.cursor).min(self.chunk_rows as u64) as usize;
+
+        let read_f64 = |offset: u64, file: &mut BufReader<File>| -> io::Result<Vec<f64>> {
+            file.seek(SeekFrom::Start(offset))?;
+            let mut raw = vec![0u8; n * 8];
+            file.read_exact(&mut raw)?;
+            Ok(raw
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect())
+        };
+        let xs = read_f64(self.meta.xs_offset() + self.cursor * 8, &mut self.file)?;
+        let ys = read_f64(self.meta.ys_offset() + self.cursor * 8, &mut self.file)?;
+
+        let mut attr_vals: Vec<Vec<f32>> = Vec::with_capacity(self.meta.col_count());
+        for c in 0..self.meta.col_count() {
+            self.file
+                .seek(SeekFrom::Start(self.meta.attr_offset(c) + self.cursor * 4))?;
+            let mut raw = vec![0u8; n * 4];
+            self.file.read_exact(&mut raw)?;
+            attr_vals.push(
+                raw.chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            );
+        }
+
+        let names: Vec<&str> = self.meta.attr_names.iter().map(String::as_str).collect();
+        let mut t = PointTable::with_capacity(n, &names);
+        let mut row_attrs = vec![0f32; self.meta.col_count()];
+        for i in 0..n {
+            for (c, vals) in attr_vals.iter().enumerate() {
+                row_attrs[c] = vals[i];
+            }
+            t.push(Point::new(xs[i], ys[i]), &row_attrs);
+        }
+        self.cursor += n as u64;
+        Ok(Some(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("raster-data-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    fn sample(n: usize) -> PointTable {
+        let mut t = PointTable::with_capacity(n, &["a", "bb"]);
+        for i in 0..n {
+            t.push(
+                Point::new(i as f64 * 1.5, -(i as f64)),
+                &[i as f32, i as f32 * 0.5],
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn truncated_data_section_rejected_at_open() {
+        let path = tmp("truncated.bin");
+        let t = sample(500);
+        write_table(&path, &t).unwrap();
+        // Chop off the last kilobyte of the data section.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 1024]).unwrap();
+        let err = match ChunkedReader::open(&path, 100) {
+            Err(e) => e,
+            Ok(_) => panic!("truncated file must be rejected at open"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("truncated"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        let path = tmp("headerless.bin");
+        let t = sample(100);
+        write_table(&path, &t).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Keep only the first 10 bytes — mid-magic/rows.
+        std::fs::write(&path, &full[..10]).unwrap();
+        assert!(ChunkedReader::open(&path, 100).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rows_overclaim_rejected() {
+        let path = tmp("overclaim.bin");
+        let t = sample(100);
+        write_table(&path, &t).unwrap();
+        // Inflate the row count in the header (bytes 8..16, little-endian).
+        let mut full = std::fs::read(&path).unwrap();
+        full[8..16].copy_from_slice(&(1_000_000u64).to_le_bytes());
+        std::fs::write(&path, &full).unwrap();
+        let err = match ChunkedReader::open(&path, 100) {
+            Err(e) => e,
+            Ok(_) => panic!("overclaimed row count must be rejected"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let path = tmp("empty.bin");
+        std::fs::write(&path, []).unwrap();
+        assert!(ChunkedReader::open(&path, 100).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_is_tolerated() {
+        // Extra bytes after the data section (e.g. from a crashed append)
+        // don't invalidate the declared table.
+        let path = tmp("trailing.bin");
+        let t = sample(200);
+        write_table(&path, &t).unwrap();
+        let mut full = std::fs::read(&path).unwrap();
+        full.extend_from_slice(&[0xAB; 64]);
+        std::fs::write(&path, &full).unwrap();
+        let back = read_table(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_whole_table() {
+        let path = tmp("roundtrip.bin");
+        let t = sample(1_000);
+        write_table(&path, &t).unwrap();
+        let back = read_table(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_read_reassembles_table() {
+        let path = tmp("chunks.bin");
+        let t = sample(1_003); // deliberately not a multiple of the chunk
+        write_table(&path, &t).unwrap();
+        let mut r = ChunkedReader::open(&path, 100).unwrap();
+        assert_eq!(r.meta().rows, 1_003);
+        assert_eq!(r.meta().attr_names, vec!["a", "bb"]);
+        let mut whole = PointTable::with_capacity(0, &["a", "bb"]);
+        let mut chunks = 0;
+        while let Some(c) = r.next_chunk().unwrap() {
+            assert!(c.len() <= 100);
+            whole.extend(&c);
+            chunks += 1;
+        }
+        assert_eq!(chunks, 11);
+        assert_eq!(whole, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = tmp("bad.bin");
+        std::fs::write(&path, [0u8; 64]).unwrap();
+        let err = match ChunkedReader::open(&path, 10) {
+            Err(e) => e,
+            Ok(_) => panic!("bad magic must be rejected"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let path = tmp("empty.bin");
+        let t = PointTable::with_capacity(0, &["x"]);
+        write_table(&path, &t).unwrap();
+        let mut r = ChunkedReader::open(&path, 10).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert!(r.next_chunk().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn meta_file_bytes_matches_reality() {
+        let path = tmp("meta.bin");
+        let t = sample(17);
+        write_table(&path, &t).unwrap();
+        let r = ChunkedReader::open(&path, 5).unwrap();
+        let on_disk = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(r.meta().file_bytes(), on_disk);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,303 @@
+//! Synthetic workload generators.
+//!
+//! The paper's data sets matter to its evaluation through scale and spatial
+//! skew: "Taxi trips are mostly concentrated in Lower Manhattan, Midtown,
+//! and airports, while there is a denser concentration of tweets around
+//! large cities" (§7.1). These generators reproduce exactly that skew:
+//! Gaussian hotspot mixtures over a city extent (taxi) and Zipf-weighted
+//! city hotspots over a continental extent (twitter). Records are emitted
+//! in time order so a table prefix equals a time-range selection (the
+//! paper's input-size sweep mechanism, §7.1 "Queries").
+
+use crate::table::PointTable;
+use raster_geom::{BBox, Point};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// World extent of the NYC-like workload: ~58 km square in metres, sized so
+/// that the paper's default ε = 20 m needs a ≈4k×4k canvas (§4.2, Fig. 6).
+pub fn nyc_extent() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(58_000.0, 58_000.0))
+}
+
+/// World extent of the US-like workload: ~4500 × 2900 km in metres, sized
+/// so the paper's ε = 1 km county default fits a single 8192² canvas.
+pub fn us_extent() -> BBox {
+    BBox::new(Point::new(0.0, 0.0), Point::new(4_500_000.0, 2_900_000.0))
+}
+
+/// Attribute schema of the taxi-like table: exactly five filterable
+/// attributes (the §6.1 constraint limit used by Fig. 11).
+pub const TAXI_ATTRS: [&str; 5] = ["fare", "tip", "distance", "passengers", "hour"];
+
+/// Attribute schema of the twitter-like table.
+pub const TWITTER_ATTRS: [&str; 3] = ["favorites", "retweets", "hour"];
+
+/// A Gaussian hotspot: relative weight plus center/spread in world units.
+#[derive(Debug, Clone, Copy)]
+pub struct Hotspot {
+    pub center: Point,
+    pub sigma: f64,
+    pub weight: f64,
+}
+
+fn sample_gaussian<R: Rng>(rng: &mut R, c: Point, sigma: f64, extent: &BBox) -> Point {
+    // Box–Muller, rejected until inside the extent.
+    loop {
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let r = (-2.0 * u1.ln()).sqrt() * sigma;
+        let p = Point::new(c.x + r * u2.cos(), c.y + r * u2.sin());
+        if extent.contains(p) {
+            return p;
+        }
+    }
+}
+
+/// NYC-taxi-like generator: Lower-Manhattan/Midtown/airport hotspots plus a
+/// thin uniform background.
+pub struct TaxiModel {
+    extent: BBox,
+    hotspots: Vec<Hotspot>,
+    background_weight: f64,
+}
+
+impl Default for TaxiModel {
+    fn default() -> Self {
+        let e = nyc_extent();
+        let w = e.width();
+        let h = e.height();
+        let at = |fx: f64, fy: f64| Point::new(e.min.x + fx * w, e.min.y + fy * h);
+        TaxiModel {
+            extent: e,
+            hotspots: vec![
+                // Lower Manhattan: dominant, tight.
+                Hotspot { center: at(0.45, 0.42), sigma: 0.02 * w, weight: 0.40 },
+                // Midtown.
+                Hotspot { center: at(0.47, 0.50), sigma: 0.025 * w, weight: 0.30 },
+                // Two airports: compact, far from the core.
+                Hotspot { center: at(0.68, 0.38), sigma: 0.008 * w, weight: 0.10 },
+                Hotspot { center: at(0.62, 0.55), sigma: 0.008 * w, weight: 0.08 },
+                // Outer boroughs.
+                Hotspot { center: at(0.55, 0.30), sigma: 0.06 * w, weight: 0.07 },
+            ],
+            background_weight: 0.05,
+        }
+    }
+}
+
+impl TaxiModel {
+    pub fn extent(&self) -> BBox {
+        self.extent
+    }
+
+    /// Generate `n` trips deterministically from `seed`.
+    pub fn generate(&self, n: usize, seed: u64) -> PointTable {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = PointTable::with_capacity(n, &TAXI_ATTRS);
+        let total_w: f64 =
+            self.hotspots.iter().map(|h| h.weight).sum::<f64>() + self.background_weight;
+        for i in 0..n {
+            let mut pick = rng.gen_range(0.0..total_w);
+            let mut p = None;
+            for hs in &self.hotspots {
+                if pick < hs.weight {
+                    p = Some(sample_gaussian(&mut rng, hs.center, hs.sigma, &self.extent));
+                    break;
+                }
+                pick -= hs.weight;
+            }
+            let p = p.unwrap_or_else(|| {
+                Point::new(
+                    rng.gen_range(self.extent.min.x..self.extent.max.x),
+                    rng.gen_range(self.extent.min.y..self.extent.max.y),
+                )
+            });
+            let distance = rng.gen_range(0.5f32..20.0);
+            let fare = 2.5 + distance * rng.gen_range(1.8f32..3.0);
+            let tip = fare * rng.gen_range(0.0f32..0.3);
+            let passengers = rng.gen_range(1u32..=6) as f32;
+            // Time order: hour-of-week advances monotonically with i so
+            // that a prefix is a time-interval selection.
+            let hour = (i as f64 / n.max(1) as f64 * 168.0) as f32;
+            t.push(p, &[fare, tip, distance, passengers, hour]);
+        }
+        t
+    }
+}
+
+/// Twitter-like generator: Zipf-weighted city hotspots over the US extent.
+pub struct TwitterModel {
+    extent: BBox,
+    cities: Vec<Hotspot>,
+}
+
+impl Default for TwitterModel {
+    fn default() -> Self {
+        let e = us_extent();
+        let w = e.width();
+        let h = e.height();
+        let at = |fx: f64, fy: f64| Point::new(e.min.x + fx * w, e.min.y + fy * h);
+        // 16 "cities" at fixed pseudo-geographic positions, Zipf weights.
+        let positions = [
+            (0.88, 0.62), (0.15, 0.55), (0.70, 0.72), (0.62, 0.30),
+            (0.85, 0.45), (0.10, 0.75), (0.58, 0.55), (0.78, 0.28),
+            (0.35, 0.60), (0.90, 0.75), (0.50, 0.40), (0.25, 0.35),
+            (0.65, 0.62), (0.80, 0.55), (0.42, 0.72), (0.55, 0.20),
+        ];
+        let cities = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &(fx, fy))| Hotspot {
+                center: at(fx, fy),
+                sigma: 0.01 * w,
+                weight: 1.0 / (i + 1) as f64, // Zipf(1)
+            })
+            .collect();
+        TwitterModel { extent: e, cities }
+    }
+}
+
+impl TwitterModel {
+    pub fn extent(&self) -> BBox {
+        self.extent
+    }
+
+    pub fn generate(&self, n: usize, seed: u64) -> PointTable {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = PointTable::with_capacity(n, &TWITTER_ATTRS);
+        let total_w: f64 = self.cities.iter().map(|c| c.weight).sum::<f64>() + 0.3;
+        for i in 0..n {
+            let mut pick = rng.gen_range(0.0..total_w);
+            let mut p = None;
+            for c in &self.cities {
+                if pick < c.weight {
+                    p = Some(sample_gaussian(&mut rng, c.center, c.sigma, &self.extent));
+                    break;
+                }
+                pick -= c.weight;
+            }
+            let p = p.unwrap_or_else(|| {
+                Point::new(
+                    rng.gen_range(self.extent.min.x..self.extent.max.x),
+                    rng.gen_range(self.extent.min.y..self.extent.max.y),
+                )
+            });
+            let favorites = rng.gen_range(0u32..500) as f32;
+            let retweets = (favorites * rng.gen_range(0.0f32..0.5)).floor();
+            let hour = (i as f64 / n.max(1) as f64 * 168.0) as f32;
+            t.push(p, &[favorites, retweets, hour]);
+        }
+        t
+    }
+}
+
+/// Uniform control workload over an arbitrary extent (no attributes).
+pub fn uniform_points(n: usize, extent: &BBox, seed: u64) -> PointTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = PointTable::with_capacity(n, &[]);
+    for _ in 0..n {
+        t.push(
+            Point::new(
+                rng.gen_range(extent.min.x..extent.max.x),
+                rng.gen_range(extent.min.y..extent.max.y),
+            ),
+            &[],
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxi_points_stay_in_extent() {
+        let m = TaxiModel::default();
+        let t = m.generate(5_000, 42);
+        assert_eq!(t.len(), 5_000);
+        let e = m.extent();
+        for i in 0..t.len() {
+            assert!(e.contains(t.point(i)));
+        }
+    }
+
+    #[test]
+    fn taxi_generation_is_deterministic() {
+        let m = TaxiModel::default();
+        assert_eq!(m.generate(1_000, 7), m.generate(1_000, 7));
+        assert_ne!(m.generate(1_000, 7), m.generate(1_000, 8));
+    }
+
+    #[test]
+    fn taxi_data_is_skewed() {
+        // The Manhattan-core quarter of the extent must hold far more than
+        // a quarter of the points.
+        let m = TaxiModel::default();
+        let t = m.generate(20_000, 1);
+        let e = m.extent();
+        let core = BBox::new(
+            Point::new(e.min.x + 0.35 * e.width(), e.min.y + 0.35 * e.height()),
+            Point::new(e.min.x + 0.60 * e.width(), e.min.y + 0.60 * e.height()),
+        );
+        let inside = (0..t.len()).filter(|&i| core.contains(t.point(i))).count();
+        assert!(
+            inside as f64 > 0.5 * t.len() as f64,
+            "only {inside} of {} points in the core",
+            t.len()
+        );
+    }
+
+    #[test]
+    fn taxi_hours_are_monotone() {
+        let t = TaxiModel::default().generate(1_000, 3);
+        let hour = t.attr_index("hour").unwrap();
+        let hours = t.attr(hour);
+        assert!(hours.windows(2).all(|w| w[0] <= w[1]));
+        // Prefix = earliest time range.
+        let p = t.prefix(100);
+        assert!(p.attr(hour).iter().all(|&h| h <= hours[99]));
+    }
+
+    #[test]
+    fn twitter_points_cluster_on_cities() {
+        let m = TwitterModel::default();
+        let t = m.generate(10_000, 9);
+        // At least 60% of tweets within 3σ of some city center.
+        let near = (0..t.len())
+            .filter(|&i| {
+                let p = t.point(i);
+                m.cities
+                    .iter()
+                    .any(|c| p.distance(c.center) < 3.0 * c.sigma)
+            })
+            .count();
+        assert!(near as f64 > 0.6 * t.len() as f64, "near = {near}");
+    }
+
+    #[test]
+    fn uniform_fills_extent_roughly_evenly() {
+        let e = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let t = uniform_points(10_000, &e, 5);
+        // Each quadrant should hold 25% ± 5%.
+        let mut quad = [0usize; 4];
+        for i in 0..t.len() {
+            let p = t.point(i);
+            let qi = (p.x >= 50.0) as usize + 2 * (p.y >= 50.0) as usize;
+            quad[qi] += 1;
+        }
+        for q in quad {
+            assert!((q as f64 - 2_500.0).abs() < 500.0, "quadrant {q}");
+        }
+    }
+
+    #[test]
+    fn schemas_match_constants() {
+        let t = TaxiModel::default().generate(1, 0);
+        assert_eq!(t.attr_count(), TAXI_ATTRS.len());
+        assert_eq!(t.attr_names(), TAXI_ATTRS.to_vec());
+        let tw = TwitterModel::default().generate(1, 0);
+        assert_eq!(tw.attr_names(), TWITTER_ATTRS.to_vec());
+    }
+}

@@ -1,0 +1,31 @@
+//! Point data management for the raster-join reproduction.
+//!
+//! The paper evaluates on two columnar point data sets — NYC yellow taxi
+//! (~868 M trips) and geo-tagged Twitter (~2.29 B tweets) — stored as
+//! binary columns on disk and loaded column-wise (§7.1). Neither raw data
+//! set is redistributable, so this crate provides:
+//!
+//! * [`table`] — the in-memory columnar [`table::PointTable`] (x/y plus
+//!   f32 attribute columns) and prefix/range slicing used to sweep input
+//!   sizes;
+//! * [`filter`] — attribute predicates (`>, ≥, <, ≤, =`) evaluated before
+//!   the vertex-shader transform, as §5 "Query Parameters" prescribes;
+//! * [`generators`] — synthetic [`generators::TaxiModel`] and
+//!   [`generators::TwitterModel`] workloads reproducing the documented
+//!   spatial skew (hotspots over Manhattan / large US cities), plus a
+//!   uniform control;
+//! * [`disk`] — the binary columnar on-disk format with a chunked reader
+//!   for the disk-resident experiment (Fig. 13);
+//! * [`polygons`] — the polygonal query sets: stand-ins for NYC
+//!   neighborhoods (260) and US counties (3 945) built with the §7.4
+//!   Voronoi-merge generator, plus arbitrary-count generation for Fig. 10.
+
+pub mod csv;
+pub mod disk;
+pub mod filter;
+pub mod generators;
+pub mod polygons;
+pub mod table;
+
+pub use filter::{CmpOp, Predicate};
+pub use table::PointTable;

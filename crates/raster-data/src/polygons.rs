@@ -1,0 +1,110 @@
+//! Polygonal query sets.
+//!
+//! Stand-ins for the paper's two real polygon sets (Table 1) — NYC
+//! neighborhoods (260 polygons) and US counties (3 945 polygons) — built
+//! with the paper's own §7.4 generator (constrained Voronoi + merging), at
+//! matching cardinality over the matching extent. Arbitrary-count
+//! generation backs the polygon-scaling experiment (Fig. 10).
+
+use crate::generators::{nyc_extent, us_extent};
+use raster_geom::merge::generate_polygons;
+use raster_geom::{BBox, Polygon};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of polygons in the NYC-neighborhoods stand-in (Table 1).
+pub const NYC_NEIGHBORHOOD_COUNT: usize = 260;
+
+/// Number of polygons in the US-counties stand-in (Table 1).
+pub const US_COUNTY_COUNT: usize = 3_945;
+
+/// Boundary subdivision step for the NYC stand-in, chosen so polygons
+/// average the "hundreds of vertices" complexity of the real
+/// neighborhoods (§1, Table 1's 877 KB for 260 polygons).
+pub const NYC_DENSIFY_EDGE_M: f64 = 60.0;
+
+/// Boundary subdivision step for the US-counties stand-in.
+pub const US_DENSIFY_EDGE_M: f64 = 2_000.0;
+
+/// The NYC-neighborhoods stand-in: 260 complex polygons tiling the NYC
+/// extent, deterministic, densified to realistic vertex counts.
+pub fn nyc_neighborhoods() -> Vec<Polygon> {
+    let mut rng = StdRng::seed_from_u64(0x4e5943); // "NYC"
+    generate_polygons(NYC_NEIGHBORHOOD_COUNT, &nyc_extent(), &mut rng)
+        .iter()
+        .map(|p| p.densified(NYC_DENSIFY_EDGE_M))
+        .collect()
+}
+
+/// The US-counties stand-in: 3 945 polygons tiling the US extent,
+/// deterministic, densified to realistic vertex counts.
+pub fn us_counties() -> Vec<Polygon> {
+    let mut rng = StdRng::seed_from_u64(0x5553); // "US"
+    generate_polygons(US_COUNTY_COUNT, &us_extent(), &mut rng)
+        .iter()
+        .map(|p| p.densified(US_DENSIFY_EDGE_M))
+        .collect()
+}
+
+/// Arbitrary-count polygon workload over `extent` (Fig. 10 sweeps 2⁸…2¹⁶).
+pub fn synthetic_polygons(count: usize, extent: &BBox, seed: u64) -> Vec<Polygon> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    generate_polygons(count, extent, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nyc_set_has_expected_cardinality_and_extent() {
+        let polys = nyc_neighborhoods();
+        assert_eq!(polys.len(), NYC_NEIGHBORHOOD_COUNT);
+        let e = nyc_extent();
+        let total: f64 = polys.iter().map(Polygon::area).sum();
+        // The set tiles the extent (up to FP slack).
+        assert!(
+            (total - e.area()).abs() / e.area() < 1e-3,
+            "total area {total} vs extent {}",
+            e.area()
+        );
+    }
+
+    #[test]
+    fn nyc_set_is_deterministic() {
+        let a = nyc_neighborhoods();
+        let b = nyc_neighborhoods();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].outer().points(), b[0].outer().points());
+    }
+
+    #[test]
+    fn synthetic_polygons_hit_requested_count() {
+        let e = nyc_extent();
+        for count in [16usize, 64, 256] {
+            let p = synthetic_polygons(count, &e, 1);
+            assert_eq!(p.len(), count);
+        }
+    }
+
+    #[test]
+    fn polygons_have_complex_shapes() {
+        // Merged polygons must average well above 4 vertices (the paper's
+        // real polygons have hundreds; complexity scales with merge depth).
+        let p = synthetic_polygons(32, &nyc_extent(), 2);
+        let avg: f64 =
+            p.iter().map(|q| q.vertex_count() as f64).sum::<f64>() / p.len() as f64;
+        assert!(avg > 6.0, "average vertex count {avg}");
+    }
+
+    #[test]
+    fn nyc_stand_in_has_hundreds_of_vertices_per_polygon() {
+        let polys = nyc_neighborhoods();
+        let avg: f64 = polys.iter().map(|p| p.vertex_count() as f64).sum::<f64>()
+            / polys.len() as f64;
+        assert!(
+            (100.0..2_000.0).contains(&avg),
+            "average vertex count {avg} outside the realistic band"
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box (the "MBR" of the spatial-join literature).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BBox {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl BBox {
+    /// Box spanning the two corner points (which need not be ordered).
+    pub fn new(a: Point, b: Point) -> Self {
+        BBox {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The "empty" box: grows to fit anything via [`BBox::expand`].
+    pub fn empty() -> Self {
+        BBox {
+            min: Point::new(f64::INFINITY, f64::INFINITY),
+            max: Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+        }
+    }
+
+    /// True if no point has ever been added.
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y
+    }
+
+    /// Smallest box containing every point of the iterator.
+    pub fn from_points<I: IntoIterator<Item = Point>>(pts: I) -> Self {
+        let mut b = BBox::empty();
+        for p in pts {
+            b.expand(p);
+        }
+        b
+    }
+
+    /// Grow (in place) to contain `p`.
+    pub fn expand(&mut self, p: Point) {
+        self.min.x = self.min.x.min(p.x);
+        self.min.y = self.min.y.min(p.y);
+        self.max.x = self.max.x.max(p.x);
+        self.max.y = self.max.y.max(p.y);
+    }
+
+    /// Grow (in place) to contain the whole of `other`.
+    pub fn union(&mut self, other: &BBox) {
+        if other.is_empty() {
+            return;
+        }
+        self.expand(other.min);
+        self.expand(other.max);
+    }
+
+    /// Closed-set containment test.
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// True if the two boxes share at least one point.
+    pub fn intersects(&self, other: &BBox) -> bool {
+        !(self.is_empty() || other.is_empty())
+            && self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    pub fn width(&self) -> f64 {
+        (self.max.x - self.min.x).max(0.0)
+    }
+
+    pub fn height(&self) -> f64 {
+        (self.max.y - self.min.y).max(0.0)
+    }
+
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Grow symmetrically by `margin` on every side.
+    pub fn inflate(&self, margin: f64) -> BBox {
+        BBox {
+            min: Point::new(self.min.x - margin, self.min.y - margin),
+            max: Point::new(self.max.x + margin, self.max.y + margin),
+        }
+    }
+
+    /// Intersection box, or `None` when disjoint.
+    pub fn intersection(&self, other: &BBox) -> Option<BBox> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(BBox {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_orders_corners() {
+        let b = BBox::new(Point::new(3.0, -1.0), Point::new(-2.0, 5.0));
+        assert_eq!(b.min, Point::new(-2.0, -1.0));
+        assert_eq!(b.max, Point::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn empty_box_contains_nothing_and_unions_identity() {
+        let e = BBox::empty();
+        assert!(e.is_empty());
+        assert!(!e.contains(Point::new(0.0, 0.0)));
+        let mut b = BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let before = b;
+        b.union(&e);
+        assert_eq!(b, before);
+    }
+
+    #[test]
+    fn from_points_covers_all() {
+        let pts = [
+            Point::new(1.0, 4.0),
+            Point::new(-3.0, 2.0),
+            Point::new(0.5, -7.0),
+        ];
+        let b = BBox::from_points(pts);
+        for p in pts {
+            assert!(b.contains(p));
+        }
+        assert_eq!(b.min, Point::new(-3.0, -7.0));
+        assert_eq!(b.max, Point::new(1.0, 4.0));
+    }
+
+    #[test]
+    fn intersection_and_disjoint() {
+        let a = BBox::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let b = BBox::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0));
+        let i = a.intersection(&b).unwrap();
+        assert_eq!(i.min, Point::new(1.0, 1.0));
+        assert_eq!(i.max, Point::new(2.0, 2.0));
+        let c = BBox::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert!(a.intersection(&c).is_none());
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn touching_boxes_intersect() {
+        let a = BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0));
+        let b = BBox::new(Point::new(1.0, 0.0), Point::new(2.0, 1.0));
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn inflate_grows_all_sides() {
+        let b = BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).inflate(0.5);
+        assert_eq!(b.min, Point::new(-0.5, -0.5));
+        assert_eq!(b.max, Point::new(1.5, 1.5));
+        assert!((b.area() - 4.0).abs() < 1e-12);
+    }
+}

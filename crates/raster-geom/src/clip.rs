@@ -1,0 +1,262 @@
+//! Clipping algorithms.
+//!
+//! * [`clip_segment`] — Cohen–Sutherland segment clipping against a box. The
+//!   paper's fragment shader uses this to compute the fraction of a boundary
+//!   pixel covered by its polygon (§5, "Estimating the Result Range").
+//! * [`clip_ring`] — Sutherland–Hodgman polygon clipping against a box, used
+//!   to compute exact pixel/polygon intersection areas.
+
+use crate::{BBox, Point};
+
+const INSIDE: u8 = 0;
+const LEFT: u8 = 1;
+const RIGHT: u8 = 2;
+const BOTTOM: u8 = 4;
+const TOP: u8 = 8;
+
+fn out_code(b: &BBox, p: Point) -> u8 {
+    let mut code = INSIDE;
+    if p.x < b.min.x {
+        code |= LEFT;
+    } else if p.x > b.max.x {
+        code |= RIGHT;
+    }
+    if p.y < b.min.y {
+        code |= BOTTOM;
+    } else if p.y > b.max.y {
+        code |= TOP;
+    }
+    code
+}
+
+/// Cohen–Sutherland: clip the segment `a`–`b` to `bbox`. Returns the clipped
+/// segment, or `None` when the segment misses the box entirely.
+pub fn clip_segment(bbox: &BBox, mut a: Point, mut b: Point) -> Option<(Point, Point)> {
+    let mut code_a = out_code(bbox, a);
+    let mut code_b = out_code(bbox, b);
+    loop {
+        if code_a | code_b == 0 {
+            return Some((a, b));
+        }
+        if code_a & code_b != 0 {
+            return None;
+        }
+        let code_out = if code_a != 0 { code_a } else { code_b };
+        let dx = b.x - a.x;
+        let dy = b.y - a.y;
+        let p = if code_out & TOP != 0 {
+            Point::new(a.x + dx * (bbox.max.y - a.y) / dy, bbox.max.y)
+        } else if code_out & BOTTOM != 0 {
+            Point::new(a.x + dx * (bbox.min.y - a.y) / dy, bbox.min.y)
+        } else if code_out & RIGHT != 0 {
+            Point::new(bbox.max.x, a.y + dy * (bbox.max.x - a.x) / dx)
+        } else {
+            Point::new(bbox.min.x, a.y + dy * (bbox.min.x - a.x) / dx)
+        };
+        if code_out == code_a {
+            a = p;
+            code_a = out_code(bbox, a);
+        } else {
+            b = p;
+            code_b = out_code(bbox, b);
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Side {
+    Left(f64),
+    Right(f64),
+    Bottom(f64),
+    Top(f64),
+}
+
+impl Side {
+    fn inside(&self, p: Point) -> bool {
+        match *self {
+            Side::Left(x) => p.x >= x,
+            Side::Right(x) => p.x <= x,
+            Side::Bottom(y) => p.y >= y,
+            Side::Top(y) => p.y <= y,
+        }
+    }
+
+    fn intersect(&self, a: Point, b: Point) -> Point {
+        match *self {
+            Side::Left(x) | Side::Right(x) => {
+                let t = (x - a.x) / (b.x - a.x);
+                Point::new(x, a.y + t * (b.y - a.y))
+            }
+            Side::Bottom(y) | Side::Top(y) => {
+                let t = (y - a.y) / (b.y - a.y);
+                Point::new(a.x + t * (b.x - a.x), y)
+            }
+        }
+    }
+}
+
+/// Sutherland–Hodgman: clip a closed ring to `bbox`. Returns the clipped
+/// vertex loop (possibly empty). The input ring may wind either way.
+pub fn clip_ring(bbox: &BBox, ring: &[Point]) -> Vec<Point> {
+    let mut output: Vec<Point> = ring.to_vec();
+    let sides = [
+        Side::Left(bbox.min.x),
+        Side::Right(bbox.max.x),
+        Side::Bottom(bbox.min.y),
+        Side::Top(bbox.max.y),
+    ];
+    for side in sides {
+        if output.is_empty() {
+            break;
+        }
+        let input = std::mem::take(&mut output);
+        let n = input.len();
+        for i in 0..n {
+            let cur = input[i];
+            let prev = input[(i + n - 1) % n];
+            let cur_in = side.inside(cur);
+            let prev_in = side.inside(prev);
+            if cur_in {
+                if !prev_in {
+                    output.push(side.intersect(prev, cur));
+                }
+                output.push(cur);
+            } else if prev_in {
+                output.push(side.intersect(prev, cur));
+            }
+        }
+    }
+    output
+}
+
+/// Area of the part of `ring` inside `bbox`, as a fraction of the box area.
+///
+/// This is `f_i(x, y)` from §5 of the paper: the coverage fraction used for
+/// the *expected* result-range intervals. The result is clamped to `[0, 1]`.
+pub fn coverage_fraction(bbox: &BBox, ring: &[Point]) -> f64 {
+    let clipped = clip_ring(bbox, ring);
+    if clipped.len() < 3 {
+        return 0.0;
+    }
+    let mut area2 = 0.0;
+    let n = clipped.len();
+    for i in 0..n {
+        area2 += clipped[i].cross(clipped[(i + 1) % n]);
+    }
+    let area = area2.abs() * 0.5;
+    let cell = bbox.area();
+    if cell <= 0.0 {
+        0.0
+    } else {
+        (area / cell).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0))
+    }
+
+    #[test]
+    fn segment_fully_inside_unchanged() {
+        let b = unit_box();
+        let (p, q) = clip_segment(&b, Point::new(0.2, 0.2), Point::new(0.8, 0.8)).unwrap();
+        assert_eq!(p, Point::new(0.2, 0.2));
+        assert_eq!(q, Point::new(0.8, 0.8));
+    }
+
+    #[test]
+    fn segment_fully_outside_rejected() {
+        let b = unit_box();
+        assert!(clip_segment(&b, Point::new(2.0, 2.0), Point::new(3.0, 3.0)).is_none());
+        assert!(clip_segment(&b, Point::new(-1.0, 0.5), Point::new(-0.5, 0.5)).is_none());
+    }
+
+    #[test]
+    fn segment_crossing_is_trimmed() {
+        let b = unit_box();
+        let (p, q) = clip_segment(&b, Point::new(-1.0, 0.5), Point::new(2.0, 0.5)).unwrap();
+        assert!((p.x - 0.0).abs() < 1e-12 && (q.x - 1.0).abs() < 1e-12);
+        assert!((p.y - 0.5).abs() < 1e-12 && (q.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_segment_clipped_to_corners() {
+        let b = unit_box();
+        let (p, q) = clip_segment(&b, Point::new(-1.0, -1.0), Point::new(2.0, 2.0)).unwrap();
+        assert!(p.distance(Point::new(0.0, 0.0)) < 1e-12);
+        assert!(q.distance(Point::new(1.0, 1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn ring_fully_inside_is_unchanged_up_to_rotation() {
+        let b = unit_box();
+        let tri = vec![
+            Point::new(0.2, 0.2),
+            Point::new(0.8, 0.2),
+            Point::new(0.5, 0.8),
+        ];
+        let out = clip_ring(&b, &tri);
+        assert_eq!(out.len(), 3);
+        for p in &tri {
+            assert!(out.iter().any(|q| q.distance(*p) < 1e-12));
+        }
+    }
+
+    #[test]
+    fn ring_fully_outside_clips_to_empty() {
+        let b = unit_box();
+        let tri = vec![
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 2.0),
+            Point::new(2.5, 3.0),
+        ];
+        assert!(clip_ring(&b, &tri).is_empty());
+    }
+
+    #[test]
+    fn half_covering_square_has_half_coverage() {
+        let b = unit_box();
+        // Square covering the left half of the box (and extending beyond).
+        let sq = vec![
+            Point::new(-1.0, -1.0),
+            Point::new(0.5, -1.0),
+            Point::new(0.5, 2.0),
+            Point::new(-1.0, 2.0),
+        ];
+        let f = coverage_fraction(&b, &sq);
+        assert!((f - 0.5).abs() < 1e-9, "got {f}");
+    }
+
+    #[test]
+    fn coverage_is_clamped_and_complete() {
+        let b = unit_box();
+        let big = vec![
+            Point::new(-5.0, -5.0),
+            Point::new(5.0, -5.0),
+            Point::new(5.0, 5.0),
+            Point::new(-5.0, 5.0),
+        ];
+        assert!((coverage_fraction(&b, &big) - 1.0).abs() < 1e-12);
+        let none = vec![
+            Point::new(5.0, 5.0),
+            Point::new(6.0, 5.0),
+            Point::new(6.0, 6.0),
+        ];
+        assert_eq!(coverage_fraction(&b, &none), 0.0);
+    }
+
+    #[test]
+    fn coverage_of_diagonal_half() {
+        let b = unit_box();
+        let tri = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        ];
+        assert!((coverage_fraction(&b, &tri) - 0.5).abs() < 1e-9);
+    }
+}

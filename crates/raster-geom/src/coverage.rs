@@ -1,0 +1,103 @@
+//! Restricted Voronoi coverage regions.
+//!
+//! The paper's second motivating application (§1): planners "place new
+//! resources (e.g., bus stops, police stations), and again inspect the
+//! coverage... commonly computed by using a restricted Voronoi diagram to
+//! associate each resource with a polygonal region, and then aggregating
+//! the urban data over these polygons." This module turns resource sites
+//! directly into the polygon set such a query needs: one coverage region
+//! per site, restricted to the domain extent, with polygon IDs equal to
+//! site indices so the aggregation result aligns with the input sites.
+
+use crate::voronoi::voronoi_cells;
+use crate::{BBox, Point, Polygon, Ring};
+
+/// Coverage regions for `sites` restricted to `extent`: polygon `i` is
+/// the region closer to `sites[i]` than to any other site. Sites whose
+/// region degenerates (coincident sites) yield `None`.
+pub fn coverage_regions(sites: &[Point], extent: &BBox) -> Vec<Option<Polygon>> {
+    voronoi_cells(sites, extent)
+        .into_iter()
+        .map(|cell| {
+            let pts = cell.points();
+            if pts.len() < 3 {
+                return None;
+            }
+            let ring = Ring::new(pts);
+            if ring.len() < 3 || ring.signed_area().abs() < 1e-12 {
+                return None;
+            }
+            Some(Polygon::new(cell.site as u32, ring))
+        })
+        .collect()
+}
+
+/// Convenience: only the valid regions (still carrying site-index IDs).
+pub fn coverage_polygons(sites: &[Point], extent: &BBox) -> Vec<Polygon> {
+    coverage_regions(sites, extent).into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    #[test]
+    fn every_site_gets_its_own_region() {
+        let sites = vec![
+            Point::new(25.0, 25.0),
+            Point::new(75.0, 25.0),
+            Point::new(50.0, 75.0),
+        ];
+        let regions = coverage_polygons(&sites, &extent());
+        assert_eq!(regions.len(), 3);
+        for (i, r) in regions.iter().enumerate() {
+            assert_eq!(r.id() as usize, i);
+            assert!(r.contains(sites[i]), "region {i} must contain its site");
+        }
+        // Regions tile the extent.
+        let total: f64 = regions.iter().map(Polygon::area).sum();
+        assert!((total - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nearest_site_owns_each_probe() {
+        let sites: Vec<Point> = (0..9)
+            .map(|i| Point::new((i % 3) as f64 * 40.0 + 10.0, (i / 3) as f64 * 40.0 + 10.0))
+            .collect();
+        let regions = coverage_polygons(&sites, &extent());
+        for gy in 0..10 {
+            for gx in 0..10 {
+                let p = Point::new(gx as f64 * 10.0 + 3.7, gy as f64 * 10.0 + 6.1);
+                let nearest = (0..sites.len())
+                    .min_by(|&a, &b| {
+                        sites[a]
+                            .distance_sq(p)
+                            .partial_cmp(&sites[b].distance_sq(p))
+                            .unwrap()
+                    })
+                    .unwrap();
+                let owner = regions.iter().find(|r| r.contains(p));
+                if let Some(owner) = owner {
+                    assert_eq!(
+                        owner.id() as usize,
+                        nearest,
+                        "probe {p:?} owned by wrong region"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coincident_sites_do_not_panic() {
+        let sites = vec![Point::new(50.0, 50.0), Point::new(50.0, 50.0)];
+        let regions = coverage_regions(&sites, &extent());
+        assert_eq!(regions.len(), 2);
+        // At least one of the duplicates keeps a region; none panic.
+        assert!(regions.iter().any(Option::is_some));
+    }
+}

@@ -1,0 +1,136 @@
+//! Hausdorff distance between polygon boundaries.
+//!
+//! §4.2 of the paper defines the ε-approximation guarantee of bounded raster
+//! join through the Hausdorff distance between the input polygon and its
+//! pixelated stand-in: with pixel side ε′ = ε/√2 (pixel diagonal = ε), every
+//! false positive/negative lies within ε of the true boundary. This module
+//! provides a discretised boundary Hausdorff distance used by the tests to
+//! *verify* that guarantee, plus the resolution arithmetic itself.
+
+use crate::{BBox, Point, Polygon};
+
+/// Directed Hausdorff distance from sample set `a` to sample set `b`:
+/// `max_{p∈a} min_{q∈b} d(p, q)`.
+pub fn directed_hausdorff(a: &[Point], b: &[Point]) -> f64 {
+    let mut worst: f64 = 0.0;
+    for &p in a {
+        let mut best = f64::INFINITY;
+        for &q in b {
+            let d = p.distance_sq(q);
+            if d < best {
+                best = d;
+            }
+        }
+        worst = worst.max(best);
+    }
+    worst.sqrt()
+}
+
+/// Symmetric Hausdorff distance between two sample sets.
+pub fn hausdorff(a: &[Point], b: &[Point]) -> f64 {
+    directed_hausdorff(a, b).max(directed_hausdorff(b, a))
+}
+
+/// Sample the boundary of a polygon at spacing at most `step`.
+pub fn sample_boundary(poly: &Polygon, step: f64) -> Vec<Point> {
+    let mut out = Vec::new();
+    for (a, b) in poly.all_edges() {
+        let len = a.distance(b);
+        let n = (len / step).ceil().max(1.0) as usize;
+        for k in 0..n {
+            let t = k as f64 / n as f64;
+            out.push(a + (b - a) * t);
+        }
+    }
+    out
+}
+
+/// Pixel side length ε′ that guarantees a Hausdorff bound of ε: the paper
+/// sets the pixel *diagonal* to ε, i.e. side = ε / √2.
+pub fn pixel_side_for_epsilon(epsilon: f64) -> f64 {
+    epsilon / std::f64::consts::SQRT_2
+}
+
+/// Canvas resolution (width, height in pixels) required to render `extent`
+/// with the ε guarantee. This is `w/ε′ × h/ε′` from §4.2.
+pub fn resolution_for_epsilon(extent: &BBox, epsilon: f64) -> (u32, u32) {
+    let side = pixel_side_for_epsilon(epsilon);
+    let w = (extent.width() / side).ceil().max(1.0) as u32;
+    let h = (extent.height() / side).ceil().max(1.0) as u32;
+    (w, h)
+}
+
+/// Number of rendering passes needed when the required resolution exceeds
+/// the FBO limit `max_dim` per axis (the multi-canvas splitting of Fig. 5).
+pub fn passes_for_epsilon(extent: &BBox, epsilon: f64, max_dim: u32) -> u32 {
+    let (w, h) = resolution_for_epsilon(extent, epsilon);
+    let tiles_x = (w + max_dim - 1) / max_dim;
+    let tiles_y = (h + max_dim - 1) / max_dim;
+    tiles_x * tiles_y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hausdorff_of_identical_sets_is_zero() {
+        let a = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        assert_eq!(hausdorff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn directed_hausdorff_is_asymmetric() {
+        let a = vec![Point::new(0.0, 0.0)];
+        let b = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        assert_eq!(directed_hausdorff(&a, &b), 0.0);
+        assert_eq!(directed_hausdorff(&b, &a), 10.0);
+        assert_eq!(hausdorff(&a, &b), 10.0);
+    }
+
+    #[test]
+    fn boundary_sampling_respects_step() {
+        let p = Polygon::from_coords(0, vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let samples = sample_boundary(&p, 1.0);
+        assert!(samples.len() >= 40);
+        // Consecutive samples along each edge are at most 1.0 apart — verify
+        // by checking every sample is on the boundary bbox frame.
+        for s in &samples {
+            let on_frame = s.x.abs() < 1e-9
+                || (s.x - 10.0).abs() < 1e-9
+                || s.y.abs() < 1e-9
+                || (s.y - 10.0).abs() < 1e-9;
+            assert!(on_frame);
+        }
+    }
+
+    #[test]
+    fn pixel_side_matches_diagonal_rule() {
+        let e = 20.0;
+        let side = pixel_side_for_epsilon(e);
+        let diagonal = side * std::f64::consts::SQRT_2;
+        assert!((diagonal - e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolution_scales_inversely_with_epsilon() {
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 500.0));
+        let (w1, h1) = resolution_for_epsilon(&extent, 10.0);
+        let (w2, h2) = resolution_for_epsilon(&extent, 5.0);
+        assert!(w2 >= 2 * w1 - 1 && h2 >= 2 * h1 - 1);
+        assert!(w1 > 0 && h1 > 0);
+    }
+
+    #[test]
+    fn passes_grow_quadratically_as_epsilon_shrinks() {
+        // Fig. 12a: "the number of rendering passes increases quadratically"
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(40_000.0, 40_000.0));
+        let max_dim = 8192;
+        let p20 = passes_for_epsilon(&extent, 20.0, max_dim);
+        let p10 = passes_for_epsilon(&extent, 10.0, max_dim);
+        let p5 = passes_for_epsilon(&extent, 5.0, max_dim);
+        assert_eq!(p20, 1);
+        assert!(p10 >= 1);
+        assert!(p5 > p10);
+    }
+}

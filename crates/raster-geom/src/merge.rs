@@ -1,0 +1,301 @@
+//! Merging of adjacent Voronoi cells into complex polygons (§7.4).
+//!
+//! The paper's polygon generator computes 4n Voronoi cells and repeatedly
+//! merges a random pair of *adjacent* cells until n polygons remain, so the
+//! output mixes convex, concave and arbitrarily complex shapes. We keep the
+//! per-edge neighbour annotations produced by [`crate::voronoi`] and realise
+//! a merged region's outline as the chain of member-cell edges whose
+//! neighbour lies outside the region.
+
+use crate::voronoi::VoronoiCell;
+use crate::{Point, Polygon, Ring};
+use rand::Rng;
+
+/// Union-find over cell indices.
+struct Dsu {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+/// Quantise a point for exact endpoint matching despite floating-point noise.
+fn key(p: Point, scale: f64) -> (i64, i64) {
+    let q = scale / 1e9;
+    ((p.x / q).round() as i64, (p.y / q).round() as i64)
+}
+
+/// Assemble the boundary loops of one region (set of cell indices).
+///
+/// Returns rings ordered by descending absolute area: the first is the outer
+/// boundary, any further loops are holes (possible when a region surrounds
+/// another after many merges).
+fn region_boundary(cells: &[VoronoiCell], members: &[usize], scale: f64) -> Vec<Ring> {
+    use std::collections::BTreeMap;
+    let member_set: std::collections::HashSet<usize> = members.iter().copied().collect();
+
+    // Directed boundary edges: start -> end. A BTreeMap keeps edge pickup
+    // order deterministic (same inputs → identical vertex order).
+    let mut by_start: BTreeMap<(i64, i64), Vec<(Point, Point)>> = BTreeMap::new();
+    let mut edge_count = 0usize;
+    for &ci in members {
+        let cell = &cells[ci];
+        let n = cell.verts.len();
+        for i in 0..n {
+            let (p, ann) = cell.verts[i];
+            let (q, _) = cell.verts[(i + 1) % n];
+            let internal = matches!(ann, Some(nb) if member_set.contains(&nb));
+            if !internal {
+                by_start.entry(key(p, scale)).or_default().push((p, q));
+                edge_count += 1;
+            }
+        }
+    }
+
+    let mut rings = Vec::new();
+    let mut consumed = 0usize;
+    while consumed < edge_count {
+        // Pick any remaining edge as the loop seed.
+        let Some((&start_key, _)) = by_start.iter().find(|(_, v)| !v.is_empty()) else {
+            break;
+        };
+        let (first_p, first_q) = by_start.get_mut(&start_key).unwrap().pop().unwrap();
+        consumed += 1;
+        let mut loop_pts = vec![first_p, first_q];
+        let start = key(first_p, scale);
+        let mut cursor = key(first_q, scale);
+        let mut guard = 0usize;
+        while cursor != start {
+            let Some(next_edges) = by_start.get_mut(&cursor) else {
+                break;
+            };
+            let Some((_, q)) = next_edges.pop() else {
+                break;
+            };
+            consumed += 1;
+            cursor = key(q, scale);
+            loop_pts.push(q);
+            guard += 1;
+            if guard > edge_count + 4 {
+                break;
+            }
+        }
+        // Drop the duplicated closing vertex (Ring::new also handles it).
+        if loop_pts.len() >= 3 {
+            rings.push(Ring::new(loop_pts));
+        }
+    }
+    rings.sort_by(|a, b| {
+        b.signed_area()
+            .abs()
+            .partial_cmp(&a.signed_area().abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rings
+}
+
+/// Merge Voronoi cells into `target` polygons by repeatedly unioning random
+/// adjacent regions, exactly as §7.4 prescribes. IDs are assigned densely
+/// `0..target`.
+pub fn merge_cells_into_polygons<R: Rng>(
+    cells: &[VoronoiCell],
+    target: usize,
+    rng: &mut R,
+) -> Vec<Polygon> {
+    let n = cells.len();
+    assert!(target >= 1, "target must be at least 1");
+    let mut dsu = Dsu::new(n);
+    let mut regions = n;
+
+    // Adjacency pairs (deduplicated by ordering).
+    let mut adjacency: Vec<(usize, usize)> = Vec::new();
+    for c in cells {
+        for nb in c.neighbors() {
+            if c.site < nb {
+                adjacency.push((c.site, nb));
+            }
+        }
+    }
+
+    let mut attempts = 0usize;
+    while regions > target && !adjacency.is_empty() {
+        let k = rng.gen_range(0..adjacency.len());
+        let (a, b) = adjacency.swap_remove(k);
+        if dsu.union(a, b) {
+            regions -= 1;
+        }
+        attempts += 1;
+        if attempts > 64 * n + 1024 {
+            break; // disconnected leftovers; accept more regions than target
+        }
+    }
+
+    // Group members per region root.
+    let mut groups: std::collections::HashMap<usize, Vec<usize>> = std::collections::HashMap::new();
+    for i in 0..n {
+        let r = dsu.find(i);
+        groups.entry(r).or_default().push(i);
+    }
+
+    let scale = cells
+        .iter()
+        .flat_map(|c| c.verts.iter().map(|(p, _)| p.x.abs().max(p.y.abs())))
+        .fold(1.0f64, f64::max);
+
+    let mut polys = Vec::with_capacity(groups.len());
+    let mut id = 0u32;
+    let mut roots: Vec<usize> = groups.keys().copied().collect();
+    roots.sort_unstable(); // deterministic output order
+    for root in roots {
+        let members = &groups[&root];
+        let mut rings = region_boundary(cells, members, scale);
+        if rings.is_empty() {
+            continue;
+        }
+        let outer = rings.remove(0);
+        if outer.len() < 3 {
+            continue;
+        }
+        polys.push(Polygon::with_holes(id, outer, rings));
+        id += 1;
+    }
+    polys
+}
+
+/// Full §7.4 generator: scatter `4 * target` random sites in `extent`,
+/// compute the constrained Voronoi diagram and merge down to `target`
+/// polygons.
+pub fn generate_polygons<R: Rng>(
+    target: usize,
+    extent: &crate::BBox,
+    rng: &mut R,
+) -> Vec<Polygon> {
+    let nsites = 4 * target.max(1);
+    let sites: Vec<Point> = (0..nsites)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(extent.min.x..extent.max.x),
+                rng.gen_range(extent.min.y..extent.max.y),
+            )
+        })
+        .collect();
+    let cells = crate::voronoi::voronoi_cells(&sites, extent);
+    merge_cells_into_polygons(&cells, target, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::voronoi::voronoi_cells;
+    use crate::BBox;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    #[test]
+    fn merging_preserves_total_area() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sites: Vec<Point> = (0..64)
+            .map(|_| {
+                Point::new(
+                    rand::Rng::gen_range(&mut rng, 0.0..100.0),
+                    rand::Rng::gen_range(&mut rng, 0.0..100.0),
+                )
+            })
+            .collect();
+        let cells = voronoi_cells(&sites, &extent());
+        let polys = merge_cells_into_polygons(&cells, 16, &mut rng);
+        let total: f64 = polys.iter().map(Polygon::area).sum();
+        assert!(
+            (total - 10_000.0).abs() < 1.0,
+            "merged polygons must tile the extent, got {total}"
+        );
+    }
+
+    #[test]
+    fn merge_reaches_target_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let polys = generate_polygons(12, &extent(), &mut rng);
+        assert_eq!(polys.len(), 12);
+        // IDs dense and unique.
+        let mut ids: Vec<u32> = polys.iter().map(Polygon::id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..12).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn generated_polygons_include_concave_shapes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let polys = generate_polygons(10, &extent(), &mut rng);
+        // After merging, at least one polygon must be concave (a convex
+        // polygon's vertex count equals its hull's vertex count).
+        let any_concave = polys.iter().any(|p| {
+            let pts = p.outer().points();
+            let n = pts.len();
+            (0..n).any(|i| {
+                crate::predicates::signed_area2(
+                    pts[(i + n - 1) % n],
+                    pts[i],
+                    pts[(i + 1) % n],
+                ) < -1e-9
+            })
+        });
+        assert!(any_concave, "expected concave polygons from merging");
+    }
+
+    #[test]
+    fn single_target_covers_everything() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let polys = generate_polygons(1, &extent(), &mut rng);
+        assert_eq!(polys.len(), 1);
+        assert!((polys[0].area() - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merged_polygons_have_disjoint_interiors() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let polys = generate_polygons(8, &extent(), &mut rng);
+        // Sample a grid of probe points: each must lie in at most one polygon
+        // (boundary probes may be ambiguous; use off-grid offsets).
+        for gy in 0..20 {
+            for gx in 0..20 {
+                let p = Point::new(gx as f64 * 5.0 + 2.63, gy as f64 * 5.0 + 1.77);
+                let owners = polys.iter().filter(|poly| poly.contains(p)).count();
+                assert!(owners <= 1, "point {p:?} owned by {owners} polygons");
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Planar points in world coordinates.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A point (or vector) in the plane, in world coordinates (e.g. metres in a
+/// local projection, or degrees — the pipeline is unit-agnostic).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt when comparing).
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Dot product, treating both points as vectors from the origin.
+    pub fn dot(&self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Z-component of the cross product of the two vectors.
+    pub fn cross(&self, other: Point) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(*self).sqrt()
+    }
+
+    /// Midpoint of the segment `self`–`other`.
+    pub fn midpoint(&self, other: Point) -> Point {
+        Point::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
+    }
+
+    /// Squared distance from this point to the segment `a`–`b`.
+    pub fn distance_sq_to_segment(&self, a: Point, b: Point) -> f64 {
+        let ab = b - a;
+        let len_sq = ab.dot(ab);
+        if len_sq == 0.0 {
+            return self.distance_sq(a);
+        }
+        let t = ((*self - a).dot(ab) / len_sq).clamp(0.0, 1.0);
+        let proj = a + ab * t;
+        self.distance_sq(proj)
+    }
+
+    /// Distance from this point to the segment `a`–`b`.
+    pub fn distance_to_segment(&self, a: Point, b: Point) -> f64 {
+        self.distance_sq_to_segment(a, b).sqrt()
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    fn mul(self, s: f64) -> Point {
+        Point::new(self.x * s, self.y * s)
+    }
+}
+
+impl Div<f64> for Point {
+    type Output = Point;
+    fn div(self, s: f64) -> Point {
+        Point::new(self.x / s, self.y / s)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(b), b.distance(a));
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(b / 2.0, Point::new(1.5, -0.5));
+    }
+
+    #[test]
+    fn cross_sign_encodes_turn_direction() {
+        let right = Point::new(1.0, 0.0);
+        let up = Point::new(0.0, 1.0);
+        assert!(right.cross(up) > 0.0);
+        assert!(up.cross(right) < 0.0);
+    }
+
+    #[test]
+    fn distance_to_segment_endpoints_and_interior() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 0.0);
+        // Projects inside the segment.
+        assert!((Point::new(5.0, 3.0).distance_to_segment(a, b) - 3.0).abs() < 1e-12);
+        // Projects before a.
+        assert!((Point::new(-4.0, 3.0).distance_to_segment(a, b) - 5.0).abs() < 1e-12);
+        // Degenerate segment.
+        assert!((Point::new(3.0, 4.0).distance_to_segment(a, a) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let m = Point::new(0.0, 0.0).midpoint(Point::new(2.0, 4.0));
+        assert_eq!(m, Point::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,357 @@
+//! Simple polygons (optionally with holes).
+
+use crate::{BBox, Point};
+use serde::{Deserialize, Serialize};
+
+/// A closed vertex loop. The last vertex is implicitly connected to the
+/// first; callers should not repeat the first vertex at the end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ring {
+    points: Vec<Point>,
+}
+
+impl Ring {
+    /// Builds a ring from a vertex loop, dropping consecutive duplicates and
+    /// a trailing duplicate of the first vertex if present.
+    pub fn new(mut points: Vec<Point>) -> Self {
+        points.dedup();
+        if points.len() > 1 && points.first() == points.last() {
+            points.pop();
+        }
+        Ring { points }
+    }
+
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterator over the ring's directed edges, closing the loop.
+    pub fn edges(&self) -> impl Iterator<Item = (Point, Point)> + '_ {
+        let n = self.points.len();
+        (0..n).map(move |i| (self.points[i], self.points[(i + 1) % n]))
+    }
+
+    /// Signed area via the shoelace formula: positive for counter-clockwise
+    /// vertex order.
+    pub fn signed_area(&self) -> f64 {
+        let n = self.points.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut s = 0.0;
+        for (a, b) in self.edges() {
+            s += a.cross(b);
+        }
+        s * 0.5
+    }
+
+    /// True if the vertex order is counter-clockwise.
+    pub fn is_ccw(&self) -> bool {
+        self.signed_area() > 0.0
+    }
+
+    /// Reverse the vertex order in place.
+    pub fn reverse(&mut self) {
+        self.points.reverse();
+    }
+
+    /// A copy with counter-clockwise orientation.
+    pub fn oriented_ccw(&self) -> Ring {
+        let mut r = self.clone();
+        if !r.is_ccw() {
+            r.reverse();
+        }
+        r
+    }
+
+    /// Total edge length.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|(a, b)| a.distance(b)).sum()
+    }
+
+    pub fn bbox(&self) -> BBox {
+        BBox::from_points(self.points.iter().copied())
+    }
+}
+
+/// A polygon: an outer ring, zero or more hole rings and an application ID.
+///
+/// The ID plays the role of the OpenGL per-triangle key of §4.1: every
+/// fragment generated for this polygon accumulates into result slot `id`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    id: u32,
+    outer: Ring,
+    holes: Vec<Ring>,
+    bbox: BBox,
+}
+
+impl Polygon {
+    /// Simple polygon without holes.
+    pub fn new(id: u32, outer: Ring) -> Self {
+        Polygon::with_holes(id, outer, Vec::new())
+    }
+
+    /// Polygon with holes. The outer ring is normalised to CCW and holes to
+    /// CW so that downstream consumers can rely on the orientation.
+    pub fn with_holes(id: u32, outer: Ring, holes: Vec<Ring>) -> Self {
+        let outer = outer.oriented_ccw();
+        let holes = holes
+            .into_iter()
+            .map(|h| {
+                let mut h = h.oriented_ccw();
+                h.reverse();
+                h
+            })
+            .collect::<Vec<_>>();
+        let bbox = outer.bbox();
+        Polygon {
+            id,
+            outer,
+            holes,
+            bbox,
+        }
+    }
+
+    /// Convenience: polygon from a raw outer vertex loop.
+    pub fn from_coords(id: u32, coords: Vec<(f64, f64)>) -> Self {
+        Polygon::new(id, Ring::new(coords.into_iter().map(Point::from).collect()))
+    }
+
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    pub fn set_id(&mut self, id: u32) {
+        self.id = id;
+    }
+
+    pub fn outer(&self) -> &Ring {
+        &self.outer
+    }
+
+    pub fn holes(&self) -> &[Ring] {
+        &self.holes
+    }
+
+    pub fn bbox(&self) -> BBox {
+        self.bbox
+    }
+
+    /// Number of vertices over all rings (the paper's measure of polygon
+    /// complexity; NYC neighborhoods average hundreds of vertices).
+    pub fn vertex_count(&self) -> usize {
+        self.outer.len() + self.holes.iter().map(Ring::len).sum::<usize>()
+    }
+
+    /// Area: outer ring minus holes.
+    pub fn area(&self) -> f64 {
+        self.outer.signed_area().abs()
+            - self.holes.iter().map(|h| h.signed_area().abs()).sum::<f64>()
+    }
+
+    /// Perimeter of all rings (outline length — drives the number of
+    /// boundary pixels in the accurate variant).
+    pub fn perimeter(&self) -> f64 {
+        self.outer.perimeter() + self.holes.iter().map(Ring::perimeter).sum::<f64>()
+    }
+
+    /// Area-weighted centroid of the outer ring.
+    pub fn centroid(&self) -> Point {
+        let pts = self.outer.points();
+        let n = pts.len();
+        if n == 0 {
+            return Point::default();
+        }
+        let a2 = self.outer.signed_area() * 2.0;
+        if a2.abs() < 1e-30 {
+            // Degenerate: average of vertices.
+            let sum = pts.iter().fold(Point::default(), |acc, p| acc + *p);
+            return sum / n as f64;
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for (a, b) in self.outer.edges() {
+            let w = a.cross(b);
+            cx += (a.x + b.x) * w;
+            cy += (a.y + b.y) * w;
+        }
+        Point::new(cx / (3.0 * a2), cy / (3.0 * a2))
+    }
+
+    /// All boundary edges (outer ring and holes).
+    pub fn all_edges(&self) -> Vec<(Point, Point)> {
+        let mut e: Vec<(Point, Point)> = self.outer.edges().collect();
+        for h in &self.holes {
+            e.extend(h.edges());
+        }
+        e
+    }
+
+    /// Containment test. Delegates to [`crate::predicates::point_in_polygon`].
+    pub fn contains(&self, p: Point) -> bool {
+        crate::predicates::point_in_polygon(self, p)
+    }
+
+    /// A geometrically identical copy whose boundary edges are subdivided
+    /// to length at most `max_edge`. Densification does not change the
+    /// polygon's shape, area or the join result — it only raises the
+    /// vertex count, i.e. the cost of every point-in-polygon test. The
+    /// paper's real polygon sets "often consist of hundreds of vertices"
+    /// (§1); the synthetic stand-ins use this to match that complexity.
+    pub fn densified(&self, max_edge: f64) -> Polygon {
+        assert!(max_edge > 0.0);
+        let densify_ring = |ring: &Ring| -> Ring {
+            let mut pts = Vec::with_capacity(ring.len() * 2);
+            for (a, b) in ring.edges() {
+                let len = a.distance(b);
+                let segments = (len / max_edge).ceil().max(1.0) as usize;
+                for k in 0..segments {
+                    pts.push(a + (b - a) * (k as f64 / segments as f64));
+                }
+            }
+            Ring::new(pts)
+        };
+        Polygon {
+            id: self.id,
+            outer: densify_ring(&self.outer),
+            holes: self.holes.iter().map(densify_ring).collect(),
+            bbox: self.bbox,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square_ring() -> Ring {
+        Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn ring_drops_closing_duplicate() {
+        let r = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 0.0),
+        ]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn signed_area_orientation() {
+        let ccw = unit_square_ring();
+        assert!((ccw.signed_area() - 1.0).abs() < 1e-12);
+        assert!(ccw.is_ccw());
+        let mut cw = ccw.clone();
+        cw.reverse();
+        assert!((cw.signed_area() + 1.0).abs() < 1e-12);
+        assert!(!cw.is_ccw());
+    }
+
+    #[test]
+    fn polygon_normalises_orientation() {
+        let mut cw = unit_square_ring();
+        cw.reverse();
+        let poly = Polygon::new(7, cw);
+        assert!(poly.outer().is_ccw());
+        assert_eq!(poly.id(), 7);
+    }
+
+    #[test]
+    fn area_subtracts_holes() {
+        let outer = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]);
+        let hole = Ring::new(vec![
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(1.0, 2.0),
+        ]);
+        let poly = Polygon::with_holes(0, outer, vec![hole]);
+        assert!((poly.area() - 15.0).abs() < 1e-12);
+        assert_eq!(poly.vertex_count(), 8);
+        // Holes are normalised to clockwise.
+        assert!(!poly.holes()[0].is_ccw());
+    }
+
+    #[test]
+    fn centroid_of_square() {
+        let poly = Polygon::new(0, unit_square_ring());
+        let c = poly.centroid();
+        assert!((c.x - 0.5).abs() < 1e-12 && (c.y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perimeter_of_square() {
+        let poly = Polygon::new(0, unit_square_ring());
+        assert!((poly.perimeter() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn densified_preserves_geometry_and_raises_vertex_count() {
+        let poly = Polygon::from_coords(
+            4,
+            vec![(0.0, 0.0), (100.0, 0.0), (100.0, 100.0), (0.0, 100.0)],
+        );
+        let dense = poly.densified(10.0);
+        assert_eq!(dense.id(), 4);
+        assert_eq!(dense.vertex_count(), 40);
+        assert!((dense.area() - poly.area()).abs() < 1e-9);
+        assert!((dense.perimeter() - poly.perimeter()).abs() < 1e-9);
+        // Containment is unchanged.
+        for &(x, y) in &[(50.0, 50.0), (0.5, 0.5), (101.0, 50.0), (-1.0, -1.0)] {
+            let p = Point::new(x, y);
+            assert_eq!(dense.contains(p), poly.contains(p), "{p:?}");
+        }
+        // Adjacent polygons densified with the same step keep shared
+        // edges vertex-identical (no cracks in a tiling).
+        let right = Polygon::from_coords(
+            5,
+            vec![(100.0, 0.0), (200.0, 0.0), (200.0, 100.0), (100.0, 100.0)],
+        )
+        .densified(10.0);
+        let shared_left: Vec<Point> = dense
+            .outer()
+            .points()
+            .iter()
+            .copied()
+            .filter(|p| p.x == 100.0)
+            .collect();
+        let shared_right: Vec<Point> = right
+            .outer()
+            .points()
+            .iter()
+            .copied()
+            .filter(|p| p.x == 100.0)
+            .collect();
+        assert_eq!(shared_left.len(), shared_right.len());
+    }
+
+    #[test]
+    fn bbox_matches_extent() {
+        let poly = Polygon::from_coords(0, vec![(0.0, 0.0), (3.0, 1.0), (1.0, 5.0)]);
+        let b = poly.bbox();
+        assert_eq!(b.min, Point::new(0.0, 0.0));
+        assert_eq!(b.max, Point::new(3.0, 5.0));
+    }
+}

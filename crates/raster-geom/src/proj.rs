@@ -1,0 +1,164 @@
+//! Geographic projection: WGS-84 lon/lat → planar metres.
+//!
+//! The paper's data sets carry raw GPS coordinates (taxi pickup points,
+//! geo-tagged tweets) while all of its spatial reasoning — ε in *metres*,
+//! pixel sizes "approximately equal to the average street width" (§4.2) —
+//! happens in a planar metric space. This module supplies the bridge the
+//! ingestion path needs: a local equirectangular projection (exact enough
+//! at city scale: < 0.1% distortion over ~100 km) and spherical Web
+//! Mercator for continental extents.
+
+use crate::{BBox, Point};
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A local equirectangular ("plate carrée about a reference latitude")
+/// projection: metres east/north of a reference point. Distance-faithful
+/// near the reference latitude, which is exactly the city-scale use case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalProjection {
+    /// Reference longitude/latitude in degrees.
+    pub lon0: f64,
+    pub lat0: f64,
+}
+
+impl LocalProjection {
+    pub fn new(lon0: f64, lat0: f64) -> Self {
+        assert!((-180.0..=180.0).contains(&lon0), "bad reference longitude");
+        assert!((-90.0..=90.0).contains(&lat0), "bad reference latitude");
+        LocalProjection { lon0, lat0 }
+    }
+
+    /// Project (lon, lat) degrees to local metres.
+    pub fn to_metres(&self, lon: f64, lat: f64) -> Point {
+        let k = std::f64::consts::PI / 180.0;
+        let x = (lon - self.lon0) * k * EARTH_RADIUS_M * (self.lat0 * k).cos();
+        let y = (lat - self.lat0) * k * EARTH_RADIUS_M;
+        Point::new(x, y)
+    }
+
+    /// Inverse: local metres back to (lon, lat) degrees.
+    pub fn to_lonlat(&self, p: Point) -> (f64, f64) {
+        let k = std::f64::consts::PI / 180.0;
+        let lat = self.lat0 + p.y / (EARTH_RADIUS_M * k);
+        let lon = self.lon0 + p.x / (EARTH_RADIUS_M * k * (self.lat0 * k).cos());
+        (lon, lat)
+    }
+}
+
+/// Spherical Web Mercator (EPSG:3857-style, without the WGS-84 ellipsoid
+/// refinement) — for continental extents like the Twitter/counties
+/// workload. Not distance-faithful away from the equator; fine for
+/// containment tests, which are projection-invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WebMercator;
+
+impl WebMercator {
+    pub fn to_metres(&self, lon: f64, lat: f64) -> Point {
+        let k = std::f64::consts::PI / 180.0;
+        let lat = lat.clamp(-85.051_128, 85.051_128); // Mercator pole guard
+        let x = EARTH_RADIUS_M * lon * k;
+        let y = EARTH_RADIUS_M * ((std::f64::consts::FRAC_PI_4 + lat * k / 2.0).tan()).ln();
+        Point::new(x, y)
+    }
+
+    pub fn to_lonlat(&self, p: Point) -> (f64, f64) {
+        let k = 180.0 / std::f64::consts::PI;
+        let lon = p.x / EARTH_RADIUS_M * k;
+        let lat = (2.0 * (p.y / EARTH_RADIUS_M).exp().atan() - std::f64::consts::FRAC_PI_2) * k;
+        (lon, lat)
+    }
+}
+
+/// Project a lon/lat bounding box with a [`LocalProjection`] centred on it.
+pub fn project_bbox_local(lon_min: f64, lat_min: f64, lon_max: f64, lat_max: f64) -> (LocalProjection, BBox) {
+    let proj = LocalProjection::new((lon_min + lon_max) / 2.0, (lat_min + lat_max) / 2.0);
+    let corners = [
+        proj.to_metres(lon_min, lat_min),
+        proj.to_metres(lon_max, lat_min),
+        proj.to_metres(lon_min, lat_max),
+        proj.to_metres(lon_max, lat_max),
+    ];
+    (proj, BBox::from_points(corners))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// NYC-ish reference: 40.75°N, -73.98°E.
+    fn nyc() -> LocalProjection {
+        LocalProjection::new(-73.98, 40.75)
+    }
+
+    #[test]
+    fn local_projection_roundtrips() {
+        let p = nyc();
+        for &(lon, lat) in &[(-73.98, 40.75), (-74.1, 40.6), (-73.7, 40.9)] {
+            let m = p.to_metres(lon, lat);
+            let (lon2, lat2) = p.to_lonlat(m);
+            assert!((lon - lon2).abs() < 1e-9, "{lon} vs {lon2}");
+            assert!((lat - lat2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_degree_of_latitude_is_111_km() {
+        let p = nyc();
+        let m = p.to_metres(-73.98, 41.75);
+        assert!((m.y - 111_195.0).abs() < 100.0, "got {}", m.y);
+        assert!(m.x.abs() < 1e-6);
+    }
+
+    #[test]
+    fn longitude_shrinks_with_cos_latitude() {
+        let p = nyc();
+        let m = p.to_metres(-72.98, 40.75);
+        let expected = 111_195.0 * (40.75f64.to_radians()).cos();
+        assert!((m.x - expected).abs() < 200.0, "got {} want {expected}", m.x);
+    }
+
+    #[test]
+    fn local_distances_match_haversine_at_city_scale() {
+        let p = nyc();
+        // Two points ~20 km apart.
+        let a = p.to_metres(-74.05, 40.70);
+        let b = p.to_metres(-73.90, 40.85);
+        let planar = a.distance(b);
+        // Haversine reference.
+        let (lat1, lat2) = (40.70f64.to_radians(), 40.85f64.to_radians());
+        let dlat = lat2 - lat1;
+        let dlon = (-73.90f64 + 74.05).to_radians();
+        let h = (dlat / 2.0).sin().powi(2)
+            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let hav = 2.0 * EARTH_RADIUS_M * h.sqrt().asin();
+        let rel = (planar - hav).abs() / hav;
+        assert!(rel < 1e-3, "relative error {rel}");
+    }
+
+    #[test]
+    fn mercator_roundtrips_and_clamps_poles() {
+        let m = WebMercator;
+        for &(lon, lat) in &[(0.0, 0.0), (-100.0, 40.0), (151.2, -33.9)] {
+            let p = m.to_metres(lon, lat);
+            let (lon2, lat2) = m.to_lonlat(p);
+            assert!((lon - lon2).abs() < 1e-9);
+            assert!((lat - lat2).abs() < 1e-9);
+        }
+        // Pole latitudes are clamped rather than producing infinities.
+        let p = m.to_metres(0.0, 90.0);
+        assert!(p.y.is_finite());
+    }
+
+    #[test]
+    fn projected_bbox_contains_all_corners() {
+        let (proj, bbox) = project_bbox_local(-74.3, 40.5, -73.7, 41.0);
+        for &(lon, lat) in &[(-74.3, 40.5), (-73.7, 41.0), (-74.0, 40.75)] {
+            assert!(bbox.contains(proj.to_metres(lon, lat)));
+        }
+        // NYC box is ~50 km × 55 km.
+        assert!((40_000.0..70_000.0).contains(&bbox.width()), "{}", bbox.width());
+        assert!((45_000.0..65_000.0).contains(&bbox.height()));
+    }
+}

@@ -1,0 +1,204 @@
+//! Polygon simplification (Douglas–Peucker).
+//!
+//! The level-of-detail exploration the paper targets (§4.2) pairs
+//! naturally with geometric LOD on the *polygons*: when one pixel spans
+//! many metres, boundary detail below the pixel size is invisible and
+//! only adds triangulation and rasterization work. `simplify_ring`
+//! implements the standard Douglas–Peucker reduction with a tolerance
+//! expressed in world units — choosing the pixel side as the tolerance
+//! keeps the simplified polygon within one pixel of the original, i.e.
+//! within the ε guarantee already being paid for.
+
+use crate::{Point, Polygon, Ring};
+
+fn dp_recurse(pts: &[Point], first: usize, last: usize, tol: f64, keep: &mut [bool]) {
+    if last <= first + 1 {
+        return;
+    }
+    let a = pts[first];
+    let b = pts[last];
+    let mut worst = 0.0f64;
+    let mut worst_i = first;
+    for (i, &p) in pts.iter().enumerate().take(last).skip(first + 1) {
+        let d = p.distance_to_segment(a, b);
+        if d > worst {
+            worst = d;
+            worst_i = i;
+        }
+    }
+    if worst > tol {
+        keep[worst_i] = true;
+        dp_recurse(pts, first, worst_i, tol, keep);
+        dp_recurse(pts, worst_i, last, tol, keep);
+    }
+}
+
+/// Douglas–Peucker over an *open* polyline.
+pub fn simplify_polyline(pts: &[Point], tolerance: f64) -> Vec<Point> {
+    let n = pts.len();
+    if n <= 2 {
+        return pts.to_vec();
+    }
+    let mut keep = vec![false; n];
+    keep[0] = true;
+    keep[n - 1] = true;
+    dp_recurse(pts, 0, n - 1, tolerance, &mut keep);
+    pts.iter()
+        .zip(&keep)
+        .filter(|&(_, &k)| k)
+        .map(|(&p, _)| p)
+        .collect()
+}
+
+/// Simplify a closed ring. The ring is split at its two mutually farthest
+/// "anchor" vertices so that the closed shape survives (plain DP on a
+/// loop would collapse it). Rings simplify to at least a triangle; rings
+/// with fewer than 4 vertices are returned unchanged.
+pub fn simplify_ring(ring: &Ring, tolerance: f64) -> Ring {
+    let pts = ring.points();
+    let n = pts.len();
+    if n < 4 {
+        return ring.clone();
+    }
+    // Anchor 0: vertex farthest from the centroid-ish first vertex;
+    // anchor 1: vertex farthest from anchor 0.
+    let a0 = (0..n)
+        .max_by(|&i, &j| {
+            pts[i]
+                .distance_sq(pts[0])
+                .partial_cmp(&pts[j].distance_sq(pts[0]))
+                .unwrap()
+        })
+        .unwrap_or(0);
+    let a1 = (0..n)
+        .max_by(|&i, &j| {
+            pts[i]
+                .distance_sq(pts[a0])
+                .partial_cmp(&pts[j].distance_sq(pts[a0]))
+                .unwrap()
+        })
+        .unwrap_or(0);
+    let (lo, hi) = if a0 < a1 { (a0, a1) } else { (a1, a0) };
+    // Two open chains: lo..=hi and hi..=lo (wrapping).
+    let chain1: Vec<Point> = pts[lo..=hi].to_vec();
+    let mut chain2: Vec<Point> = pts[hi..].to_vec();
+    chain2.extend_from_slice(&pts[..=lo]);
+
+    let s1 = simplify_polyline(&chain1, tolerance);
+    let s2 = simplify_polyline(&chain2, tolerance);
+    // Join, dropping the duplicated anchors.
+    let mut out = s1;
+    out.extend_from_slice(&s2[1..s2.len().saturating_sub(1)]);
+    if out.len() < 3 {
+        return ring.clone();
+    }
+    Ring::new(out)
+}
+
+/// Simplify a polygon's rings. Holes that collapse below a triangle are
+/// dropped (they are sub-tolerance details).
+pub fn simplify_polygon(poly: &Polygon, tolerance: f64) -> Polygon {
+    let outer = simplify_ring(poly.outer(), tolerance);
+    let holes: Vec<Ring> = poly
+        .holes()
+        .iter()
+        .map(|h| simplify_ring(h, tolerance))
+        .filter(|h| h.len() >= 3)
+        .collect();
+    Polygon::with_holes(poly.id(), outer, holes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hausdorff::{hausdorff, sample_boundary};
+
+    #[test]
+    fn polyline_collinear_points_removed() {
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+        let s = simplify_polyline(&pts, 0.01);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], pts[0]);
+        assert_eq!(s[1], pts[9]);
+    }
+
+    #[test]
+    fn polyline_keeps_significant_kinks() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 4.0), // far off the 0-10 chord
+            Point::new(10.0, 0.0),
+        ];
+        let s = simplify_polyline(&pts, 1.0);
+        assert_eq!(s.len(), 3);
+        let s2 = simplify_polyline(&pts, 10.0);
+        assert_eq!(s2.len(), 2);
+    }
+
+    #[test]
+    fn ring_survives_simplification() {
+        // A circle sampled at 100 vertices simplifies a lot at coarse
+        // tolerance but stays a valid ring with near-equal area.
+        let pts: Vec<Point> = (0..100)
+            .map(|i| {
+                let a = i as f64 / 100.0 * std::f64::consts::TAU;
+                Point::new(100.0 * a.cos(), 100.0 * a.sin())
+            })
+            .collect();
+        let ring = Ring::new(pts);
+        let simple = simplify_ring(&ring, 2.0);
+        assert!(simple.len() >= 3);
+        assert!(simple.len() < ring.len());
+        let area_loss = (ring.signed_area().abs() - simple.signed_area().abs()).abs();
+        assert!(area_loss < 0.05 * ring.signed_area().abs());
+    }
+
+    #[test]
+    fn simplified_boundary_stays_within_tolerance_band() {
+        let pts: Vec<Point> = (0..64)
+            .map(|i| {
+                let a = i as f64 / 64.0 * std::f64::consts::TAU;
+                let r = 50.0 + 3.0 * (7.0 * a).sin(); // wiggly circle
+                Point::new(r * a.cos(), r * a.sin())
+            })
+            .collect();
+        let poly = Polygon::new(0, Ring::new(pts));
+        let tol = 4.0;
+        let simple = simplify_polygon(&poly, tol);
+        let h = hausdorff(
+            &sample_boundary(&poly, 1.0),
+            &sample_boundary(&simple, 1.0),
+        );
+        // DP guarantees each removed vertex is within tol of the chord;
+        // boundary Hausdorff stays in the same ballpark.
+        assert!(h <= 2.0 * tol, "hausdorff {h} > {}", 2.0 * tol);
+    }
+
+    #[test]
+    fn tiny_rings_unchanged_and_small_holes_dropped() {
+        let tri = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 1.0),
+        ]);
+        assert_eq!(simplify_ring(&tri, 10.0).len(), 3);
+
+        let outer = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(100.0, 100.0),
+            Point::new(0.0, 100.0),
+        ]);
+        let hole = Ring::new(vec![
+            Point::new(50.0, 50.0),
+            Point::new(50.2, 50.0),
+            Point::new(50.2, 50.2),
+            Point::new(50.0, 50.2),
+        ]);
+        let poly = Polygon::with_holes(3, outer, vec![hole]);
+        let simple = simplify_polygon(&poly, 1.0);
+        assert_eq!(simple.id(), 3);
+        // The sub-tolerance hole collapses (or is dropped): area ≈ square.
+        assert!((simple.area() - 10_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Polygon validation and repair.
+//!
+//! The paper's pipeline assumes *simple* polygons: ear-clipping
+//! triangulation (§3) and the even–odd containment test both misbehave on
+//! self-intersecting or degenerate rings. Real administrative boundaries
+//! (the paper's NYC neighborhoods and US counties come from shapefiles)
+//! routinely carry duplicate vertices, collinear runs, zero-area spikes
+//! and occasionally genuine self-intersections, so a production ingest
+//! path needs a checking/repair pass before the polygons reach the
+//! rasterizer. [`validate`] reports every issue found; [`repair`] fixes
+//! the mechanical ones (duplicates, orientation, non-finite vertices) and
+//! rejects the rest.
+
+use crate::predicates::segments_intersect;
+use crate::{Point, Polygon, Ring};
+
+/// One defect found in a polygon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Issue {
+    /// A ring has fewer than 3 distinct vertices (ring index; 0 = outer).
+    TooFewVertices(usize),
+    /// Two consecutive vertices coincide (ring index).
+    DuplicateVertex(usize),
+    /// A vertex is NaN or infinite (ring index).
+    NonFiniteVertex(usize),
+    /// The ring encloses (numerically) no area (ring index).
+    ZeroArea(usize),
+    /// Two non-adjacent edges of the same ring cross (ring index).
+    SelfIntersection(usize),
+    /// A hole vertex lies outside the outer ring (hole index, 0-based).
+    HoleOutsideOuter(usize),
+}
+
+/// Check one polygon; an empty report means it is safe for triangulation
+/// and containment tests.
+pub fn validate(poly: &Polygon) -> Vec<Issue> {
+    let mut issues = Vec::new();
+    let rings: Vec<&Ring> = std::iter::once(poly.outer()).chain(poly.holes()).collect();
+    for (ri, ring) in rings.iter().enumerate() {
+        let pts = ring.points();
+        if pts.iter().any(|p| !p.x.is_finite() || !p.y.is_finite()) {
+            issues.push(Issue::NonFiniteVertex(ri));
+            // Geometry predicates are meaningless on non-finite data;
+            // skip the rest of this ring's checks.
+            continue;
+        }
+        let mut distinct: Vec<Point> = Vec::with_capacity(pts.len());
+        let mut dup = false;
+        for &p in pts {
+            if distinct.last().is_some_and(|&q| q == p) {
+                dup = true;
+            } else {
+                distinct.push(p);
+            }
+        }
+        if distinct.len() > 1 && distinct[0] == *distinct.last().unwrap() {
+            distinct.pop();
+            dup = true;
+        }
+        if dup {
+            issues.push(Issue::DuplicateVertex(ri));
+        }
+        if distinct.len() < 3 {
+            issues.push(Issue::TooFewVertices(ri));
+            continue;
+        }
+        if ring.signed_area().abs() < 1e-12 {
+            issues.push(Issue::ZeroArea(ri));
+        }
+        if ring_self_intersects(&distinct) {
+            issues.push(Issue::SelfIntersection(ri));
+        }
+    }
+    // Hole placement (only meaningful when the outer ring is usable).
+    if !issues
+        .iter()
+        .any(|i| matches!(i, Issue::TooFewVertices(0) | Issue::NonFiniteVertex(0)))
+    {
+        for (hi, hole) in poly.holes().iter().enumerate() {
+            if hole
+                .points()
+                .iter()
+                .any(|&p| !crate::predicates::point_in_ring(poly.outer().points(), p))
+            {
+                // Vertices exactly on the outer boundary are tolerated;
+                // point_in_ring's even-odd rule decides ties, which is the
+                // same rule the rasterizer uses.
+                issues.push(Issue::HoleOutsideOuter(hi));
+            }
+        }
+    }
+    issues
+}
+
+/// True iff any two non-adjacent edges of the (deduplicated) ring cross.
+/// O(n²) — fine for administrative polygons (hundreds of vertices) and
+/// only run at ingest time.
+fn ring_self_intersects(pts: &[Point]) -> bool {
+    let n = pts.len();
+    for i in 0..n {
+        let (a1, a2) = (pts[i], pts[(i + 1) % n]);
+        // Start j at i+2 and skip the wrap-around neighbour of edge 0.
+        for j in (i + 2)..n {
+            if i == 0 && j == n - 1 {
+                continue;
+            }
+            let (b1, b2) = (pts[j], pts[(j + 1) % n]);
+            if segments_intersect(a1, a2, b1, b2) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Repair the mechanical defects: drop non-finite and consecutive
+/// duplicate vertices, close-ring duplicates, and degenerate rings
+/// (holes with < 3 distinct vertices are removed; a degenerate outer ring
+/// fails the repair). Self-intersections and misplaced holes are NOT
+/// repaired — those need human judgment — so a polygon still reporting
+/// them after cleaning returns `None`.
+pub fn repair(poly: &Polygon) -> Option<Polygon> {
+    let clean_ring = |ring: &Ring| -> Option<Ring> {
+        let mut pts: Vec<Point> = Vec::with_capacity(ring.len());
+        for &p in ring.points() {
+            if !p.x.is_finite() || !p.y.is_finite() {
+                continue;
+            }
+            if pts.last().is_some_and(|&q| q == p) {
+                continue;
+            }
+            pts.push(p);
+        }
+        if pts.len() > 1 && pts[0] == *pts.last().unwrap() {
+            pts.pop();
+        }
+        (pts.len() >= 3).then(|| Ring::new(pts))
+    };
+
+    let outer = clean_ring(poly.outer())?;
+    let holes: Vec<Ring> = poly.holes().iter().filter_map(clean_ring).collect();
+    let fixed = Polygon::with_holes(poly.id(), outer, holes);
+    let remaining = validate(&fixed);
+    remaining.is_empty().then_some(fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square(id: u32) -> Polygon {
+        Polygon::from_coords(id, vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)])
+    }
+
+    #[test]
+    fn clean_polygon_validates() {
+        assert!(validate(&square(0)).is_empty());
+    }
+
+    #[test]
+    fn ring_constructor_normalizes_duplicates() {
+        // `Ring::new` drops consecutive and closing duplicates itself, so
+        // polygons built through the public constructor never report
+        // `DuplicateVertex` (the check guards rings arriving through
+        // deserialization). Pin that normalization here.
+        let p = Polygon::from_coords(
+            0,
+            vec![
+                (0.0, 0.0),
+                (0.0, 0.0), // duplicate
+                (10.0, 0.0),
+                (10.0, 10.0),
+                (0.0, 10.0),
+                (0.0, 0.0), // closing duplicate
+            ],
+        );
+        assert!(validate(&p).is_empty());
+        assert_eq!(p.outer().len(), 4);
+        assert!((p.area() - 100.0).abs() < 1e-9);
+        // And repair is an identity on already-clean polygons.
+        let fixed = repair(&p).expect("clean polygon");
+        assert_eq!(fixed.outer().points(), p.outer().points());
+    }
+
+    #[test]
+    fn bowtie_self_intersection_detected_not_repaired() {
+        let bowtie = Polygon::from_coords(
+            0,
+            vec![(0.0, 0.0), (10.0, 10.0), (10.0, 0.0), (0.0, 10.0)],
+        );
+        let issues = validate(&bowtie);
+        assert!(issues.contains(&Issue::SelfIntersection(0)), "{issues:?}");
+        assert!(repair(&bowtie).is_none());
+    }
+
+    #[test]
+    fn non_finite_vertices_detected_and_dropped() {
+        let p = Polygon::from_coords(
+            0,
+            vec![
+                (0.0, 0.0),
+                (f64::NAN, 5.0),
+                (10.0, 0.0),
+                (10.0, 10.0),
+                (0.0, 10.0),
+            ],
+        );
+        assert!(validate(&p).contains(&Issue::NonFiniteVertex(0)));
+        let fixed = repair(&p).expect("repairable by dropping the NaN");
+        assert!(validate(&fixed).is_empty());
+        assert_eq!(fixed.outer().len(), 4);
+    }
+
+    #[test]
+    fn degenerate_rings_detected() {
+        let line = Polygon::from_coords(0, vec![(0.0, 0.0), (10.0, 0.0), (20.0, 0.0)]);
+        let issues = validate(&line);
+        assert!(issues.contains(&Issue::ZeroArea(0)), "{issues:?}");
+        let two = Polygon::from_coords(0, vec![(0.0, 0.0), (1.0, 1.0), (0.0, 0.0)]);
+        let issues = validate(&two);
+        assert!(issues.contains(&Issue::TooFewVertices(0)), "{issues:?}");
+        assert!(repair(&two).is_none());
+    }
+
+    #[test]
+    fn hole_placement_checked() {
+        let outer = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ]);
+        let inside = Ring::new(vec![
+            Point::new(4.0, 4.0),
+            Point::new(6.0, 4.0),
+            Point::new(6.0, 6.0),
+            Point::new(4.0, 6.0),
+        ]);
+        let outside = Ring::new(vec![
+            Point::new(14.0, 4.0),
+            Point::new(16.0, 4.0),
+            Point::new(16.0, 6.0),
+            Point::new(14.0, 6.0),
+        ]);
+        let good = Polygon::with_holes(0, outer.clone(), vec![inside]);
+        assert!(validate(&good).is_empty());
+        let bad = Polygon::with_holes(0, outer, vec![outside]);
+        assert!(validate(&bad).contains(&Issue::HoleOutsideOuter(0)));
+        assert!(repair(&bad).is_none());
+    }
+
+    #[test]
+    fn degenerate_hole_is_dropped_by_repair() {
+        let outer = Ring::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(0.0, 10.0),
+        ]);
+        let sliver = Ring::new(vec![Point::new(3.0, 3.0), Point::new(4.0, 4.0)]);
+        let p = Polygon::with_holes(0, outer, vec![sliver]);
+        let fixed = repair(&p).expect("sliver hole removed");
+        assert!(fixed.holes().is_empty());
+        assert!(validate(&fixed).is_empty());
+    }
+
+    #[test]
+    fn repaired_polygons_triangulate() {
+        // End-to-end: a dirty but repairable polygon goes through repair →
+        // triangulation, and the triangle areas sum to the polygon area.
+        let p = Polygon::from_coords(
+            0,
+            vec![
+                (0.0, 0.0),
+                (5.0, 0.0),
+                (5.0, 0.0), // dup
+                (10.0, 0.0),
+                (10.0, 10.0),
+                (5.0, 10.0),
+                (0.0, 10.0),
+                (0.0, 0.0), // closing dup
+            ],
+        );
+        let fixed = repair(&p).unwrap();
+        let tris = crate::triangulate::triangulate_polygon(&fixed);
+        let sum: f64 = tris.iter().map(|t| t.area()).sum();
+        assert!((sum - fixed.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_polygon_sets_are_valid() {
+        // The §7.4 Voronoi-merge generator must emit clean polygons — this
+        // pins the invariant the whole pipeline relies on.
+        let extent = crate::BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 1000.0));
+        let sites: Vec<Point> = (0..64)
+            .map(|i| {
+                let k = i as f64;
+                Point::new(
+                    (k * 137.508).rem_euclid(1000.0),
+                    (k * 254.31 + 11.0).rem_euclid(1000.0),
+                )
+            })
+            .collect();
+        let cells = crate::voronoi::voronoi_cells(&sites, &extent);
+        for c in &cells {
+            if c.verts.len() >= 3 {
+                let poly = Polygon::new(c.site as u32, Ring::new(c.points()));
+                let issues = validate(&poly);
+                assert!(issues.is_empty(), "site {}: {issues:?}", c.site);
+            }
+        }
+    }
+}

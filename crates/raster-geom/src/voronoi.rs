@@ -1,0 +1,297 @@
+//! Constrained Voronoi diagram over a rectangle.
+//!
+//! §7.4 of the paper generates synthetic polygon workloads by computing a
+//! Voronoi diagram of random sites clipped to the data extent (yielding 4n
+//! convex cells) and then repeatedly merging adjacent cells until n
+//! polygons — a mix of convex, concave and complex shapes — remain. This
+//! module implements the diagram itself; [`crate::merge`] implements the
+//! adjacency-preserving merge step.
+//!
+//! Cells are built by half-plane clipping with the classic security-radius
+//! early exit: sites are visited in increasing distance (via a uniform grid)
+//! and clipping stops once the next candidate is more than twice the
+//! current max site-to-vertex distance away, so cell construction is ~O(1)
+//! neighbours per site for uniform-ish sites.
+
+use crate::{BBox, Point};
+
+/// A Voronoi cell: a convex vertex loop where each vertex also names the
+/// neighbouring site that generated the edge *starting* at that vertex
+/// (`None` for edges lying on the domain boundary).
+#[derive(Debug, Clone)]
+pub struct VoronoiCell {
+    pub site: usize,
+    /// `(vertex, neighbour_of_outgoing_edge)` in CCW order.
+    pub verts: Vec<(Point, Option<usize>)>,
+}
+
+impl VoronoiCell {
+    pub fn points(&self) -> Vec<Point> {
+        self.verts.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// Site indices of all neighbouring cells.
+    pub fn neighbors(&self) -> impl Iterator<Item = usize> + '_ {
+        self.verts.iter().filter_map(|(_, n)| *n)
+    }
+
+    pub fn area(&self) -> f64 {
+        let n = self.verts.len();
+        if n < 3 {
+            return 0.0;
+        }
+        let mut s = 0.0;
+        for i in 0..n {
+            s += self.verts[i].0.cross(self.verts[(i + 1) % n].0);
+        }
+        s.abs() * 0.5
+    }
+}
+
+/// Clip `cell` by the half-plane of points closer to `site` than to `other`
+/// (located at `other_pos`), keeping edge annotations consistent.
+fn clip_halfplane(
+    cell: &[(Point, Option<usize>)],
+    site_pos: Point,
+    other: usize,
+    other_pos: Point,
+) -> Vec<(Point, Option<usize>)> {
+    let mid = site_pos.midpoint(other_pos);
+    let dir = other_pos - site_pos;
+    // f(p) <= 0  ⇔  p is on `site`'s side of the bisector.
+    let f = |p: Point| (p - mid).dot(dir);
+
+    let n = cell.len();
+    let mut out: Vec<(Point, Option<usize>)> = Vec::with_capacity(n + 2);
+    for i in 0..n {
+        let (p, ann) = cell[i];
+        let (q, _) = cell[(i + 1) % n];
+        let fp = f(p);
+        let fq = f(q);
+        let p_in = fp <= 0.0;
+        let q_in = fq <= 0.0;
+        if p_in {
+            out.push((p, ann));
+            if !q_in {
+                let t = fp / (fp - fq);
+                let ix = p + (q - p) * t;
+                // The edge *starting* at the exit intersection runs along the
+                // bisector toward the re-entry point: annotate with `other`.
+                out.push((ix, Some(other)));
+            }
+        } else if q_in {
+            let t = fp / (fp - fq);
+            let ix = p + (q - p) * t;
+            // Remainder of the original edge keeps its annotation.
+            out.push((ix, ann));
+        }
+    }
+    out
+}
+
+/// The constrained Voronoi diagram of `sites` clipped to `extent`.
+///
+/// Returns one cell per site, in site order. Sites outside the extent still
+/// get (possibly empty) cells.
+pub fn voronoi_cells(sites: &[Point], extent: &BBox) -> Vec<VoronoiCell> {
+    let n = sites.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Uniform site grid for nearest-first traversal.
+    let cells_per_axis = (n as f64).sqrt().ceil().max(1.0) as usize;
+    let gw = cells_per_axis;
+    let gh = cells_per_axis;
+    let cw = extent.width() / gw as f64;
+    let ch = extent.height() / gh as f64;
+    let cell_of = |p: Point| -> (usize, usize) {
+        let cx = (((p.x - extent.min.x) / cw) as isize).clamp(0, gw as isize - 1) as usize;
+        let cy = (((p.y - extent.min.y) / ch) as isize).clamp(0, gh as isize - 1) as usize;
+        (cx, cy)
+    };
+    let mut grid: Vec<Vec<usize>> = vec![Vec::new(); gw * gh];
+    for (i, &s) in sites.iter().enumerate() {
+        let (cx, cy) = cell_of(s);
+        grid[cy * gw + cx].push(i);
+    }
+
+    let init_cell = |_i: usize| -> Vec<(Point, Option<usize>)> {
+        vec![
+            (extent.min, None),
+            (Point::new(extent.max.x, extent.min.y), None),
+            (extent.max, None),
+            (Point::new(extent.min.x, extent.max.y), None),
+        ]
+    };
+
+    let min_cell_side = cw.min(ch).max(1e-12);
+    let max_ring = gw.max(gh);
+
+    (0..n)
+        .map(|i| {
+            let site = sites[i];
+            let mut cell = init_cell(i);
+            let (scx, scy) = cell_of(site);
+            // Candidates ring by ring, each ring sorted by distance.
+            let mut ring = 0usize;
+            loop {
+                // Early exit: every unprocessed site is at least
+                // (ring - 1) * min_cell_side away (sites in rings > current).
+                if ring > 1 {
+                    let min_next = (ring as f64 - 1.0) * min_cell_side;
+                    let r_max = cell
+                        .iter()
+                        .map(|(v, _)| v.distance(site))
+                        .fold(0.0f64, f64::max);
+                    if min_next > 2.0 * r_max {
+                        break;
+                    }
+                }
+                if ring > max_ring {
+                    break;
+                }
+                let mut cand: Vec<usize> = Vec::new();
+                let r = ring as isize;
+                for dy in -r..=r {
+                    for dx in -r..=r {
+                        if dx.abs() != r && dy.abs() != r {
+                            continue; // interior of ring already visited
+                        }
+                        let cx = scx as isize + dx;
+                        let cy = scy as isize + dy;
+                        if cx < 0 || cy < 0 || cx >= gw as isize || cy >= gh as isize {
+                            continue;
+                        }
+                        cand.extend(grid[cy as usize * gw + cx as usize].iter().copied());
+                    }
+                }
+                cand.retain(|&j| j != i);
+                cand.sort_by(|&a, &b| {
+                    sites[a]
+                        .distance_sq(site)
+                        .partial_cmp(&sites[b].distance_sq(site))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                for j in cand {
+                    if cell.is_empty() {
+                        break;
+                    }
+                    cell = clip_halfplane(&cell, site, j, sites[j]);
+                }
+                ring += 1;
+            }
+            VoronoiCell { site: i, verts: cell }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    #[test]
+    fn single_site_owns_whole_extent() {
+        let cells = voronoi_cells(&[Point::new(50.0, 50.0)], &extent());
+        assert_eq!(cells.len(), 1);
+        assert!((cells[0].area() - 10_000.0).abs() < 1e-6);
+        assert!(cells[0].neighbors().next().is_none());
+    }
+
+    #[test]
+    fn two_sites_split_in_half() {
+        let cells = voronoi_cells(
+            &[Point::new(25.0, 50.0), Point::new(75.0, 50.0)],
+            &extent(),
+        );
+        assert_eq!(cells.len(), 2);
+        assert!((cells[0].area() - 5_000.0).abs() < 1e-6);
+        assert!((cells[1].area() - 5_000.0).abs() < 1e-6);
+        assert!(cells[0].neighbors().any(|j| j == 1));
+        assert!(cells[1].neighbors().any(|j| j == 0));
+    }
+
+    #[test]
+    fn areas_partition_the_extent() {
+        let sites: Vec<Point> = (0..40)
+            .map(|i| {
+                // Deterministic pseudo-random scatter.
+                let x = (i as f64 * 37.0 + 13.0) % 100.0;
+                let y = (i as f64 * 61.0 + 29.0) % 100.0;
+                Point::new(x, y)
+            })
+            .collect();
+        let cells = voronoi_cells(&sites, &extent());
+        let total: f64 = cells.iter().map(VoronoiCell::area).sum();
+        assert!(
+            (total - 10_000.0).abs() < 1e-3,
+            "cells must tile the extent, got area {total}"
+        );
+    }
+
+    #[test]
+    fn every_cell_contains_its_site() {
+        let sites: Vec<Point> = (0..25)
+            .map(|i| Point::new((i % 5) as f64 * 20.0 + 10.0, (i / 5) as f64 * 20.0 + 10.0))
+            .collect();
+        let cells = voronoi_cells(&sites, &extent());
+        for c in &cells {
+            let pts = c.points();
+            assert!(
+                crate::predicates::point_in_ring(&pts, sites[c.site]),
+                "cell {} does not contain its site",
+                c.site
+            );
+        }
+    }
+
+    #[test]
+    fn cell_vertices_are_closest_to_own_site() {
+        // Voronoi property: each cell vertex is (weakly) no closer to any
+        // other site than to its own.
+        let sites: Vec<Point> = (0..30)
+            .map(|i| {
+                let x = (i as f64 * 53.0 + 7.0) % 100.0;
+                let y = (i as f64 * 19.0 + 43.0) % 100.0;
+                Point::new(x, y)
+            })
+            .collect();
+        let cells = voronoi_cells(&sites, &extent());
+        for c in &cells {
+            for (v, _) in &c.verts {
+                let own = v.distance(sites[c.site]);
+                for (j, s) in sites.iter().enumerate() {
+                    if j == c.site {
+                        continue;
+                    }
+                    assert!(
+                        v.distance(*s) >= own - 1e-6,
+                        "vertex {v:?} of cell {} closer to site {j}",
+                        c.site
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn grid_adjacency_is_symmetric() {
+        let sites: Vec<Point> = (0..16)
+            .map(|i| Point::new((i % 4) as f64 * 25.0 + 12.5, (i / 4) as f64 * 25.0 + 12.5))
+            .collect();
+        let cells = voronoi_cells(&sites, &extent());
+        for c in &cells {
+            for nb in c.neighbors() {
+                assert!(
+                    cells[nb].neighbors().any(|k| k == c.site),
+                    "adjacency {} -> {} not symmetric",
+                    c.site,
+                    nb
+                );
+            }
+        }
+    }
+}

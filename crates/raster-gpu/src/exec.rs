@@ -1,0 +1,125 @@
+//! Scoped-thread fan-out: the stand-in for the GPU's SPMD parallelism.
+//!
+//! Shader invocations in the paper run as a single program over multiple
+//! data (§3). We model that by splitting the item range into one contiguous
+//! chunk per worker and running the same closure on every chunk with
+//! `crossbeam`'s scoped threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workers: the available CPU parallelism (or 1 when unknown).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f(start, end)` over disjoint chunks of `0..len` on `workers`
+/// threads. `f` must be safe to run concurrently on disjoint ranges — all
+/// shared state in this codebase is atomic (FBOs, SSBOs).
+pub fn parallel_ranges<F>(len: usize, workers: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let workers = workers.max(1).min(len.max(1));
+    if workers == 1 || len == 0 {
+        f(0, len);
+        return;
+    }
+    let chunk = (len + workers - 1) / workers;
+    crossbeam::thread::scope(|s| {
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(len);
+            if start >= end {
+                continue;
+            }
+            let f = &f;
+            s.spawn(move |_| f(start, end));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Dynamic work stealing over items `0..len` in blocks of `block` — used
+/// where per-item cost is highly skewed (e.g. polygons with very different
+/// fragment counts).
+pub fn parallel_dynamic<F>(len: usize, workers: usize, block: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let workers = workers.max(1).min(len.max(1));
+    if workers == 1 || len == 0 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    let block = block.max(1);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            let f = &f;
+            let cursor = &cursor;
+            s.spawn(move |_| loop {
+                let start = cursor.fetch_add(block, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + block).min(len);
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_ranges_covers_every_index_once() {
+        let n = 10_001;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_ranges(n, 8, |s, e| {
+            for i in s..e {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_ranges_handles_empty_and_single() {
+        parallel_ranges(0, 4, |s, e| assert_eq!(s, e));
+        let sum = AtomicU64::new(0);
+        parallel_ranges(1, 4, |s, e| {
+            sum.fetch_add((e - s) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn parallel_dynamic_covers_every_index_once() {
+        let n = 5_000;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        parallel_dynamic(n, 6, 37, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn workers_capped_by_len() {
+        // Must not spawn more work than items; just exercises the path.
+        let count = AtomicU64::new(0);
+        parallel_ranges(3, 64, |s, e| {
+            count.fetch_add((e - s) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+}

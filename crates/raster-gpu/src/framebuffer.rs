@@ -1,0 +1,355 @@
+//! Frame buffer objects (FBOs) with additive blending.
+//!
+//! The paper stores per-pixel partial aggregates in the color channels of an
+//! FBO (§4.1): the red channel counts points, the green channel sums an
+//! attribute (§5), and the blend function is set to ADD. Updates must be
+//! atomic because fragments are processed in parallel; we mirror that with
+//! `AtomicU32` cells (counts) and CAS loops over f32 bit patterns (sums) —
+//! exactly the 32-bit-per-channel layout of the hardware (§3).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Allocate `n` zeroed atomics via the `vec![0u32; n]` calloc fast path —
+/// element-wise `resize_with(AtomicU32::new(0))` shows up hard in profiles
+/// at 8192² FBO sizes (67M elements per channel).
+pub(crate) fn zeroed_atomics(n: usize) -> Vec<AtomicU32> {
+    let mut v = vec![0u32; n];
+    let ptr = v.as_mut_ptr();
+    let len = v.len();
+    let cap = v.capacity();
+    std::mem::forget(v);
+    // SAFETY: AtomicU32 is documented to have the same size and bit
+    // validity as u32, and 0u32 is a valid AtomicU32 bit pattern.
+    unsafe { Vec::from_raw_parts(ptr.cast::<AtomicU32>(), len, cap) }
+}
+
+/// The point FBO `Fpt`: per-pixel COUNT (red channel) and SUM (green
+/// channel) partial aggregates.
+pub struct PointFbo {
+    width: u32,
+    height: u32,
+    counts: Vec<AtomicU32>,
+    sums: Vec<AtomicU32>, // f32 bit patterns
+}
+
+impl PointFbo {
+    /// Allocate a cleared FBO ("glClear"): all channels zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        let n = width as usize * height as usize;
+        PointFbo {
+            width,
+            height,
+            counts: zeroed_atomics(n),
+            sums: zeroed_atomics(n), // 0f32 is all-zero bits
+        }
+    }
+
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn idx(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y as usize * self.width as usize + x as usize
+    }
+
+    /// Additive blend of one point fragment: count += 1, sum += `value`.
+    /// This is line 5 of Procedure DrawPoints.
+    #[inline]
+    pub fn blend_add(&self, x: u32, y: u32, value: f32) {
+        let i = self.idx(x, y);
+        self.counts[i].fetch_add(1, Ordering::Relaxed);
+        if value != 0.0 {
+            // CAS loop implementing atomic f32 add, as GLSL atomicAdd on
+            // floats does.
+            let cell = &self.sums[i];
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                let new = (f32::from_bits(cur) + value).to_bits();
+                match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(v) => cur = v,
+                }
+            }
+        }
+    }
+
+    /// Count channel of one pixel.
+    #[inline]
+    pub fn count_at(&self, x: u32, y: u32) -> u32 {
+        self.counts[self.idx(x, y)].load(Ordering::Relaxed)
+    }
+
+    /// Sum channel of one pixel.
+    #[inline]
+    pub fn sum_at(&self, x: u32, y: u32) -> f32 {
+        f32::from_bits(self.sums[self.idx(x, y)].load(Ordering::Relaxed))
+    }
+
+    /// Read-only view of one count row as plain `u32`s.
+    ///
+    /// Soundness: `AtomicU32` has the same representation as `u32`; the
+    /// cast is sound as long as no writer runs concurrently. The pipeline
+    /// guarantees that: DrawPoints fully completes (its thread scope
+    /// joins) before DrawPolygons reads the FBO — the same write-then-
+    /// read hazard ordering the GL pipeline enforces between passes. The
+    /// plain-slice view is what lets LLVM vectorize the span sums.
+    #[inline]
+    fn count_row(&self, y: u32) -> &[u32] {
+        let base = y as usize * self.width as usize;
+        let row = &self.counts[base..base + self.width as usize];
+        // SAFETY: see above — no concurrent writes during read passes.
+        unsafe { &*(row as *const [AtomicU32] as *const [u32]) }
+    }
+
+    #[inline]
+    fn sum_row(&self, y: u32) -> &[u32] {
+        let base = y as usize * self.width as usize;
+        let row = &self.sums[base..base + self.width as usize];
+        // SAFETY: as for `count_row`.
+        unsafe { &*(row as *const [AtomicU32] as *const [u32]) }
+    }
+
+    /// Σ count over the pixel span `[x0, x1) × {y}` — the COUNT-query
+    /// fragment fast path (vectorizable plain-integer sum).
+    #[inline]
+    pub fn span_count(&self, y: u32, x0: u32, x1: u32) -> u64 {
+        debug_assert!(x0 <= x1 && x1 <= self.width && y < self.height);
+        self.count_row(y)[x0 as usize..x1 as usize]
+            .iter()
+            .map(|&c| c as u64)
+            .sum()
+    }
+
+    /// Fold the partial aggregates of the pixel span `[x0, x1) × {y}`:
+    /// returns `(Σ count, Σ sum)`. Used when the query aggregates an
+    /// attribute; COUNT-only queries prefer [`PointFbo::span_count`].
+    #[inline]
+    pub fn span_totals(&self, y: u32, x0: u32, x1: u32) -> (u64, f64) {
+        debug_assert!(x0 <= x1 && x1 <= self.width && y < self.height);
+        let counts = self.count_row(y);
+        let sums = self.sum_row(y);
+        let mut cnt = 0u64;
+        let mut sum = 0f64;
+        for i in x0 as usize..x1 as usize {
+            let c = counts[i];
+            if c != 0 {
+                cnt += c as u64;
+                sum += f32::from_bits(sums[i]) as f64;
+            }
+        }
+        (cnt, sum)
+    }
+
+    /// Clear all channels (reusing the allocation across render passes).
+    pub fn clear(&mut self) {
+        for c in &mut self.counts {
+            *c.get_mut() = 0;
+        }
+        for s in &mut self.sums {
+            *s.get_mut() = 0f32.to_bits();
+        }
+    }
+
+    /// Total count over all pixels (diagnostics / tests).
+    pub fn total_count(&self) -> u64 {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed) as u64)
+            .sum()
+    }
+
+    /// GPU memory footprint of this FBO in bytes (2 × 32-bit channels).
+    pub fn byte_size(&self) -> usize {
+        self.counts.len() * 8
+    }
+}
+
+/// The boundary FBO of the accurate variant (§4.3 step 1): one bit per
+/// pixel marking polygon outlines (drawn with conservative rasterization).
+pub struct BoundaryFbo {
+    width: u32,
+    height: u32,
+    bits: Vec<AtomicU32>,
+}
+
+impl BoundaryFbo {
+    pub fn new(width: u32, height: u32) -> Self {
+        let n = width as usize * height as usize;
+        let words = (n + 31) / 32;
+        BoundaryFbo {
+            width,
+            height,
+            bits: zeroed_atomics(words),
+        }
+    }
+
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    #[inline]
+    fn bit(&self, x: u32, y: u32) -> (usize, u32) {
+        debug_assert!(x < self.width && y < self.height);
+        let i = y as usize * self.width as usize + x as usize;
+        (i / 32, 1u32 << (i % 32))
+    }
+
+    /// Mark pixel `(x, y)` as a boundary pixel (fragment shader writing the
+    /// predetermined boundary color).
+    #[inline]
+    pub fn mark(&self, x: u32, y: u32) {
+        let (w, m) = self.bit(x, y);
+        self.bits[w].fetch_or(m, Ordering::Relaxed);
+    }
+
+    /// Is `(x, y)` a boundary pixel? (The `Fb(x′,y′) is a boundary` test of
+    /// Procedures AccuratePoints / AccuratePolygons.)
+    #[inline]
+    pub fn is_boundary(&self, x: u32, y: u32) -> bool {
+        let (w, m) = self.bit(x, y);
+        self.bits[w].load(Ordering::Relaxed) & m != 0
+    }
+
+    /// Number of marked pixels.
+    pub fn boundary_pixel_count(&self) -> usize {
+        self.bits
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    pub fn clear(&mut self) {
+        for w in &mut self.bits {
+            *w.get_mut() = 0;
+        }
+    }
+
+    pub fn byte_size(&self) -> usize {
+        self.bits.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_fbo_is_cleared() {
+        let f = PointFbo::new(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(f.count_at(x, y), 0);
+                assert_eq!(f.sum_at(x, y), 0.0);
+            }
+        }
+        assert_eq!(f.total_count(), 0);
+    }
+
+    #[test]
+    fn blend_add_accumulates() {
+        let f = PointFbo::new(2, 2);
+        f.blend_add(1, 0, 2.5);
+        f.blend_add(1, 0, -1.0);
+        f.blend_add(0, 1, 0.0);
+        assert_eq!(f.count_at(1, 0), 2);
+        assert!((f.sum_at(1, 0) - 1.5).abs() < 1e-6);
+        assert_eq!(f.count_at(0, 1), 1);
+        assert_eq!(f.total_count(), 3);
+    }
+
+    #[test]
+    fn concurrent_blend_is_lossless() {
+        use std::sync::Arc;
+        let f = Arc::new(PointFbo::new(8, 8));
+        let threads = 8;
+        let per_thread = 10_000;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let x = ((t * per_thread + i) % 8) as u32;
+                        f.blend_add(x, 3, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(f.total_count(), (threads * per_thread) as u64);
+        let total_sum: f32 = (0..8).map(|x| f.sum_at(x, 3)).sum();
+        assert!((total_sum - (threads * per_thread) as f32).abs() < 1.0);
+    }
+
+    #[test]
+    fn clear_resets_channels() {
+        let mut f = PointFbo::new(2, 2);
+        f.blend_add(0, 0, 3.0);
+        f.clear();
+        assert_eq!(f.total_count(), 0);
+        assert_eq!(f.sum_at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn span_totals_fold_counts_and_sums() {
+        let f = PointFbo::new(8, 2);
+        f.blend_add(1, 1, 2.0);
+        f.blend_add(1, 1, 3.0);
+        f.blend_add(4, 1, -1.0);
+        f.blend_add(7, 1, 10.0); // outside the probed span
+        f.blend_add(3, 0, 5.0); // other row
+        let (c, s) = f.span_totals(1, 0, 7);
+        assert_eq!(c, 3);
+        assert!((s - 4.0).abs() < 1e-6);
+        let (c0, s0) = f.span_totals(1, 2, 4);
+        assert_eq!(c0, 0);
+        assert_eq!(s0, 0.0);
+        let (cr, _) = f.span_totals(0, 0, 8);
+        assert_eq!(cr, 1);
+        // span_count agrees with the totals path.
+        assert_eq!(f.span_count(1, 0, 7), 3);
+        assert_eq!(f.span_count(1, 2, 4), 0);
+        assert_eq!(f.span_count(0, 0, 8), 1);
+    }
+
+    #[test]
+    fn boundary_mark_and_test() {
+        let b = BoundaryFbo::new(64, 2);
+        assert!(!b.is_boundary(33, 1));
+        b.mark(33, 1);
+        b.mark(0, 0);
+        b.mark(63, 1);
+        assert!(b.is_boundary(33, 1));
+        assert!(b.is_boundary(0, 0));
+        assert!(b.is_boundary(63, 1));
+        assert!(!b.is_boundary(32, 1));
+        assert_eq!(b.boundary_pixel_count(), 3);
+    }
+
+    #[test]
+    fn boundary_mark_is_idempotent() {
+        let b = BoundaryFbo::new(8, 8);
+        b.mark(3, 3);
+        b.mark(3, 3);
+        assert_eq!(b.boundary_pixel_count(), 1);
+    }
+
+    #[test]
+    fn byte_sizes_track_resolution() {
+        let f = PointFbo::new(100, 50);
+        assert_eq!(f.byte_size(), 100 * 50 * 8);
+        let b = BoundaryFbo::new(100, 50);
+        assert_eq!(b.byte_size(), ((100 * 50 + 31) / 32) * 4);
+    }
+}

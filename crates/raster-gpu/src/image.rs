@@ -1,0 +1,192 @@
+//! Rendering FBO contents to images (PPM/PGM) with sequential color maps.
+//!
+//! The paper's §7.6 visualization argument rests on sequential color maps
+//! with at most 9 perceivable classes (ColorBrewer [25]): heat maps built
+//! from the per-pixel or per-polygon aggregates are classed into ≤9 bins
+//! before display, which is why sub-JND numeric errors are invisible.
+//! This module provides that final display stage: a 9-class sequential
+//! ramp, linear and class-binned mapping, and portable PPM/PGM writers so
+//! the examples can emit actual images.
+
+use crate::framebuffer::PointFbo;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// An RGB color.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rgb(pub u8, pub u8, pub u8);
+
+/// A sequential multi-hue ramp with 9 perceivable classes (light yellow →
+/// dark red, in the spirit of ColorBrewer's YlOrRd-9).
+pub const SEQUENTIAL_9: [Rgb; 9] = [
+    Rgb(255, 255, 204),
+    Rgb(255, 237, 160),
+    Rgb(254, 217, 118),
+    Rgb(254, 178, 76),
+    Rgb(253, 141, 60),
+    Rgb(252, 78, 42),
+    Rgb(227, 26, 28),
+    Rgb(189, 0, 38),
+    Rgb(128, 0, 38),
+];
+
+/// Number of perceivable classes of [`SEQUENTIAL_9`]; the source of the
+/// JND = 1/9 bound used by the accuracy analysis.
+pub const SEQUENTIAL_9_CLASSES: usize = SEQUENTIAL_9.len();
+
+/// Map a normalized value in `[0, 1]` to its color class (binned, as a
+/// choropleth map does).
+pub fn classed_color(v: f64) -> Rgb {
+    let v = v.clamp(0.0, 1.0);
+    let k = ((v * SEQUENTIAL_9_CLASSES as f64) as usize).min(SEQUENTIAL_9_CLASSES - 1);
+    SEQUENTIAL_9[k]
+}
+
+/// The color-class index a normalized value falls into. Two values render
+/// identically iff their classes match — the JND argument in discrete
+/// form.
+pub fn color_class(v: f64) -> usize {
+    let v = v.clamp(0.0, 1.0);
+    ((v * SEQUENTIAL_9_CLASSES as f64) as usize).min(SEQUENTIAL_9_CLASSES - 1)
+}
+
+/// An 8-bit RGB raster image.
+pub struct Image {
+    pub width: u32,
+    pub height: u32,
+    pixels: Vec<Rgb>,
+}
+
+impl Image {
+    pub fn new(width: u32, height: u32, fill: Rgb) -> Self {
+        Image {
+            width,
+            height,
+            pixels: vec![fill; width as usize * height as usize],
+        }
+    }
+
+    #[inline]
+    pub fn set(&mut self, x: u32, y: u32, c: Rgb) {
+        let i = y as usize * self.width as usize + x as usize;
+        self.pixels[i] = c;
+    }
+
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> Rgb {
+        self.pixels[y as usize * self.width as usize + x as usize]
+    }
+
+    /// Write binary PPM (P6). The image is flipped vertically so that
+    /// world-space "up" is image "up".
+    pub fn write_ppm(&self, path: &Path) -> io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        let mut w = io::BufWriter::new(f);
+        write!(w, "P6\n{} {}\n255\n", self.width, self.height)?;
+        for y in (0..self.height).rev() {
+            for x in 0..self.width {
+                let Rgb(r, g, b) = self.get(x, y);
+                w.write_all(&[r, g, b])?;
+            }
+        }
+        w.flush()
+    }
+}
+
+/// Render the count channel of a point FBO as a log-scaled heat map.
+/// Pixels with no points stay background-white.
+pub fn heatmap_of_counts(fbo: &PointFbo) -> Image {
+    let (w, h) = (fbo.width(), fbo.height());
+    let mut max = 0u32;
+    for y in 0..h {
+        for x in 0..w {
+            max = max.max(fbo.count_at(x, y));
+        }
+    }
+    let mut img = Image::new(w, h, Rgb(255, 255, 255));
+    if max == 0 {
+        return img;
+    }
+    let denom = (1.0 + max as f64).ln();
+    for y in 0..h {
+        for x in 0..w {
+            let c = fbo.count_at(x, y);
+            if c > 0 {
+                let v = (1.0 + c as f64).ln() / denom;
+                img.set(x, y, classed_color(v));
+            }
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_boundaries() {
+        assert_eq!(color_class(0.0), 0);
+        assert_eq!(color_class(1.0), 8);
+        assert_eq!(color_class(0.5), 4);
+        // Clamping.
+        assert_eq!(color_class(-3.0), 0);
+        assert_eq!(color_class(7.0), 8);
+        assert_eq!(classed_color(0.0), SEQUENTIAL_9[0]);
+        assert_eq!(classed_color(1.0), SEQUENTIAL_9[8]);
+    }
+
+    #[test]
+    fn sub_jnd_shifts_often_keep_the_class() {
+        // A value shifted by less than one class width can change class
+        // only across a bin boundary; shifting by half the JND keeps the
+        // class for bin-center values.
+        for k in 0..9 {
+            let center = (k as f64 + 0.5) / 9.0;
+            let shifted = center + 0.5 / 9.0 * 0.9;
+            assert_eq!(color_class(center), color_class(shifted - 0.5 / 9.0 * 0.9));
+            let _ = shifted;
+        }
+    }
+
+    #[test]
+    fn heatmap_colors_only_populated_pixels() {
+        let fbo = PointFbo::new(4, 4);
+        fbo.blend_add(1, 1, 0.0);
+        fbo.blend_add(1, 1, 0.0);
+        fbo.blend_add(3, 2, 0.0);
+        let img = heatmap_of_counts(&fbo);
+        assert_eq!(img.get(0, 0), Rgb(255, 255, 255));
+        assert_ne!(img.get(1, 1), Rgb(255, 255, 255));
+        assert_ne!(img.get(3, 2), Rgb(255, 255, 255));
+        // The denser pixel is at least as dark (higher class).
+        let dark = |c: Rgb| 255 * 3 - (c.0 as u32 + c.1 as u32 + c.2 as u32);
+        assert!(dark(img.get(1, 1)) >= dark(img.get(3, 2)));
+    }
+
+    #[test]
+    fn empty_fbo_renders_blank() {
+        let fbo = PointFbo::new(2, 2);
+        let img = heatmap_of_counts(&fbo);
+        for y in 0..2 {
+            for x in 0..2 {
+                assert_eq!(img.get(x, y), Rgb(255, 255, 255));
+            }
+        }
+    }
+
+    #[test]
+    fn ppm_roundtrip_header_and_size() {
+        let mut img = Image::new(3, 2, Rgb(0, 0, 0));
+        img.set(0, 0, Rgb(255, 0, 0));
+        let path = std::env::temp_dir().join(format!("rjr-img-{}.ppm", std::process::id()));
+        img.write_ppm(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n3 2\n255\n"));
+        assert_eq!(bytes.len(), b"P6\n3 2\n255\n".len() + 3 * 2 * 3);
+        // Vertical flip: (0,0) world = bottom-left → last row in file.
+        let off = b"P6\n3 2\n255\n".len() + 3 * 3; // second (bottom) row
+        assert_eq!(&bytes[off..off + 3], &[255, 0, 0]);
+        std::fs::remove_file(&path).ok();
+    }
+}

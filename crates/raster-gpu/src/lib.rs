@@ -1,0 +1,33 @@
+//! A software model of the GPU rendering pipeline the paper runs on.
+//!
+//! The paper (§3, §6.1) drives an OpenGL pipeline: vertex shaders transform
+//! points/triangle vertices to screen space, the driver rasterizes, and
+//! fragment shaders blend into FBOs or update SSBO result arrays with
+//! atomics. This crate reimplements exactly those stages in portable Rust:
+//!
+//! * [`viewport`] — world→screen transforms (the vertex-shader transform);
+//! * [`framebuffer`] — FBOs with additive blending, atomically updatable
+//!   (the paper's `Fpt` count/sum FBO and the boundary FBO);
+//! * [`raster`] — point, triangle (pixel-center sampling + top-left fill
+//!   rule, i.e. the OpenGL rasterization contract the error analysis of
+//!   §4.2 depends on) and conservative rasterization (§6.1 uses the
+//!   `GL_NV_conservative_raster` extension);
+//! * [`ssbo`] — atomically-updated result arrays (SSBO analog);
+//! * [`device`] — GPU memory-capacity and PCIe-transfer cost model driving
+//!   the out-of-core batching experiments (Fig. 9, 11, 13);
+//! * [`exec`] — the scoped-thread fan-out standing in for GPU parallelism.
+
+pub mod device;
+pub mod exec;
+pub mod framebuffer;
+pub mod image;
+pub mod mrt;
+pub mod raster;
+pub mod ssbo;
+pub mod viewport;
+
+pub use device::{Device, DeviceConfig, TransferStats};
+pub use framebuffer::{BoundaryFbo, PointFbo};
+pub use mrt::MrtFbo;
+pub use ssbo::{AtomicF64Array, AtomicU64Array};
+pub use viewport::Viewport;

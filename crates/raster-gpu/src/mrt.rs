@@ -1,0 +1,171 @@
+//! Multiple-render-target FBO: one count channel plus K sum channels.
+//!
+//! §8 of the paper ("Performing Multiple Aggregates"): the implementation
+//! can be extended to compute several aggregate functions in one pass "by
+//! having multiple color attachments to the FBO", at the cost of extra
+//! memory transfer. [`MrtFbo`] is that extension: per pixel it stores a
+//! 32-bit count and `k` 32-bit sum channels, all atomically blendable.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// FBO with one count channel + `k` f32 sum channels per pixel.
+pub struct MrtFbo {
+    width: u32,
+    height: u32,
+    k: usize,
+    counts: Vec<AtomicU32>,
+    /// Pixel-major layout: `sums[pixel * k + c]`. A polygon fragment folds
+    /// ALL channels of one pixel (§8's wide read-back), so keeping a
+    /// pixel's channels contiguous turns the span fold into a streaming
+    /// scan — the cache behaviour a hardware MRT read would have.
+    sums: Vec<AtomicU32>,
+}
+
+impl MrtFbo {
+    pub fn new(width: u32, height: u32, k: usize) -> Self {
+        let n = width as usize * height as usize;
+        MrtFbo {
+            width,
+            height,
+            k,
+            counts: crate::framebuffer::zeroed_atomics(n),
+            sums: crate::framebuffer::zeroed_atomics(n * k),
+        }
+    }
+
+    /// Fold the partial aggregates over the span `[x0, x1) × {y}` into
+    /// `(count, sums[0..k])` — the span-rasterization fast path.
+    #[inline]
+    pub fn span_totals(&self, y: u32, x0: u32, x1: u32, sums_out: &mut [f64]) -> u64 {
+        debug_assert_eq!(sums_out.len(), self.k);
+        let base = y as usize * self.width as usize;
+        let mut cnt = 0u64;
+        for i in (base + x0 as usize)..(base + x1 as usize) {
+            let c = self.counts[i].load(Ordering::Relaxed);
+            if c != 0 {
+                cnt += c as u64;
+                let row = &self.sums[i * self.k..(i + 1) * self.k];
+                for (acc, cell) in sums_out.iter_mut().zip(row) {
+                    *acc += f32::from_bits(cell.load(Ordering::Relaxed)) as f64;
+                }
+            }
+        }
+        cnt
+    }
+
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Number of sum channels (color attachments beyond the count).
+    pub fn channels(&self) -> usize {
+        self.k
+    }
+
+    #[inline]
+    fn pixel(&self, x: u32, y: u32) -> usize {
+        debug_assert!(x < self.width && y < self.height);
+        y as usize * self.width as usize + x as usize
+    }
+
+    /// Blend one point fragment: `count += 1` and `sum[c] += values[c]`
+    /// for every channel.
+    #[inline]
+    pub fn blend_add(&self, x: u32, y: u32, values: &[f32]) {
+        debug_assert_eq!(values.len(), self.k);
+        let p = self.pixel(x, y);
+        self.counts[p].fetch_add(1, Ordering::Relaxed);
+        for (c, &v) in values.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let cell = &self.sums[p * self.k + c];
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                let new = (f32::from_bits(cur) + v).to_bits();
+                match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                    Ok(_) => break,
+                    Err(e) => cur = e,
+                }
+            }
+        }
+    }
+
+    #[inline]
+    pub fn count_at(&self, x: u32, y: u32) -> u32 {
+        self.counts[self.pixel(x, y)].load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn sum_at(&self, x: u32, y: u32, channel: usize) -> f32 {
+        debug_assert!(channel < self.k);
+        let p = self.pixel(x, y);
+        f32::from_bits(self.sums[p * self.k + channel].load(Ordering::Relaxed))
+    }
+
+    /// GPU footprint: (1 + k) 32-bit channels per pixel — the memory and
+    /// transfer growth §8 warns about.
+    pub fn byte_size(&self) -> usize {
+        self.counts.len() * 4 * (1 + self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blend_accumulates_all_channels() {
+        let f = MrtFbo::new(4, 4, 3);
+        f.blend_add(1, 2, &[1.0, 10.0, 100.0]);
+        f.blend_add(1, 2, &[2.0, 0.0, -50.0]);
+        assert_eq!(f.count_at(1, 2), 2);
+        assert!((f.sum_at(1, 2, 0) - 3.0).abs() < 1e-6);
+        assert!((f.sum_at(1, 2, 1) - 10.0).abs() < 1e-6);
+        assert!((f.sum_at(1, 2, 2) - 50.0).abs() < 1e-6);
+        assert_eq!(f.count_at(0, 0), 0);
+    }
+
+    #[test]
+    fn zero_channels_degenerates_to_count_only() {
+        let f = MrtFbo::new(2, 2, 0);
+        f.blend_add(0, 0, &[]);
+        assert_eq!(f.count_at(0, 0), 1);
+        assert_eq!(f.channels(), 0);
+        assert_eq!(f.byte_size(), 4 * 4);
+    }
+
+    #[test]
+    fn byte_size_grows_with_attachments() {
+        assert_eq!(MrtFbo::new(8, 8, 1).byte_size(), 64 * 8);
+        assert_eq!(MrtFbo::new(8, 8, 4).byte_size(), 64 * 20);
+    }
+
+    #[test]
+    fn concurrent_multichannel_blend_is_lossless() {
+        use std::sync::Arc;
+        let f = Arc::new(MrtFbo::new(4, 1, 2));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        f.blend_add(t as u32, 0, &[1.0, 2.0]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for x in 0..4 {
+            assert_eq!(f.count_at(x, 0), 2_000);
+            assert!((f.sum_at(x, 0, 0) - 2_000.0).abs() < 0.5);
+            assert!((f.sum_at(x, 0, 1) - 4_000.0).abs() < 1.0);
+        }
+    }
+}

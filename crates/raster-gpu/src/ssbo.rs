@@ -1,0 +1,170 @@
+//! Shader-storage-buffer-object (SSBO) analogs: atomically updated result
+//! arrays.
+//!
+//! §6.1: "The result array A is maintained as an SSBO, and atomic operations
+//! are used when updating it. An advantage of SSBOs is that they allow
+//! processing intersecting polygons in a single pass." The arrays here hold
+//! the per-polygon COUNT (u64) and SUM (f64) aggregates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic array of u64 counters (the per-polygon count slots `A[i]`).
+pub struct AtomicU64Array {
+    slots: Vec<AtomicU64>,
+}
+
+impl AtomicU64Array {
+    pub fn new(len: usize) -> Self {
+        let mut slots = Vec::with_capacity(len);
+        slots.resize_with(len, || AtomicU64::new(0));
+        AtomicU64Array { slots }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    #[inline]
+    pub fn add(&self, i: usize, v: u64) {
+        self.slots[i].fetch_add(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        self.slots[i].load(Ordering::Relaxed)
+    }
+
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.slots.iter().map(|s| s.load(Ordering::Relaxed)).collect()
+    }
+
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s.get_mut() = 0;
+        }
+    }
+}
+
+/// Atomic array of f64 accumulators (the per-polygon sum slots), using CAS
+/// loops over bit patterns as GPU float atomics do.
+pub struct AtomicF64Array {
+    slots: Vec<AtomicU64>,
+}
+
+impl AtomicF64Array {
+    pub fn new(len: usize) -> Self {
+        let mut slots = Vec::with_capacity(len);
+        slots.resize_with(len, || AtomicU64::new(0f64.to_bits()));
+        AtomicF64Array { slots }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    #[inline]
+    pub fn add(&self, i: usize, v: f64) {
+        if v == 0.0 {
+            return;
+        }
+        let cell = &self.slots[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        f64::from_bits(self.slots[i].load(Ordering::Relaxed))
+    }
+
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.slots
+            .iter()
+            .map(|s| f64::from_bits(s.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s.get_mut() = 0f64.to_bits();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn u64_array_basic() {
+        let a = AtomicU64Array::new(3);
+        a.add(0, 5);
+        a.add(0, 2);
+        a.add(2, 1);
+        assert_eq!(a.to_vec(), vec![7, 0, 1]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn f64_array_basic() {
+        let a = AtomicF64Array::new(2);
+        a.add(1, 2.5);
+        a.add(1, -0.5);
+        a.add(0, 0.0); // no-op fast path
+        assert_eq!(a.get(0), 0.0);
+        assert!((a.get(1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let counts = Arc::new(AtomicU64Array::new(4));
+        let sums = Arc::new(AtomicF64Array::new(4));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let c = Arc::clone(&counts);
+                let s = Arc::clone(&sums);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        let slot = ((t + i) % 4) as usize;
+                        c.add(slot, 1);
+                        s.add(slot, 0.5);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: u64 = counts.to_vec().iter().sum();
+        assert_eq!(total, 8 * 5_000);
+        let fsum: f64 = sums.to_vec().iter().sum();
+        assert!((fsum - 8.0 * 5_000.0 * 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = AtomicU64Array::new(2);
+        a.add(1, 9);
+        a.clear();
+        assert_eq!(a.to_vec(), vec![0, 0]);
+        let mut f = AtomicF64Array::new(2);
+        f.add(0, 1.25);
+        f.clear();
+        assert_eq!(f.get(0), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! World→screen transforms (the vertex-shader stage of the pipeline).
+
+use raster_geom::{BBox, Point};
+
+/// A rendering viewport: a world-space extent mapped onto a `width`×`height`
+/// pixel grid. Plays the role of the projection the paper's vertex shaders
+/// apply, including the clipping of geometry outside the canvas (which is
+/// what makes the multi-canvas splitting of Fig. 5 correct).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Viewport {
+    pub extent: BBox,
+    pub width: u32,
+    pub height: u32,
+}
+
+impl Viewport {
+    pub fn new(extent: BBox, width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "viewport must have positive size");
+        assert!(
+            extent.width() > 0.0 && extent.height() > 0.0,
+            "viewport extent must be non-degenerate"
+        );
+        Viewport {
+            extent,
+            width,
+            height,
+        }
+    }
+
+    /// World-units per pixel along x.
+    pub fn pixel_width(&self) -> f64 {
+        self.extent.width() / self.width as f64
+    }
+
+    /// World-units per pixel along y.
+    pub fn pixel_height(&self) -> f64 {
+        self.extent.height() / self.height as f64
+    }
+
+    /// Continuous screen coordinates (pixels, origin at the extent min
+    /// corner). No clipping: callers clip on the integer result.
+    pub fn to_screen(&self, p: Point) -> (f64, f64) {
+        (
+            (p.x - self.extent.min.x) / self.pixel_width(),
+            (p.y - self.extent.min.y) / self.pixel_height(),
+        )
+    }
+
+    /// Pixel containing the world point, or `None` when the point falls
+    /// outside the viewport (the pipeline's clipping stage).
+    pub fn pixel_of(&self, p: Point) -> Option<(u32, u32)> {
+        let (sx, sy) = self.to_screen(p);
+        if sx < 0.0 || sy < 0.0 {
+            return None;
+        }
+        let (px, py) = (sx as u32, sy as u32);
+        // Points exactly on the max edge belong to the last pixel.
+        let px = if px == self.width && sx == self.width as f64 {
+            return None;
+        } else {
+            px
+        };
+        if px >= self.width || py >= self.height {
+            return None;
+        }
+        Some((px, py))
+    }
+
+    /// World-space center of pixel `(x, y)` — the rasterization sample
+    /// location.
+    pub fn pixel_center(&self, x: u32, y: u32) -> Point {
+        Point::new(
+            self.extent.min.x + (x as f64 + 0.5) * self.pixel_width(),
+            self.extent.min.y + (y as f64 + 0.5) * self.pixel_height(),
+        )
+    }
+
+    /// World-space bounding box of pixel `(x, y)`.
+    pub fn pixel_bbox(&self, x: u32, y: u32) -> BBox {
+        let min = Point::new(
+            self.extent.min.x + x as f64 * self.pixel_width(),
+            self.extent.min.y + y as f64 * self.pixel_height(),
+        );
+        let max = Point::new(min.x + self.pixel_width(), min.y + self.pixel_height());
+        BBox::new(min, max)
+    }
+
+    /// Split this viewport into a grid of sub-viewports, each at most
+    /// `max_dim` pixels per axis — the multi-canvas rendering of Fig. 5.
+    /// Every sub-canvas keeps the same pixel size, so the ε guarantee holds
+    /// globally and clipping ensures each point/polygon pair is counted
+    /// exactly once.
+    pub fn split(&self, max_dim: u32) -> Vec<Viewport> {
+        assert!(max_dim > 0);
+        let tiles_x = (self.width + max_dim - 1) / max_dim;
+        let tiles_y = (self.height + max_dim - 1) / max_dim;
+        let mut out = Vec::with_capacity((tiles_x * tiles_y) as usize);
+        for ty in 0..tiles_y {
+            for tx in 0..tiles_x {
+                let x0 = tx * max_dim;
+                let y0 = ty * max_dim;
+                let w = max_dim.min(self.width - x0);
+                let h = max_dim.min(self.height - y0);
+                let min = Point::new(
+                    self.extent.min.x + x0 as f64 * self.pixel_width(),
+                    self.extent.min.y + y0 as f64 * self.pixel_height(),
+                );
+                let max = Point::new(
+                    min.x + w as f64 * self.pixel_width(),
+                    min.y + h as f64 * self.pixel_height(),
+                );
+                out.push(Viewport::new(BBox::new(min, max), w, h));
+            }
+        }
+        out
+    }
+
+    pub fn pixel_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vp() -> Viewport {
+        Viewport::new(
+            BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 50.0)),
+            200,
+            100,
+        )
+    }
+
+    #[test]
+    fn pixel_size_is_extent_over_resolution() {
+        let v = vp();
+        assert!((v.pixel_width() - 0.5).abs() < 1e-12);
+        assert!((v.pixel_height() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pixel_of_clips_outside_points() {
+        let v = vp();
+        assert_eq!(v.pixel_of(Point::new(-0.1, 10.0)), None);
+        assert_eq!(v.pixel_of(Point::new(10.0, 51.0)), None);
+        assert_eq!(v.pixel_of(Point::new(0.0, 0.0)), Some((0, 0)));
+        assert_eq!(v.pixel_of(Point::new(99.99, 49.99)), Some((199, 99)));
+    }
+
+    #[test]
+    fn pixel_center_roundtrips() {
+        let v = vp();
+        for &(x, y) in &[(0u32, 0u32), (57, 23), (199, 99)] {
+            let c = v.pixel_center(x, y);
+            assert_eq!(v.pixel_of(c), Some((x, y)));
+        }
+    }
+
+    #[test]
+    fn pixel_bbox_contains_center() {
+        let v = vp();
+        let b = v.pixel_bbox(13, 77);
+        assert!(b.contains(v.pixel_center(13, 77)));
+        assert!((b.area() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_covers_exactly_and_respects_limit() {
+        let v = vp();
+        let tiles = v.split(64);
+        // 200/64 → 4 tiles, 100/64 → 2 tiles.
+        assert_eq!(tiles.len(), 8);
+        let total_px: usize = tiles.iter().map(Viewport::pixel_count).sum();
+        assert_eq!(total_px, v.pixel_count());
+        for t in &tiles {
+            assert!(t.width <= 64 && t.height <= 64);
+            // Pixel size preserved → ε guarantee preserved.
+            assert!((t.pixel_width() - v.pixel_width()).abs() < 1e-12);
+            assert!((t.pixel_height() - v.pixel_height()).abs() < 1e-12);
+        }
+        // Extents tile the viewport without overlap: total area matches.
+        let area: f64 = tiles.iter().map(|t| t.extent.area()).sum();
+        assert!((area - v.extent.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_single_tile_is_identity() {
+        let v = vp();
+        let tiles = v.split(4096);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0], v);
+    }
+
+    #[test]
+    fn point_on_tile_seam_lands_in_exactly_one_tile() {
+        let v = vp();
+        let tiles = v.split(64);
+        // x = 32.0 world == pixel 64 boundary.
+        let p = Point::new(32.0, 10.0);
+        let owners = tiles.iter().filter(|t| t.pixel_of(p).is_some()).count();
+        assert_eq!(owners, 1, "seam point must be counted exactly once");
+    }
+}

@@ -1,0 +1,255 @@
+//! A Nanocube/Hashedcubes-style pre-aggregation structure — the other §2
+//! related-work baseline.
+//!
+//! "Compact data structures such as Nanocubes [33] and Hashedcubes [45]
+//! … pre-aggregate records at various spatial resolutions and store this
+//! summarized information in a hierarchy of rectangular regions
+//! (maintained using a quadtree)" with three limitations the paper keeps
+//! returning to: (1) only rectangular query regions, (2) one query per
+//! region, (3) approximation error fixed by the quadtree resolution and
+//! not dynamically boundable.
+//!
+//! [`AggQuadtree`] is that structure reduced to its spatial dimension: a
+//! complete quadtree of COUNT aggregates built once over the point set.
+//! Rectangular queries decompose into canonical nodes; arbitrary polygons
+//! can only be *approximated* by collecting cells whose centers fall
+//! inside ([`AggQuadtree::polygon_count_approx`]), with error fixed by
+//! the build-time depth — exactly the limitation §2 contrasts with the
+//! raster join's dynamically chosen ε.
+
+use raster_geom::{BBox, Point, Polygon};
+
+/// A complete pre-aggregated quadtree of COUNT values.
+pub struct AggQuadtree {
+    extent: BBox,
+    depth: u32,
+    /// Per level: a dense row-major grid of counts; level k has 2^k × 2^k
+    /// cells. `levels[0]` is the root.
+    levels: Vec<Vec<u64>>,
+}
+
+impl AggQuadtree {
+    /// Build with `depth` subdivision levels (leaf grid = 2^depth per
+    /// axis). The paper's point about pre-computation cost is visible in
+    /// the signature: *all* levels are materialised up front.
+    pub fn build(points: &[Point], extent: BBox, depth: u32) -> Self {
+        assert!(depth <= 14, "leaf grid would exceed memory");
+        let leaf_dim = 1usize << depth;
+        let mut leaf = vec![0u64; leaf_dim * leaf_dim];
+        let cw = extent.width() / leaf_dim as f64;
+        let ch = extent.height() / leaf_dim as f64;
+        for &p in points {
+            if !extent.contains(p) {
+                continue;
+            }
+            let cx = (((p.x - extent.min.x) / cw) as usize).min(leaf_dim - 1);
+            let cy = (((p.y - extent.min.y) / ch) as usize).min(leaf_dim - 1);
+            leaf[cy * leaf_dim + cx] += 1;
+        }
+        // Reduce upward.
+        let mut levels = vec![leaf];
+        for l in (0..depth).rev() {
+            let dim = 1usize << l;
+            let child = &levels[0];
+            let cdim = dim * 2;
+            let mut cur = vec![0u64; dim * dim];
+            for y in 0..dim {
+                for x in 0..dim {
+                    cur[y * dim + x] = child[(2 * y) * cdim + 2 * x]
+                        + child[(2 * y) * cdim + 2 * x + 1]
+                        + child[(2 * y + 1) * cdim + 2 * x]
+                        + child[(2 * y + 1) * cdim + 2 * x + 1];
+                }
+            }
+            levels.insert(0, cur);
+        }
+        AggQuadtree {
+            extent,
+            depth,
+            levels,
+        }
+    }
+
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    pub fn extent(&self) -> BBox {
+        self.extent
+    }
+
+    /// Total stored aggregate values (the memory-cost side of §2's
+    /// pre-computation argument).
+    pub fn stored_values(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    fn cell_bbox(&self, level: u32, x: usize, y: usize) -> BBox {
+        let dim = 1usize << level;
+        let cw = self.extent.width() / dim as f64;
+        let ch = self.extent.height() / dim as f64;
+        let min = Point::new(
+            self.extent.min.x + x as f64 * cw,
+            self.extent.min.y + y as f64 * ch,
+        );
+        BBox::new(min, Point::new(min.x + cw, min.y + ch))
+    }
+
+    fn count_at(&self, level: u32, x: usize, y: usize) -> u64 {
+        let dim = 1usize << level;
+        self.levels[level as usize][y * dim + x]
+    }
+
+    /// Exact count of leaf cells *fully contained* in `range` plus leaf
+    /// cells partially overlapping counted by center — i.e. the
+    /// structure's native approximate rectangle query. (Nanocubes snap
+    /// ranges to the quadtree grid; so do we.)
+    pub fn range_count_approx(&self, range: &BBox) -> u64 {
+        let mut total = 0u64;
+        self.recurse(0, 0, 0, range, &mut total);
+        total
+    }
+
+    fn recurse(&self, level: u32, x: usize, y: usize, range: &BBox, total: &mut u64) {
+        let cb = self.cell_bbox(level, x, y);
+        if !cb.intersects(range) {
+            return;
+        }
+        let contained =
+            range.contains(cb.min) && range.contains(cb.max);
+        if contained {
+            *total += self.count_at(level, x, y);
+            return;
+        }
+        if level == self.depth {
+            // Partially overlapped leaf: snap by center (the fixed,
+            // unboundable error of §2).
+            if range.contains(cb.center()) {
+                *total += self.count_at(level, x, y);
+            }
+            return;
+        }
+        for dy in 0..2 {
+            for dx in 0..2 {
+                self.recurse(level + 1, 2 * x + dx, 2 * y + dy, range, total);
+            }
+        }
+    }
+
+    /// Approximate a polygon query by summing leaf cells whose centers
+    /// lie inside the polygon. The error is governed by the *build-time*
+    /// leaf size — it cannot be tightened per query, unlike raster
+    /// join's ε.
+    pub fn polygon_count_approx(&self, poly: &Polygon) -> u64 {
+        let dim = 1usize << self.depth;
+        let cw = self.extent.width() / dim as f64;
+        let ch = self.extent.height() / dim as f64;
+        let b = poly.bbox();
+        let x0 = (((b.min.x - self.extent.min.x) / cw).floor().max(0.0) as usize).min(dim - 1);
+        let y0 = (((b.min.y - self.extent.min.y) / ch).floor().max(0.0) as usize).min(dim - 1);
+        let x1 = (((b.max.x - self.extent.min.x) / cw).ceil().max(0.0) as usize).min(dim - 1);
+        let y1 = (((b.max.y - self.extent.min.y) / ch).ceil().max(0.0) as usize).min(dim - 1);
+        let mut total = 0u64;
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let c = self.count_at(self.depth, x, y);
+                if c == 0 {
+                    continue;
+                }
+                let center = self.cell_bbox(self.depth, x, y).center();
+                if poly.contains(center) {
+                    total += c;
+                }
+            }
+        }
+        total
+    }
+
+    /// The leaf cell side length — the frozen accuracy of this structure.
+    pub fn leaf_cell_size(&self) -> (f64, f64) {
+        let dim = (1usize << self.depth) as f64;
+        (self.extent.width() / dim, self.extent.height() / dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(64.0, 64.0))
+    }
+
+    fn points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..64.0), rng.gen_range(0.0..64.0)))
+            .collect()
+    }
+
+    #[test]
+    fn levels_are_consistent_reductions() {
+        let pts = points(4_000, 1);
+        let c = AggQuadtree::build(&pts, extent(), 5);
+        // Every level sums to the total.
+        for l in 0..=5u32 {
+            let dim = 1usize << l;
+            let total: u64 = (0..dim * dim).map(|i| c.levels[l as usize][i]).sum();
+            assert_eq!(total, 4_000, "level {l}");
+        }
+        assert_eq!(c.stored_values(), (0..=5).map(|l| 1usize << (2 * l)).sum());
+    }
+
+    #[test]
+    fn grid_aligned_rectangles_are_exact() {
+        let pts = points(5_000, 2);
+        let c = AggQuadtree::build(&pts, extent(), 6);
+        // Query exactly one quadrant: grid-aligned → exact.
+        let q = BBox::new(Point::new(0.0, 0.0), Point::new(32.0, 32.0));
+        let want = pts.iter().filter(|p| q.contains(**p)).count() as u64;
+        assert_eq!(c.range_count_approx(&q), want);
+    }
+
+    #[test]
+    fn misaligned_rectangles_err_by_at_most_the_boundary_cells() {
+        let pts = points(8_000, 3);
+        let c = AggQuadtree::build(&pts, extent(), 6); // 1×1 leaf cells
+        let q = BBox::new(Point::new(10.3, 9.7), Point::new(41.6, 50.2));
+        let got = c.range_count_approx(&q);
+        // All points in the query dilated/eroded by one leaf cell.
+        let inner = BBox::new(Point::new(11.3, 10.7), Point::new(40.6, 49.2));
+        let outer = BBox::new(Point::new(9.3, 8.7), Point::new(42.6, 51.2));
+        let lo = pts.iter().filter(|p| inner.contains(**p)).count() as u64;
+        let hi = pts.iter().filter(|p| outer.contains(**p)).count() as u64;
+        assert!(got >= lo && got <= hi, "{lo} <= {got} <= {hi}");
+    }
+
+    #[test]
+    fn polygon_error_is_frozen_at_build_time() {
+        use raster_geom::Polygon;
+        let pts = points(10_000, 4);
+        let tri = Polygon::from_coords(0, vec![(5.0, 5.0), (60.0, 8.0), (20.0, 58.0)]);
+        let truth = pts.iter().filter(|p| tri.contains(**p)).count() as i64;
+        // Coarser build → bigger error; finer build → smaller. No query-
+        // time knob exists.
+        let coarse = AggQuadtree::build(&pts, extent(), 3);
+        let fine = AggQuadtree::build(&pts, extent(), 7);
+        let e_coarse = (coarse.polygon_count_approx(&tri) as i64 - truth).abs();
+        let e_fine = (fine.polygon_count_approx(&tri) as i64 - truth).abs();
+        assert!(
+            e_fine <= e_coarse,
+            "finer pre-aggregation must not be worse: {e_fine} vs {e_coarse}"
+        );
+        // And the fine build costs ~16x the coarse one in stored values.
+        assert!(fine.stored_values() > 16 * coarse.stored_values() / 2);
+    }
+
+    #[test]
+    fn empty_build_is_zero_everywhere() {
+        let c = AggQuadtree::build(&[], extent(), 4);
+        let q = BBox::new(Point::new(0.0, 0.0), Point::new(64.0, 64.0));
+        assert_eq!(c.range_count_approx(&q), 0);
+    }
+}

@@ -1,0 +1,376 @@
+//! The polygon grid index (§6.1 "Polygon Index").
+
+use raster_geom::{BBox, Point, Polygon};
+use raster_gpu::raster::rasterize_segment_conservative;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// How polygons are assigned to grid cells during the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignMode {
+    /// Every cell intersecting the polygon's MBR (the GPU build of §6.1).
+    Mbr,
+    /// Only cells intersecting the actual geometry (the optimised CPU
+    /// build of §7.1) — fewer candidates per lookup, slower to build.
+    Exact,
+}
+
+/// Uniform grid over the polygon set, stored as a CSR (offsets + entries)
+/// flat array exactly like the two-pass GPU build the paper describes.
+pub struct GridIndex {
+    extent: BBox,
+    nx: u32,
+    ny: u32,
+    offsets: Vec<u32>,
+    entries: Vec<u32>,
+}
+
+/// Enumerate the grid cells a polygon is assigned to under `mode`,
+/// invoking `f(cx, cy)` once per cell.
+///
+/// Exact mode uses the decomposition: a cell intersects the polygon iff
+/// the boundary passes through it (found by conservative rasterization of
+/// every edge onto the cell grid) or it lies fully inside (its center is
+/// interior — found row by row from the even–odd crossings of the
+/// boundary with the row's center line). This is O(boundary cells +
+/// interior cells + rows × vertices), versus O(MBR cells × vertices) for
+/// per-cell polygon clipping.
+fn for_each_cell(
+    poly: &Polygon,
+    extent: &BBox,
+    nx: u32,
+    ny: u32,
+    mode: AssignMode,
+    mut f: impl FnMut(u32, u32),
+) {
+    let cw = extent.width() / nx as f64;
+    let ch = extent.height() / ny as f64;
+    let b = poly.bbox();
+    let clamp_x = |v: f64| (v.floor().max(0.0) as u32).min(nx - 1);
+    let clamp_y = |v: f64| (v.floor().max(0.0) as u32).min(ny - 1);
+    let cx0 = clamp_x((b.min.x - extent.min.x) / cw);
+    let cy0 = clamp_y((b.min.y - extent.min.y) / ch);
+    let cx1 = clamp_x((b.max.x - extent.min.x) / cw);
+    let cy1 = clamp_y((b.max.y - extent.min.y) / ch);
+
+    match mode {
+        AssignMode::Mbr => {
+            for cy in cy0..=cy1 {
+                for cx in cx0..=cx1 {
+                    f(cx, cy);
+                }
+            }
+        }
+        AssignMode::Exact => {
+            let mut cells: HashSet<(u32, u32)> = HashSet::new();
+            // Boundary cells: supercover traversal of every edge in grid
+            // coordinates.
+            let to_grid = |p: Point| {
+                (
+                    (p.x - extent.min.x) / cw,
+                    (p.y - extent.min.y) / ch,
+                )
+            };
+            for (ea, eb) in poly.all_edges() {
+                let ga = to_grid(ea);
+                let gb = to_grid(eb);
+                rasterize_segment_conservative(ga, gb, nx, ny, |x, y| {
+                    cells.insert((x, y));
+                });
+            }
+            // Interior cells: per row, even–odd crossings of the boundary
+            // with the row-center line give the inside intervals; cells
+            // whose centers fall inside are fully interior or boundary
+            // (the set dedups).
+            let edges = poly.all_edges();
+            let mut xs: Vec<f64> = Vec::new();
+            for cy in cy0..=cy1 {
+                let line_y = extent.min.y + (cy as f64 + 0.5) * ch;
+                xs.clear();
+                for &(p, q) in &edges {
+                    if (p.y > line_y) != (q.y > line_y) {
+                        let t = (line_y - p.y) / (q.y - p.y);
+                        xs.push(p.x + t * (q.x - p.x));
+                    }
+                }
+                xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                for pair in xs.chunks_exact(2) {
+                    // Cells whose center x ∈ (pair[0], pair[1]).
+                    let gx0 = (pair[0] - extent.min.x) / cw - 0.5;
+                    let gx1 = (pair[1] - extent.min.x) / cw - 0.5;
+                    let k0 = clamp_x(gx0.ceil());
+                    let k1 = clamp_x(gx1.floor());
+                    for cx in k0..=k1 {
+                        let center_x = extent.min.x + (cx as f64 + 0.5) * cw;
+                        if center_x > pair[0] && center_x < pair[1] {
+                            cells.insert((cx, cy));
+                        }
+                    }
+                }
+            }
+            for (cx, cy) in cells {
+                f(cx, cy);
+            }
+        }
+    }
+}
+
+impl GridIndex {
+    /// Build the index over `polys` with an `nx`×`ny` grid spanning
+    /// `extent`, using `workers` threads for both passes.
+    pub fn build(
+        polys: &[Polygon],
+        extent: BBox,
+        nx: u32,
+        ny: u32,
+        mode: AssignMode,
+        workers: usize,
+    ) -> Self {
+        assert!(nx > 0 && ny > 0);
+        let ncells = nx as usize * ny as usize;
+        let counts: Vec<AtomicU32> = (0..ncells).map(|_| AtomicU32::new(0)).collect();
+
+        // Pass 1: count entries per cell (the size-estimation pass).
+        raster_gpu::exec::parallel_ranges(polys.len(), workers, |s, e| {
+            for poly in &polys[s..e] {
+                for_each_cell(poly, &extent, nx, ny, mode, |cx, cy| {
+                    counts[(cy * nx + cx) as usize].fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+
+        // Prefix sum → offsets.
+        let mut offsets = vec![0u32; ncells + 1];
+        for i in 0..ncells {
+            offsets[i + 1] = offsets[i] + counts[i].load(Ordering::Relaxed);
+        }
+        let total = offsets[ncells] as usize;
+
+        // Pass 2: scatter polygon IDs using per-cell atomic cursors.
+        let cursors: Vec<AtomicU32> = offsets[..ncells]
+            .iter()
+            .map(|&o| AtomicU32::new(o))
+            .collect();
+        let entries: Vec<AtomicU32> = (0..total).map(|_| AtomicU32::new(u32::MAX)).collect();
+        raster_gpu::exec::parallel_ranges(polys.len(), workers, |s, e| {
+            for poly in &polys[s..e] {
+                for_each_cell(poly, &extent, nx, ny, mode, |cx, cy| {
+                    let slot =
+                        cursors[(cy * nx + cx) as usize].fetch_add(1, Ordering::Relaxed);
+                    entries[slot as usize].store(poly.id(), Ordering::Relaxed);
+                });
+            }
+        });
+
+        let entries: Vec<u32> = entries
+            .into_iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        GridIndex {
+            extent,
+            nx,
+            ny,
+            offsets,
+            entries,
+        }
+    }
+
+    pub fn extent(&self) -> BBox {
+        self.extent
+    }
+
+    pub fn resolution(&self) -> (u32, u32) {
+        (self.nx, self.ny)
+    }
+
+    /// Total number of (cell, polygon) assignments.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Memory footprint in bytes (what the GPU allocation would be).
+    pub fn byte_size(&self) -> usize {
+        (self.offsets.len() + self.entries.len()) * 4
+    }
+
+    #[inline]
+    fn cell_of(&self, p: Point) -> Option<usize> {
+        if !self.extent.contains(p) {
+            return None;
+        }
+        let cw = self.extent.width() / self.nx as f64;
+        let ch = self.extent.height() / self.ny as f64;
+        let cx = (((p.x - self.extent.min.x) / cw) as u32).min(self.nx - 1);
+        let cy = (((p.y - self.extent.min.y) / ch) as u32).min(self.ny - 1);
+        Some((cy * self.nx + cx) as usize)
+    }
+
+    /// Candidate polygon IDs for a point: the contents of its grid cell
+    /// (`Ind.query(x, y)` in Procedure JoinPoint). Empty when the point is
+    /// outside the indexed extent.
+    #[inline]
+    pub fn candidates(&self, p: Point) -> &[u32] {
+        match self.cell_of(p) {
+            Some(c) => {
+                let s = self.offsets[c] as usize;
+                let e = self.offsets[c + 1] as usize;
+                &self.entries[s..e]
+            }
+            None => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn polys() -> Vec<Polygon> {
+        vec![
+            // Left half.
+            Polygon::from_coords(0, vec![(0.0, 0.0), (50.0, 0.0), (50.0, 100.0), (0.0, 100.0)]),
+            // Top-right quadrant.
+            Polygon::from_coords(
+                1,
+                vec![(50.0, 50.0), (100.0, 50.0), (100.0, 100.0), (50.0, 100.0)],
+            ),
+            // Small triangle bottom-right.
+            Polygon::from_coords(2, vec![(60.0, 10.0), (90.0, 10.0), (75.0, 40.0)]),
+        ]
+    }
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    #[test]
+    fn candidates_contain_true_owner() {
+        for mode in [AssignMode::Mbr, AssignMode::Exact] {
+            let idx = GridIndex::build(&polys(), extent(), 16, 16, mode, 4);
+            let probes = [
+                (Point::new(10.0, 10.0), 0u32),
+                (Point::new(75.0, 75.0), 1),
+                (Point::new(75.0, 15.0), 2),
+            ];
+            for (p, owner) in probes {
+                assert!(
+                    idx.candidates(p).contains(&owner),
+                    "{mode:?}: {p:?} should list {owner}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_assignment_produces_no_more_entries_than_mbr() {
+        let mbr = GridIndex::build(&polys(), extent(), 32, 32, AssignMode::Mbr, 4);
+        let exact = GridIndex::build(&polys(), extent(), 32, 32, AssignMode::Exact, 4);
+        assert!(exact.entry_count() <= mbr.entry_count());
+        // The triangle's MBR corners are not in the triangle: exact must
+        // be strictly smaller here.
+        assert!(exact.entry_count() < mbr.entry_count());
+    }
+
+    #[test]
+    fn exact_assignment_never_misses_a_containing_cell() {
+        // Every point strictly inside polygon 2 must find it among the
+        // candidates, at several grid resolutions.
+        let ps = polys();
+        for dim in [8u32, 16, 64, 128] {
+            let idx = GridIndex::build(&ps, extent(), dim, dim, AssignMode::Exact, 2);
+            for gy in 0..40 {
+                for gx in 0..40 {
+                    let p = Point::new(60.0 + gx as f64 * 0.74, 10.0 + gy as f64 * 0.72);
+                    if ps[2].contains(p) {
+                        assert!(
+                            idx.candidates(p).contains(&2),
+                            "dim {dim}: {p:?} misses polygon 2"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_handles_concave_polygons() {
+        // A "U": cells in the notch must not list the polygon.
+        let u = Polygon::from_coords(
+            0,
+            vec![
+                (10.0, 10.0),
+                (90.0, 10.0),
+                (90.0, 90.0),
+                (60.0, 90.0),
+                (60.0, 40.0),
+                (40.0, 40.0),
+                (40.0, 90.0),
+                (10.0, 90.0),
+            ],
+        );
+        let idx = GridIndex::build(&[u.clone()], extent(), 20, 20, AssignMode::Exact, 1);
+        // Deep inside the notch (not touching the boundary cells).
+        assert!(idx.candidates(Point::new(50.0, 80.0)).is_empty());
+        // Inside the arms and the base.
+        assert!(idx.candidates(Point::new(25.0, 80.0)).contains(&0));
+        assert!(idx.candidates(Point::new(75.0, 80.0)).contains(&0));
+        assert!(idx.candidates(Point::new(50.0, 20.0)).contains(&0));
+    }
+
+    #[test]
+    fn outside_extent_has_no_candidates() {
+        let idx = GridIndex::build(&polys(), extent(), 8, 8, AssignMode::Mbr, 2);
+        assert!(idx.candidates(Point::new(-5.0, 3.0)).is_empty());
+        assert!(idx.candidates(Point::new(50.0, 101.0)).is_empty());
+    }
+
+    #[test]
+    fn single_threaded_and_parallel_builds_agree() {
+        let a = GridIndex::build(&polys(), extent(), 16, 16, AssignMode::Exact, 1);
+        let b = GridIndex::build(&polys(), extent(), 16, 16, AssignMode::Exact, 8);
+        assert_eq!(a.entry_count(), b.entry_count());
+        // Candidate *sets* per probe cell must match (order may differ).
+        for gy in 0..16 {
+            for gx in 0..16 {
+                let p = Point::new(gx as f64 * 6.25 + 3.0, gy as f64 * 6.25 + 3.0);
+                let mut ca: Vec<u32> = a.candidates(p).to_vec();
+                let mut cb: Vec<u32> = b.candidates(p).to_vec();
+                ca.sort_unstable();
+                cb.sort_unstable();
+                assert_eq!(ca, cb, "cell ({gx},{gy})");
+            }
+        }
+    }
+
+    #[test]
+    fn no_unwritten_slots_after_scatter() {
+        let idx = GridIndex::build(&polys(), extent(), 64, 64, AssignMode::Mbr, 8);
+        assert!(idx.entries.iter().all(|&e| e != u32::MAX));
+    }
+
+    #[test]
+    fn byte_size_counts_offsets_and_entries() {
+        let idx = GridIndex::build(&polys(), extent(), 4, 4, AssignMode::Mbr, 1);
+        assert_eq!(idx.byte_size(), (idx.offsets.len() + idx.entries.len()) * 4);
+        assert_eq!(idx.resolution(), (4, 4));
+    }
+
+    #[test]
+    fn partitioning_polygons_index_touches_every_cell() {
+        // Two polygons tiling the extent: every cell lists at least one.
+        let halves = vec![
+            Polygon::from_coords(0, vec![(0.0, 0.0), (50.0, 0.0), (50.0, 100.0), (0.0, 100.0)]),
+            Polygon::from_coords(
+                1,
+                vec![(50.0, 0.0), (100.0, 0.0), (100.0, 100.0), (50.0, 100.0)],
+            ),
+        ];
+        let idx = GridIndex::build(&halves, extent(), 10, 10, AssignMode::Exact, 2);
+        for c in 0..100 {
+            assert!(
+                idx.offsets[c + 1] > idx.offsets[c],
+                "cell {c} has no entries"
+            );
+        }
+    }
+}

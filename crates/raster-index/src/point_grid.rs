@@ -1,0 +1,159 @@
+//! A uniform grid over *points*, CSR layout.
+//!
+//! Zhang et al. [69, 72] — the materializing-join baseline of Table 2 —
+//! index the point data set with a space-partitioning structure to batch
+//! point-in-polygon work. This point grid supplies that batching: points
+//! are bucketed by cell so that a polygon's candidate points are found by
+//! scanning only the cells its MBR overlaps.
+
+use raster_geom::{BBox, Point};
+
+/// Points bucketed into a uniform `nx`×`ny` grid, stored CSR.
+pub struct PointGrid {
+    extent: BBox,
+    nx: u32,
+    ny: u32,
+    offsets: Vec<u32>,
+    /// Point indices, grouped by cell.
+    entries: Vec<u32>,
+}
+
+impl PointGrid {
+    pub fn build(points: &[Point], extent: BBox, nx: u32, ny: u32) -> Self {
+        assert!(nx > 0 && ny > 0);
+        let ncells = nx as usize * ny as usize;
+        let cell_of = |p: Point| -> Option<usize> {
+            if !extent.contains(p) {
+                return None;
+            }
+            let cw = extent.width() / nx as f64;
+            let ch = extent.height() / ny as f64;
+            let cx = (((p.x - extent.min.x) / cw) as u32).min(nx - 1);
+            let cy = (((p.y - extent.min.y) / ch) as u32).min(ny - 1);
+            Some((cy * nx + cx) as usize)
+        };
+
+        let mut counts = vec![0u32; ncells];
+        for &p in points {
+            if let Some(c) = cell_of(p) {
+                counts[c] += 1;
+            }
+        }
+        let mut offsets = vec![0u32; ncells + 1];
+        for i in 0..ncells {
+            offsets[i + 1] = offsets[i] + counts[i];
+        }
+        let mut cursors = offsets[..ncells].to_vec();
+        let mut entries = vec![0u32; offsets[ncells] as usize];
+        for (i, &p) in points.iter().enumerate() {
+            if let Some(c) = cell_of(p) {
+                entries[cursors[c] as usize] = i as u32;
+                cursors[c] += 1;
+            }
+        }
+        PointGrid {
+            extent,
+            nx,
+            ny,
+            offsets,
+            entries,
+        }
+    }
+
+    pub fn extent(&self) -> BBox {
+        self.extent
+    }
+
+    /// Point indices in cell `(cx, cy)`.
+    pub fn cell(&self, cx: u32, cy: u32) -> &[u32] {
+        let c = (cy * self.nx + cx) as usize;
+        &self.entries[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+
+    /// Indices of all points whose cell overlaps `query` (a superset of the
+    /// points actually inside `query`).
+    pub fn points_in_bbox(&self, query: &BBox) -> Vec<u32> {
+        let Some(overlap) = self.extent.intersection(query) else {
+            return Vec::new();
+        };
+        let cw = self.extent.width() / self.nx as f64;
+        let ch = self.extent.height() / self.ny as f64;
+        let cx0 = (((overlap.min.x - self.extent.min.x) / cw) as u32).min(self.nx - 1);
+        let cy0 = (((overlap.min.y - self.extent.min.y) / ch) as u32).min(self.ny - 1);
+        let cx1 = (((overlap.max.x - self.extent.min.x) / cw) as u32).min(self.nx - 1);
+        let cy1 = (((overlap.max.y - self.extent.min.y) / ch) as u32).min(self.ny - 1);
+        let mut out = Vec::new();
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                out.extend_from_slice(self.cell(cx, cy));
+            }
+        }
+        out
+    }
+
+    /// Number of indexed points (points outside the extent are dropped,
+    /// mirroring viewport clipping).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(10.0, 10.0))
+    }
+
+    #[test]
+    fn every_point_lands_in_its_cell() {
+        let pts = vec![
+            Point::new(0.5, 0.5),
+            Point::new(9.5, 9.5),
+            Point::new(5.0, 5.0),
+            Point::new(0.5, 9.5),
+        ];
+        let g = PointGrid::build(&pts, extent(), 10, 10);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.cell(0, 0), &[0]);
+        assert_eq!(g.cell(9, 9), &[1]);
+        assert_eq!(g.cell(5, 5), &[2]);
+        assert_eq!(g.cell(0, 9), &[3]);
+    }
+
+    #[test]
+    fn outside_points_are_clipped() {
+        let pts = vec![Point::new(-1.0, 5.0), Point::new(5.0, 5.0)];
+        let g = PointGrid::build(&pts, extent(), 4, 4);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn bbox_query_is_superset_of_exact() {
+        let pts: Vec<Point> = (0..100)
+            .map(|i| Point::new((i % 10) as f64 + 0.5, (i / 10) as f64 + 0.5))
+            .collect();
+        let g = PointGrid::build(&pts, extent(), 5, 5);
+        let q = BBox::new(Point::new(2.0, 2.0), Point::new(5.0, 5.0));
+        let cand = g.points_in_bbox(&q);
+        // Every point actually inside q must be among the candidates.
+        for (i, p) in pts.iter().enumerate() {
+            if q.contains(*p) {
+                assert!(cand.contains(&(i as u32)), "missing point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_query_returns_nothing() {
+        let pts = vec![Point::new(1.0, 1.0)];
+        let g = PointGrid::build(&pts, extent(), 4, 4);
+        let q = BBox::new(Point::new(20.0, 20.0), Point::new(30.0, 30.0));
+        assert!(g.points_in_bbox(&q).is_empty());
+    }
+}

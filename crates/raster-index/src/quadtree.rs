@@ -1,0 +1,295 @@
+//! A region quadtree over points.
+//!
+//! Zhang et al. [69, 72] — the materializing baseline of Table 2 — index
+//! their point sets with a quadtree "to achieve load balancing and enable
+//! batch processing": leaves hold bounded point batches, so a polygon's
+//! candidate set is gathered by walking only the leaves its MBR touches.
+//! [`PointQuadtree`] reproduces that structure (the uniform
+//! [`crate::PointGrid`] is the simpler alternative; the ablation bench
+//! compares the two).
+
+use raster_geom::{BBox, Point};
+
+/// Maximum points per leaf before splitting.
+const DEFAULT_LEAF_CAPACITY: usize = 256;
+/// Maximum tree depth (guards against coincident points).
+const MAX_DEPTH: usize = 24;
+
+enum Node {
+    Leaf(Vec<u32>),
+    /// Children in quadrant order: SW, SE, NW, NE.
+    Inner(Box<[Node; 4]>),
+}
+
+/// A point-region quadtree storing point *indices* into the caller's
+/// table.
+pub struct PointQuadtree {
+    extent: BBox,
+    root: Node,
+    len: usize,
+    leaf_capacity: usize,
+}
+
+fn quadrant(b: &BBox, p: Point) -> (usize, BBox) {
+    let c = b.center();
+    let east = p.x >= c.x;
+    let north = p.y >= c.y;
+    let q = (north as usize) * 2 + east as usize;
+    let child = match q {
+        0 => BBox::new(b.min, c),
+        1 => BBox::new(Point::new(c.x, b.min.y), Point::new(b.max.x, c.y)),
+        2 => BBox::new(Point::new(b.min.x, c.y), Point::new(c.x, b.max.y)),
+        _ => BBox::new(c, b.max),
+    };
+    (q, child)
+}
+
+fn child_bbox(b: &BBox, q: usize) -> BBox {
+    let c = b.center();
+    match q {
+        0 => BBox::new(b.min, c),
+        1 => BBox::new(Point::new(c.x, b.min.y), Point::new(b.max.x, c.y)),
+        2 => BBox::new(Point::new(b.min.x, c.y), Point::new(c.x, b.max.y)),
+        _ => BBox::new(c, b.max),
+    }
+}
+
+impl PointQuadtree {
+    /// Build over all `points` inside `extent` (outside points are
+    /// dropped, mirroring viewport clipping).
+    pub fn build(points: &[Point], extent: BBox) -> Self {
+        Self::with_leaf_capacity(points, extent, DEFAULT_LEAF_CAPACITY)
+    }
+
+    pub fn with_leaf_capacity(points: &[Point], extent: BBox, leaf_capacity: usize) -> Self {
+        let leaf_capacity = leaf_capacity.max(1);
+        let mut t = PointQuadtree {
+            extent,
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+            leaf_capacity,
+        };
+        for (i, &p) in points.iter().enumerate() {
+            if extent.contains(p) {
+                insert(
+                    &mut t.root,
+                    &t.extent,
+                    points,
+                    i as u32,
+                    p,
+                    0,
+                    leaf_capacity,
+                );
+                t.len += 1;
+            }
+        }
+        t
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn extent(&self) -> BBox {
+        self.extent
+    }
+
+    /// Maximum points per leaf before a split.
+    pub fn leaf_capacity(&self) -> usize {
+        self.leaf_capacity
+    }
+
+    /// Indices of points in leaves overlapping `query` (a superset of the
+    /// points inside `query` — exact filtering is the caller's PIP step).
+    pub fn candidates_in_bbox(&self, query: &BBox) -> Vec<u32> {
+        let mut out = Vec::new();
+        collect(&self.root, &self.extent, query, &mut out);
+        out
+    }
+
+    /// Visit every leaf batch (index slice) — the batching interface
+    /// Zhang's join uses for load balancing.
+    pub fn for_each_leaf(&self, mut f: impl FnMut(&BBox, &[u32])) {
+        walk(&self.root, &self.extent, &mut f);
+    }
+
+    /// Number of leaves (diagnostics / load-balance tests).
+    pub fn leaf_count(&self) -> usize {
+        let mut n = 0;
+        self.for_each_leaf(|_, _| n += 1);
+        n
+    }
+}
+
+fn insert(
+    node: &mut Node,
+    bbox: &BBox,
+    points: &[Point],
+    idx: u32,
+    p: Point,
+    depth: usize,
+    cap: usize,
+) {
+    match node {
+        Node::Leaf(v) => {
+            v.push(idx);
+            if v.len() > cap && depth < MAX_DEPTH {
+                // Split: redistribute into four children.
+                let old = std::mem::take(v);
+                let mut children: Box<[Node; 4]> = Box::new([
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                    Node::Leaf(Vec::new()),
+                ]);
+                for &i in &old {
+                    let q = quadrant(bbox, points[i as usize]).0;
+                    if let Node::Leaf(child) = &mut children[q] {
+                        child.push(i);
+                    }
+                }
+                *node = Node::Inner(children);
+            }
+        }
+        Node::Inner(children) => {
+            let (q, child_b) = quadrant(bbox, p);
+            insert(&mut children[q], &child_b, points, idx, p, depth + 1, cap);
+        }
+    }
+}
+
+fn collect(node: &Node, bbox: &BBox, query: &BBox, out: &mut Vec<u32>) {
+    if !bbox.intersects(query) {
+        return;
+    }
+    match node {
+        Node::Leaf(v) => out.extend_from_slice(v),
+        Node::Inner(children) => {
+            for q in 0..4 {
+                collect(&children[q], &child_bbox(bbox, q), query, out);
+            }
+        }
+    }
+}
+
+fn walk(node: &Node, bbox: &BBox, f: &mut impl FnMut(&BBox, &[u32])) {
+    match node {
+        Node::Leaf(v) => {
+            if !v.is_empty() {
+                f(bbox, v);
+            }
+        }
+        Node::Inner(children) => {
+            for q in 0..4 {
+                walk(&children[q], &child_bbox(bbox, q), f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0))
+    }
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect()
+    }
+
+    #[test]
+    fn all_points_retained() {
+        let pts = random_points(10_000, 1);
+        let t = PointQuadtree::build(&pts, extent());
+        assert_eq!(t.len(), 10_000);
+        let mut total = 0;
+        t.for_each_leaf(|_, batch| total += batch.len());
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn leaves_respect_capacity_and_bounds() {
+        let pts = random_points(5_000, 2);
+        let t = PointQuadtree::with_leaf_capacity(&pts, extent(), 64);
+        t.for_each_leaf(|bbox, batch| {
+            assert!(batch.len() <= 64, "leaf overflow: {}", batch.len());
+            for &i in batch {
+                assert!(
+                    bbox.contains(pts[i as usize]),
+                    "point {i} outside its leaf"
+                );
+            }
+        });
+        assert!(t.leaf_count() > 5_000 / 64);
+    }
+
+    #[test]
+    fn bbox_query_superset_of_truth() {
+        let pts = random_points(3_000, 3);
+        let t = PointQuadtree::build(&pts, extent());
+        let q = BBox::new(Point::new(20.0, 30.0), Point::new(55.0, 70.0));
+        let cand = t.candidates_in_bbox(&q);
+        for (i, p) in pts.iter().enumerate() {
+            if q.contains(*p) {
+                assert!(cand.contains(&(i as u32)), "missing point {i}");
+            }
+        }
+        // And is selective: far fewer candidates than the whole set.
+        assert!(cand.len() < pts.len());
+    }
+
+    #[test]
+    fn skewed_data_splits_adaptively() {
+        // 90% of points in one corner: the tree must refine there.
+        let mut pts = random_points(500, 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..4_500 {
+            pts.push(Point::new(rng.gen_range(0.0..5.0), rng.gen_range(0.0..5.0)));
+        }
+        let t = PointQuadtree::with_leaf_capacity(&pts, extent(), 128);
+        let hot = BBox::new(Point::new(0.0, 0.0), Point::new(5.0, 5.0));
+        let cand = t.candidates_in_bbox(&hot);
+        assert!(cand.len() >= 4_500);
+        // The hot corner contributes most leaves.
+        let mut hot_leaves = 0;
+        let mut all_leaves = 0;
+        t.for_each_leaf(|b, _| {
+            all_leaves += 1;
+            if b.intersects(&hot) {
+                hot_leaves += 1;
+            }
+        });
+        assert!(hot_leaves * 2 > all_leaves, "{hot_leaves}/{all_leaves}");
+    }
+
+    #[test]
+    fn coincident_points_do_not_recurse_forever() {
+        let pts = vec![Point::new(50.0, 50.0); 2_000];
+        let t = PointQuadtree::with_leaf_capacity(&pts, extent(), 8);
+        assert_eq!(t.len(), 2_000);
+        let cand = t.candidates_in_bbox(&BBox::new(
+            Point::new(49.0, 49.0),
+            Point::new(51.0, 51.0),
+        ));
+        assert_eq!(cand.len(), 2_000);
+    }
+
+    #[test]
+    fn disjoint_query_is_empty() {
+        let pts = random_points(100, 7);
+        let t = PointQuadtree::build(&pts, extent());
+        let q = BBox::new(Point::new(500.0, 500.0), Point::new(600.0, 600.0));
+        assert!(t.candidates_in_bbox(&q).is_empty());
+    }
+}

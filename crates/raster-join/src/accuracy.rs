@@ -1,0 +1,171 @@
+//! Accuracy metrics for the §7.6 analysis.
+//!
+//! * per-polygon percent error (Fig. 12b's box plots);
+//! * box-plot statistics with 1.5 × IQR whiskers, matching the paper's
+//!   plotting convention;
+//! * the just-noticeable-difference (JND) test of Fig. 6: with a
+//!   sequential color map of at most 9 perceivable classes, a human can
+//!   only distinguish two choropleth maps when some polygon's normalized
+//!   value differs by more than 1/9.
+
+/// Per-polygon percent errors `100·|approx − exact| / exact`, skipping
+/// polygons with an exact value of zero (where percent error is
+/// undefined).
+pub fn percent_errors(approx: &[f64], exact: &[f64]) -> Vec<f64> {
+    assert_eq!(approx.len(), exact.len());
+    approx
+        .iter()
+        .zip(exact)
+        .filter(|&(_, &e)| e != 0.0)
+        .map(|(&a, &e)| 100.0 * (a - e).abs() / e.abs())
+        .collect()
+}
+
+/// Box-plot summary (Tukey style, 1.5 × IQR whiskers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxStats {
+    pub min: f64,
+    pub whisker_lo: f64,
+    pub q1: f64,
+    pub median: f64,
+    pub q3: f64,
+    pub whisker_hi: f64,
+    pub max: f64,
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+impl BoxStats {
+    /// Compute the summary of a sample. Returns `None` for an empty sample.
+    pub fn of(values: &[f64]) -> Option<BoxStats> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q1 = quantile(&v, 0.25);
+        let median = quantile(&v, 0.5);
+        let q3 = quantile(&v, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        // Whiskers: the most extreme data points inside the fences.
+        let whisker_lo = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(v[0]);
+        let whisker_hi = v
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(v[v.len() - 1]);
+        Some(BoxStats {
+            min: v[0],
+            whisker_lo,
+            q1,
+            median,
+            q3,
+            whisker_hi,
+            max: v[v.len() - 1],
+        })
+    }
+}
+
+/// Maximum perceivable color classes of a sequential map (ColorBrewer —
+/// §7.6 cites 9), making the JND `1/9`.
+pub const JND: f64 = 1.0 / 9.0;
+
+/// Maximum absolute difference between the *normalized* (by their own
+/// maxima) approximate and exact value vectors — the quantity Fig. 6
+/// compares against the JND.
+pub fn max_normalized_error(approx: &[f64], exact: &[f64]) -> f64 {
+    assert_eq!(approx.len(), exact.len());
+    let max_a = approx.iter().cloned().fold(0.0f64, f64::max);
+    let max_e = exact.iter().cloned().fold(0.0f64, f64::max);
+    if max_a == 0.0 || max_e == 0.0 {
+        return 0.0;
+    }
+    approx
+        .iter()
+        .zip(exact)
+        .map(|(&a, &e)| (a / max_a - e / max_e).abs())
+        .fold(0.0f64, f64::max)
+}
+
+/// True when two choropleth maps of these values are perceptually
+/// indistinguishable (max normalized error below the JND).
+pub fn visually_indistinguishable(approx: &[f64], exact: &[f64]) -> bool {
+    max_normalized_error(approx, exact) < JND
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_errors_skip_zero_exact() {
+        let e = percent_errors(&[11.0, 5.0, 1.0], &[10.0, 0.0, 2.0]);
+        assert_eq!(e.len(), 2);
+        assert!((e[0] - 10.0).abs() < 1e-12);
+        assert!((e[1] - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_stats_of_known_sample() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let b = BoxStats::of(&v).unwrap();
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 9.0);
+        // No outliers: whiskers = extremes.
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 9.0);
+    }
+
+    #[test]
+    fn outliers_fall_outside_whiskers() {
+        let mut v: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        v.push(1_000.0);
+        let b = BoxStats::of(&v).unwrap();
+        assert!(b.whisker_hi < 1_000.0);
+        assert_eq!(b.max, 1_000.0);
+    }
+
+    #[test]
+    fn empty_sample_has_no_stats() {
+        assert!(BoxStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn normalized_error_is_scale_invariant() {
+        let exact = [10.0, 20.0, 40.0];
+        let scaled: Vec<f64> = exact.iter().map(|&x| x * 7.5).collect();
+        assert!(max_normalized_error(&scaled, &exact) < 1e-12);
+        assert!(visually_indistinguishable(&scaled, &exact));
+    }
+
+    #[test]
+    fn large_relative_shift_is_perceivable() {
+        let exact = [10.0, 20.0, 40.0];
+        let approx = [40.0, 20.0, 10.0]; // reversed ranking
+        assert!(!visually_indistinguishable(&approx, &exact));
+    }
+
+    #[test]
+    fn jnd_threshold_value() {
+        assert!((JND - 1.0 / 9.0).abs() < 1e-15);
+    }
+}

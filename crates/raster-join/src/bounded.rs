@@ -1,0 +1,469 @@
+//! Bounded raster join (§4.1–4.2): the approximate, PIP-free operator.
+//!
+//! Pipeline per (batch × canvas tile):
+//!
+//! 1. **DrawPoints** — every point passing the filter predicates is
+//!    transformed to screen space and additively blended into the point
+//!    FBO (`count += 1`, `sum += a_i`).
+//! 2. **DrawPolygons** — triangulated polygons are rasterized
+//!    (pixel-center sampling); each fragment folds its pixel's partial
+//!    aggregates into the polygon's result slot.
+//!
+//! The canvas resolution realises the ε-bound of §4.2 (pixel diagonal =
+//! ε); when it exceeds the device FBO limit the canvas splits into tiles
+//! and the two steps re-run per tile (Fig. 5). Points are uploaded to the
+//! device exactly once per batch regardless of the tile count (§5).
+
+use crate::query::{result_slots, JoinOutput, Query};
+use crate::stats::ExecStats;
+use raster_data::filter::passes;
+use raster_data::PointTable;
+use raster_geom::hausdorff::resolution_for_epsilon;
+use raster_geom::{BBox, Point, Polygon};
+use raster_gpu::exec::{default_workers, parallel_dynamic, parallel_ranges};
+use raster_gpu::raster::rasterize_polygon_spans;
+use raster_gpu::ssbo::{AtomicF64Array, AtomicU64Array};
+use raster_gpu::{Device, PointFbo, Viewport};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The bounded (approximate) raster join operator.
+pub struct BoundedRasterJoin {
+    pub workers: usize,
+}
+
+impl Default for BoundedRasterJoin {
+    fn default() -> Self {
+        BoundedRasterJoin {
+            workers: default_workers(),
+        }
+    }
+}
+
+/// Polygon-side state reusable across point batches/chunks of one query:
+/// the triangulation plus the ε-derived canvas tiling. The paper
+/// processes polygons once per query regardless of how many point batches
+/// stream through (§5); callers running their own chunk loop (e.g. the
+/// disk-resident scan of §7.7) should [`BoundedRasterJoin::prepare`] once
+/// and reuse.
+/// One polygon's rings (outer + holes) in world coordinates, ready for
+/// scanline rasterization.
+struct PolyRings {
+    id: u32,
+    rings: Vec<Vec<Point>>,
+}
+
+pub struct PreparedBounded {
+    polys: Vec<PolyRings>,
+    tiles: Vec<Viewport>,
+    nslots: usize,
+    preparation: std::time::Duration,
+}
+
+impl PreparedBounded {
+    pub fn passes_per_batch(&self) -> u32 {
+        self.tiles.len() as u32
+    }
+}
+
+impl BoundedRasterJoin {
+    pub fn new(workers: usize) -> Self {
+        BoundedRasterJoin { workers }
+    }
+
+    /// Extract polygon rings and derive the canvas tiling for `epsilon`.
+    ///
+    /// The paper triangulates here (§3) because GPUs only rasterize
+    /// triangles; the software rasterizer scan-converts polygons directly
+    /// with identical pixel-center coverage (see
+    /// `raster_gpu::raster::rasterize_polygon_spans`), so preparation is
+    /// just ring extraction. The ablation bench keeps the triangle path
+    /// for comparison.
+    pub fn prepare(&self, polys: &[Polygon], epsilon: f64, device: &Device) -> PreparedBounded {
+        let t0 = Instant::now();
+        let prepared_polys: Vec<PolyRings> = polys
+            .iter()
+            .map(|p| {
+                let mut rings = Vec::with_capacity(1 + p.holes().len());
+                rings.push(p.outer().points().to_vec());
+                for h in p.holes() {
+                    rings.push(h.points().to_vec());
+                }
+                PolyRings { id: p.id(), rings }
+            })
+            .collect();
+        let preparation = t0.elapsed();
+        let tiles = if polys.is_empty() {
+            Vec::new()
+        } else {
+            let extent = polygon_extent(polys);
+            let (w, h) = resolution_for_epsilon(&extent, epsilon);
+            Viewport::new(extent, w, h).split(device.config().max_fbo_dim)
+        };
+        PreparedBounded {
+            polys: prepared_polys,
+            tiles,
+            nslots: result_slots(polys),
+            preparation,
+        }
+    }
+
+    /// Execute `query` joining `points` with `polys` on `device`.
+    pub fn execute(
+        &self,
+        points: &PointTable,
+        polys: &[Polygon],
+        query: &Query,
+        device: &Device,
+    ) -> JoinOutput {
+        let prepared = self.prepare(polys, query.epsilon, device);
+        self.execute_prepared(&prepared, points, query, device)
+    }
+
+    /// Execute against pre-triangulated polygons (chunked scans reuse the
+    /// preparation across every chunk).
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedBounded,
+        points: &PointTable,
+        query: &Query,
+        device: &Device,
+    ) -> JoinOutput {
+        device.reset_stats();
+        let mut stats = ExecStats::default();
+        let nslots = prepared.nslots;
+        let counts = AtomicU64Array::new(nslots);
+        let sums = AtomicF64Array::new(nslots);
+        if prepared.tiles.is_empty() {
+            return JoinOutput {
+                counts: counts.to_vec(),
+                sums: sums.to_vec(),
+                stats,
+            };
+        }
+        stats.triangulation = prepared.preparation;
+        let tiles = &prepared.tiles;
+
+        // Out-of-core batching: points transferred exactly once.
+        let attrs_up = query.attrs_uploaded();
+        let point_bytes = PointTable::point_bytes(attrs_up);
+        let per_batch = device.points_per_batch(point_bytes);
+        let agg_attr = query.aggregate.attr();
+        let fragments = AtomicU64::new(0);
+
+        let proc0 = Instant::now();
+        let mut start = 0usize;
+        while start < points.len() || (points.is_empty() && start == 0) {
+            let end = (start + per_batch).min(points.len());
+            device.record_upload(((end - start) * point_bytes) as u64);
+            stats.batches += 1;
+
+            for vp in tiles {
+                let fbo = PointFbo::new(vp.width, vp.height);
+                self.draw_points(points, start, end, query, agg_attr, vp, &fbo);
+                self.draw_polygons(
+                    &prepared.polys,
+                    vp,
+                    &fbo,
+                    agg_attr.is_some(),
+                    &counts,
+                    &sums,
+                    &fragments,
+                );
+                stats.passes += 1;
+            }
+
+            if end == points.len() {
+                break;
+            }
+            start = end;
+        }
+        stats.processing = proc0.elapsed();
+
+        // Result read-back: two 8-byte slots per polygon.
+        device.record_download((nslots * 16) as u64);
+        let ts = device.stats();
+        stats.upload_bytes = ts.bytes_up;
+        stats.download_bytes = ts.bytes_down;
+        stats.transfer = device.modelled_transfer_time();
+        stats.fragments = fragments.load(Ordering::Relaxed);
+
+        JoinOutput {
+            counts: counts.to_vec(),
+            sums: sums.to_vec(),
+            stats,
+        }
+    }
+
+    /// Step I (Procedure DrawPoints): blend filtered points into the FBO.
+    fn draw_points(
+        &self,
+        points: &PointTable,
+        start: usize,
+        end: usize,
+        query: &Query,
+        agg_attr: Option<usize>,
+        vp: &Viewport,
+        fbo: &PointFbo,
+    ) {
+        let preds = &query.predicates;
+        parallel_ranges(end - start, self.workers, |s, e| {
+            for i in (start + s)..(start + e) {
+                // Vertex-shader constraint test: failing points are
+                // clipped before rasterization (§5).
+                if !preds.is_empty() && !passes(points, i, preds) {
+                    continue;
+                }
+                if let Some((x, y)) = vp.pixel_of(points.point(i)) {
+                    let v = agg_attr.map_or(0.0, |a| points.attr(a)[i]);
+                    fbo.blend_add(x, y, v);
+                }
+            }
+        });
+    }
+
+    /// Step II (Procedure DrawPolygons): scan-convert each polygon over
+    /// the FBO and fold the pixel partial aggregates into its result
+    /// slot. Accumulation is local per polygon, so a single atomic update
+    /// per polygon reaches the SSBO.
+    fn draw_polygons(
+        &self,
+        polys: &[PolyRings],
+        vp: &Viewport,
+        fbo: &PointFbo,
+        needs_sums: bool,
+        counts: &AtomicU64Array,
+        sums: &AtomicF64Array,
+        fragments: &AtomicU64,
+    ) {
+        let (w, h) = (vp.width, vp.height);
+        parallel_dynamic(polys.len(), self.workers, 4, |pi| {
+            let poly = &polys[pi];
+            let id = poly.id as usize;
+            // Vertex stage: transform the rings to screen space.
+            let screen: Vec<Vec<(f64, f64)>> = poly
+                .rings
+                .iter()
+                .map(|r| r.iter().map(|&p| vp.to_screen(p)).collect())
+                .collect();
+            let ring_refs: Vec<&[(f64, f64)]> =
+                screen.iter().map(|r| r.as_slice()).collect();
+            let mut frags = 0u64;
+            let mut cnt_acc = 0u64;
+            let mut sum_acc = 0f64;
+            if needs_sums {
+                rasterize_polygon_spans(&ring_refs, w, h, |y, x0, x1| {
+                    frags += (x1 - x0) as u64;
+                    let (cnt, sum) = fbo.span_totals(y, x0, x1);
+                    cnt_acc += cnt;
+                    sum_acc += sum;
+                });
+            } else {
+                // COUNT query: the vectorized count-only scan.
+                rasterize_polygon_spans(&ring_refs, w, h, |y, x0, x1| {
+                    frags += (x1 - x0) as u64;
+                    cnt_acc += fbo.span_count(y, x0, x1);
+                });
+            }
+            if cnt_acc > 0 {
+                counts.add(id, cnt_acc);
+            }
+            if sum_acc != 0.0 {
+                sums.add(id, sum_acc);
+            }
+            if frags > 0 {
+                fragments.fetch_add(frags, Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+/// Bounding box of the polygon data set — the `w × h` of §4.2.
+pub fn polygon_extent(polys: &[Polygon]) -> BBox {
+    let mut b = BBox::empty();
+    for p in polys {
+        b.union(&p.bbox());
+    }
+    // Inflate marginally so points exactly on the max edge stay renderable.
+    b.inflate(1e-9 * (b.width() + b.height()).max(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Aggregate;
+    use raster_geom::Point;
+
+    fn grid_polys() -> Vec<Polygon> {
+        // 2×2 squares tiling [0,20]².
+        let mut v = Vec::new();
+        let mut id = 0;
+        for gy in 0..2 {
+            for gx in 0..2 {
+                let x0 = gx as f64 * 10.0;
+                let y0 = gy as f64 * 10.0;
+                v.push(Polygon::from_coords(
+                    id,
+                    vec![
+                        (x0, y0),
+                        (x0 + 10.0, y0),
+                        (x0 + 10.0, y0 + 10.0),
+                        (x0, y0 + 10.0),
+                    ],
+                ));
+                id += 1;
+            }
+        }
+        v
+    }
+
+    fn points_in_quadrants() -> PointTable {
+        let mut t = PointTable::with_capacity(8, &["v"]);
+        // 1 point in poly 0, 2 in poly 1, 3 in poly 2, 2 in poly 3; all
+        // well inside (away from edges) so any reasonable ε is exact.
+        t.push(Point::new(5.0, 5.0), &[1.0]);
+        t.push(Point::new(15.0, 5.0), &[2.0]);
+        t.push(Point::new(16.0, 4.0), &[3.0]);
+        t.push(Point::new(3.0, 15.0), &[4.0]);
+        t.push(Point::new(5.0, 16.0), &[5.0]);
+        t.push(Point::new(7.0, 13.0), &[6.0]);
+        t.push(Point::new(15.0, 15.0), &[7.0]);
+        t.push(Point::new(12.0, 18.0), &[8.0]);
+        t
+    }
+
+    #[test]
+    fn count_well_separated_points_is_exact() {
+        let out = BoundedRasterJoin::new(2).execute(
+            &points_in_quadrants(),
+            &grid_polys(),
+            &Query::count().with_epsilon(0.5),
+            &Device::default(),
+        );
+        assert_eq!(out.counts, vec![1, 2, 3, 2]);
+        assert_eq!(out.total_count(), 8);
+    }
+
+    #[test]
+    fn sum_and_avg_track_attribute() {
+        let q = Query::sum(0).with_epsilon(0.5);
+        let out = BoundedRasterJoin::new(2).execute(
+            &points_in_quadrants(),
+            &grid_polys(),
+            &q,
+            &Device::default(),
+        );
+        assert_eq!(out.values(Aggregate::Sum(0)), vec![1.0, 5.0, 15.0, 15.0]);
+        let avg = out.values(Aggregate::Avg(0));
+        assert!((avg[2] - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicates_filter_before_rasterization() {
+        use raster_data::filter::{CmpOp, Predicate};
+        let q = Query::count()
+            .with_epsilon(0.5)
+            .with_predicates(vec![Predicate::new(0, CmpOp::Gt, 4.5)]);
+        let out = BoundedRasterJoin::new(2).execute(
+            &points_in_quadrants(),
+            &grid_polys(),
+            &q,
+            &Device::default(),
+        );
+        // Values > 4.5: points with v in {5,6,7,8} → polys 2 (two) and 3 (two).
+        assert_eq!(out.counts, vec![0, 0, 2, 2]);
+    }
+
+    #[test]
+    fn out_of_core_batches_match_in_memory_result() {
+        let polys = grid_polys();
+        let pts = points_in_quadrants();
+        let big = Device::default();
+        let small = Device::new(raster_gpu::DeviceConfig::small(
+            3 * PointTable::point_bytes(0), // 3 points per batch
+            8192,
+        ));
+        let q = Query::count().with_epsilon(0.5);
+        let a = BoundedRasterJoin::new(2).execute(&pts, &polys, &q, &big);
+        let b = BoundedRasterJoin::new(2).execute(&pts, &polys, &q, &small);
+        assert_eq!(a.counts, b.counts);
+        assert!(b.stats.batches > a.stats.batches);
+        assert_eq!(a.stats.batches, 1);
+        assert_eq!(b.stats.batches, 3);
+    }
+
+    #[test]
+    fn tiled_canvas_matches_single_canvas() {
+        let polys = grid_polys();
+        let pts = points_in_quadrants();
+        let q = Query::count().with_epsilon(0.5);
+        let one = BoundedRasterJoin::new(2).execute(&pts, &polys, &q, &Device::default());
+        let tiled_dev = Device::new(raster_gpu::DeviceConfig::small(3 << 30, 16));
+        let tiled = BoundedRasterJoin::new(2).execute(&pts, &polys, &q, &tiled_dev);
+        assert_eq!(one.counts, tiled.counts);
+        assert!(tiled.stats.passes > one.stats.passes);
+    }
+
+    #[test]
+    fn upload_happens_once_per_batch_not_per_tile() {
+        let polys = grid_polys();
+        let pts = points_in_quadrants();
+        let q = Query::count().with_epsilon(0.5);
+        let dev = Device::new(raster_gpu::DeviceConfig::small(3 << 30, 16));
+        let out = BoundedRasterJoin::new(1).execute(&pts, &polys, &q, &dev);
+        assert!(out.stats.passes > 1);
+        assert_eq!(out.stats.batches, 1);
+        assert_eq!(
+            out.stats.upload_bytes,
+            pts.upload_bytes(0),
+            "points must be shipped exactly once"
+        );
+    }
+
+    #[test]
+    fn intersecting_polygons_count_points_in_both() {
+        // Two overlapping squares; a point in the overlap scores for both —
+        // the SSBO design handles intersecting polygons in one pass (§6.1).
+        let polys = vec![
+            Polygon::from_coords(0, vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]),
+            Polygon::from_coords(1, vec![(5.0, 0.0), (15.0, 0.0), (15.0, 10.0), (5.0, 10.0)]),
+        ];
+        let mut pts = PointTable::with_capacity(1, &[]);
+        pts.push(Point::new(7.0, 5.0), &[]);
+        let out = BoundedRasterJoin::new(1).execute(
+            &pts,
+            &polys,
+            &Query::count().with_epsilon(0.2),
+            &Device::default(),
+        );
+        assert_eq!(out.counts, vec![1, 1]);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let out = BoundedRasterJoin::new(1).execute(
+            &PointTable::new(),
+            &grid_polys(),
+            &Query::count(),
+            &Device::default(),
+        );
+        assert_eq!(out.counts, vec![0, 0, 0, 0]);
+        let out2 = BoundedRasterJoin::new(1).execute(
+            &points_in_quadrants(),
+            &[],
+            &Query::count(),
+            &Device::default(),
+        );
+        assert!(out2.counts.is_empty());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_counts() {
+        let polys = grid_polys();
+        let pts = points_in_quadrants();
+        let q = Query::count().with_epsilon(0.5);
+        let a = BoundedRasterJoin::new(1).execute(&pts, &polys, &q, &Device::default());
+        let b = BoundedRasterJoin::new(8).execute(&pts, &polys, &q, &Device::default());
+        assert_eq!(a.counts, b.counts);
+    }
+}

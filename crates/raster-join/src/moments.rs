@@ -1,0 +1,414 @@
+//! Higher statistical moments via extra FBO channels (§5, §8).
+//!
+//! Section 5 claims the raster approach extends "to any distributive or
+//! algebraic (but not to holistic) aggregates in a straightforward
+//! manner"; §8 sketches the mechanism (extra FBO color attachments). This
+//! module makes the claim concrete for the next algebraic aggregate after
+//! AVG: **variance** (and its square root, the standard deviation), which
+//! combines three distributive pieces — `n`, `Σx`, `Σx²` — as
+//! `Var = Σx²/n − (Σx/n)²`.
+//!
+//! [`MomentsRasterJoin`] renders the points once into a multi-render-
+//! target FBO with two channels per attribute — the value and its square,
+//! computed *in the vertex shader* so the squares never cross the PCIe
+//! bus — then folds the channels per polygon as usual. This is exactly
+//! the DrawPoints/DrawPolygons pipeline of §4.1, widened.
+//!
+//! Like every bounded-raster result, the moments are ε-approximate: only
+//! points within ε of a polygon boundary can be mis-assigned.
+
+use crate::bounded::polygon_extent;
+use crate::query::result_slots;
+use crate::stats::ExecStats;
+use raster_data::filter::passes;
+use raster_data::{PointTable, Predicate};
+use raster_geom::hausdorff::resolution_for_epsilon;
+use raster_geom::triangulate::triangulate_all;
+use raster_geom::Polygon;
+use raster_gpu::exec::{default_workers, parallel_dynamic, parallel_ranges};
+use raster_gpu::raster::rasterize_triangle_spans;
+use raster_gpu::ssbo::{AtomicF64Array, AtomicU64Array};
+use raster_gpu::{Device, MrtFbo, Viewport};
+use std::time::Instant;
+
+/// A query computing count, sum, and sum-of-squares for each listed
+/// attribute in a single pass.
+#[derive(Debug, Clone)]
+pub struct MomentsQuery {
+    /// Attribute columns to compute moments for (deduplicated).
+    pub attrs: Vec<usize>,
+    pub predicates: Vec<Predicate>,
+    pub epsilon: f64,
+}
+
+impl MomentsQuery {
+    pub fn new(mut attrs: Vec<usize>) -> Self {
+        attrs.sort_unstable();
+        attrs.dedup();
+        MomentsQuery {
+            attrs,
+            predicates: Vec::new(),
+            epsilon: 10.0,
+        }
+    }
+
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "ε must be positive");
+        self.epsilon = epsilon;
+        self
+    }
+
+    pub fn with_predicates(mut self, preds: Vec<Predicate>) -> Self {
+        self.predicates = preds;
+        self
+    }
+
+    /// Attribute columns that must be uploaded: the moment attributes
+    /// plus any filter attributes. Squares are derived on-device.
+    fn attrs_uploaded(&self) -> usize {
+        let mut a = self.attrs.clone();
+        for p in &self.predicates {
+            if !a.contains(&p.attr) {
+                a.push(p.attr);
+            }
+        }
+        a.len()
+    }
+}
+
+/// Per-polygon moment accumulators for each queried attribute.
+#[derive(Debug, Clone)]
+pub struct MomentsOutput {
+    pub counts: Vec<u64>,
+    /// `sums[c][poly]` = Σ attr_c over the polygon's points.
+    pub sums: Vec<Vec<f64>>,
+    /// `sumsqs[c][poly]` = Σ attr_c² over the polygon's points.
+    pub sumsqs: Vec<Vec<f64>>,
+    pub stats: ExecStats,
+}
+
+impl MomentsOutput {
+    /// Per-polygon mean of attribute channel `c` (0 where empty).
+    pub fn mean(&self, c: usize) -> Vec<f64> {
+        self.sums[c]
+            .iter()
+            .zip(&self.counts)
+            .map(|(&s, &n)| if n == 0 { 0.0 } else { s / n as f64 })
+            .collect()
+    }
+
+    /// Per-polygon *population* variance of channel `c`. Clamped at zero:
+    /// the algebraic form Σx²/n − mean² can dip epsilon-negative in
+    /// floating point.
+    pub fn variance(&self, c: usize) -> Vec<f64> {
+        self.sumsqs[c]
+            .iter()
+            .zip(&self.sums[c])
+            .zip(&self.counts)
+            .map(|((&sq, &s), &n)| {
+                if n == 0 {
+                    0.0
+                } else {
+                    let m = s / n as f64;
+                    (sq / n as f64 - m * m).max(0.0)
+                }
+            })
+            .collect()
+    }
+
+    /// Per-polygon population standard deviation of channel `c`.
+    pub fn stddev(&self, c: usize) -> Vec<f64> {
+        self.variance(c).into_iter().map(f64::sqrt).collect()
+    }
+}
+
+/// Bounded raster join computing count/sum/sum-of-squares per attribute.
+pub struct MomentsRasterJoin {
+    pub workers: usize,
+}
+
+impl Default for MomentsRasterJoin {
+    fn default() -> Self {
+        MomentsRasterJoin {
+            workers: default_workers(),
+        }
+    }
+}
+
+impl MomentsRasterJoin {
+    pub fn new(workers: usize) -> Self {
+        MomentsRasterJoin { workers }
+    }
+
+    pub fn execute(
+        &self,
+        points: &PointTable,
+        polys: &[Polygon],
+        mq: &MomentsQuery,
+        device: &Device,
+    ) -> MomentsOutput {
+        device.reset_stats();
+        let mut stats = ExecStats::default();
+        let nslots = result_slots(polys);
+        let k = mq.attrs.len();
+        let counts = AtomicU64Array::new(nslots);
+        // Channel layout: [sum(a₀), sumsq(a₀), sum(a₁), sumsq(a₁), ...].
+        let accs: Vec<AtomicF64Array> = (0..2 * k).map(|_| AtomicF64Array::new(nslots)).collect();
+        if polys.is_empty() {
+            return MomentsOutput {
+                counts: Vec::new(),
+                sums: vec![Vec::new(); k],
+                sumsqs: vec![Vec::new(); k],
+                stats,
+            };
+        }
+
+        let t0 = Instant::now();
+        let tris = triangulate_all(polys);
+        stats.triangulation = t0.elapsed();
+
+        let extent = polygon_extent(polys);
+        let (w, h) = resolution_for_epsilon(&extent, mq.epsilon);
+        let tiles = Viewport::new(extent, w, h).split(device.config().max_fbo_dim);
+
+        let point_bytes = PointTable::point_bytes(mq.attrs_uploaded());
+        let per_batch = device.points_per_batch(point_bytes);
+        let preds = &mq.predicates;
+
+        let proc0 = Instant::now();
+        let mut start = 0usize;
+        loop {
+            let end = (start + per_batch).min(points.len());
+            device.record_upload(((end - start) * point_bytes) as u64);
+            stats.batches += 1;
+            for vp in &tiles {
+                let fbo = MrtFbo::new(vp.width, vp.height, 2 * k);
+                // DrawPoints: blend value and value² per attribute — the
+                // square is computed here, shader-side.
+                parallel_ranges(end - start, self.workers, |s, e| {
+                    let mut vals = vec![0f32; 2 * k];
+                    for i in (start + s)..(start + e) {
+                        if !preds.is_empty() && !passes(points, i, preds) {
+                            continue;
+                        }
+                        if let Some((x, y)) = vp.pixel_of(points.point(i)) {
+                            for (c, &attr) in mq.attrs.iter().enumerate() {
+                                let v = points.attr(attr)[i];
+                                vals[2 * c] = v;
+                                vals[2 * c + 1] = v * v;
+                            }
+                            fbo.blend_add(x, y, &vals);
+                        }
+                    }
+                });
+                // DrawPolygons: fold every channel per covered span.
+                parallel_dynamic(tris.len(), self.workers, 16, |ti| {
+                    let t = &tris[ti];
+                    let id = t.poly_id as usize;
+                    let mut cnt_acc = 0u64;
+                    let mut acc = vec![0f64; 2 * k];
+                    rasterize_triangle_spans(
+                        [vp.to_screen(t.a), vp.to_screen(t.b), vp.to_screen(t.c)],
+                        vp.width,
+                        vp.height,
+                        |y, x0, x1| {
+                            cnt_acc += fbo.span_totals(y, x0, x1, &mut acc);
+                        },
+                    );
+                    if cnt_acc > 0 {
+                        counts.add(id, cnt_acc);
+                        for (c, a) in accs.iter().enumerate() {
+                            if acc[c] != 0.0 {
+                                a.add(id, acc[c]);
+                            }
+                        }
+                    }
+                });
+                stats.passes += 1;
+            }
+            if end >= points.len() {
+                break;
+            }
+            start = end;
+        }
+        stats.processing = proc0.elapsed();
+
+        // Read-back: count + 2k f64 accumulators per polygon.
+        device.record_download((nslots * 8 * (1 + 2 * k)) as u64);
+        let ts = device.stats();
+        stats.upload_bytes = ts.bytes_up;
+        stats.download_bytes = ts.bytes_down;
+        stats.transfer = device.modelled_transfer_time();
+
+        MomentsOutput {
+            counts: counts.to_vec(),
+            sums: (0..k).map(|c| accs[2 * c].to_vec()).collect(),
+            sumsqs: (0..k).map(|c| accs[2 * c + 1].to_vec()).collect(),
+            stats,
+        }
+    }
+}
+
+/// Exact reference: brute-force PIP moments, for tests and accuracy
+/// experiments.
+pub fn exact_moments(
+    points: &PointTable,
+    polys: &[Polygon],
+    attrs: &[usize],
+) -> (Vec<u64>, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let nslots = result_slots(polys);
+    let mut counts = vec![0u64; nslots];
+    let mut sums = vec![vec![0f64; nslots]; attrs.len()];
+    let mut sumsqs = vec![vec![0f64; nslots]; attrs.len()];
+    for i in 0..points.len() {
+        let p = points.point(i);
+        for poly in polys {
+            if poly.contains(p) {
+                let id = poly.id() as usize;
+                counts[id] += 1;
+                for (c, &a) in attrs.iter().enumerate() {
+                    let v = points.attr(a)[i] as f64;
+                    sums[c][id] += v;
+                    sumsqs[c][id] += v * v;
+                }
+            }
+        }
+    }
+    (counts, sums, sumsqs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raster_data::generators::{nyc_extent, TaxiModel};
+    use raster_data::polygons::synthetic_polygons;
+    use raster_geom::Point;
+
+    fn setup() -> (PointTable, Vec<Polygon>) {
+        (
+            TaxiModel::default().generate(3_000, 23),
+            synthetic_polygons(8, &nyc_extent(), 24),
+        )
+    }
+
+    #[test]
+    fn variance_matches_exact_reference_closely() {
+        let (pts, polys) = setup();
+        let fare = pts.attr_index("fare").unwrap();
+        let mq = MomentsQuery::new(vec![fare]).with_epsilon(5.0);
+        let out = MomentsRasterJoin::new(2).execute(&pts, &polys, &mq, &Device::default());
+        let (counts, sums, sumsqs) = exact_moments(&pts, &polys, &[fare]);
+        // ε = 5 m over the NYC extent keeps boundary mis-assignments rare;
+        // compare per polygon with a tolerance driven by its count drift.
+        for id in 0..counts.len() {
+            if counts[id] < 20 {
+                continue; // tiny slots: a single moved point dominates
+            }
+            let exact_mean = sums[0][id] / counts[id] as f64;
+            let exact_var = sumsqs[0][id] / counts[id] as f64 - exact_mean * exact_mean;
+            let got_mean = out.mean(0)[id];
+            let got_var = out.variance(0)[id];
+            assert!(
+                (got_mean - exact_mean).abs() < 0.05 * exact_mean.abs().max(1.0),
+                "poly {id}: mean {got_mean} vs {exact_mean}"
+            );
+            assert!(
+                (got_var - exact_var).abs() < 0.10 * exact_var.abs().max(1.0),
+                "poly {id}: var {got_var} vs {exact_var}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_attribute_has_zero_variance() {
+        // All attribute values equal → variance must be (numerically) zero
+        // in every polygon, and stddev likewise.
+        let mut pts = PointTable::with_capacity(100, &["c"]);
+        let extent = nyc_extent();
+        let step_x = extent.width() / 10.0;
+        let step_y = extent.height() / 10.0;
+        for gy in 0..10 {
+            for gx in 0..10 {
+                pts.push(
+                    Point::new(
+                        extent.min.x + (gx as f64 + 0.5) * step_x,
+                        extent.min.y + (gy as f64 + 0.5) * step_y,
+                    ),
+                    &[7.25],
+                );
+            }
+        }
+        let polys = synthetic_polygons(5, &extent, 25);
+        let mq = MomentsQuery::new(vec![0]).with_epsilon(10.0);
+        let out = MomentsRasterJoin::new(2).execute(&pts, &polys, &mq, &Device::default());
+        for (id, &n) in out.counts.iter().enumerate() {
+            if n > 0 {
+                assert!(out.variance(0)[id] < 1e-6, "poly {id}");
+                let m = out.mean(0)[id];
+                assert!((m - 7.25).abs() < 1e-4, "poly {id}: mean {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_attributes_in_one_pass() {
+        let (pts, polys) = setup();
+        let fare = pts.attr_index("fare").unwrap();
+        let dist = pts.attr_index("distance").unwrap();
+        let mq = MomentsQuery::new(vec![fare, dist]).with_epsilon(10.0);
+        let out = MomentsRasterJoin::new(2).execute(&pts, &polys, &mq, &Device::default());
+        assert_eq!(out.sums.len(), 2);
+        assert_eq!(out.sumsqs.len(), 2);
+        // Fare and distance are different columns: their sums must differ.
+        let s0: f64 = out.sums[0].iter().sum();
+        let s1: f64 = out.sums[1].iter().sum();
+        assert!(s0 > 0.0 && s1 > 0.0 && (s0 - s1).abs() > 1e-3);
+    }
+
+    #[test]
+    fn squares_do_not_cross_the_bus() {
+        let (pts, polys) = setup();
+        let fare = pts.attr_index("fare").unwrap();
+        let dev = Device::default();
+        let one = MomentsRasterJoin::new(1).execute(
+            &pts,
+            &polys,
+            &MomentsQuery::new(vec![fare]).with_epsilon(20.0),
+            &dev,
+        );
+        // Upload = positions + ONE attribute column, even though two
+        // channels (value and value²) are blended.
+        assert_eq!(one.stats.upload_bytes, pts.upload_bytes(1));
+        // Download carries count + sum + sumsq per polygon.
+        assert_eq!(one.stats.download_bytes, (one.counts.len() * 8 * 3) as u64);
+    }
+
+    #[test]
+    fn duplicate_attrs_are_deduplicated() {
+        let mq = MomentsQuery::new(vec![3, 1, 3, 1, 1]);
+        assert_eq!(mq.attrs, vec![1, 3]);
+    }
+
+    #[test]
+    fn variance_never_negative() {
+        let (pts, polys) = setup();
+        let tip = pts.attr_index("tip").unwrap();
+        let mq = MomentsQuery::new(vec![tip]).with_epsilon(50.0);
+        let out = MomentsRasterJoin::new(2).execute(&pts, &polys, &mq, &Device::default());
+        assert!(out.variance(0).iter().all(|&v| v >= 0.0));
+        assert!(out.stddev(0).iter().all(|&s| s >= 0.0 && s.is_finite()));
+    }
+
+    #[test]
+    fn empty_polygons_give_empty_output() {
+        let (pts, _) = setup();
+        let out = MomentsRasterJoin::new(1).execute(
+            &pts,
+            &[],
+            &MomentsQuery::new(vec![0]),
+            &Device::default(),
+        );
+        assert!(out.counts.is_empty());
+        assert!(out.sums[0].is_empty());
+    }
+}

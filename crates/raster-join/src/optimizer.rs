@@ -1,0 +1,267 @@
+//! Cost-based choice between the bounded and accurate variants (§8,
+//! "Choosing Between the two Raster Variants").
+//!
+//! The paper observes that a very small ε can make the bounded variant
+//! slower than the accurate one (the rendering-pass count grows
+//! quadratically, Fig. 12a) and proposes adding "an estimate of the time
+//! required for the two variants, so that an optimizer can choose the
+//! best option based on the input query". This module implements that
+//! optimizer with an analytic cost model in abstract work units:
+//!
+//! * bounded:  `passes × (N_points + F(resolution))` — every pass
+//!   re-renders the resident points and all polygon fragments;
+//! * accurate: `N_points + B × C × V̄ + F(canvas)` — one point pass, PIP
+//!   work for the expected boundary-pixel points, one polygon pass.
+//!
+//! `F` estimates fragment counts from polygon area/perimeter at the pixel
+//! size in effect; `B` estimates the fraction of points on boundary
+//! pixels from total outline length.
+
+use crate::query::{JoinOutput, Query};
+use crate::{AccurateRasterJoin, BoundedRasterJoin};
+use raster_data::PointTable;
+use raster_geom::hausdorff::{pixel_side_for_epsilon, resolution_for_epsilon};
+use raster_geom::{BBox, Polygon};
+use raster_gpu::Device;
+
+/// Which operator the optimizer picked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    Bounded,
+    Accurate,
+}
+
+/// Cost estimates (abstract work units) for both variants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostEstimate {
+    pub bounded: f64,
+    pub accurate: f64,
+    pub passes: u32,
+}
+
+impl CostEstimate {
+    pub fn choice(&self) -> Variant {
+        if self.bounded <= self.accurate {
+            Variant::Bounded
+        } else {
+            Variant::Accurate
+        }
+    }
+}
+
+/// Aggregate polygon-set shape statistics the model needs.
+fn polygon_shape(polys: &[Polygon]) -> (f64, f64, f64) {
+    let area: f64 = polys.iter().map(Polygon::area).sum();
+    let perimeter: f64 = polys.iter().map(Polygon::perimeter).sum();
+    let avg_vertices = if polys.is_empty() {
+        0.0
+    } else {
+        polys.iter().map(|p| p.vertex_count() as f64).sum::<f64>() / polys.len() as f64
+    };
+    (area, perimeter, avg_vertices)
+}
+
+/// Estimated polygon fragments at a given pixel side: interior area
+/// fragments plus one extra band along the outlines.
+fn fragments(area: f64, perimeter: f64, pixel_side: f64) -> f64 {
+    let px2 = pixel_side * pixel_side;
+    area / px2 + perimeter / pixel_side
+}
+
+// Relative per-operation weights, calibrated against the Fig. 8/12a
+// measurements of this reproduction (a fragment is an FBO read that
+// usually early-outs; a PIP test walks the candidate polygon's vertices;
+// accurate's point stage adds the boundary-FBO lookup).
+const C_POINT_BOUNDED: f64 = 1.0;
+const C_POINT_ACCURATE: f64 = 1.5;
+const C_FRAG: f64 = 0.1;
+const C_PIP_VERTEX: f64 = 1.0;
+const C_OUTLINE: f64 = 1.5;
+const C_INDEX_CELL: f64 = 1.0;
+
+/// Build the cost estimate for a query.
+pub fn estimate(
+    n_points: usize,
+    polys: &[Polygon],
+    extent: &BBox,
+    query: &Query,
+    device: &Device,
+    accurate_canvas_dim: u32,
+) -> CostEstimate {
+    let (area, perimeter, avg_v) = polygon_shape(polys);
+    let n = n_points as f64;
+
+    // ---- bounded ---------------------------------------------------------
+    // Every pass re-transforms the resident points (they are clipped per
+    // tile), but the *total* fragment volume is resolution-bound, not
+    // pass-bound: each tile rasterizes only its own pixels.
+    let side = pixel_side_for_epsilon(query.epsilon);
+    let (w, h) = resolution_for_epsilon(extent, query.epsilon);
+    let max_dim = device.config().max_fbo_dim;
+    let passes = ((w + max_dim - 1) / max_dim) * ((h + max_dim - 1) / max_dim);
+    let bounded =
+        passes as f64 * n * C_POINT_BOUNDED + C_FRAG * fragments(area, perimeter, side);
+
+    // ---- accurate --------------------------------------------------------
+    let dim = accurate_canvas_dim.min(max_dim) as f64;
+    let acc_side = extent.width().max(extent.height()) / dim;
+    // Probability a point lands on a boundary pixel ≈ outline-band area
+    // over the extent area (supercover marks up to ~3 pixels per crossed
+    // column), clamped to 1.
+    let boundary_band = (perimeter * 3.0 * acc_side) / extent.area().max(1e-30);
+    let p_boundary = boundary_band.clamp(0.0, 1.0);
+    // Each boundary point PIP-tests its grid-cell candidates, linear in
+    // vertex count.
+    let candidates = 2.0f64.min(polys.len() as f64).max(1.0);
+    let pip_cost = n * p_boundary * candidates * avg_v * C_PIP_VERTEX;
+    // On-the-fly index build touches every cell under each polygon's MBR.
+    let cell_area = extent.area() / (1024.0 * 1024.0);
+    let index_cells: f64 = polys
+        .iter()
+        .map(|p| (p.bbox().area() / cell_area).max(1.0))
+        .sum();
+    let accurate = n * C_POINT_ACCURATE
+        + pip_cost
+        + C_FRAG * fragments(area, perimeter, acc_side)
+        + C_OUTLINE * perimeter / acc_side
+        + C_INDEX_CELL * index_cells;
+
+    CostEstimate {
+        bounded,
+        accurate,
+        passes,
+    }
+}
+
+/// The auto-selecting operator: estimates both costs and dispatches.
+pub struct AutoRasterJoin {
+    pub workers: usize,
+    pub accurate_canvas_dim: u32,
+}
+
+impl Default for AutoRasterJoin {
+    fn default() -> Self {
+        AutoRasterJoin {
+            workers: raster_gpu::exec::default_workers(),
+            accurate_canvas_dim: 2048,
+        }
+    }
+}
+
+impl AutoRasterJoin {
+    /// Estimate, pick a variant, and run it. Returns the chosen variant
+    /// alongside the output (the caller may care that the result became
+    /// exact).
+    pub fn execute(
+        &self,
+        points: &PointTable,
+        polys: &[Polygon],
+        query: &Query,
+        device: &Device,
+    ) -> (Variant, JoinOutput) {
+        let extent = crate::bounded::polygon_extent(polys);
+        let est = estimate(
+            points.len(),
+            polys,
+            &extent,
+            query,
+            device,
+            self.accurate_canvas_dim,
+        );
+        match est.choice() {
+            Variant::Bounded => (
+                Variant::Bounded,
+                BoundedRasterJoin::new(self.workers).execute(points, polys, query, device),
+            ),
+            Variant::Accurate => {
+                let j = AccurateRasterJoin {
+                    workers: self.workers,
+                    canvas_dim: self.accurate_canvas_dim,
+                    index_dim: 1024,
+                    ..Default::default()
+                };
+                (Variant::Accurate, j.execute(points, polys, query, device))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raster_data::generators::{nyc_extent, uniform_points};
+    use raster_data::polygons::synthetic_polygons;
+
+    fn setup() -> (Vec<Polygon>, BBox) {
+        let e = nyc_extent();
+        (synthetic_polygons(10, &e, 3), e)
+    }
+
+    #[test]
+    fn coarse_epsilon_prefers_bounded() {
+        let (polys, extent) = setup();
+        let dev = Device::default();
+        // Large inputs are where the bounded variant's PIP-freedom pays.
+        let est = estimate(
+            2_000_000,
+            &polys,
+            &extent,
+            &Query::count().with_epsilon(20.0),
+            &dev,
+            2048,
+        );
+        assert_eq!(est.passes, 1);
+        assert_eq!(est.choice(), Variant::Bounded);
+    }
+
+    #[test]
+    fn tiny_epsilon_prefers_accurate() {
+        let (polys, extent) = setup();
+        let dev = Device::default();
+        // ε = 0.05 m over a 58 km extent → ~1.6M px per axis → ~40k passes.
+        let est = estimate(
+            1_000_000,
+            &polys,
+            &extent,
+            &Query::count().with_epsilon(0.05),
+            &dev,
+            2048,
+        );
+        assert!(est.passes > 10_000);
+        assert_eq!(est.choice(), Variant::Accurate);
+    }
+
+    #[test]
+    fn cost_is_monotone_in_passes() {
+        let (polys, extent) = setup();
+        let dev = Device::default();
+        let coarse = estimate(100_000, &polys, &extent, &Query::count().with_epsilon(20.0), &dev, 2048);
+        let fine = estimate(100_000, &polys, &extent, &Query::count().with_epsilon(1.0), &dev, 2048);
+        assert!(fine.passes > coarse.passes);
+        assert!(fine.bounded > coarse.bounded);
+        // Accurate cost does not depend on ε.
+        assert!((fine.accurate - coarse.accurate).abs() < 1e-6);
+    }
+
+    #[test]
+    fn auto_join_runs_the_chosen_variant_and_is_sane() {
+        let (polys, extent) = setup();
+        let pts = uniform_points(2_000, &nyc_extent(), 5);
+        let dev = Device::default();
+        // The dispatched variant must match the advertised estimate.
+        let q = Query::count().with_epsilon(20.0);
+        let est = estimate(pts.len(), &polys, &extent, &q, &dev, 2048);
+        let (variant, out) = AutoRasterJoin::default().execute(&pts, &polys, &q, &dev);
+        assert_eq!(variant, est.choice());
+        assert!(out.total_count() > 0);
+
+        let (variant2, out2) =
+            AutoRasterJoin::default().execute(&pts, &polys, &Query::count().with_epsilon(0.05), &dev);
+        assert_eq!(variant2, Variant::Accurate);
+        // Accurate path is exact: compare against brute force.
+        for (i, poly) in polys.iter().enumerate() {
+            let truth = (0..pts.len()).filter(|&k| poly.contains(pts.point(k))).count() as u64;
+            assert_eq!(out2.counts[i], truth);
+        }
+    }
+}

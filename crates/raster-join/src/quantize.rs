@@ -1,0 +1,159 @@
+//! Coordinate quantization as in Zhang et al. [72].
+//!
+//! Section 2 notes that the materializing GPU join of [72] "truncate[s]
+//! coordinates to 16-bit integers, thus resulting in approximate joins as
+//! well" — i.e. the state-of-the-art comparator is *also* approximate,
+//! just with a fixed, resolution-independent error. This module models
+//! that scheme so the ablation bench can compare the two approximation
+//! knobs: coordinate truncation (one global 2¹⁶ lattice) versus the raster
+//! join's ε-bounded canvas (freely chosen per query).
+//!
+//! A [`Quantizer`] snaps a point to the center of its cell on a
+//! `2^bits × 2^bits` lattice over the data extent. The induced positional
+//! error is at most half the cell diagonal, so a quantized join behaves
+//! like a bounded raster join with ε equal to [`Quantizer::epsilon_equivalent`]
+//! — except that ε cannot be tightened without re-encoding the data.
+
+use raster_geom::{BBox, Point};
+
+/// Snap-to-lattice quantizer over a fixed extent.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantizer {
+    extent: BBox,
+    /// Lattice cells per axis (`2^bits`).
+    cells: u32,
+}
+
+impl Quantizer {
+    /// Lattice of `2^bits` cells per axis over `extent`. [72] uses
+    /// `bits = 16`.
+    pub fn new(extent: BBox, bits: u8) -> Self {
+        assert!((1..=16).contains(&bits), "bits must be in 1..=16");
+        assert!(
+            extent.width() > 0.0 && extent.height() > 0.0,
+            "extent must have positive area"
+        );
+        Quantizer {
+            extent,
+            cells: 1u32 << bits,
+        }
+    }
+
+    /// Integer cell coordinates of `p` (clamped to the lattice).
+    pub fn encode(&self, p: Point) -> (u16, u16) {
+        let fx = (p.x - self.extent.min.x) / self.extent.width();
+        let fy = (p.y - self.extent.min.y) / self.extent.height();
+        let clamp = |f: f64| ((f * self.cells as f64) as i64).clamp(0, self.cells as i64 - 1);
+        (clamp(fx) as u16, clamp(fy) as u16)
+    }
+
+    /// World coordinates of the center of cell `(cx, cy)`.
+    pub fn decode(&self, cx: u16, cy: u16) -> Point {
+        let cw = self.extent.width() / self.cells as f64;
+        let ch = self.extent.height() / self.cells as f64;
+        Point::new(
+            self.extent.min.x + (cx as f64 + 0.5) * cw,
+            self.extent.min.y + (cy as f64 + 0.5) * ch,
+        )
+    }
+
+    /// Snap `p` to its cell center — the coordinate every consumer of the
+    /// quantized data actually sees.
+    pub fn snap(&self, p: Point) -> Point {
+        let (cx, cy) = self.encode(p);
+        self.decode(cx, cy)
+    }
+
+    /// Worst-case displacement introduced by [`Quantizer::snap`]: half the
+    /// cell diagonal.
+    pub fn max_displacement(&self) -> f64 {
+        let cw = self.extent.width() / self.cells as f64;
+        let ch = self.extent.height() / self.cells as f64;
+        0.5 * (cw * cw + ch * ch).sqrt()
+    }
+
+    /// The bounded-raster-join ε giving the same worst-case positional
+    /// error. A snapped point can land up to [`max_displacement`]
+    /// (`Self::max_displacement`) from its true location, matching the
+    /// bounded join's guarantee that misclassified points lie within ε of
+    /// the polygon boundary.
+    pub fn epsilon_equivalent(&self) -> f64 {
+        self.max_displacement()
+    }
+
+    /// Bytes per quantized point: two 16-bit lattice coordinates, versus
+    /// the 8-byte (f32, f32) VBO layout of §6.1. This is the memory
+    /// saving [72] buys with the approximation.
+    pub const BYTES_PER_POINT: usize = 4;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn extent() -> BBox {
+        BBox::new(Point::new(-100.0, 40.0), Point::new(60.0, 120.0))
+    }
+
+    #[test]
+    fn snap_displacement_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for bits in [4u8, 8, 12, 16] {
+            let q = Quantizer::new(extent(), bits);
+            let bound = q.max_displacement();
+            for _ in 0..2_000 {
+                let p = Point::new(rng.gen_range(-100.0..60.0), rng.gen_range(40.0..120.0));
+                let s = q.snap(p);
+                let d = p.distance(s);
+                assert!(d <= bound + 1e-9, "bits {bits}: moved {d} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn snap_is_idempotent() {
+        let q = Quantizer::new(extent(), 10);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let p = Point::new(rng.gen_range(-100.0..60.0), rng.gen_range(40.0..120.0));
+            let s = q.snap(p);
+            assert_eq!(q.snap(s), s);
+        }
+    }
+
+    #[test]
+    fn encode_clamps_out_of_extent_points() {
+        let q = Quantizer::new(extent(), 8);
+        assert_eq!(q.encode(Point::new(-1e9, -1e9)), (0, 0));
+        assert_eq!(q.encode(Point::new(1e9, 1e9)), (255, 255));
+        // The extreme corner maps to the last cell, not one past it.
+        assert_eq!(q.encode(Point::new(60.0, 120.0)), (255, 255));
+    }
+
+    #[test]
+    fn more_bits_means_less_error() {
+        let coarse = Quantizer::new(extent(), 8);
+        let fine = Quantizer::new(extent(), 16);
+        assert!(fine.max_displacement() < coarse.max_displacement() / 200.0);
+        assert_eq!(fine.epsilon_equivalent(), fine.max_displacement());
+    }
+
+    #[test]
+    fn decode_inverts_encode_on_cell_centers() {
+        let q = Quantizer::new(extent(), 6);
+        for cx in [0u16, 5, 31, 63] {
+            for cy in [0u16, 17, 63] {
+                let p = q.decode(cx, cy);
+                assert_eq!(q.encode(p), (cx, cy));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn rejects_zero_bits() {
+        let _ = Quantizer::new(extent(), 0);
+    }
+}

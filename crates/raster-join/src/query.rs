@@ -1,0 +1,187 @@
+//! Query model and result container.
+//!
+//! The paper's query shape (§1):
+//!
+//! ```sql
+//! SELECT AGG(a_i) FROM P, R
+//! WHERE P.loc INSIDE R.geometry [AND filterCondition]*
+//! GROUP BY R.id
+//! ```
+
+use crate::stats::ExecStats;
+use raster_data::filter::{attrs_referenced, Predicate};
+
+/// Aggregate function. The paper implements COUNT, SUM and AVG (§5) —
+/// i.e. distributive and algebraic aggregates; holistic ones (median) are
+/// out of scope by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    Count,
+    /// Sum of the attribute column with this index.
+    Sum(usize),
+    /// Average of the attribute column with this index (computed as
+    /// SUM/COUNT from two accumulators, §5).
+    Avg(usize),
+}
+
+impl Aggregate {
+    /// Attribute column shipped to the GPU for this aggregate, if any.
+    pub fn attr(&self) -> Option<usize> {
+        match self {
+            Aggregate::Count => None,
+            Aggregate::Sum(a) | Aggregate::Avg(a) => Some(*a),
+        }
+    }
+}
+
+/// A spatial aggregation query.
+#[derive(Debug, Clone)]
+pub struct Query {
+    pub aggregate: Aggregate,
+    /// Conjunctive attribute constraints (§5 "Query Parameters").
+    pub predicates: Vec<Predicate>,
+    /// Hausdorff error bound ε in world units — bounded variant only
+    /// (§4.2). Paper defaults: 10 m for NYC, 1 km for US counties.
+    pub epsilon: f64,
+}
+
+impl Query {
+    pub fn count() -> Self {
+        Query {
+            aggregate: Aggregate::Count,
+            predicates: Vec::new(),
+            epsilon: 10.0,
+        }
+    }
+
+    pub fn sum(attr: usize) -> Self {
+        Query {
+            aggregate: Aggregate::Sum(attr),
+            ..Query::count()
+        }
+    }
+
+    pub fn avg(attr: usize) -> Self {
+        Query {
+            aggregate: Aggregate::Avg(attr),
+            ..Query::count()
+        }
+    }
+
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0, "ε must be positive");
+        self.epsilon = epsilon;
+        self
+    }
+
+    pub fn with_predicates(mut self, preds: Vec<Predicate>) -> Self {
+        assert!(
+            preds.len() <= raster_data::filter::MAX_CONSTRAINTS,
+            "at most {} constraints (§6.1)",
+            raster_data::filter::MAX_CONSTRAINTS
+        );
+        self.predicates = preds;
+        self
+    }
+
+    /// Number of attribute columns that must be transferred with the
+    /// points: filter attributes plus the aggregated attribute (§5).
+    pub fn attrs_uploaded(&self) -> usize {
+        let mut attrs = attrs_referenced(&self.predicates);
+        if let Some(a) = self.aggregate.attr() {
+            if !attrs.contains(&a) {
+                attrs.push(a);
+            }
+        }
+        attrs.len()
+    }
+}
+
+/// Result of one join execution: the raw COUNT/SUM accumulators per
+/// polygon plus execution statistics.
+#[derive(Debug, Clone)]
+pub struct JoinOutput {
+    pub counts: Vec<u64>,
+    pub sums: Vec<f64>,
+    pub stats: ExecStats,
+}
+
+impl JoinOutput {
+    /// Final per-polygon aggregate values.
+    pub fn values(&self, agg: Aggregate) -> Vec<f64> {
+        match agg {
+            Aggregate::Count => self.counts.iter().map(|&c| c as f64).collect(),
+            Aggregate::Sum(_) => self.sums.clone(),
+            Aggregate::Avg(_) => self
+                .counts
+                .iter()
+                .zip(&self.sums)
+                .map(|(&c, &s)| if c == 0 { 0.0 } else { s / c as f64 })
+                .collect(),
+        }
+    }
+
+    /// Total count over all polygons (diagnostics).
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Shared sizing rule: the result arrays are indexed by polygon ID, so
+/// their length is `max(id) + 1`.
+pub fn result_slots(polys: &[raster_geom::Polygon]) -> usize {
+    polys.iter().map(|p| p.id() as usize + 1).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raster_data::filter::CmpOp;
+
+    #[test]
+    fn aggregate_attr_extraction() {
+        assert_eq!(Aggregate::Count.attr(), None);
+        assert_eq!(Aggregate::Sum(2).attr(), Some(2));
+        assert_eq!(Aggregate::Avg(0).attr(), Some(0));
+    }
+
+    #[test]
+    fn attrs_uploaded_counts_filters_and_aggregate() {
+        let q = Query::avg(0).with_predicates(vec![
+            Predicate::new(1, CmpOp::Gt, 0.0),
+            Predicate::new(0, CmpOp::Lt, 5.0),
+        ]);
+        // attrs {0, 1}: aggregate attr 0 coincides with a filter attr.
+        assert_eq!(q.attrs_uploaded(), 2);
+        assert_eq!(Query::count().attrs_uploaded(), 0);
+        assert_eq!(Query::sum(3).attrs_uploaded(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_constraints_rejected() {
+        let preds = (0..6)
+            .map(|i| Predicate::new(i, CmpOp::Gt, 0.0))
+            .collect();
+        let _ = Query::count().with_predicates(preds);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_epsilon_rejected() {
+        let _ = Query::count().with_epsilon(0.0);
+    }
+
+    #[test]
+    fn values_for_each_aggregate() {
+        let out = JoinOutput {
+            counts: vec![2, 0, 4],
+            sums: vec![10.0, 0.0, 2.0],
+            stats: ExecStats::default(),
+        };
+        assert_eq!(out.values(Aggregate::Count), vec![2.0, 0.0, 4.0]);
+        assert_eq!(out.values(Aggregate::Sum(0)), vec![10.0, 0.0, 2.0]);
+        assert_eq!(out.values(Aggregate::Avg(0)), vec![5.0, 0.0, 0.5]);
+        assert_eq!(out.total_count(), 6);
+    }
+}

@@ -1,0 +1,383 @@
+//! Online-sampling spatial aggregation (the §2 comparison point [65]).
+//!
+//! The paper's related work cites spatial online sampling (Wang et al.
+//! [65]) as the other way to trade accuracy for response time, noting it
+//! "is also limited to range queries and does not provide support for
+//! join and group-by predicates". This module builds the natural
+//! extension of that idea to the paper's query shape — aggregate a
+//! uniform random sample of the points through the fused index join and
+//! scale up — so the ablation bench can compare the two approximation
+//! *knobs* head to head:
+//!
+//! * **sampling** shrinks the *input* (error ∝ 1/√n, spatially uniform,
+//!   polygon-size dependent: sparse polygons get terrible relative error);
+//! * **bounded raster join** shrinks the *resolution* (error confined to
+//!   an ε-band around polygon boundaries, independent of polygon count).
+//!
+//! Estimates come with classical 95% confidence intervals (normal
+//! approximation with finite-population correction), the online-
+//! aggregation interface of [65]. Contrast with the raster join's
+//! *deterministic* result ranges (§5): those are hard bounds from
+//! boundary pixels, these are probabilistic bounds from sampling theory.
+
+use crate::query::{result_slots, Aggregate, Query};
+use crate::stats::ExecStats;
+use raster_data::filter::passes;
+use raster_data::PointTable;
+use raster_geom::Polygon;
+use raster_gpu::exec::default_workers;
+use raster_gpu::Device;
+use raster_index::{AssignMode, GridIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// z-score of the two-sided 95% confidence interval.
+const Z_95: f64 = 1.959964;
+
+/// The sampling-based approximate join.
+pub struct SamplingJoin {
+    pub workers: usize,
+    /// Number of points to sample (clamped to the input size).
+    pub sample_size: usize,
+    /// RNG seed — fixed for reproducible experiments.
+    pub seed: u64,
+    /// Grid-index resolution for the candidate lookups.
+    pub index_dim: u32,
+}
+
+impl Default for SamplingJoin {
+    fn default() -> Self {
+        SamplingJoin {
+            workers: default_workers(),
+            sample_size: 10_000,
+            seed: 0,
+            index_dim: 1024,
+        }
+    }
+}
+
+/// Per-polygon estimates with 95% confidence intervals.
+#[derive(Debug, Clone)]
+pub struct SamplingOutput {
+    /// Scaled-up estimates of the aggregate per polygon.
+    pub estimates: Vec<f64>,
+    /// Half-width of the 95% CI per polygon; the true value lies in
+    /// `estimate ± ci` with ~95% probability.
+    pub ci: Vec<f64>,
+    /// Points actually sampled.
+    pub sampled: usize,
+    pub stats: ExecStats,
+}
+
+impl SamplingJoin {
+    pub fn new(sample_size: usize, seed: u64) -> Self {
+        SamplingJoin {
+            sample_size,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Execute `query` over a uniform sample of `points`. Supports COUNT
+    /// and SUM (the distributive aggregates with unbiased Horvitz–
+    /// Thompson estimators); AVG is the ratio of the two and gets no CI.
+    pub fn execute(
+        &self,
+        points: &PointTable,
+        polys: &[Polygon],
+        query: &Query,
+        device: &Device,
+    ) -> SamplingOutput {
+        device.reset_stats();
+        let mut stats = ExecStats::default();
+        let nslots = result_slots(polys);
+        let total = points.len();
+        if polys.is_empty() || total == 0 {
+            return SamplingOutput {
+                estimates: vec![0.0; nslots],
+                ci: vec![0.0; nslots],
+                sampled: 0,
+                stats,
+            };
+        }
+        let n = self.sample_size.min(total);
+        let extent = crate::bounded::polygon_extent(polys);
+
+        let t0 = Instant::now();
+        let index = GridIndex::build(
+            polys,
+            extent,
+            self.index_dim,
+            self.index_dim,
+            AssignMode::Exact,
+            self.workers,
+        );
+        stats.index_build = t0.elapsed();
+
+        // Sample n distinct rows without replacement.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let rows = rand::seq::index::sample(&mut rng, total, n);
+
+        // Only the sample crosses the bus — that is the whole point.
+        let point_bytes = PointTable::point_bytes(query.attrs_uploaded());
+        device.record_upload((n * point_bytes) as u64);
+
+        let agg_attr = query.aggregate.attr();
+        let preds = &query.predicates;
+
+        // Accumulate per-polygon: sample hit count, Σy and Σy² of the
+        // per-point contribution y (1 for COUNT, the attribute for SUM).
+        let proc0 = Instant::now();
+        let mut hits = vec![0u64; nslots];
+        let mut sum_y = vec![0f64; nslots];
+        let mut sum_y2 = vec![0f64; nslots];
+        let mut pip = 0u64;
+        for ri in rows.iter() {
+            if !preds.is_empty() && !passes(points, ri, preds) {
+                continue;
+            }
+            let p = points.point(ri);
+            for &cand in index.candidates(p) {
+                pip += 1;
+                if polys[cand as usize].contains(p) {
+                    let id = cand as usize;
+                    let y = match agg_attr {
+                        None => 1.0,
+                        Some(a) => points.attr(a)[ri] as f64,
+                    };
+                    hits[id] += 1;
+                    sum_y[id] += y;
+                    sum_y2[id] += y * y;
+                }
+            }
+        }
+        stats.processing = proc0.elapsed();
+        stats.pip_tests = pip;
+
+        device.record_download((nslots * 16) as u64);
+        let ts = device.stats();
+        stats.upload_bytes = ts.bytes_up;
+        stats.download_bytes = ts.bytes_down;
+        stats.transfer = device.modelled_transfer_time();
+
+        // Horvitz–Thompson scale-up with finite-population correction.
+        let scale = total as f64 / n as f64;
+        let fpc = 1.0 - n as f64 / total as f64;
+        let mut estimates = vec![0.0; nslots];
+        let mut ci = vec![0.0; nslots];
+        for id in 0..nslots {
+            // Mean and variance of y over ALL n sampled points (zeros for
+            // points outside the polygon included).
+            let mean = sum_y[id] / n as f64;
+            let var = (sum_y2[id] / n as f64 - mean * mean).max(0.0);
+            match query.aggregate {
+                Aggregate::Count | Aggregate::Sum(_) => {
+                    estimates[id] = scale * sum_y[id];
+                    // Var(N·ȳ) = N²·s²/n·fpc.
+                    let se = total as f64 * (var / n as f64 * fpc).sqrt();
+                    ci[id] = Z_95 * se;
+                }
+                Aggregate::Avg(_) => {
+                    // Ratio estimator: sample mean over the polygon's hits.
+                    estimates[id] = if hits[id] == 0 {
+                        0.0
+                    } else {
+                        sum_y[id] / hits[id] as f64
+                    };
+                    ci[id] = f64::NAN; // no CI for the ratio estimator
+                }
+            }
+        }
+
+        SamplingOutput {
+            estimates,
+            ci,
+            sampled: n,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index_join::IndexJoin;
+    use raster_data::generators::{nyc_extent, uniform_points, TaxiModel};
+    use raster_data::polygons::synthetic_polygons;
+
+    fn truth(points: &PointTable, polys: &[Polygon], q: &Query) -> Vec<f64> {
+        IndexJoin::cpu_single()
+            .execute(points, polys, q, &Device::default())
+            .values(q.aggregate)
+    }
+
+    #[test]
+    fn full_sample_is_exact_with_zero_ci() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(6, &extent, 81);
+        let pts = uniform_points(2_000, &extent, 82);
+        let out = SamplingJoin::new(2_000, 7).execute(
+            &pts,
+            &polys,
+            &Query::count(),
+            &Device::default(),
+        );
+        let want = truth(&pts, &polys, &Query::count());
+        for (e, w) in out.estimates.iter().zip(&want) {
+            assert!((e - w).abs() < 1e-9, "{e} vs {w}");
+        }
+        // n = N → finite-population correction zeroes the CI.
+        assert!(out.ci.iter().all(|&c| c.abs() < 1e-9));
+    }
+
+    #[test]
+    fn cis_cover_the_truth_for_most_polygons() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(12, &extent, 83);
+        let pts = uniform_points(20_000, &extent, 84);
+        let want = truth(&pts, &polys, &Query::count());
+        // Over several seeds, ~95% of (seed, polygon) CIs must cover the
+        // truth; we assert a loose 85% to keep the test seed-robust.
+        let mut covered = 0usize;
+        let mut cases = 0usize;
+        for seed in 0..10 {
+            let out = SamplingJoin::new(2_000, seed).execute(
+                &pts,
+                &polys,
+                &Query::count(),
+                &Device::default(),
+            );
+            for id in 0..want.len() {
+                cases += 1;
+                if (out.estimates[id] - want[id]).abs() <= out.ci[id] {
+                    covered += 1;
+                }
+            }
+        }
+        let rate = covered as f64 / cases as f64;
+        assert!(rate > 0.85, "coverage {rate:.2} too low");
+    }
+
+    #[test]
+    fn larger_samples_give_tighter_intervals() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(8, &extent, 85);
+        let pts = uniform_points(30_000, &extent, 86);
+        let small = SamplingJoin::new(500, 3).execute(
+            &pts,
+            &polys,
+            &Query::count(),
+            &Device::default(),
+        );
+        let large = SamplingJoin::new(10_000, 3).execute(
+            &pts,
+            &polys,
+            &Query::count(),
+            &Device::default(),
+        );
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&large.ci) < avg(&small.ci) * 0.5,
+            "20× sample should at least halve the average CI: {} vs {}",
+            avg(&large.ci),
+            avg(&small.ci)
+        );
+    }
+
+    #[test]
+    fn sampling_does_less_work_than_full_join() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(8, &extent, 87);
+        let pts = uniform_points(20_000, &extent, 88);
+        let dev = Device::default();
+        let sampled = SamplingJoin::new(1_000, 5).execute(&pts, &polys, &Query::count(), &dev);
+        let full = IndexJoin::cpu_single().execute(&pts, &polys, &Query::count(), &dev);
+        assert!(sampled.stats.pip_tests * 10 < full.stats.pip_tests.max(1));
+        assert!(sampled.stats.upload_bytes < pts.upload_bytes(0));
+    }
+
+    #[test]
+    fn sum_estimates_are_unbiased_in_aggregate() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(5, &extent, 89);
+        let pts = TaxiModel::default().generate(15_000, 90);
+        let fare = pts.attr_index("fare").unwrap();
+        let q = Query::sum(fare);
+        let want = truth(&pts, &polys, &q);
+        let total_want: f64 = want.iter().sum();
+        // Average of estimates over seeds approaches the truth.
+        let mut total_est = 0.0;
+        let runs = 8;
+        for seed in 0..runs {
+            let out =
+                SamplingJoin::new(3_000, seed).execute(&pts, &polys, &q, &Device::default());
+            total_est += out.estimates.iter().sum::<f64>();
+        }
+        let mean_est = total_est / runs as f64;
+        assert!(
+            (mean_est - total_want).abs() < 0.1 * total_want,
+            "{mean_est} vs {total_want}"
+        );
+    }
+
+    #[test]
+    fn avg_uses_ratio_estimator_without_ci() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(4, &extent, 91);
+        let pts = TaxiModel::default().generate(10_000, 92);
+        let fare = pts.attr_index("fare").unwrap();
+        let q = Query::avg(fare);
+        let want = truth(&pts, &polys, &q);
+        let counts = truth(&pts, &polys, &Query::count());
+        let out = SamplingJoin::new(5_000, 11).execute(&pts, &polys, &q, &Device::default());
+        for id in 0..want.len() {
+            // The ratio estimator is only meaningful where the sample has
+            // support; judge polygons holding a solid share of the data.
+            if counts[id] > 1_000.0 {
+                assert!(
+                    (out.estimates[id] - want[id]).abs() < 0.2 * want[id],
+                    "poly {id}: {} vs {}",
+                    out.estimates[id],
+                    want[id]
+                );
+            }
+            assert!(out.ci[id].is_nan());
+        }
+    }
+
+    #[test]
+    fn predicates_are_respected() {
+        use raster_data::filter::{CmpOp, Predicate};
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(4, &extent, 93);
+        let pts = TaxiModel::default().generate(8_000, 94);
+        let hour = pts.attr_index("hour").unwrap();
+        let q = Query::count().with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 84.0)]);
+        let all = SamplingJoin::new(4_000, 1).execute(
+            &pts,
+            &polys,
+            &Query::count(),
+            &Device::default(),
+        );
+        let filt = SamplingJoin::new(4_000, 1).execute(&pts, &polys, &q, &Device::default());
+        let (ta, tf) = (
+            all.estimates.iter().sum::<f64>(),
+            filt.estimates.iter().sum::<f64>(),
+        );
+        assert!(tf < ta * 0.7, "filter must cut the estimate: {tf} vs {ta}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let polys = synthetic_polygons(3, &nyc_extent(), 95);
+        let out = SamplingJoin::new(100, 0).execute(
+            &PointTable::new(),
+            &polys,
+            &Query::count(),
+            &Device::default(),
+        );
+        assert_eq!(out.estimates, vec![0.0; 3]);
+        assert_eq!(out.sampled, 0);
+    }
+}

@@ -1,0 +1,523 @@
+//! A miniature SQL front-end for the paper's query shape.
+//!
+//! The paper presents every workload as SQL (§1):
+//!
+//! ```sql
+//! SELECT AGG(a_i) FROM P, R
+//! WHERE P.loc INSIDE R.geometry [AND filterCondition]*
+//! GROUP BY R.id
+//! ```
+//!
+//! and positions raster join as "an operator in existing database
+//! systems" (§9). This module parses exactly that dialect into a
+//! [`Query`], resolving attribute names against a [`PointTable`] schema:
+//!
+//! ```
+//! use raster_join::sql::parse_query;
+//! use raster_data::PointTable;
+//!
+//! let schema = PointTable::with_capacity(0, &["fare", "tip"]);
+//! let q = parse_query(
+//!     "SELECT AVG(fare) FROM pts, polys \
+//!      WHERE pts.loc INSIDE polys.geometry AND tip > 2.5 AND fare <= 100 \
+//!      GROUP BY polys.id",
+//!     &schema,
+//! ).unwrap();
+//! assert_eq!(q.predicates.len(), 2);
+//! ```
+//!
+//! Supported: `COUNT(*)`, `SUM(attr)`, `AVG(attr)`; filter comparisons
+//! `>, >=, <, <=, =` between an attribute and a numeric literal, plus
+//! `attr BETWEEN lo AND hi` (desugared to `attr >= lo AND attr <= hi`,
+//! staying inside the paper's §5 operator set). This is deliberately the
+//! paper's fragment of SQL, not a general parser.
+//!
+//! [`explain_query`] prefixes the dialect with `EXPLAIN` and prints the
+//! physical plan the §8 optimizer would pick, with its cost estimates.
+
+use crate::optimizer::{estimate, Variant};
+use crate::query::{Aggregate, Query};
+use raster_data::filter::{CmpOp, Predicate};
+use raster_data::PointTable;
+use raster_geom::Polygon;
+use raster_gpu::Device;
+
+/// Parse failure with a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Tokenize: words, numbers, parens, commas, comparison operators.
+fn tokenize(sql: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let flush = |cur: &mut String, out: &mut Vec<String>| {
+        if !cur.is_empty() {
+            out.push(std::mem::take(cur));
+        }
+    };
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => flush(&mut cur, &mut out),
+            '(' | ')' | ',' | '*' => {
+                flush(&mut cur, &mut out);
+                out.push(c.to_string());
+            }
+            '>' | '<' | '=' => {
+                flush(&mut cur, &mut out);
+                if (c == '>' || c == '<') && i + 1 < chars.len() && chars[i + 1] == '=' {
+                    out.push(format!("{c}="));
+                    i += 1;
+                } else {
+                    out.push(c.to_string());
+                }
+            }
+            _ => cur.push(c),
+        }
+        i += 1;
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+struct Cursor {
+    toks: Vec<String>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn peek(&self) -> Option<&str> {
+        self.toks.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<&str> {
+        let t = self.toks.get(self.pos).map(String::as_str);
+        self.pos += 1;
+        t
+    }
+
+    /// Consume a token equal (case-insensitively) to `kw`.
+    fn expect(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(t) => err(format!("expected `{kw}`, found `{t}`")),
+            None => err(format!("expected `{kw}`, found end of input")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.eq_ignore_ascii_case(kw))
+    }
+}
+
+fn resolve_attr(name: &str, schema: &PointTable) -> Result<usize, ParseError> {
+    // Strip an optional table qualifier ("pts.fare" → "fare").
+    let bare = name.rsplit('.').next().unwrap_or(name);
+    schema
+        .attr_index(bare)
+        .ok_or_else(|| ParseError(format!("unknown attribute `{bare}`")))
+}
+
+fn parse_aggregate(c: &mut Cursor, schema: &PointTable) -> Result<Aggregate, ParseError> {
+    let Some(func) = c.next().map(str::to_ascii_uppercase) else {
+        return err("expected aggregate function");
+    };
+    c.expect("(")?;
+    let agg = match func.as_str() {
+        "COUNT" => {
+            c.expect("*")?;
+            Aggregate::Count
+        }
+        "SUM" | "AVG" => {
+            let Some(attr) = c.next() else {
+                return err("expected attribute name");
+            };
+            let idx = resolve_attr(attr, schema)?;
+            if func == "SUM" {
+                Aggregate::Sum(idx)
+            } else {
+                Aggregate::Avg(idx)
+            }
+        }
+        other => return err(format!("unsupported aggregate `{other}`")),
+    };
+    c.expect(")")?;
+    Ok(agg)
+}
+
+fn parse_literal(c: &mut Cursor) -> Result<f32, ParseError> {
+    let Some(lit) = c.next().map(str::to_string) else {
+        return err("expected numeric literal");
+    };
+    lit.parse()
+        .map_err(|_| ParseError(format!("bad numeric literal `{lit}`")))
+}
+
+fn parse_op(tok: &str) -> Result<CmpOp, ParseError> {
+    Ok(match tok {
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        "=" => CmpOp::Eq,
+        other => return err(format!("unsupported operator `{other}`")),
+    })
+}
+
+/// Parse one query of the paper's dialect against `schema` (a table whose
+/// column names define the attribute namespace).
+pub fn parse_query(sql: &str, schema: &PointTable) -> Result<Query, ParseError> {
+    let mut c = Cursor {
+        toks: tokenize(sql),
+        pos: 0,
+    };
+    c.expect("SELECT")?;
+    let aggregate = parse_aggregate(&mut c, schema)?;
+    c.expect("FROM")?;
+    // FROM P, R — two relation names.
+    let Some(_p) = c.next() else {
+        return err("expected point relation");
+    };
+    c.expect(",")?;
+    let Some(_r) = c.next() else {
+        return err("expected polygon relation");
+    };
+    c.expect("WHERE")?;
+    // The join predicate: <x>.loc INSIDE <y>.geometry (or CONTAINS form).
+    let Some(lhs) = c.next().map(str::to_string) else {
+        return err("expected join predicate");
+    };
+    let Some(verb) = c.next().map(str::to_ascii_uppercase) else {
+        return err("expected INSIDE/CONTAINS");
+    };
+    let Some(_rhs) = c.next() else {
+        return err("expected join predicate right side");
+    };
+    if verb != "INSIDE" && verb != "CONTAINS" {
+        return err(format!("expected INSIDE or CONTAINS, found `{verb}`"));
+    }
+    if verb == "INSIDE" && !lhs.to_ascii_lowercase().ends_with("loc") {
+        return err("INSIDE expects `<points>.loc` on the left");
+    }
+
+    // Zero or more `AND attr op literal` / `AND attr BETWEEN lo AND hi`.
+    let mut predicates = Vec::new();
+    while c.at_keyword("AND") {
+        c.expect("AND")?;
+        let Some(attr) = c.next().map(str::to_string) else {
+            return err("expected attribute in filter");
+        };
+        let idx = resolve_attr(&attr, schema)?;
+        if c.at_keyword("BETWEEN") {
+            c.expect("BETWEEN")?;
+            let lo = parse_literal(&mut c)?;
+            c.expect("AND")?;
+            let hi = parse_literal(&mut c)?;
+            if lo > hi {
+                return err(format!("BETWEEN range is empty ({lo} > {hi})"));
+            }
+            predicates.push(Predicate::new(idx, CmpOp::Ge, lo));
+            predicates.push(Predicate::new(idx, CmpOp::Le, hi));
+            continue;
+        }
+        let Some(op_tok) = c.next().map(str::to_string) else {
+            return err("expected comparison operator");
+        };
+        let op = parse_op(&op_tok)?;
+        let value = parse_literal(&mut c)?;
+        predicates.push(Predicate::new(idx, op, value));
+    }
+
+    c.expect("GROUP")?;
+    c.expect("BY")?;
+    let Some(_gb) = c.next() else {
+        return err("expected GROUP BY column");
+    };
+    if let Some(extra) = c.peek() {
+        return err(format!("unexpected trailing token `{extra}`"));
+    }
+    if predicates.len() > raster_data::filter::MAX_CONSTRAINTS {
+        return err(format!(
+            "at most {} filter constraints are supported (§6.1)",
+            raster_data::filter::MAX_CONSTRAINTS
+        ));
+    }
+
+    Ok(Query {
+        aggregate,
+        predicates,
+        epsilon: Query::count().epsilon,
+    })
+}
+
+/// Parse an `EXPLAIN <query>` statement and render the physical plan the
+/// §8 cost model would pick for the given data shape: chosen variant,
+/// canvas passes, ε, and the attribute columns that would be uploaded.
+///
+/// The returned text is stable line-oriented output suitable for the
+/// `rjquery` CLI and for tests; the plain query (without `EXPLAIN`) is
+/// also accepted.
+pub fn explain_query(
+    sql: &str,
+    schema: &PointTable,
+    n_points: usize,
+    polys: &[Polygon],
+    device: &Device,
+) -> Result<String, ParseError> {
+    let trimmed = sql.trim_start();
+    let body = trimmed
+        .strip_prefix("EXPLAIN")
+        .or_else(|| trimmed.strip_prefix("explain"))
+        .unwrap_or(trimmed);
+    let query = parse_query(body, schema)?;
+
+    let extent = crate::bounded::polygon_extent(polys);
+    let cost = estimate(n_points, polys, &extent, &query, device, 4096);
+    let choice = cost.choice();
+
+    let mut out = String::new();
+    out.push_str("RasterJoin plan\n");
+    out.push_str(&format!(
+        "  aggregate: {}\n",
+        match query.aggregate {
+            Aggregate::Count => "COUNT(*)".to_string(),
+            Aggregate::Sum(a) => format!("SUM(#{a})"),
+            Aggregate::Avg(a) => format!("AVG(#{a})"),
+        }
+    ));
+    out.push_str(&format!(
+        "  filters: {} predicate(s), {} attribute column(s) uploaded\n",
+        query.predicates.len(),
+        query.attrs_uploaded()
+    ));
+    out.push_str(&format!("  epsilon: {} world units\n", query.epsilon));
+    out.push_str(&format!(
+        "  inputs: {} points x {} polygons\n",
+        n_points,
+        polys.len()
+    ));
+    out.push_str(&format!(
+        "  operator: {} raster join\n",
+        match choice {
+            Variant::Bounded => "BOUNDED",
+            Variant::Accurate => "ACCURATE",
+        }
+    ));
+    out.push_str(&format!(
+        "  cost: bounded={:.3e} accurate={:.3e} ({} render pass(es))\n",
+        cost.bounded, cost.accurate, cost.passes
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> PointTable {
+        PointTable::with_capacity(0, &["fare", "tip", "distance", "passengers", "hour"])
+    }
+
+    #[test]
+    fn parses_the_papers_headline_query() {
+        let q = parse_query(
+            "SELECT COUNT(*) FROM Dpt, Dpoly \
+             WHERE Dpoly.region CONTAINS Dpt.location \
+             GROUP BY Dpoly.id",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.aggregate, Aggregate::Count);
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn parses_aggregates_and_filters() {
+        let q = parse_query(
+            "SELECT AVG(fare) FROM P, R WHERE P.loc INSIDE R.geometry \
+             AND tip > 2.5 AND hour <= 12 AND passengers = 2 GROUP BY R.id",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.aggregate, Aggregate::Avg(0));
+        assert_eq!(q.predicates.len(), 3);
+        assert_eq!(q.predicates[0], Predicate::new(1, CmpOp::Gt, 2.5));
+        assert_eq!(q.predicates[1], Predicate::new(4, CmpOp::Le, 12.0));
+        assert_eq!(q.predicates[2], Predicate::new(3, CmpOp::Eq, 2.0));
+    }
+
+    #[test]
+    fn parses_sum_with_qualified_names() {
+        let q = parse_query(
+            "select sum(P.distance) from P, R where P.loc inside R.geometry \
+             and P.fare >= 10 group by R.id",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(q.aggregate, Aggregate::Sum(2));
+        assert_eq!(q.predicates, vec![Predicate::new(0, CmpOp::Ge, 10.0)]);
+    }
+
+    #[test]
+    fn rejects_unknown_attribute() {
+        let e = parse_query(
+            "SELECT SUM(speed) FROM P, R WHERE P.loc INSIDE R.geometry GROUP BY R.id",
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("unknown attribute"), "{e}");
+    }
+
+    #[test]
+    fn rejects_wrong_join_verb() {
+        let e = parse_query(
+            "SELECT COUNT(*) FROM P, R WHERE P.loc NEAR R.geometry GROUP BY R.id",
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("INSIDE or CONTAINS"));
+    }
+
+    #[test]
+    fn rejects_too_many_constraints() {
+        let sql = format!(
+            "SELECT COUNT(*) FROM P, R WHERE P.loc INSIDE R.geometry {} GROUP BY R.id",
+            (0..6).map(|_| "AND fare > 1").collect::<Vec<_>>().join(" ")
+        );
+        let e = parse_query(&sql, &schema()).unwrap_err();
+        assert!(e.0.contains("at most"));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_and_bad_literals() {
+        assert!(parse_query(
+            "SELECT COUNT(*) FROM P, R WHERE P.loc INSIDE R.geometry GROUP BY R.id LIMIT 5",
+            &schema()
+        )
+        .is_err());
+        assert!(parse_query(
+            "SELECT COUNT(*) FROM P, R WHERE P.loc INSIDE R.geometry AND fare > abc GROUP BY R.id",
+            &schema()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn between_desugars_to_two_predicates() {
+        let q = parse_query(
+            "SELECT COUNT(*) FROM P, R WHERE P.loc INSIDE R.geometry \
+             AND fare BETWEEN 5 AND 20 AND tip > 1 GROUP BY R.id",
+            &schema(),
+        )
+        .unwrap();
+        assert_eq!(
+            q.predicates,
+            vec![
+                Predicate::new(0, CmpOp::Ge, 5.0),
+                Predicate::new(0, CmpOp::Le, 20.0),
+                Predicate::new(1, CmpOp::Gt, 1.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn between_counts_toward_the_constraint_limit() {
+        // 2 BETWEENs + 2 plain = 6 predicates > MAX_CONSTRAINTS (5).
+        let e = parse_query(
+            "SELECT COUNT(*) FROM P, R WHERE P.loc INSIDE R.geometry \
+             AND fare BETWEEN 1 AND 2 AND tip BETWEEN 0 AND 9 \
+             AND hour > 3 AND passengers < 4 GROUP BY R.id",
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("at most"), "{e}");
+    }
+
+    #[test]
+    fn empty_between_range_rejected() {
+        let e = parse_query(
+            "SELECT COUNT(*) FROM P, R WHERE P.loc INSIDE R.geometry \
+             AND fare BETWEEN 20 AND 5 GROUP BY R.id",
+            &schema(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("empty"), "{e}");
+    }
+
+    #[test]
+    fn explain_renders_a_plan() {
+        use raster_data::polygons::synthetic_polygons;
+        let polys = synthetic_polygons(6, &raster_data::generators::nyc_extent(), 40);
+        let plan = explain_query(
+            "EXPLAIN SELECT AVG(fare) FROM P, R WHERE P.loc INSIDE R.geometry \
+             AND tip > 2 GROUP BY R.id",
+            &schema(),
+            1_000_000,
+            &polys,
+            &raster_gpu::Device::default(),
+        )
+        .unwrap();
+        assert!(plan.contains("AVG(#0)"), "{plan}");
+        assert!(plan.contains("1 predicate(s)"), "{plan}");
+        assert!(plan.contains("BOUNDED") || plan.contains("ACCURATE"), "{plan}");
+        assert!(plan.contains("render pass(es)"), "{plan}");
+        // The keyword is optional.
+        assert!(explain_query(
+            "SELECT COUNT(*) FROM P, R WHERE P.loc INSIDE R.geometry GROUP BY R.id",
+            &schema(),
+            100,
+            &polys,
+            &raster_gpu::Device::default(),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn explain_propagates_parse_errors() {
+        let e = explain_query(
+            "EXPLAIN SELECT MEDIAN(fare) FROM P, R WHERE P.loc INSIDE R.geometry GROUP BY R.id",
+            &schema(),
+            100,
+            &[],
+            &raster_gpu::Device::default(),
+        )
+        .unwrap_err();
+        assert!(e.0.contains("unsupported aggregate"), "{e}");
+    }
+
+    #[test]
+    fn parsed_query_executes() {
+        use raster_data::generators::{nyc_extent, TaxiModel};
+        use raster_data::polygons::synthetic_polygons;
+        let pts = TaxiModel::default().generate(2_000, 1);
+        let polys = synthetic_polygons(4, &nyc_extent(), 1);
+        let q = parse_query(
+            "SELECT COUNT(*) FROM taxi, hoods WHERE taxi.loc INSIDE hoods.geometry \
+             AND passengers >= 2 GROUP BY hoods.id",
+            &pts,
+        )
+        .unwrap()
+        .with_epsilon(20.0);
+        let out = crate::BoundedRasterJoin::new(2).execute(
+            &pts,
+            &polys,
+            &q,
+            &raster_gpu::Device::default(),
+        );
+        assert!(out.total_count() > 0);
+    }
+}

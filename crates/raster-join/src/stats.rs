@@ -1,0 +1,84 @@
+//! Execution statistics.
+//!
+//! The paper's figures break total query time into *processing* (time on
+//! the GPU) and *memory transfer* (Fig. 9 right, Fig. 11, Fig. 13 right).
+//! Each executor fills an [`ExecStats`] so the bench harness can print the
+//! same decomposition.
+
+use std::time::Duration;
+
+/// Statistics of one query execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Wall-clock compute time (the "GPU processing" component).
+    pub processing: Duration,
+    /// Modelled CPU↔GPU transfer time (bytes / bandwidth; see
+    /// `raster_gpu::device`).
+    pub transfer: Duration,
+    /// Wall-clock time spent reading from disk (Fig. 13 only; zero for
+    /// in-memory executions).
+    pub disk: Duration,
+    /// Bytes shipped host→device.
+    pub upload_bytes: u64,
+    /// Bytes shipped device→host (results, materialized pairs).
+    pub download_bytes: u64,
+    /// Out-of-core point batches executed (§5).
+    pub batches: u32,
+    /// Rendering passes (canvas tiles × batches) executed (Fig. 5).
+    pub passes: u32,
+    /// Point-in-polygon tests performed (the cost the paper eliminates).
+    pub pip_tests: u64,
+    /// Polygon fragments processed by the fragment shader.
+    pub fragments: u64,
+    /// Join pairs materialized (materializing baselines only).
+    pub materialized_pairs: u64,
+    /// Candidate pairs produced by the filtering step (two-step baseline
+    /// only): MBR hits handed to refinement, before PIP pruning.
+    pub candidate_pairs: u64,
+    /// Time spent triangulating polygons (reported separately, Table 1).
+    pub triangulation: Duration,
+    /// Time spent building the polygon index (reported separately, Table 1).
+    pub index_build: Duration,
+}
+
+impl ExecStats {
+    /// The paper's "total time": processing + transfer (+ disk when
+    /// present). Polygon preprocessing is excluded, as in §7.1
+    /// ("we do not include the polygon processing time in the reported
+    /// query execution time").
+    pub fn total(&self) -> Duration {
+        self.processing + self.transfer + self.disk
+    }
+
+    /// Total including the polygon preprocessing components.
+    pub fn total_with_preprocessing(&self) -> Duration {
+        self.total() + self.triangulation + self.index_build
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_compose() {
+        let s = ExecStats {
+            processing: Duration::from_millis(100),
+            transfer: Duration::from_millis(40),
+            disk: Duration::from_millis(10),
+            triangulation: Duration::from_millis(5),
+            index_build: Duration::from_millis(3),
+            ..Default::default()
+        };
+        assert_eq!(s.total(), Duration::from_millis(150));
+        assert_eq!(s.total_with_preprocessing(), Duration::from_millis(158));
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = ExecStats::default();
+        assert_eq!(s.total(), Duration::ZERO);
+        assert_eq!(s.pip_tests, 0);
+        assert_eq!(s.fragments, 0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Spatio-temporal raster join (§9 future work).
+//!
+//! The paper closes with "These approaches could also be applied to
+//! perform more complex spatio-temporal joins" (§9), and its motivating
+//! UI slices every distribution by a user-chosen time range (Fig. 1). The
+//! obvious implementation issues one filtered query per time slice; this
+//! module instead widens the FBO — one channel per time bucket, each
+//! point blending a one-hot vector selected by its timestamp attribute in
+//! the vertex shader — so ONE DrawPoints + DrawPolygons pass yields the
+//! full `polygon × time-bucket` histogram. That is exactly the §8
+//! "multiple color attachments" mechanism pointed at the time axis, and
+//! it is what an animated heat map or the Fig. 1(c) time-brushing chart
+//! consumes.
+//!
+//! Results carry the same ε guarantee as the bounded join: a point can
+//! only be mis-assigned spatially (never temporally) and only within ε of
+//! a polygon boundary.
+
+use crate::bounded::polygon_extent;
+use crate::query::result_slots;
+use crate::stats::ExecStats;
+use raster_data::filter::passes;
+use raster_data::{PointTable, Predicate};
+use raster_geom::hausdorff::resolution_for_epsilon;
+use raster_geom::triangulate::triangulate_all;
+use raster_geom::Polygon;
+use raster_gpu::exec::{default_workers, parallel_dynamic, parallel_ranges};
+use raster_gpu::raster::rasterize_triangle_spans;
+use raster_gpu::ssbo::AtomicU64Array;
+use raster_gpu::{Device, MrtFbo, Viewport};
+use std::time::Instant;
+
+/// Uniform bucketing of a timestamp attribute into `n` slices.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeBuckets {
+    /// Attribute column holding the timestamp.
+    pub attr: usize,
+    /// Inclusive lower bound of the first bucket.
+    pub start: f32,
+    /// Width of each bucket (same attribute units).
+    pub width: f32,
+    /// Number of buckets.
+    pub n: usize,
+}
+
+impl TimeBuckets {
+    pub fn new(attr: usize, start: f32, width: f32, n: usize) -> Self {
+        assert!(width > 0.0, "bucket width must be positive");
+        assert!(n > 0, "need at least one bucket");
+        TimeBuckets {
+            attr,
+            start,
+            width,
+            n,
+        }
+    }
+
+    /// Evenly cover `[lo, hi]` with `n` buckets.
+    pub fn covering(attr: usize, lo: f32, hi: f32, n: usize) -> Self {
+        assert!(hi > lo, "empty time range");
+        TimeBuckets::new(attr, lo, (hi - lo) / n as f32 * (1.0 + 1e-6), n)
+    }
+
+    /// Bucket of timestamp `t`, or `None` outside the covered range.
+    #[inline]
+    pub fn bucket_of(&self, t: f32) -> Option<usize> {
+        if t < self.start {
+            return None;
+        }
+        let b = ((t - self.start) / self.width) as usize;
+        (b < self.n).then_some(b)
+    }
+
+    /// `[lo, hi)` bounds of bucket `b`.
+    pub fn bounds(&self, b: usize) -> (f32, f32) {
+        let lo = self.start + b as f32 * self.width;
+        (lo, lo + self.width)
+    }
+}
+
+/// `polygon × bucket` count matrix plus totals.
+#[derive(Debug, Clone)]
+pub struct TemporalOutput {
+    /// `counts[b][poly]`: points of bucket `b` inside the polygon.
+    pub counts: Vec<Vec<u64>>,
+    /// Per-polygon totals over ALL buckets (points outside the covered
+    /// time range are excluded, like any filtered point).
+    pub totals: Vec<u64>,
+    pub stats: ExecStats,
+}
+
+impl TemporalOutput {
+    /// The time series of one polygon: its count in each bucket.
+    pub fn series(&self, poly: usize) -> Vec<u64> {
+        self.counts.iter().map(|b| b[poly]).collect()
+    }
+
+    /// Bucket index holding the most points across all polygons.
+    pub fn peak_bucket(&self) -> usize {
+        (0..self.counts.len())
+            .max_by_key(|&b| self.counts[b].iter().sum::<u64>())
+            .unwrap_or(0)
+    }
+}
+
+/// The spatio-temporal bounded raster join.
+pub struct TemporalRasterJoin {
+    pub workers: usize,
+    pub epsilon: f64,
+    /// Extra attribute predicates applied before bucketing.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Default for TemporalRasterJoin {
+    fn default() -> Self {
+        TemporalRasterJoin {
+            workers: default_workers(),
+            epsilon: 10.0,
+            predicates: Vec::new(),
+        }
+    }
+}
+
+impl TemporalRasterJoin {
+    pub fn new(workers: usize, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0);
+        TemporalRasterJoin {
+            workers,
+            epsilon,
+            ..Default::default()
+        }
+    }
+
+    pub fn execute(
+        &self,
+        points: &PointTable,
+        polys: &[Polygon],
+        buckets: &TimeBuckets,
+        device: &Device,
+    ) -> TemporalOutput {
+        device.reset_stats();
+        let mut stats = ExecStats::default();
+        let nslots = result_slots(polys);
+        let k = buckets.n;
+        let total_counts = AtomicU64Array::new(nslots);
+        let bucket_counts: Vec<AtomicU64Array> =
+            (0..k).map(|_| AtomicU64Array::new(nslots)).collect();
+        if polys.is_empty() {
+            return TemporalOutput {
+                counts: vec![Vec::new(); k],
+                totals: Vec::new(),
+                stats,
+            };
+        }
+
+        let t0 = Instant::now();
+        let tris = triangulate_all(polys);
+        stats.triangulation = t0.elapsed();
+
+        let extent = polygon_extent(polys);
+        let (w, h) = resolution_for_epsilon(&extent, self.epsilon);
+        let tiles = Viewport::new(extent, w, h).split(device.config().max_fbo_dim);
+
+        // Upload: positions + the timestamp column + filter columns.
+        let mut up = vec![buckets.attr];
+        for p in &self.predicates {
+            if !up.contains(&p.attr) {
+                up.push(p.attr);
+            }
+        }
+        let point_bytes = PointTable::point_bytes(up.len());
+        let per_batch = device.points_per_batch(point_bytes);
+        let preds = &self.predicates;
+        let times: &[f32] = if points.is_empty() {
+            &[]
+        } else {
+            points.attr(buckets.attr)
+        };
+
+        let proc0 = Instant::now();
+        let mut start = 0usize;
+        loop {
+            let end = (start + per_batch).min(points.len());
+            device.record_upload(((end - start) * point_bytes) as u64);
+            stats.batches += 1;
+            for vp in &tiles {
+                let fbo = MrtFbo::new(vp.width, vp.height, k);
+                // DrawPoints: one-hot blend into the bucket channel. A
+                // point outside the covered range is clipped, exactly like
+                // a failed §5 constraint.
+                parallel_ranges(end - start, self.workers, |s, e| {
+                    let mut vals = vec![0f32; k];
+                    for i in (start + s)..(start + e) {
+                        if !preds.is_empty() && !passes(points, i, preds) {
+                            continue;
+                        }
+                        let Some(b) = buckets.bucket_of(times[i]) else {
+                            continue;
+                        };
+                        if let Some((x, y)) = vp.pixel_of(points.point(i)) {
+                            vals[b] = 1.0;
+                            fbo.blend_add(x, y, &vals);
+                            vals[b] = 0.0;
+                        }
+                    }
+                });
+                // DrawPolygons: fold the count channel and every bucket
+                // channel per span.
+                parallel_dynamic(tris.len(), self.workers, 16, |ti| {
+                    let t = &tris[ti];
+                    let id = t.poly_id as usize;
+                    let mut cnt_acc = 0u64;
+                    let mut acc = vec![0f64; k];
+                    rasterize_triangle_spans(
+                        [vp.to_screen(t.a), vp.to_screen(t.b), vp.to_screen(t.c)],
+                        vp.width,
+                        vp.height,
+                        |y, x0, x1| {
+                            cnt_acc += fbo.span_totals(y, x0, x1, &mut acc);
+                        },
+                    );
+                    if cnt_acc > 0 {
+                        total_counts.add(id, cnt_acc);
+                        for (b, bc) in bucket_counts.iter().enumerate() {
+                            let v = acc[b].round() as u64;
+                            if v > 0 {
+                                bc.add(id, v);
+                            }
+                        }
+                    }
+                });
+                stats.passes += 1;
+            }
+            if end >= points.len() {
+                break;
+            }
+            start = end;
+        }
+        stats.processing = proc0.elapsed();
+
+        device.record_download((nslots * 8 * (1 + k)) as u64);
+        let ts = device.stats();
+        stats.upload_bytes = ts.bytes_up;
+        stats.download_bytes = ts.bytes_down;
+        stats.transfer = device.modelled_transfer_time();
+
+        TemporalOutput {
+            counts: bucket_counts.iter().map(AtomicU64Array::to_vec).collect(),
+            totals: total_counts.to_vec(),
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounded::BoundedRasterJoin;
+    use crate::query::Query;
+    use raster_data::filter::CmpOp;
+    use raster_data::generators::{nyc_extent, TaxiModel};
+    use raster_data::polygons::synthetic_polygons;
+
+    fn setup() -> (PointTable, Vec<Polygon>, usize) {
+        let pts = TaxiModel::default().generate(4_000, 33);
+        let polys = synthetic_polygons(6, &nyc_extent(), 34);
+        let hour = pts.attr_index("hour").unwrap();
+        (pts, polys, hour)
+    }
+
+    /// Reference: one filtered bounded join per bucket.
+    fn per_bucket_reference(
+        pts: &PointTable,
+        polys: &[Polygon],
+        buckets: &TimeBuckets,
+        eps: f64,
+    ) -> Vec<Vec<u64>> {
+        let dev = Device::default();
+        (0..buckets.n)
+            .map(|b| {
+                let (lo, hi) = buckets.bounds(b);
+                let q = Query::count().with_epsilon(eps).with_predicates(vec![
+                    Predicate::new(buckets.attr, CmpOp::Ge, lo),
+                    Predicate::new(buckets.attr, CmpOp::Lt, hi),
+                ]);
+                BoundedRasterJoin::new(2)
+                    .execute(pts, polys, &q, &dev)
+                    .counts
+            })
+            .collect()
+    }
+
+    #[test]
+    fn one_pass_equals_per_bucket_queries() {
+        let (pts, polys, hour) = setup();
+        let buckets = TimeBuckets::covering(hour, 0.0, 168.0, 7);
+        let eps = 15.0;
+        let join = TemporalRasterJoin::new(2, eps);
+        let got = join.execute(&pts, &polys, &buckets, &Device::default());
+        let want = per_bucket_reference(&pts, &polys, &buckets, eps);
+        for b in 0..buckets.n {
+            assert_eq!(got.counts[b], want[b], "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn totals_equal_bucket_sums_and_full_join() {
+        let (pts, polys, hour) = setup();
+        let buckets = TimeBuckets::covering(hour, 0.0, 168.0, 12);
+        let eps = 15.0;
+        let out =
+            TemporalRasterJoin::new(2, eps).execute(&pts, &polys, &buckets, &Device::default());
+        // Totals decompose over buckets.
+        for poly in 0..out.totals.len() {
+            let series_sum: u64 = out.series(poly).iter().sum();
+            assert_eq!(series_sum, out.totals[poly], "poly {poly}");
+        }
+        // And match an untimed bounded join (the hour attribute spans
+        // [0, 168) in the taxi model, so no point is clipped).
+        let full = BoundedRasterJoin::new(2).execute(
+            &pts,
+            &polys,
+            &Query::count().with_epsilon(eps),
+            &Device::default(),
+        );
+        assert_eq!(out.totals, full.counts);
+    }
+
+    #[test]
+    fn out_of_range_points_are_clipped() {
+        let (pts, polys, hour) = setup();
+        // Cover only the first half of the week.
+        let buckets = TimeBuckets::covering(hour, 0.0, 84.0, 6);
+        let out = TemporalRasterJoin::new(2, 15.0)
+            .execute(&pts, &polys, &buckets, &Device::default());
+        let full = BoundedRasterJoin::new(2).execute(
+            &pts,
+            &polys,
+            &Query::count().with_epsilon(15.0),
+            &Device::default(),
+        );
+        let t_half: u64 = out.totals.iter().sum();
+        let t_full: u64 = full.counts.iter().sum();
+        assert!(t_half < t_full);
+        assert!(t_half > 0);
+    }
+
+    #[test]
+    fn bucket_of_boundaries() {
+        let b = TimeBuckets::new(0, 10.0, 5.0, 4); // [10,15) [15,20) [20,25) [25,30)
+        assert_eq!(b.bucket_of(9.9), None);
+        assert_eq!(b.bucket_of(10.0), Some(0));
+        assert_eq!(b.bucket_of(14.999), Some(0));
+        assert_eq!(b.bucket_of(15.0), Some(1));
+        assert_eq!(b.bucket_of(29.999), Some(3));
+        assert_eq!(b.bucket_of(30.0), None);
+        assert_eq!(b.bounds(2), (20.0, 25.0));
+    }
+
+    #[test]
+    fn predicates_compose_with_bucketing() {
+        let (pts, polys, hour) = setup();
+        let pass_attr = pts.attr_index("passengers").unwrap();
+        let buckets = TimeBuckets::covering(hour, 0.0, 168.0, 4);
+        let mut join = TemporalRasterJoin::new(2, 15.0);
+        join.predicates = vec![Predicate::new(pass_attr, CmpOp::Ge, 3.0)];
+        let filtered = join.execute(&pts, &polys, &buckets, &Device::default());
+        let unfiltered = TemporalRasterJoin::new(2, 15.0)
+            .execute(&pts, &polys, &buckets, &Device::default());
+        let (tf, tu) = (
+            filtered.totals.iter().sum::<u64>(),
+            unfiltered.totals.iter().sum::<u64>(),
+        );
+        assert!(tf < tu);
+        assert!(tf > 0);
+    }
+
+    #[test]
+    fn peak_bucket_identifies_the_rush() {
+        // All points in bucket 2 of 4.
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(3, &extent, 35);
+        let mut pts = PointTable::with_capacity(50, &["t"]);
+        let cx = (extent.min.x + extent.max.x) / 2.0;
+        let cy = (extent.min.y + extent.max.y) / 2.0;
+        for i in 0..50 {
+            pts.push(
+                raster_geom::Point::new(cx + i as f64, cy - i as f64),
+                &[55.0],
+            );
+        }
+        let buckets = TimeBuckets::covering(0, 0.0, 100.0, 4);
+        let out = TemporalRasterJoin::new(1, 10.0)
+            .execute(&pts, &polys, &buckets, &Device::default());
+        assert_eq!(out.peak_bucket(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let buckets = TimeBuckets::covering(0, 0.0, 10.0, 3);
+        let out = TemporalRasterJoin::new(1, 10.0).execute(
+            &PointTable::new(),
+            &synthetic_polygons(2, &nyc_extent(), 36),
+            &buckets,
+            &Device::default(),
+        );
+        assert_eq!(out.totals, vec![0, 0]);
+        let out = TemporalRasterJoin::new(1, 10.0).execute(
+            &PointTable::new(),
+            &[],
+            &buckets,
+            &Device::default(),
+        );
+        assert!(out.totals.is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! The classical two-step spatial join baseline (§1, §2).
+//!
+//! This is the evaluation strategy the paper argues against: *filter* with
+//! MBR approximations through an R-tree, materialize the candidate pairs,
+//! *refine* the candidates with exact point-in-polygon tests into a
+//! materialized join result, and only then aggregate. Section 1 describes
+//! exactly this pipeline ("The join is first solved using approximations
+//! ... Then, false matches are removed by comparing the geometries ...
+//! Finally, the aggregates are computed over the materialized join
+//! results and incur additional query processing costs").
+//!
+//! Compared to [`IndexJoin`](crate::IndexJoin) (which fuses refinement and
+//! aggregation) and the raster variants (which skip refinement entirely),
+//! this baseline pays:
+//!
+//! * materialization of every MBR candidate pair (filter output);
+//! * materialization of every surviving join pair (refinement output);
+//! * a third pass over the result pairs for the aggregation.
+//!
+//! The extra buffers are charged to the transfer ledger like the
+//! [`MaterializingJoin`](crate::MaterializingJoin)'s flush passes, so the
+//! Table-2-style comparison extends to this baseline too.
+
+use crate::query::{result_slots, JoinOutput, Query};
+use crate::stats::ExecStats;
+use parking_lot::Mutex;
+use raster_data::filter::passes;
+use raster_data::PointTable;
+use raster_geom::Polygon;
+use raster_gpu::exec::{default_workers, parallel_ranges};
+use raster_gpu::Device;
+use raster_index::RTree;
+use std::time::Instant;
+
+/// `(point row, polygon id)` — 8 bytes, the unit of both intermediate
+/// buffers.
+type Pair = (u32, u32);
+
+/// The filter → refine → aggregate baseline.
+pub struct TwoStepJoin {
+    pub workers: usize,
+    /// Cap on each intermediate pair buffer. When the filter output
+    /// exceeds the cap, the filter/refine/aggregate pipeline runs in
+    /// multiple rounds (each round charging its buffer transfers), the
+    /// same memory-pressure model as the materializing baseline.
+    pub pair_buffer_cap: usize,
+}
+
+impl Default for TwoStepJoin {
+    fn default() -> Self {
+        TwoStepJoin {
+            workers: default_workers(),
+            pair_buffer_cap: 1 << 22,
+        }
+    }
+}
+
+impl TwoStepJoin {
+    pub fn new(workers: usize) -> Self {
+        TwoStepJoin {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    pub fn execute(
+        &self,
+        points: &PointTable,
+        polys: &[Polygon],
+        query: &Query,
+        device: &Device,
+    ) -> JoinOutput {
+        device.reset_stats();
+        let mut stats = ExecStats::default();
+        let nslots = result_slots(polys);
+        if polys.is_empty() || points.is_empty() {
+            return JoinOutput {
+                counts: vec![0; nslots],
+                sums: vec![0.0; nslots],
+                stats,
+            };
+        }
+
+        // Index build: R-tree over polygon MBRs (the filtering structure).
+        let t0 = Instant::now();
+        let rtree = RTree::build(polys);
+        stats.index_build = t0.elapsed();
+
+        device.record_upload(points.upload_bytes(query.attrs_uploaded()) as u64);
+
+        let agg_attr = query.aggregate.attr();
+        let preds = &query.predicates;
+        let workers = self.workers.max(1);
+
+        let proc0 = Instant::now();
+        let state = Mutex::new(TwoStepState {
+            candidates: Vec::new(),
+            counts: vec![0u64; nslots],
+            sums: vec![0f64; nslots],
+            candidate_pairs: 0,
+            result_pairs: 0,
+            pip: 0,
+            rounds: 0,
+        });
+
+        // Step 1 — filter: probe the R-tree per point and materialize the
+        // MBR candidate pairs. Attribute predicates are pushed below the
+        // join, as a DBMS scan would.
+        parallel_ranges(points.len(), workers, |s, e| {
+            let mut local: Vec<Pair> = Vec::new();
+            let mut cand_buf: Vec<u32> = Vec::new();
+            for i in s..e {
+                if !preds.is_empty() && !passes(points, i, preds) {
+                    continue;
+                }
+                cand_buf.clear();
+                rtree.candidates_into(points.point(i), &mut cand_buf);
+                local.extend(cand_buf.iter().map(|&id| (i as u32, id)));
+            }
+            let mut st = state.lock();
+            st.candidate_pairs += local.len() as u64;
+            st.candidates.extend_from_slice(&local);
+            if st.candidates.len() >= self.pair_buffer_cap {
+                refine_and_aggregate(&mut st, points, polys, agg_attr, device);
+            }
+        });
+        let mut st = state.into_inner();
+        refine_and_aggregate(&mut st, points, polys, agg_attr, device);
+        stats.processing = proc0.elapsed();
+
+        device.record_download((nslots * 16) as u64);
+        let ts = device.stats();
+        stats.upload_bytes = ts.bytes_up;
+        stats.download_bytes = ts.bytes_down;
+        stats.transfer = device.modelled_transfer_time();
+        stats.pip_tests = st.pip;
+        stats.candidate_pairs = st.candidate_pairs;
+        stats.materialized_pairs = st.result_pairs;
+        stats.batches = st.rounds;
+
+        JoinOutput {
+            counts: st.counts,
+            sums: st.sums,
+            stats,
+        }
+    }
+}
+
+struct TwoStepState {
+    candidates: Vec<Pair>,
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+    candidate_pairs: u64,
+    result_pairs: u64,
+    pip: u64,
+    rounds: u32,
+}
+
+/// Steps 2 and 3 — refinement and aggregation over one buffered round.
+/// Both intermediate buffers are charged to the transfer ledger: the
+/// candidate pairs are shipped into the refinement stage and the
+/// surviving result pairs out of it, which is the materialization cost
+/// fused execution avoids (Insight 1).
+fn refine_and_aggregate(
+    st: &mut TwoStepState,
+    points: &PointTable,
+    polys: &[Polygon],
+    agg_attr: Option<usize>,
+    device: &Device,
+) {
+    if st.candidates.is_empty() {
+        return;
+    }
+    device.record_download((st.candidates.len() * 8) as u64);
+
+    // Step 2 — refine: exact PIP test per candidate pair, materializing
+    // the surviving join result.
+    let mut result: Vec<Pair> = Vec::new();
+    for &(row, pid) in &st.candidates {
+        st.pip += 1;
+        if polys[pid as usize].contains(points.point(row as usize)) {
+            result.push((row, pid));
+        }
+    }
+    st.candidates.clear();
+    device.record_download((result.len() * 8) as u64);
+    st.result_pairs += result.len() as u64;
+
+    // Step 3 — aggregate the materialized join result.
+    for &(row, pid) in &result {
+        st.counts[pid as usize] += 1;
+        if let Some(a) = agg_attr {
+            st.sums[pid as usize] += points.attr(a)[row as usize] as f64;
+        }
+    }
+    st.rounds += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index_join::IndexJoin;
+    use crate::query::Aggregate;
+    use raster_data::generators::{nyc_extent, uniform_points, TaxiModel};
+    use raster_data::polygons::synthetic_polygons;
+
+    #[test]
+    fn matches_fused_index_join() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(10, &extent, 51);
+        let pts = uniform_points(4_000, &extent, 52);
+        let dev = Device::default();
+        let two = TwoStepJoin::new(4).execute(&pts, &polys, &Query::count(), &dev);
+        let fused = IndexJoin::cpu_single().execute(&pts, &polys, &Query::count(), &dev);
+        assert_eq!(two.counts, fused.counts);
+    }
+
+    #[test]
+    fn candidates_dominate_results() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(12, &extent, 53);
+        let pts = uniform_points(3_000, &extent, 54);
+        let out = TwoStepJoin::new(2).execute(&pts, &polys, &Query::count(), &Device::default());
+        // Every result pair was once a candidate, and every candidate was
+        // PIP-tested.
+        assert!(out.stats.candidate_pairs >= out.stats.materialized_pairs);
+        assert_eq!(out.stats.pip_tests, out.stats.candidate_pairs);
+        assert_eq!(out.stats.materialized_pairs, out.total_count());
+        // The merged §7.4 polygons are non-convex, so MBR filtering must
+        // produce strictly more candidates than true matches.
+        assert!(out.stats.candidate_pairs > out.stats.materialized_pairs);
+    }
+
+    #[test]
+    fn charges_both_intermediate_buffers() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(8, &extent, 55);
+        let pts = uniform_points(2_000, &extent, 56);
+        let dev = Device::default();
+        let two = TwoStepJoin::new(2).execute(&pts, &polys, &Query::count(), &dev);
+        let fused = IndexJoin::gpu(2).execute(&pts, &polys, &Query::count(), &dev);
+        // candidates + results + final array vs final array only.
+        let expected = two.stats.candidate_pairs * 8
+            + two.stats.materialized_pairs * 8
+            + two.counts.len() as u64 * 16;
+        assert_eq!(two.stats.download_bytes, expected);
+        assert!(two.stats.download_bytes > fused.stats.download_bytes);
+    }
+
+    #[test]
+    fn buffer_cap_forces_rounds_and_keeps_results() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(6, &extent, 57);
+        let pts = uniform_points(2_500, &extent, 58);
+        let mut j = TwoStepJoin::new(2);
+        j.pair_buffer_cap = 256;
+        let out = j.execute(&pts, &polys, &Query::count(), &Device::default());
+        assert!(out.stats.batches > 1, "expected multiple rounds");
+        let fused =
+            IndexJoin::cpu_single().execute(&pts, &polys, &Query::count(), &Device::default());
+        assert_eq!(out.counts, fused.counts);
+    }
+
+    #[test]
+    fn avg_aggregate_matches_fused() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(5, &extent, 59);
+        let pts = TaxiModel::default().generate(2_000, 60);
+        let fare = pts.attr_index("fare").unwrap();
+        let q = Query::avg(fare);
+        let dev = Device::default();
+        let two = TwoStepJoin::new(2).execute(&pts, &polys, &q, &dev);
+        let fused = IndexJoin::cpu_single().execute(&pts, &polys, &q, &dev);
+        let (va, vb) = (two.values(Aggregate::Avg(fare)), fused.values(Aggregate::Avg(fare)));
+        for i in 0..va.len() {
+            assert!((va[i] - vb[i]).abs() < 1e-6, "slot {i}");
+        }
+    }
+
+    #[test]
+    fn predicates_prune_before_filtering() {
+        use raster_data::filter::{CmpOp, Predicate};
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(4, &extent, 61);
+        let pts = TaxiModel::default().generate(1_500, 62);
+        let hour = pts.attr_index("hour").unwrap();
+        let q = Query::count().with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 84.0)]);
+        let dev = Device::default();
+        let full = TwoStepJoin::new(2).execute(&pts, &polys, &Query::count(), &dev);
+        let half = TwoStepJoin::new(2).execute(&pts, &polys, &q, &dev);
+        assert!(half.stats.candidate_pairs < full.stats.candidate_pairs);
+        assert!(half.total_count() < full.total_count());
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let polys = synthetic_polygons(3, &nyc_extent(), 63);
+        let out = TwoStepJoin::new(1).execute(
+            &PointTable::new(),
+            &polys,
+            &Query::count(),
+            &Device::default(),
+        );
+        assert_eq!(out.counts, vec![0, 0, 0]);
+        let out = TwoStepJoin::new(1).execute(
+            &uniform_points(10, &nyc_extent(), 1),
+            &[],
+            &Query::count(),
+            &Device::default(),
+        );
+        assert!(out.counts.is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! Property-based tests over the baseline operators and the approximation
+//! models added on top of the core pipeline: the R-tree / two-step join,
+//! [72]-style coordinate quantization, the sampling estimator, the
+//! thick-outline conservative-raster fallback, and the moments join.
+
+use proptest::prelude::*;
+use raster_join_repro::geom::validate::{repair, validate};
+use raster_join_repro::gpu::raster::{
+    rasterize_segment_conservative, rasterize_segment_thick_outline, segment_touches_pixel,
+};
+use raster_join_repro::index::RTree;
+use raster_join_repro::join::moments::{exact_moments, MomentsQuery, MomentsRasterJoin};
+use raster_join_repro::join::quantize::Quantizer;
+use raster_join_repro::prelude::*;
+use std::collections::HashSet;
+
+fn arb_point(range: f64) -> impl Strategy<Value = Point> {
+    ((-range..range), (-range..range)).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// A random star-shaped polygon around a random center — simple by
+/// construction (same recipe as tests/properties.rs).
+fn arb_star_polygon_at(cx: f64, cy: f64, scale: f64, seed: u64, id: u32) -> Polygon {
+    let n = 3 + (seed % 13) as usize;
+    let mut pts = Vec::with_capacity(n);
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for i in 0..n {
+        let ang = (i as f64 + 0.3 * next()) / n as f64 * std::f64::consts::TAU;
+        let r = scale * (0.3 + 0.7 * next());
+        pts.push(Point::new(cx + r * ang.cos(), cy + r * ang.sin()));
+    }
+    Polygon::new(id, Ring::new(pts))
+}
+
+/// A set of random star polygons scattered over [0, 100]².
+fn arb_polygon_set() -> impl Strategy<Value = Vec<Polygon>> {
+    (1usize..12, any::<u64>()).prop_map(|(n, seed)| {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        (0..n)
+            .map(|i| {
+                let cx = 10.0 + 80.0 * next();
+                let cy = 10.0 + 80.0 * next();
+                let scale = 2.0 + 15.0 * next();
+                arb_star_polygon_at(cx, cy, scale, seed ^ (i as u64 * 0x9e37), i as u32)
+            })
+            .collect()
+    })
+}
+
+fn random_points(n: usize, seed: u64) -> PointTable {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut t = PointTable::with_capacity(n, &["v"]);
+    for _ in 0..n {
+        t.push(
+            Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)),
+            &[rng.gen_range(0.0..10.0)],
+        );
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// R-tree point probes return exactly the entries whose MBR contains
+    /// the probe, for arbitrary (overlapping, concave) polygon sets.
+    #[test]
+    fn rtree_candidates_match_brute_force(
+        polys in arb_polygon_set(),
+        probe in arb_point(120.0),
+    ) {
+        let tree = RTree::build(&polys);
+        let mut got = tree.candidates(probe);
+        got.sort_unstable();
+        let mut want: Vec<u32> = polys
+            .iter()
+            .filter(|p| p.bbox().contains(probe))
+            .map(|p| p.id())
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// R-tree window queries return exactly the MBR-intersecting entries.
+    #[test]
+    fn rtree_window_matches_brute_force(
+        polys in arb_polygon_set(),
+        a in arb_point(120.0),
+        b in arb_point(120.0),
+    ) {
+        let tree = RTree::build(&polys);
+        let query = BBox::new(a, b);
+        let mut got = Vec::new();
+        tree.query_bbox(&query, |id| got.push(id));
+        got.sort_unstable();
+        let mut want: Vec<u32> = polys
+            .iter()
+            .filter(|p| p.bbox().intersects(&query))
+            .map(|p| p.id())
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// The two-step filter-refine join agrees exactly with the fused
+    /// index join — materialization changes cost, never the answer.
+    #[test]
+    fn two_step_equals_fused(polys in arb_polygon_set(), seed in any::<u64>()) {
+        let pts = random_points(400, seed);
+        let dev = Device::default();
+        let two = TwoStepJoin::new(2).execute(&pts, &polys, &Query::count(), &dev);
+        let fused = IndexJoin::cpu_single().execute(&pts, &polys, &Query::count(), &dev);
+        prop_assert_eq!(two.counts, fused.counts);
+        // Refinement can only shrink the candidate set.
+        prop_assert!(two.stats.candidate_pairs >= two.stats.materialized_pairs);
+    }
+
+    /// Quantizer displacement bound holds for arbitrary extents and any
+    /// probe (including far outside the extent, which clamps).
+    #[test]
+    fn quantizer_displacement_bounded(
+        ax in -1e4f64..1e4, ay in -1e4f64..1e4,
+        w in 1.0f64..1e4, h in 1.0f64..1e4,
+        px in -2e4f64..2e4, py in -2e4f64..2e4,
+        bits in 1u8..=16,
+    ) {
+        let extent = BBox::new(Point::new(ax, ay), Point::new(ax + w, ay + h));
+        let q = Quantizer::new(extent, bits);
+        let p = Point::new(px, py);
+        let s = q.snap(p);
+        // Inside the extent the bound is the half cell diagonal; snapped
+        // output always stays inside the extent either way.
+        prop_assert!(extent.contains(s));
+        if extent.contains(p) {
+            prop_assert!(p.distance(s) <= q.max_displacement() + 1e-9);
+        }
+        // Idempotence.
+        prop_assert_eq!(q.snap(s), s);
+    }
+
+    /// The thick-outline fallback emits exactly the pixels whose closed
+    /// square the segment touches, and the DDA traversal never misses one
+    /// of them.
+    #[test]
+    fn thick_outline_is_exact_conservative_coverage(
+        a in arb_point(20.0),
+        b in arb_point(20.0),
+    ) {
+        let (w, h) = (16u32, 16u32);
+        let mut thick = HashSet::new();
+        rasterize_segment_thick_outline(
+            (a.x, a.y), (b.x, b.y), w, h, |x, y| { thick.insert((x, y)); });
+        // Oracle from the public predicate.
+        let mut ideal = HashSet::new();
+        for y in 0..h {
+            for x in 0..w {
+                if segment_touches_pixel((a.x, a.y), (b.x, b.y), x, y) {
+                    ideal.insert((x, y));
+                }
+            }
+        }
+        prop_assert_eq!(&thick, &ideal);
+        let mut dda = HashSet::new();
+        rasterize_segment_conservative(
+            (a.x, a.y), (b.x, b.y), w, h, |x, y| { dda.insert((x, y)); });
+        prop_assert!(thick.is_subset(&dda) || thick == dda,
+            "DDA missed {:?}", thick.difference(&dda).collect::<Vec<_>>());
+    }
+
+    /// A full-population sample reproduces the exact join with zero CI;
+    /// arbitrary sample sizes keep estimates non-negative and finite.
+    #[test]
+    fn sampling_full_population_is_exact(
+        polys in arb_polygon_set(),
+        seed in any::<u64>(),
+        n_sample in 50usize..400,
+    ) {
+        let pts = random_points(300, seed);
+        let dev = Device::default();
+        let exact = IndexJoin::cpu_single().execute(&pts, &polys, &Query::count(), &dev);
+        let full = SamplingJoin::new(pts.len(), seed).execute(
+            &pts, &polys, &Query::count(), &dev);
+        for (e, w) in full.estimates.iter().zip(&exact.counts) {
+            prop_assert!((e - *w as f64).abs() < 1e-9);
+        }
+        prop_assert!(full.ci.iter().all(|c| c.abs() < 1e-9));
+        let part = SamplingJoin::new(n_sample, seed).execute(
+            &pts, &polys, &Query::count(), &dev);
+        prop_assert!(part.estimates.iter().all(|e| e.is_finite() && *e >= 0.0));
+        prop_assert!(part.ci.iter().all(|c| c.is_finite() && *c >= 0.0));
+    }
+
+    /// Moments are internally consistent: variance ≥ 0, and the raster
+    /// count channel matches the plain bounded join at the same ε.
+    #[test]
+    fn moments_consistent_with_bounded_join(
+        polys in arb_polygon_set(),
+        seed in any::<u64>(),
+    ) {
+        let pts = random_points(500, seed);
+        let dev = Device::default();
+        let eps = 0.5;
+        let mom = MomentsRasterJoin::new(2).execute(
+            &pts, &polys, &MomentsQuery::new(vec![0]).with_epsilon(eps), &dev);
+        let cnt = BoundedRasterJoin::new(2).execute(
+            &pts, &polys, &Query::count().with_epsilon(eps), &dev);
+        prop_assert_eq!(&mom.counts, &cnt.counts);
+        prop_assert!(mom.variance(0).iter().all(|v| *v >= 0.0));
+        // Cauchy–Schwarz per slot: (Σx)² ≤ n·Σx².
+        for id in 0..mom.counts.len() {
+            let n = mom.counts[id] as f64;
+            let s = mom.sums[0][id];
+            let sq = mom.sumsqs[0][id];
+            prop_assert!(s * s <= n * sq + 1e-6 * sq.max(1.0));
+        }
+    }
+
+    /// Star polygons are simple by construction, so they always validate
+    /// cleanly, and repair is the identity on them.
+    #[test]
+    fn star_polygons_always_validate(polys in arb_polygon_set()) {
+        for p in &polys {
+            prop_assume!(p.area() > 1e-6);
+            let issues = validate(p);
+            prop_assert!(issues.is_empty(), "{issues:?}");
+            let fixed = repair(p).expect("clean polygon must repair to itself");
+            prop_assert_eq!(fixed.outer().points(), p.outer().points());
+        }
+    }
+
+    /// Corrupting a valid polygon with non-finite vertices is always
+    /// detected, and repair either fixes it or rejects it — never returns
+    /// an invalid polygon.
+    #[test]
+    fn repair_never_returns_invalid(
+        polys in arb_polygon_set(),
+        corrupt_at in 0usize..64,
+    ) {
+        use raster_join_repro::geom::validate::Issue;
+        for p in &polys {
+            prop_assume!(p.outer().len() >= 4);
+            let mut pts: Vec<Point> = p.outer().points().to_vec();
+            let i = corrupt_at % pts.len();
+            pts[i] = Point::new(f64::NAN, pts[i].y);
+            let dirty = Polygon::new(p.id(), Ring::new(pts));
+            let issues = validate(&dirty);
+            prop_assert!(issues.contains(&Issue::NonFiniteVertex(0)), "{issues:?}");
+            if let Some(fixed) = repair(&dirty) {
+                prop_assert!(validate(&fixed).is_empty());
+            }
+        }
+    }
+
+    /// Exact moments (brute force) and the ε-bounded raster moments agree
+    /// when every point is far from every boundary — mirrors the bounded
+    /// join exactness property.
+    #[test]
+    fn moments_exact_away_from_boundaries(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let polys = vec![
+            Polygon::from_coords(0, vec![(0.0, 0.0), (40.0, 0.0), (40.0, 100.0), (0.0, 100.0)]),
+            Polygon::from_coords(1, vec![(60.0, 0.0), (100.0, 0.0), (100.0, 100.0), (60.0, 100.0)]),
+        ];
+        let mut pts = PointTable::with_capacity(60, &["v"]);
+        for _ in 0..60 {
+            let (x, y) = if rng.gen_bool(0.5) {
+                (rng.gen_range(5.0..35.0), rng.gen_range(5.0..95.0))
+            } else {
+                (rng.gen_range(65.0..95.0), rng.gen_range(5.0..95.0))
+            };
+            pts.push(Point::new(x, y), &[rng.gen_range(0.0..100.0f32)]);
+        }
+        let mom = MomentsRasterJoin::new(2).execute(
+            &pts, &polys, &MomentsQuery::new(vec![0]).with_epsilon(1.0), &Device::default());
+        let (counts, sums, sumsqs) = exact_moments(&pts, &polys, &[0]);
+        prop_assert_eq!(&mom.counts, &counts);
+        for id in 0..2 {
+            prop_assert!((mom.sums[0][id] - sums[0][id]).abs() < 1e-6 * sums[0][id].abs().max(1.0));
+            prop_assert!(
+                (mom.sumsqs[0][id] - sumsqs[0][id]).abs()
+                    < 1e-6 * sumsqs[0][id].abs().max(1.0)
+            );
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Cross-crate integration tests: the full pipeline on realistic
+//! workloads, checking the paper's correctness claims end to end.
+
+use raster_join_repro::data::generators::{nyc_extent, uniform_points, TaxiModel};
+use raster_join_repro::data::polygons::synthetic_polygons;
+use raster_join_repro::geom::hausdorff::{passes_for_epsilon, pixel_side_for_epsilon};
+use raster_join_repro::prelude::*;
+
+/// All exact executors must agree bit-for-bit on counts.
+#[test]
+fn exact_executors_agree() {
+    let extent = nyc_extent();
+    let polys = synthetic_polygons(20, &extent, 101);
+    let pts = TaxiModel::default().generate(8_000, 102);
+    let dev = Device::default();
+    let q = Query::count();
+
+    let accurate = AccurateRasterJoin::default().execute(&pts, &polys, &q, &dev);
+    let gpu = IndexJoin::gpu(4).execute(&pts, &polys, &q, &dev);
+    let cpu_mt = IndexJoin::cpu_multi(4).execute(&pts, &polys, &q, &dev);
+    let cpu_st = IndexJoin::cpu_single().execute(&pts, &polys, &q, &dev);
+    let mat = MaterializingJoin::new(4).execute(&pts, &polys, &q, &dev);
+
+    assert_eq!(accurate.counts, gpu.counts);
+    assert_eq!(gpu.counts, cpu_mt.counts);
+    assert_eq!(cpu_mt.counts, cpu_st.counts);
+    assert_eq!(cpu_st.counts, mat.counts);
+}
+
+/// §4.2's spatial guarantee, verified behaviourally: every bounded-join
+/// miscount at bound ε must disappear when the point is farther than ε
+/// from every polygon boundary. We verify the contrapositive per polygon:
+/// recomputing the exact count restricted to points at distance > ε from
+/// the polygon's boundary gives a value the bounded count can only differ
+/// from by points within ε of the boundary.
+#[test]
+fn bounded_errors_only_near_boundaries() {
+    let extent = nyc_extent();
+    let polys = synthetic_polygons(10, &extent, 55);
+    let pts = uniform_points(6_000, &extent, 56);
+    let dev = Device::default();
+    let eps = 200.0; // coarse, to provoke errors
+    let bounded =
+        BoundedRasterJoin::default().execute(&pts, &polys, &Query::count().with_epsilon(eps), &dev);
+
+    for poly in &polys {
+        let id = poly.id() as usize;
+        let edges = poly.all_edges();
+        let dist_to_boundary = |p: Point| -> f64 {
+            edges
+                .iter()
+                .map(|&(a, b)| p.distance_to_segment(a, b))
+                .fold(f64::INFINITY, f64::min)
+        };
+        // Counts that cannot be disputed: inside and far from the boundary.
+        let mut core = 0u64;
+        // Upper bound: inside-or-within-ε of the boundary.
+        let mut dilated = 0u64;
+        for i in 0..pts.len() {
+            let p = pts.point(i);
+            let inside = poly.contains(p);
+            let d = dist_to_boundary(p);
+            if inside && d > eps {
+                core += 1;
+            }
+            if inside || d <= eps {
+                dilated += 1;
+            }
+        }
+        let got = bounded.counts[id];
+        assert!(
+            got >= core && got <= dilated,
+            "polygon {id}: bounded count {got} outside the ε-envelope [{core}, {dilated}]"
+        );
+    }
+}
+
+/// Error shrinks monotonically (in aggregate) as ε decreases — the
+/// accuracy–ε trade-off of Fig. 12b.
+#[test]
+fn total_error_shrinks_with_epsilon() {
+    let extent = nyc_extent();
+    let polys = synthetic_polygons(12, &extent, 61);
+    let pts = TaxiModel::default().generate(10_000, 62);
+    let dev = Device::default();
+    let exact = AccurateRasterJoin::default().execute(&pts, &polys, &Query::count(), &dev);
+
+    let mut totals = Vec::new();
+    for eps in [800.0, 200.0, 50.0] {
+        let b = BoundedRasterJoin::default().execute(
+            &pts,
+            &polys,
+            &Query::count().with_epsilon(eps),
+            &dev,
+        );
+        let err: u64 = b
+            .counts
+            .iter()
+            .zip(&exact.counts)
+            .map(|(&a, &e)| a.abs_diff(e))
+            .sum();
+        totals.push(err);
+    }
+    assert!(
+        totals[0] >= totals[1] && totals[1] >= totals[2],
+        "errors must not grow as ε shrinks: {totals:?}"
+    );
+}
+
+/// With polygons that tile the extent, the bounded join conserves points:
+/// every rendered pixel belongs to exactly one polygon (rasterization's
+/// shared-edge tie rules), so the total count equals the number of points
+/// — even though individual polygons may miscount.
+#[test]
+fn count_conservation_over_tiling_polygons() {
+    let extent = nyc_extent();
+    let polys = synthetic_polygons(15, &extent, 71);
+    let pts = uniform_points(5_000, &extent, 72);
+    let dev = Device::default();
+    let out = BoundedRasterJoin::default().execute(
+        &pts,
+        &polys,
+        &Query::count().with_epsilon(100.0),
+        &dev,
+    );
+    let total = out.total_count();
+    // Tiny slack: points in pixels at the domain frame may fall outside
+    // every polygon's rasterization.
+    assert!(
+        total as f64 >= 0.995 * pts.len() as f64 && total <= pts.len() as u64,
+        "conserved {total} of {}",
+        pts.len()
+    );
+}
+
+/// The ε→resolution→passes arithmetic drives multi-pass rendering: at the
+/// paper's NYC extent, ε = 20 m fits one 8192² canvas, ε = 5 m needs
+/// several (Fig. 5 / Fig. 12a mechanics).
+#[test]
+fn epsilon_controls_pass_count() {
+    let extent = nyc_extent();
+    assert_eq!(passes_for_epsilon(&extent, 20.0, 8192), 1);
+    assert!(passes_for_epsilon(&extent, 5.0, 8192) > 1);
+    // Side length rule: diagonal = ε.
+    assert!((pixel_side_for_epsilon(20.0) * 2f64.sqrt() - 20.0).abs() < 1e-9);
+
+    // And the executor actually performs those passes.
+    let polys = synthetic_polygons(6, &extent, 81);
+    let pts = uniform_points(2_000, &extent, 82);
+    let dev = Device::default();
+    let coarse = BoundedRasterJoin::default().execute(
+        &pts,
+        &polys,
+        &Query::count().with_epsilon(20.0),
+        &dev,
+    );
+    assert_eq!(coarse.stats.passes, 1);
+    let fine = BoundedRasterJoin::default().execute(
+        &pts,
+        &polys,
+        &Query::count().with_epsilon(5.0),
+        &dev,
+    );
+    assert!(fine.stats.passes > 1);
+    // Multi-pass must not change which answer is ε-compatible: both are
+    // exact on points far from boundaries, so totals stay close.
+    let delta = coarse.total_count().abs_diff(fine.total_count());
+    assert!(delta as f64 <= 0.01 * pts.len() as f64);
+}
+
+/// Aggregates beyond COUNT: SUM/AVG agree between bounded (fine ε) and
+/// exact executors within the expected tolerance.
+#[test]
+fn sum_avg_consistency_across_executors() {
+    let extent = nyc_extent();
+    let polys = synthetic_polygons(8, &extent, 91);
+    let pts = TaxiModel::default().generate(6_000, 92);
+    let fare = pts.attr_index("fare").unwrap();
+    let dev = Device::default();
+
+    let exact = IndexJoin::cpu_single().execute(&pts, &polys, &Query::sum(fare), &dev);
+    let bounded = BoundedRasterJoin::default().execute(
+        &pts,
+        &polys,
+        &Query::sum(fare).with_epsilon(10.0),
+        &dev,
+    );
+    let total_exact: f64 = exact.sums.iter().sum();
+    let total_bounded: f64 = bounded.sums.iter().sum();
+    assert!(
+        (total_exact - total_bounded).abs() < 0.01 * total_exact.abs().max(1.0),
+        "sums diverge: {total_bounded} vs {total_exact}"
+    );
+}
+
+/// Filters compose with the join identically across executors.
+#[test]
+fn filters_apply_uniformly() {
+    let extent = nyc_extent();
+    let polys = synthetic_polygons(8, &extent, 93);
+    let pts = TaxiModel::default().generate(5_000, 94);
+    let hour = pts.attr_index("hour").unwrap();
+    let pass = pts.attr_index("passengers").unwrap();
+    let q = Query::count().with_predicates(vec![
+        Predicate::new(hour, CmpOp::Lt, 120.0),
+        Predicate::new(pass, CmpOp::Ge, 2.0),
+    ]);
+    let dev = Device::default();
+    let a = AccurateRasterJoin::default().execute(&pts, &polys, &q, &dev);
+    let b = IndexJoin::cpu_single().execute(&pts, &polys, &q, &dev);
+    assert_eq!(a.counts, b.counts);
+    // And the filter actually filtered.
+    let unfiltered = IndexJoin::cpu_single().execute(&pts, &polys, &Query::count(), &dev);
+    assert!(a.total_count() < unfiltered.total_count());
+}

@@ -1,0 +1,210 @@
+//! Integration tests for the §8 extensions: multi-aggregate queries, the
+//! variant optimizer, LOD exploration and the SQL front-end — plus the
+//! related-work baselines of §2.
+
+use raster_join_repro::data::generators::{nyc_extent, TaxiModel};
+use raster_join_repro::data::polygons::synthetic_polygons;
+use raster_join_repro::index::{AggQuadtree, ARTree};
+use raster_join_repro::join::multi::{MultiBoundedRasterJoin, MultiQuery};
+use raster_join_repro::join::optimizer::{estimate, Variant};
+use raster_join_repro::join::sql::parse_query;
+use raster_join_repro::join::LodExplorer;
+use raster_join_repro::prelude::*;
+
+/// One multi-aggregate pass replaces the parallel-coordinates chart's
+/// per-axis queries (Fig. 1c): results match the per-axis execution.
+#[test]
+fn multi_aggregate_fills_parallel_coordinate_axes() {
+    let pts = TaxiModel::default().generate(6_000, 301);
+    let polys = synthetic_polygons(10, &nyc_extent(), 302);
+    let fare = pts.attr_index("fare").unwrap();
+    let tip = pts.attr_index("tip").unwrap();
+    let dist = pts.attr_index("distance").unwrap();
+    let dev = Device::default();
+
+    let mq = MultiQuery::new(vec![
+        Aggregate::Count,
+        Aggregate::Avg(fare),
+        Aggregate::Avg(tip),
+        Aggregate::Sum(dist),
+    ])
+    .with_epsilon(15.0);
+    let multi = MultiBoundedRasterJoin::default().execute(&pts, &polys, &mq, &dev);
+
+    for (i, q) in mq.split().iter().enumerate() {
+        let single = BoundedRasterJoin::default().execute(&pts, &polys, q, &dev);
+        let want = single.values(q.aggregate);
+        let got = multi.values(&mq, i);
+        for k in 0..want.len() {
+            assert!(
+                (got[k] - want[k]).abs() < 1e-3 * want[k].abs().max(1.0),
+                "axis {i} polygon {k}: {} vs {}",
+                got[k],
+                want[k]
+            );
+        }
+    }
+    // One pass, not four.
+    assert_eq!(multi.stats.passes, 1);
+}
+
+/// SQL → Query → executor, end to end, matches the programmatic query.
+#[test]
+fn sql_query_end_to_end() {
+    let pts = TaxiModel::default().generate(4_000, 303);
+    let polys = synthetic_polygons(6, &nyc_extent(), 304);
+    let dev = Device::default();
+    let q_sql = parse_query(
+        "SELECT AVG(fare) FROM trips, hoods WHERE trips.loc INSIDE hoods.geometry \
+         AND passengers >= 2 AND hour < 100 GROUP BY hoods.id",
+        &pts,
+    )
+    .unwrap()
+    .with_epsilon(15.0);
+
+    let fare = pts.attr_index("fare").unwrap();
+    let pass = pts.attr_index("passengers").unwrap();
+    let hour = pts.attr_index("hour").unwrap();
+    let q_manual = Query::avg(fare).with_epsilon(15.0).with_predicates(vec![
+        Predicate::new(pass, CmpOp::Ge, 2.0),
+        Predicate::new(hour, CmpOp::Lt, 100.0),
+    ]);
+
+    let a = BoundedRasterJoin::default().execute(&pts, &polys, &q_sql, &dev);
+    let b = BoundedRasterJoin::default().execute(&pts, &polys, &q_manual, &dev);
+    assert_eq!(a.counts, b.counts);
+    assert_eq!(a.sums, b.sums);
+}
+
+/// The optimizer's crossover tracks the pass count: sweeping ε downward
+/// flips the choice from Bounded to Accurate exactly once.
+#[test]
+fn optimizer_crossover_is_monotone() {
+    let polys = synthetic_polygons(12, &nyc_extent(), 305);
+    let extent = nyc_extent();
+    let dev = Device::default();
+    let mut seen_accurate = false;
+    for eps in [50.0, 20.0, 10.0, 2.0, 0.5, 0.1, 0.02] {
+        let est = estimate(
+            2_000_000,
+            &polys,
+            &extent,
+            &Query::count().with_epsilon(eps),
+            &dev,
+            2048,
+        );
+        match est.choice() {
+            Variant::Accurate => seen_accurate = true,
+            Variant::Bounded => {
+                assert!(
+                    !seen_accurate,
+                    "choice flipped back to Bounded at ε = {eps} after Accurate was chosen"
+                );
+            }
+        }
+    }
+    assert!(seen_accurate, "sweep must eventually prefer Accurate");
+}
+
+/// LOD zoom: a fixed canvas over a shrinking viewport gives strictly
+/// finer effective ε and (weakly) better accuracy against ground truth.
+#[test]
+fn lod_zoom_monotonically_sharpens() {
+    let pts = raster_join_repro::data::generators::uniform_points(30_000, &nyc_extent(), 306);
+    let polys = synthetic_polygons(10, &nyc_extent(), 307);
+    let dev = Device::default();
+    let lod = LodExplorer {
+        workers: 4,
+        canvas: (256, 256),
+    };
+    let full = nyc_extent();
+    let mut view = full;
+    let mut prev_eps = f64::INFINITY;
+    for _ in 0..3 {
+        let eps = lod.effective_epsilon(&view);
+        assert!(eps < prev_eps);
+        prev_eps = eps;
+        let out = lod.query_view(&view, &pts, &polys, &Query::count(), &dev);
+        // Sanity: counting only what is visible.
+        let visible = (0..pts.len()).filter(|&i| view.contains(pts.point(i))).count() as u64;
+        assert!(out.total_count() <= visible);
+        // Zoom to the central half.
+        let c = view.center();
+        view = BBox::new(
+            Point::new(c.x - view.width() / 4.0, c.y - view.height() / 4.0),
+            Point::new(c.x + view.width() / 4.0, c.y + view.height() / 4.0),
+        );
+    }
+}
+
+/// §2 reproduced quantitatively: the pre-aggregation structures answer
+/// rectangles but are strictly worse than bounded raster join on
+/// arbitrary polygons at comparable spatial resolution.
+#[test]
+fn related_work_structures_lose_on_arbitrary_polygons() {
+    let pts_tbl = TaxiModel::default().generate(30_000, 308);
+    let pts: Vec<Point> = (0..pts_tbl.len()).map(|i| pts_tbl.point(i)).collect();
+    let polys = synthetic_polygons(8, &nyc_extent(), 309);
+    let dev = Device::default();
+
+    let exact = AccurateRasterJoin::default().execute(&pts_tbl, &polys, &Query::count(), &dev);
+    let bounded = BoundedRasterJoin::default().execute(
+        &pts_tbl,
+        &polys,
+        &Query::count().with_epsilon(60.0),
+        &dev,
+    );
+    // Cube with leaf cells ≈ the bounded join's pixel size would need
+    // depth ~10; build it coarser, as a realistic memory budget forces.
+    let cube = AggQuadtree::build(&pts, nyc_extent(), 7);
+    let recs: Vec<(Point, f32)> = pts.iter().map(|&p| (p, 1.0)).collect();
+    let artree = ARTree::build(&recs);
+
+    let mut err_bounded = 0i64;
+    let mut err_cube = 0i64;
+    let mut err_art = 0i64;
+    for (i, poly) in polys.iter().enumerate() {
+        let e = exact.counts[i] as i64;
+        err_bounded += (bounded.counts[i] as i64 - e).abs();
+        err_cube += (cube.polygon_count_approx(poly) as i64 - e).abs();
+        err_art += (artree.polygon_count_via_mbr(poly) as i64 - e).abs();
+    }
+    assert!(
+        err_bounded < err_cube,
+        "bounded ({err_bounded}) must beat the cube ({err_cube})"
+    );
+    assert!(
+        err_bounded < err_art,
+        "bounded ({err_bounded}) must beat MBR-only aR-tree ({err_art})"
+    );
+    // The aR-tree is exact for what it is built for — rectangles.
+    let rect = BBox::new(Point::new(10_000.0, 12_000.0), Point::new(30_000.0, 35_000.0));
+    let got = artree.range_aggregate(&rect);
+    let want = pts.iter().filter(|p| rect.contains(**p)).count() as u64;
+    assert_eq!(got.count, want);
+}
+
+/// Result ranges compose with SQL + filters: intervals still bracket the
+/// exact filtered counts.
+#[test]
+fn ranges_hold_under_filters() {
+    use raster_join_repro::join::ranges::estimate_count_ranges;
+    let pts = TaxiModel::default().generate(8_000, 310);
+    let polys = synthetic_polygons(6, &nyc_extent(), 311);
+    let dev = Device::default();
+    let hour = pts.attr_index("hour").unwrap();
+    let q = Query::count()
+        .with_epsilon(300.0)
+        .with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 120.0)]);
+    let ranges = estimate_count_ranges(&pts, &polys, &q, &dev, 4);
+    let exact = AccurateRasterJoin::default().execute(&pts, &polys, &q, &dev);
+    for (i, r) in ranges.iter().enumerate() {
+        assert!(
+            r.worst_contains(exact.counts[i] as f64),
+            "polygon {i}: {} ∉ [{}, {}]",
+            exact.counts[i],
+            r.worst_lo,
+            r.worst_hi
+        );
+    }
+}

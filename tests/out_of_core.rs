@@ -1,0 +1,129 @@
+//! Out-of-core and disk-resident integration tests (§5, §7.7).
+
+use raster_join_repro::data::disk::{write_table, ChunkedReader};
+use raster_join_repro::data::generators::{nyc_extent, TaxiModel};
+use raster_join_repro::data::polygons::synthetic_polygons;
+use raster_join_repro::prelude::*;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("rjr-it-{}-{name}", std::process::id()));
+    p
+}
+
+/// Streaming a table from disk in chunks and joining chunk by chunk gives
+/// the same result as the in-memory join: the combination rule for
+/// distributive aggregates (§5) plus the columnar reader.
+#[test]
+fn disk_resident_query_equals_in_memory() {
+    let pts = TaxiModel::default().generate(20_000, 201);
+    let polys = synthetic_polygons(10, &nyc_extent(), 202);
+    let dev = Device::default();
+    let q = Query::count().with_epsilon(20.0);
+    let joiner = BoundedRasterJoin::default();
+
+    let in_memory = joiner.execute(&pts, &polys, &q, &dev);
+
+    let path = tmp("disk-query.bin");
+    write_table(&path, &pts).unwrap();
+    let mut reader = ChunkedReader::open(&path, 3_000).unwrap();
+    let mut combined = vec![0u64; in_memory.counts.len()];
+    let mut chunks = 0;
+    while let Some(chunk) = reader.next_chunk().unwrap() {
+        let partial = joiner.execute(&chunk, &polys, &q, &dev);
+        for (c, p) in combined.iter_mut().zip(&partial.counts) {
+            *c += p;
+        }
+        chunks += 1;
+    }
+    assert_eq!(chunks, 7);
+    assert_eq!(combined, in_memory.counts);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Same property for the exact executor with a SUM aggregate.
+#[test]
+fn disk_resident_sum_equals_in_memory() {
+    let pts = TaxiModel::default().generate(12_000, 203);
+    let fare = pts.attr_index("fare").unwrap();
+    let polys = synthetic_polygons(6, &nyc_extent(), 204);
+    let dev = Device::default();
+    let q = Query::sum(fare);
+    let joiner = AccurateRasterJoin::default();
+
+    let in_memory = joiner.execute(&pts, &polys, &q, &dev);
+
+    let path = tmp("disk-sum.bin");
+    write_table(&path, &pts).unwrap();
+    let mut reader = ChunkedReader::open(&path, 2_500).unwrap();
+    let mut sums = vec![0f64; in_memory.sums.len()];
+    while let Some(chunk) = reader.next_chunk().unwrap() {
+        let partial = joiner.execute(&chunk, &polys, &q, &dev);
+        for (s, p) in sums.iter_mut().zip(&partial.sums) {
+            *s += p;
+        }
+    }
+    for (i, (&got, &want)) in sums.iter().zip(&in_memory.sums).enumerate() {
+        assert!(
+            (got - want).abs() < 1e-6 * want.abs().max(1.0),
+            "polygon {i}: {got} vs {want}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+/// The device memory budget drives batch counts without changing results,
+/// for every executor that honours the budget.
+#[test]
+fn memory_budget_only_affects_batching() {
+    let pts = TaxiModel::default().generate(10_000, 205);
+    let polys = synthetic_polygons(8, &nyc_extent(), 206);
+    let q = Query::count().with_epsilon(30.0);
+    let big = Device::default();
+    let small = Device::new(DeviceConfig::small(
+        1_000 * PointTable::point_bytes(0),
+        8192,
+    ));
+
+    let b_big = BoundedRasterJoin::default().execute(&pts, &polys, &q, &big);
+    let b_small = BoundedRasterJoin::default().execute(&pts, &polys, &q, &small);
+    assert_eq!(b_big.counts, b_small.counts);
+    assert_eq!(b_small.stats.batches, 10);
+    assert!(b_big.stats.batches == 1);
+
+    let g_big = IndexJoin::gpu(4).execute(&pts, &polys, &q, &big);
+    let g_small = IndexJoin::gpu(4).execute(&pts, &polys, &q, &small);
+    assert_eq!(g_big.counts, g_small.counts);
+    assert!(g_small.stats.batches > g_big.stats.batches);
+}
+
+/// Upload volume grows with the number of filtered attributes — the
+/// memory-transfer effect behind Fig. 11.
+#[test]
+fn constraint_attributes_increase_upload() {
+    let pts = TaxiModel::default().generate(5_000, 207);
+    let polys = synthetic_polygons(4, &nyc_extent(), 208);
+    let dev = Device::default();
+    let joiner = BoundedRasterJoin::default();
+
+    let mut previous = 0u64;
+    for k in 0..=3usize {
+        let preds = (0..k)
+            .map(|a| Predicate::new(a, CmpOp::Ge, 0.0))
+            .collect::<Vec<_>>();
+        let q = Query::count().with_epsilon(30.0).with_predicates(preds);
+        let out = joiner.execute(&pts, &polys, &q, &dev);
+        assert!(
+            out.stats.upload_bytes > previous,
+            "upload must grow with constraint count (k = {k})"
+        );
+        previous = out.stats.upload_bytes;
+        // `attr >= 0` never filters these workloads' non-negative columns,
+        // so results stay identical while transfer grows.
+        assert_eq!(out.total_count(), {
+            let base = joiner.execute(&pts, &polys, &Query::count().with_epsilon(30.0), &dev);
+            base.total_count()
+        });
+    }
+}

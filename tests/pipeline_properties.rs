@@ -1,0 +1,166 @@
+//! Second property-test suite: rasterization-pipeline and storage-layer
+//! invariants (complementing `properties.rs`, which covers geometry and
+//! join semantics).
+
+use proptest::prelude::*;
+use raster_join_repro::data::csv::{read_csv, write_csv, CsvSpec};
+use raster_join_repro::data::disk::{write_table, ChunkedReader};
+use raster_join_repro::geom::proj::LocalProjection;
+use raster_join_repro::gpu::raster::{
+    rasterize_triangle, rasterize_triangle_spans, ScreenTri,
+};
+use raster_join_repro::prelude::*;
+use std::collections::HashSet;
+
+fn arb_table(max_rows: usize) -> impl Strategy<Value = PointTable> {
+    prop::collection::vec(
+        (
+            -1e6f64..1e6,
+            -1e6f64..1e6,
+            -1e3f32..1e3,
+            -1e3f32..1e3,
+        ),
+        0..max_rows,
+    )
+    .prop_map(|rows| {
+        let mut t = PointTable::with_capacity(rows.len(), &["a", "b"]);
+        for (x, y, a, b) in rows {
+            t.push(Point::new(x, y), &[a, b]);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Span rasterization is pixel-identical to per-pixel rasterization
+    /// for arbitrary triangles (the hardware-contract equivalence the
+    /// whole fragment fast path rests on).
+    #[test]
+    fn spans_equal_pixels_on_arbitrary_triangles(
+        ax in -8.0f64..24.0, ay in -8.0f64..24.0,
+        bx in -8.0f64..24.0, by in -8.0f64..24.0,
+        cx in -8.0f64..24.0, cy in -8.0f64..24.0,
+    ) {
+        let tri: ScreenTri = [(ax, ay), (bx, by), (cx, cy)];
+        let mut per_pixel = HashSet::new();
+        rasterize_triangle(tri, 16, 16, |x, y| { per_pixel.insert((x, y)); });
+        let mut spans = HashSet::new();
+        rasterize_triangle_spans(tri, 16, 16, |y, x0, x1| {
+            for x in x0..x1 { spans.insert((x, y)); }
+        });
+        prop_assert_eq!(per_pixel, spans);
+    }
+
+    /// Any triangle pair sharing the edge (p, q) never double-samples a
+    /// pixel, whatever the opposite vertices are.
+    #[test]
+    fn shared_edge_partition(
+        px in 0.0f64..16.0, py in 0.0f64..16.0,
+        qx in 0.0f64..16.0, qy in 0.0f64..16.0,
+        r1x in 0.0f64..16.0, r1y in 0.0f64..16.0,
+        r2x in 0.0f64..16.0, r2y in 0.0f64..16.0,
+    ) {
+        // Force the two apexes to opposite sides of pq.
+        let side = |rx: f64, ry: f64| (qx - px) * (ry - py) - (qy - py) * (rx - px);
+        prop_assume!(side(r1x, r1y) > 1e-9);
+        prop_assume!(side(r2x, r2y) < -1e-9);
+        let t1: ScreenTri = [(px, py), (qx, qy), (r1x, r1y)];
+        let t2: ScreenTri = [(px, py), (qx, qy), (r2x, r2y)];
+        let mut count = std::collections::HashMap::new();
+        for t in [t1, t2] {
+            rasterize_triangle(t, 16, 16, |x, y| {
+                *count.entry((x, y)).or_insert(0u32) += 1;
+            });
+        }
+        for (&px, &c) in &count {
+            prop_assert!(c <= 1, "pixel {px:?} sampled {c} times");
+        }
+    }
+
+    /// Viewport tiling assigns every covered pixel-center world point to
+    /// exactly one tile.
+    #[test]
+    fn viewport_split_partitions_points(
+        seed in any::<u64>(),
+        max_dim in 1u32..64,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(1000.0, 700.0));
+        let vp = Viewport::new(extent, 128, 96);
+        let tiles = vp.split(max_dim);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for _ in 0..64 {
+            let p = Point::new(rng.gen_range(0.0..1000.0), rng.gen_range(0.0..700.0));
+            let owners = tiles.iter().filter(|t| t.pixel_of(p).is_some()).count();
+            prop_assert_eq!(owners, 1, "point {:?}", p);
+        }
+    }
+
+    /// The binary columnar format round-trips arbitrary tables, whole or
+    /// chunked.
+    #[test]
+    fn disk_roundtrip_arbitrary_tables(t in arb_table(200), chunk in 1usize..64) {
+        let path = std::env::temp_dir().join(format!(
+            "rjr-prop-{}-{chunk}-{}.bin", std::process::id(), t.len()));
+        write_table(&path, &t).unwrap();
+        let mut r = ChunkedReader::open(&path, chunk).unwrap();
+        let mut back = PointTable::with_capacity(0, &["a", "b"]);
+        while let Some(c) = r.next_chunk().unwrap() {
+            prop_assert!(c.len() <= chunk);
+            back.extend(&c);
+        }
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(t, back);
+    }
+
+    /// CSV write→read round-trips (within f32/f64 text formatting, which
+    /// Rust makes exact for shortest-roundtrip printing).
+    #[test]
+    fn csv_roundtrip_arbitrary_tables(t in arb_table(100)) {
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &t).unwrap();
+        let spec = CsvSpec::new(0, 1).attr(2, "a").attr(3, "b");
+        let (back, stats) = read_csv(buf.as_slice(), &spec).unwrap();
+        prop_assert_eq!(stats.rows_skipped, 0);
+        prop_assert_eq!(t, back);
+    }
+
+    /// Local projection round-trips lon/lat within numeric noise.
+    #[test]
+    fn projection_roundtrips(
+        lon0 in -179.0f64..179.0,
+        lat0 in -60.0f64..60.0,
+        dlon in -0.5f64..0.5,
+        dlat in -0.5f64..0.5,
+    ) {
+        let proj = LocalProjection::new(lon0, lat0);
+        let m = proj.to_metres(lon0 + dlon, lat0 + dlat);
+        let (lon, lat) = proj.to_lonlat(m);
+        prop_assert!((lon - (lon0 + dlon)).abs() < 1e-9);
+        prop_assert!((lat - (lat0 + dlat)).abs() < 1e-9);
+    }
+
+    /// The SQL printer/parser agreement: a programmatically built query
+    /// re-expressed as SQL parses back to the same structure.
+    #[test]
+    fn sql_parse_is_stable(
+        attr in 0usize..5,
+        val in -100.0f32..100.0,
+        op_idx in 0usize..5,
+    ) {
+        let schema = PointTable::with_capacity(0, &["c0", "c1", "c2", "c3", "c4"]);
+        let ops = [">", ">=", "<", "<=", "="];
+        let sql = format!(
+            "SELECT SUM(c{attr}) FROM P, R WHERE P.loc INSIDE R.geometry \
+             AND c{attr} {} {val} GROUP BY R.id",
+            ops[op_idx]
+        );
+        let q = raster_join_repro::join::sql::parse_query(&sql, &schema).unwrap();
+        prop_assert_eq!(q.aggregate, Aggregate::Sum(attr));
+        prop_assert_eq!(q.predicates.len(), 1);
+        prop_assert_eq!(q.predicates[0].attr, attr);
+        prop_assert!((q.predicates[0].value - val).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use proptest::prelude::*;
+use raster_join_repro::geom::clip::{clip_ring, clip_segment, coverage_fraction};
+use raster_join_repro::geom::predicates::point_in_ring;
+use raster_join_repro::geom::triangulate::triangulate_polygon;
+use raster_join_repro::geom::voronoi::voronoi_cells;
+use raster_join_repro::prelude::*;
+
+fn arb_point(range: f64) -> impl Strategy<Value = Point> {
+    ((-range..range), (-range..range)).prop_map(|(x, y)| Point::new(x, y))
+}
+
+/// A random simple (star-shaped) polygon: vertices sorted by angle around
+/// a center, at random radii — always non-self-intersecting.
+fn arb_star_polygon() -> impl Strategy<Value = Polygon> {
+    (3usize..24, 0.5f64..50.0, any::<u32>()).prop_map(|(n, scale, seed)| {
+        let mut pts = Vec::with_capacity(n);
+        let mut state = seed as u64 | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for i in 0..n {
+            let ang = (i as f64 + 0.3 * next()) / n as f64 * std::f64::consts::TAU;
+            let r = scale * (0.3 + 0.7 * next());
+            pts.push(Point::new(r * ang.cos(), r * ang.sin()));
+        }
+        Polygon::new(0, Ring::new(pts))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Triangulation exactly preserves polygon area.
+    #[test]
+    fn triangulation_preserves_area(poly in arb_star_polygon()) {
+        prop_assume!(poly.outer().len() >= 3);
+        prop_assume!(poly.area() > 1e-9);
+        let tris = triangulate_polygon(&poly);
+        let tri_area: f64 = tris.iter().map(|t| t.area()).sum();
+        prop_assert!(
+            (tri_area - poly.area()).abs() < 1e-6 * poly.area().max(1.0),
+            "area {} vs {}", tri_area, poly.area()
+        );
+        // And produces exactly n-2 triangles for a simple polygon.
+        prop_assert!(tris.len() <= poly.outer().len().saturating_sub(2));
+    }
+
+    /// Triangle coverage agrees with the polygon's own containment test
+    /// for points clearly inside or outside.
+    #[test]
+    fn triangulation_coverage_matches_pip(
+        poly in arb_star_polygon(),
+        probe in arb_point(60.0),
+    ) {
+        prop_assume!(poly.area() > 1e-6);
+        let edges = poly.all_edges();
+        let d = edges
+            .iter()
+            .map(|&(a, b)| probe.distance_to_segment(a, b))
+            .fold(f64::INFINITY, f64::min);
+        prop_assume!(d > 1e-6); // skip boundary-ambiguous probes
+        let tris = triangulate_polygon(&poly);
+        let covered = tris.iter().any(|t| t.contains(probe));
+        prop_assert_eq!(covered, poly.contains(probe));
+    }
+
+    /// Cohen–Sutherland clipping returns a subsegment inside the box.
+    #[test]
+    fn clipped_segment_is_inside_box(
+        a in arb_point(20.0),
+        b in arb_point(20.0),
+    ) {
+        let bb = BBox::new(Point::new(-5.0, -5.0), Point::new(5.0, 5.0));
+        if let Some((p, q)) = clip_segment(&bb, a, b) {
+            let tol = 1e-9;
+            for r in [p, q] {
+                prop_assert!(r.x >= bb.min.x - tol && r.x <= bb.max.x + tol);
+                prop_assert!(r.y >= bb.min.y - tol && r.y <= bb.max.y + tol);
+            }
+            // Clipped endpoints stay on the original line.
+            let dir = b - a;
+            let cross = |r: Point| (r - a).cross(dir).abs();
+            prop_assert!(cross(p) < 1e-6 * (1.0 + dir.norm()) * 20.0);
+            prop_assert!(cross(q) < 1e-6 * (1.0 + dir.norm()) * 20.0);
+        }
+    }
+
+    /// Sutherland–Hodgman output is contained in the box and never has
+    /// more area than the input polygon.
+    #[test]
+    fn clipped_ring_is_bounded(poly in arb_star_polygon()) {
+        let bb = BBox::new(Point::new(-10.0, -10.0), Point::new(10.0, 10.0));
+        let clipped = clip_ring(&bb, poly.outer().points());
+        let tol = 1e-9;
+        for p in &clipped {
+            prop_assert!(bb.inflate(tol).contains(*p));
+        }
+        let f = coverage_fraction(&bb, poly.outer().points());
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    /// Voronoi cells of random sites tile the extent: areas sum to the
+    /// extent area and each site lies in its own cell.
+    #[test]
+    fn voronoi_tiles_extent(seed in any::<u64>(), n in 2usize..40) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let extent = BBox::new(Point::new(0.0, 0.0), Point::new(100.0, 100.0));
+        let sites: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..100.0), rng.gen_range(0.0..100.0)))
+            .collect();
+        let cells = voronoi_cells(&sites, &extent);
+        let total: f64 = cells.iter().map(|c| c.area()).sum();
+        prop_assert!((total - 10_000.0).abs() < 1e-3, "total {}", total);
+        for c in &cells {
+            if c.verts.len() >= 3 {
+                prop_assert!(point_in_ring(&c.points(), sites[c.site]));
+            }
+        }
+    }
+
+    /// The bounded raster join at fine ε equals brute force when every
+    /// point is far (≫ ε) from every polygon boundary.
+    #[test]
+    fn bounded_join_exact_away_from_boundaries(seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Two disjoint squares with a wide corridor between them.
+        let polys = vec![
+            Polygon::from_coords(0, vec![(0.0, 0.0), (40.0, 0.0), (40.0, 100.0), (0.0, 100.0)]),
+            Polygon::from_coords(1, vec![(60.0, 0.0), (100.0, 0.0), (100.0, 100.0), (60.0, 100.0)]),
+        ];
+        let mut pts = PointTable::with_capacity(50, &[]);
+        let mut truth = [0u64; 2];
+        for _ in 0..50 {
+            // Sample away from all edges: margin 5 inside either square or
+            // the corridor.
+            let region = rng.gen_range(0..3);
+            let (x, y) = match region {
+                0 => { truth[0] += 1; (rng.gen_range(5.0..35.0), rng.gen_range(5.0..95.0)) }
+                1 => { truth[1] += 1; (rng.gen_range(65.0..95.0), rng.gen_range(5.0..95.0)) }
+                _ => (rng.gen_range(45.0..55.0), rng.gen_range(5.0..95.0)),
+            };
+            pts.push(Point::new(x, y), &[]);
+        }
+        let out = BoundedRasterJoin::new(2).execute(
+            &pts, &polys, &Query::count().with_epsilon(1.0), &Device::default());
+        prop_assert_eq!(out.counts, truth.to_vec());
+    }
+
+    /// Accurate raster join equals brute force on arbitrary star polygons.
+    #[test]
+    fn accurate_join_matches_brute_force(
+        poly in arb_star_polygon(),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        prop_assume!(poly.area() > 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let bb = poly.bbox().inflate(5.0);
+        let mut pts = PointTable::with_capacity(200, &[]);
+        for _ in 0..200 {
+            pts.push(Point::new(
+                rng.gen_range(bb.min.x..bb.max.x),
+                rng.gen_range(bb.min.y..bb.max.y),
+            ), &[]);
+        }
+        let polys = vec![poly.clone()];
+        let join = AccurateRasterJoin {
+            workers: 2, canvas_dim: 256, index_dim: 32, ..Default::default()
+        };
+        let out = join.execute(&pts, &polys, &Query::count(), &Device::default());
+        let truth = (0..pts.len()).filter(|&i| poly.contains(pts.point(i))).count() as u64;
+        prop_assert_eq!(out.counts[0], truth);
+    }
+}
