@@ -35,8 +35,8 @@ fn bench(c: &mut Criterion) {
     {
         let mut g = c.benchmark_group("ablation_index_resolution");
         g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
+        g.warm_up_time(std::time::Duration::from_millis(500));
+        g.measurement_time(std::time::Duration::from_secs(2));
         for dim in [256u32, 1_024, 4_096] {
             g.bench_with_input(BenchmarkId::new("build_mbr", dim), &dim, |b, &dim| {
                 b.iter(|| GridIndex::build(polys, extent, dim, dim, AssignMode::Mbr, w))
@@ -54,8 +54,8 @@ fn bench(c: &mut Criterion) {
     {
         let mut g = c.benchmark_group("ablation_assignment_mode");
         g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
+        g.warm_up_time(std::time::Duration::from_millis(500));
+        g.measurement_time(std::time::Duration::from_secs(2));
         for (label, mode) in [("mbr", AssignMode::Mbr), ("exact", AssignMode::Exact)] {
             g.bench_function(BenchmarkId::new("build", label), |b| {
                 b.iter(|| GridIndex::build(polys, extent, 1024, 1024, mode, w))
@@ -68,8 +68,8 @@ fn bench(c: &mut Criterion) {
     {
         let mut g = c.benchmark_group("ablation_fused_vs_materializing");
         g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
+        g.warm_up_time(std::time::Duration::from_millis(500));
+        g.measurement_time(std::time::Duration::from_secs(2));
         let dev = Device::default();
         g.bench_function("fused_index_join", |b| {
             b.iter(|| IndexJoin::gpu(w).execute(&pts, polys, &Query::count(), &dev))
@@ -83,10 +83,14 @@ fn bench(c: &mut Criterion) {
     {
         let mut g = c.benchmark_group("ablation_canvas_tiling");
         g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
+        g.warm_up_time(std::time::Duration::from_millis(500));
+        g.measurement_time(std::time::Duration::from_secs(2));
         let q = Query::count().with_epsilon(20.0);
-        for (label, fbo_dim) in [("single_8192", 8192u32), ("tiled_1024", 1024), ("tiled_512", 512)] {
+        for (label, fbo_dim) in [
+            ("single_8192", 8192u32),
+            ("tiled_1024", 1024),
+            ("tiled_512", 512),
+        ] {
             let dev = Device::new(DeviceConfig::small(3 << 30, fbo_dim));
             g.bench_function(BenchmarkId::new("bounded", label), |b| {
                 b.iter(|| BoundedRasterJoin::new(w).execute(&pts, polys, &q, &dev))
@@ -99,8 +103,8 @@ fn bench(c: &mut Criterion) {
     {
         let mut g = c.benchmark_group("ablation_point_batching");
         g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
+        g.warm_up_time(std::time::Duration::from_millis(500));
+        g.measurement_time(std::time::Duration::from_secs(2));
         let raw: Vec<raster_geom::Point> = (0..pts.len()).map(|i| pts.point(i)).collect();
         g.bench_function("point_grid_build", |b| {
             b.iter(|| raster_index::PointGrid::build(&raw, extent, 512, 512))
@@ -110,8 +114,7 @@ fn bench(c: &mut Criterion) {
         });
         let grid = raster_index::PointGrid::build(&raw, extent, 512, 512);
         let qt = raster_index::PointQuadtree::build(&raw, extent);
-        let queries: Vec<raster_geom::BBox> =
-            polys.iter().take(32).map(|p| p.bbox()).collect();
+        let queries: Vec<raster_geom::BBox> = polys.iter().take(32).map(|p| p.bbox()).collect();
         g.bench_function("point_grid_query", |b| {
             b.iter(|| {
                 queries
@@ -135,8 +138,8 @@ fn bench(c: &mut Criterion) {
     {
         let mut g = c.benchmark_group("ablation_preaggregation_baselines");
         g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
+        g.warm_up_time(std::time::Duration::from_millis(500));
+        g.measurement_time(std::time::Duration::from_secs(2));
         let raw: Vec<raster_geom::Point> = (0..pts.len()).map(|i| pts.point(i)).collect();
         let cube = raster_index::AggQuadtree::build(&raw, extent, 9);
         let recs: Vec<(raster_geom::Point, f32)> = raw.iter().map(|&p| (p, 1.0)).collect();
@@ -216,7 +219,12 @@ fn bench(c: &mut Criterion) {
         let rings: Vec<Vec<Vec<(f64, f64)>>> = polys
             .iter()
             .map(|p| {
-                let mut rs = vec![p.outer().points().iter().map(|&q| vp.to_screen(q)).collect::<Vec<_>>()];
+                let mut rs = vec![p
+                    .outer()
+                    .points()
+                    .iter()
+                    .map(|&q| vp.to_screen(q))
+                    .collect::<Vec<_>>()];
                 for h in p.holes() {
                     rs.push(h.points().iter().map(|&q| vp.to_screen(q)).collect());
                 }
@@ -404,17 +412,44 @@ fn bench(c: &mut Criterion) {
         g.bench_function("three_separate_passes", |b| {
             b.iter(|| {
                 let j = BoundedRasterJoin::new(w);
-                let count =
-                    j.execute(&pts_attr, polys, &Query::count().with_epsilon(20.0), &dev);
-                let sum =
-                    j.execute(&pts_attr, polys, &Query::sum(fare).with_epsilon(20.0), &dev);
+                let count = j.execute(&pts_attr, polys, &Query::count().with_epsilon(20.0), &dev);
+                let sum = j.execute(&pts_attr, polys, &Query::sum(fare).with_epsilon(20.0), &dev);
                 // The third (Σx²) pass has no single-aggregate form; model
                 // its cost with another sum pass.
-                let sumsq =
-                    j.execute(&pts_attr, polys, &Query::sum(fare).with_epsilon(20.0), &dev);
+                let sumsq = j.execute(&pts_attr, polys, &Query::sum(fare).with_epsilon(20.0), &dev);
                 (count.total_count(), sum.sums[0], sumsq.sums[0])
             })
         });
+        g.finish();
+    }
+
+    // --- binning × sharding pipeline ablation ---------------------------
+    // The full points × tiles sweep (with the JSON trajectory artifact)
+    // lives in the `bench_binning` binary; this group keeps the four
+    // pipeline configurations comparable inside the criterion suite at a
+    // fixed, CI-sized workload.
+    {
+        use raster_gpu::RasterConfig;
+        let mut g = c.benchmark_group("ablation_binning_sharding");
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(500));
+        g.measurement_time(std::time::Duration::from_secs(2));
+        let pts_bin = bench::workloads::taxi(400_000);
+        // ε → ~2046² canvas; 512-pixel FBO limit → 16 tiles.
+        let dev = Device::new(DeviceConfig::small(3 << 30, 512));
+        let q = Query::count().with_epsilon(40.1);
+        for (label, binning, sharding) in [
+            ("naive", false, false),
+            ("binned", true, false),
+            ("sharded", false, true),
+            ("binned_sharded", true, true),
+        ] {
+            g.bench_function(BenchmarkId::new("bounded_16_tiles", label), |b| {
+                let join = BoundedRasterJoin::with_config(w, RasterConfig { binning, sharding });
+                let prepared = join.prepare(polys, q.epsilon, &dev);
+                b.iter(|| join.execute_prepared(&prepared, &pts_bin, &q, &dev))
+            });
+        }
         g.finish();
     }
 }

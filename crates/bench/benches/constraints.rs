@@ -16,9 +16,7 @@ fn bench(c: &mut Criterion) {
     let dev = Device::default();
     let w = default_workers();
     for k in 0..=5usize {
-        let preds: Vec<Predicate> = (0..k)
-            .map(|a| Predicate::new(a, CmpOp::Ge, 0.0))
-            .collect();
+        let preds: Vec<Predicate> = (0..k).map(|a| Predicate::new(a, CmpOp::Ge, 0.0)).collect();
         let q = Query::count().with_epsilon(10.0).with_predicates(preds);
         g.bench_with_input(BenchmarkId::new("bounded", k), &q, |b, q| {
             b.iter(|| BoundedRasterJoin::new(w).execute(&pts, polys, q, &dev))

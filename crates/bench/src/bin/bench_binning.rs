@@ -1,0 +1,218 @@
+//! `bench_binning` — the binning/sharding ablation benchmark.
+//!
+//! Measures the bounded raster join under the four binning × sharding
+//! configurations over a points × tiles grid and writes the results (plus
+//! naive-relative speedups and a count-equivalence verdict) to
+//! `BENCH_binning.json`. This is the perf baseline for the tile-binned
+//! pipeline: the headline number is `binned_sharded` vs `naive` at the
+//! largest point count with a multi-tile canvas, where the rescan path
+//! pays O(points × tiles).
+//!
+//! ```text
+//! bench_binning [--quick] [--reps N] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the sweep (100k/1M points) for CI smoke runs; the
+//! default sweep is 1M/10M points × 1/4/16 canvas tiles.
+
+use raster_data::generators::TaxiModel;
+use raster_data::polygons::synthetic_polygons;
+use raster_data::PointTable;
+use raster_gpu::{Device, DeviceConfig, RasterConfig};
+use raster_join::{BoundedRasterJoin, Query};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// ε giving a ~2046² canvas over the NYC-like extent, so max FBO dims of
+/// 2048 / 1024 / 512 yield exactly 1 / 4 / 16 tiles.
+const EPSILON: f64 = 40.1;
+
+const MODES: [(&str, RasterConfig); 4] = [
+    (
+        "naive",
+        RasterConfig {
+            binning: false,
+            sharding: false,
+        },
+    ),
+    (
+        "binned",
+        RasterConfig {
+            binning: true,
+            sharding: false,
+        },
+    ),
+    (
+        "sharded",
+        RasterConfig {
+            binning: false,
+            sharding: true,
+        },
+    ),
+    (
+        "binned_sharded",
+        RasterConfig {
+            binning: true,
+            sharding: true,
+        },
+    ),
+];
+
+struct Row {
+    points: usize,
+    tiles: u32,
+    mode: &'static str,
+    best_ms: f64,
+    binning_ms: f64,
+    merge_ms: f64,
+    counts_match_naive: bool,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reps = arg_value(&args, "--reps")
+        .map(|v| v.parse().expect("--reps N"))
+        .unwrap_or(3usize)
+        .max(1);
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_binning.json".to_string());
+
+    let point_counts: &[usize] = if quick {
+        &[100_000, 1_000_000]
+    } else {
+        &[1_000_000, 10_000_000]
+    };
+    let tile_dims: &[(u32, u32)] = &[(2048, 1), (1024, 4), (512, 16)];
+
+    let model = TaxiModel::default();
+    let extent = raster_data::generators::nyc_extent();
+    let polys = synthetic_polygons(64, &extent, 7);
+    let q = Query::count().with_epsilon(EPSILON);
+    let workers = raster_gpu::exec::default_workers();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in point_counts {
+        eprintln!("generating {n} points…");
+        let pts: PointTable = model.generate(n, 7);
+        for &(max_dim, tiles) in tile_dims {
+            let dev = Device::new(DeviceConfig::small(3 << 30, max_dim));
+            let mut naive_counts: Option<Vec<u64>> = None;
+            for (mode, config) in MODES {
+                let join = BoundedRasterJoin::with_config(workers, config);
+                let prepared = join.prepare(&polys, q.epsilon, &dev);
+                assert_eq!(prepared.passes_per_batch(), tiles, "tile layout");
+                let mut best = f64::INFINITY;
+                let mut binning_ms = 0.0;
+                let mut merge_ms = 0.0;
+                let mut counts_match_naive = true;
+                for _ in 0..reps {
+                    let t0 = Instant::now();
+                    let out = join.execute_prepared(&prepared, &pts, &q, &dev);
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    if ms < best {
+                        best = ms;
+                        binning_ms = out.stats.binning.as_secs_f64() * 1e3;
+                        merge_ms = out.stats.shard_merge.as_secs_f64() * 1e3;
+                    }
+                    match &naive_counts {
+                        None => naive_counts = Some(out.counts),
+                        Some(base) => counts_match_naive &= *base == out.counts,
+                    }
+                }
+                eprintln!(
+                    "{n:>9} pts  {tiles:>2} tiles  {mode:<14} {best:>9.1} ms  \
+                     (bin {binning_ms:.1} ms, merge {merge_ms:.1} ms)  counts_ok={counts_match_naive}"
+                );
+                assert!(counts_match_naive, "{mode} counts diverged from naive");
+                rows.push(Row {
+                    points: n,
+                    tiles,
+                    mode,
+                    best_ms: best,
+                    binning_ms,
+                    merge_ms,
+                    counts_match_naive,
+                });
+            }
+        }
+    }
+
+    let json = render_json(&rows, quick, reps, workers);
+    std::fs::write(&out_path, &json).expect("write BENCH_binning.json");
+    eprintln!("wrote {out_path}");
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn render_json(rows: &[Row], quick: bool, reps: usize, workers: usize) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"binning\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    let _ = writeln!(s, "  \"workers\": {workers},");
+    let _ = writeln!(s, "  \"epsilon\": {EPSILON},");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"points\": {}, \"tiles\": {}, \"mode\": \"{}\", \"best_ms\": {:.2}, \
+             \"binning_ms\": {:.2}, \"merge_ms\": {:.2}, \"counts_match_naive\": {}}}",
+            r.points, r.tiles, r.mode, r.best_ms, r.binning_ms, r.merge_ms, r.counts_match_naive
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+
+    // Naive-relative speedups per (points, tiles) cell.
+    s.push_str("  \"speedups\": [\n");
+    let mut speedup_lines = Vec::new();
+    let cells: Vec<(usize, u32)> = {
+        let mut c: Vec<(usize, u32)> = rows.iter().map(|r| (r.points, r.tiles)).collect();
+        c.dedup();
+        c
+    };
+    let speedup_of = |points: usize, tiles: u32, mode: &str| -> f64 {
+        let time_of = |m: &str| {
+            rows.iter()
+                .find(|r| r.points == points && r.tiles == tiles && r.mode == m)
+                .map(|r| r.best_ms)
+                .unwrap_or(f64::NAN)
+        };
+        time_of("naive") / time_of(mode)
+    };
+    for &(points, tiles) in &cells {
+        speedup_lines.push(format!(
+            "    {{\"points\": {points}, \"tiles\": {tiles}, \
+             \"binned_vs_naive\": {:.2}, \"sharded_vs_naive\": {:.2}, \
+             \"binned_sharded_vs_naive\": {:.2}}}",
+            speedup_of(points, tiles, "binned"),
+            speedup_of(points, tiles, "sharded"),
+            speedup_of(points, tiles, "binned_sharded"),
+        ));
+    }
+    s.push_str(&speedup_lines.join(",\n"));
+    s.push('\n');
+    s.push_str("  ],\n");
+
+    // Headline: the conservative (worst-case) binned+sharded speedup over
+    // naive at the largest point count among multi-tile canvases.
+    let max_points = cells.iter().map(|&(p, _)| p).max().unwrap_or(0);
+    let headline = cells
+        .iter()
+        .filter(|&&(p, t)| p == max_points && t >= 4)
+        .map(|&(p, t)| (p, t, speedup_of(p, t, "binned_sharded")))
+        .min_by(|a, b| a.2.total_cmp(&b.2));
+    let (hp, ht, hs) = headline.unwrap_or((0, 0, f64::NAN));
+    let _ = writeln!(
+        s,
+        "  \"headline\": {{\"points\": {hp}, \"tiles\": {ht}, \
+         \"binned_sharded_vs_naive\": {hs:.2}}}"
+    );
+    s.push_str("}\n");
+    s
+}

@@ -109,8 +109,8 @@ fn load_points(args: &Args) -> Result<PointTable, String> {
                 // named in the header are not introspected here — use the
                 // binary format for full schemas.
                 let spec = raster_data::csv::CsvSpec::new(0, 1);
-                let (t, stats) = raster_data::csv::read_csv_file(path, &spec)
-                    .map_err(|e| e.to_string())?;
+                let (t, stats) =
+                    raster_data::csv::read_csv_file(path, &spec).map_err(|e| e.to_string())?;
                 eprintln!(
                     "loaded {} rows from {} ({} skipped)",
                     stats.rows_ok,
@@ -148,9 +148,13 @@ fn main() {
     let device = Device::default();
 
     // EXPLAIN: print the optimizer's plan and stop.
-    if args.sql.trim_start().to_ascii_uppercase().starts_with("EXPLAIN") {
-        match raster_join::sql::explain_query(&args.sql, &points, points.len(), &polys, &device)
-        {
+    if args
+        .sql
+        .trim_start()
+        .to_ascii_uppercase()
+        .starts_with("EXPLAIN")
+    {
+        match raster_join::sql::explain_query(&args.sql, &points, points.len(), &polys, &device) {
             Ok(plan) => {
                 print!("{plan}");
                 return;

@@ -54,7 +54,13 @@ pub fn table1(_scale: Scale) -> Report {
     let mut r = Report::new(
         "Table 1: polygonal data sets and processing costs",
         &[
-            "region", "polys", "verts", "triangulate", "index GPU", "index mCPU", "index 1CPU",
+            "region",
+            "polys",
+            "verts",
+            "triangulate",
+            "index GPU",
+            "index mCPU",
+            "index 1CPU",
         ],
     );
     r.note("paper: NYC 260 polys → 20ms tri, 10ms GPU / 0.57s mCPU / 2.15s 1CPU index");
@@ -68,16 +74,13 @@ pub fn table1(_scale: Scale) -> Report {
         let verts: usize = polys.iter().map(Polygon::vertex_count).sum();
         let (t_tri, _) = time(|| triangulate_all(polys));
         // GPU build: parallel, MBR assignment (§6.1).
-        let (t_gpu, _) = time(|| {
-            GridIndex::build(polys, extent, gpu_dim, gpu_dim, AssignMode::Mbr, w)
-        });
+        let (t_gpu, _) =
+            time(|| GridIndex::build(polys, extent, gpu_dim, gpu_dim, AssignMode::Mbr, w));
         // CPU builds: exact geometry assignment (§7.1).
-        let (t_mcpu, _) = time(|| {
-            GridIndex::build(polys, extent, cpu_dim, cpu_dim, AssignMode::Exact, w)
-        });
-        let (t_1cpu, _) = time(|| {
-            GridIndex::build(polys, extent, cpu_dim, cpu_dim, AssignMode::Exact, 1)
-        });
+        let (t_mcpu, _) =
+            time(|| GridIndex::build(polys, extent, cpu_dim, cpu_dim, AssignMode::Exact, w));
+        let (t_1cpu, _) =
+            time(|| GridIndex::build(polys, extent, cpu_dim, cpu_dim, AssignMode::Exact, 1));
         r.row(vec![
             name.into(),
             polys.len().to_string(),
@@ -98,7 +101,13 @@ pub fn table1(_scale: Scale) -> Report {
 pub fn table2(scale: Scale) -> Report {
     let mut r = Report::new(
         "Table 2: choice of GPU baseline (materializing [72] vs fused Index Join)",
-        &["points", "materializing", "index join", "speedup", "pairs shipped"],
+        &[
+            "points",
+            "materializing",
+            "index join",
+            "speedup",
+            "pairs shipped",
+        ],
     );
     r.note("paper: 57.7M → 1060 vs 344 ms; 111.7M → 1649 vs 651; 168.4M → 2129 vs 999 (2-3x)");
     let polys = workloads::neighborhoods();
@@ -130,8 +139,16 @@ pub fn fig8(scale: Scale) -> Report {
     let mut r = Report::new(
         "Fig. 8: scaling with points, in-core (Taxi ⋈ Neighborhoods)",
         &[
-            "points", "1-CPU", "m-CPU", "baseline(GPU)", "accurate", "bounded",
-            "mCPU spd", "base spd", "acc spd", "bnd spd",
+            "points",
+            "1-CPU",
+            "m-CPU",
+            "baseline(GPU)",
+            "accurate",
+            "bounded",
+            "mCPU spd",
+            "base spd",
+            "acc spd",
+            "bnd spd",
         ],
     );
     r.note("paper shape: bounded > accurate > baseline >> mCPU (~5x) > 1CPU;");
@@ -146,11 +163,26 @@ pub fn fig8(scale: Scale) -> Report {
         // In-core semantics (§7.3): the data is resident on the device,
         // so the paper's Fig. 8 time is pure processing; polygon
         // preprocessing is excluded as in §7.1.
-        let t1 = IndexJoin::cpu_single().execute(&pts, polys, &q, &dev).stats.processing;
-        let tm = IndexJoin::cpu_multi(w).execute(&pts, polys, &q, &dev).stats.processing;
-        let tb = IndexJoin::gpu(w).execute(&pts, polys, &q, &dev).stats.processing;
-        let ta = AccurateRasterJoin::new(w).execute(&pts, polys, &q, &dev).stats.processing;
-        let tr = BoundedRasterJoin::new(w).execute(&pts, polys, &q, &dev).stats.processing;
+        let t1 = IndexJoin::cpu_single()
+            .execute(&pts, polys, &q, &dev)
+            .stats
+            .processing;
+        let tm = IndexJoin::cpu_multi(w)
+            .execute(&pts, polys, &q, &dev)
+            .stats
+            .processing;
+        let tb = IndexJoin::gpu(w)
+            .execute(&pts, polys, &q, &dev)
+            .stats
+            .processing;
+        let ta = AccurateRasterJoin::new(w)
+            .execute(&pts, polys, &q, &dev)
+            .stats
+            .processing;
+        let tr = BoundedRasterJoin::new(w)
+            .execute(&pts, polys, &q, &dev)
+            .stats
+            .processing;
         r.row(vec![
             n.to_string(),
             format!("{} ms", ms(t1)),
@@ -175,8 +207,14 @@ pub fn fig9(scale: Scale) -> Report {
     let mut r = Report::new(
         "Fig. 9: scaling with points, out-of-GPU-core (Taxi ⋈ Neighborhoods)",
         &[
-            "points", "batches", "bounded total", "processing", "transfer(model)",
-            "baseline(GPU)", "1-CPU", "bnd spd",
+            "points",
+            "batches",
+            "bounded total",
+            "processing",
+            "transfer(model)",
+            "baseline(GPU)",
+            "1-CPU",
+            "bnd spd",
         ],
     );
     r.note("paper shape: linear scaling; transfer dominates bounded's total time;");
@@ -189,8 +227,14 @@ pub fn fig9(scale: Scale) -> Report {
         let n = scale.apply(base);
         let dev = small_device(scale.apply(400_000), 0);
         let pts = workloads::taxi(n);
-        let t1 = IndexJoin::cpu_single().execute(&pts, polys, &q, &dev).stats.total();
-        let tb = IndexJoin::gpu(w).execute(&pts, polys, &q, &dev).stats.total();
+        let t1 = IndexJoin::cpu_single()
+            .execute(&pts, polys, &q, &dev)
+            .stats
+            .total();
+        let tb = IndexJoin::gpu(w)
+            .execute(&pts, polys, &q, &dev)
+            .stats
+            .total();
         let out = BoundedRasterJoin::new(w).execute(&pts, polys, &q, &dev);
         let tr = out.stats.total();
         r.row(vec![
@@ -215,8 +259,14 @@ pub fn fig10(scale: Scale) -> Report {
     let mut r = Report::new(
         "Fig. 10: scaling with polygons (§7.4 Voronoi-merge workload)",
         &[
-            "polys", "triangulate", "index build", "bounded", "accurate", "baseline(GPU)",
-            "acc PIP", "base PIP",
+            "polys",
+            "triangulate",
+            "index build",
+            "bounded",
+            "accurate",
+            "baseline(GPU)",
+            "acc PIP",
+            "base PIP",
         ],
     );
     r.note("paper shape: bounded flat in polygon count; accurate→baseline gap closes");
@@ -230,9 +280,11 @@ pub fn fig10(scale: Scale) -> Report {
         let polys = workloads::polygon_sweep(count);
         let extent = raster_join::bounded::polygon_extent(&polys);
         let (t_tri, _) = time(|| triangulate_all(&polys));
-        let (t_idx, _) =
-            time(|| GridIndex::build(&polys, extent, 1024, 1024, AssignMode::Mbr, w));
-        let tr = BoundedRasterJoin::new(w).execute(&pts, &polys, &q, &dev).stats.processing;
+        let (t_idx, _) = time(|| GridIndex::build(&polys, extent, 1024, 1024, AssignMode::Mbr, w));
+        let tr = BoundedRasterJoin::new(w)
+            .execute(&pts, &polys, &q, &dev)
+            .stats
+            .processing;
         let acc = AccurateRasterJoin::new(w).execute(&pts, &polys, &q, &dev);
         let ta = acc.stats.processing;
         let base = IndexJoin::gpu(w).execute(&pts, &polys, &q, &dev);
@@ -258,7 +310,12 @@ pub fn fig11(scale: Scale) -> Report {
     let mut r = Report::new(
         "Fig. 11: scaling with number of attribute constraints (bounded join)",
         &[
-            "points", "constraints", "total", "processing", "transfer(model)", "upload MB",
+            "points",
+            "constraints",
+            "total",
+            "processing",
+            "transfer(model)",
+            "upload MB",
         ],
     );
     r.note("paper shape: transfer grows with each constraint column; processing");
@@ -333,7 +390,15 @@ pub fn fig12a(scale: Scale) -> Report {
 pub fn fig12b(scale: Scale) -> Report {
     let mut r = Report::new(
         "Fig. 12b: accuracy-epsilon trade-off (percent error box plots)",
-        &["epsilon m", "median", "q1", "q3", "whisker lo", "whisker hi", "max"],
+        &[
+            "epsilon m",
+            "median",
+            "q1",
+            "q3",
+            "whisker lo",
+            "whisker hi",
+            "max",
+        ],
     );
     r.note("paper: at the default ε = 10 m the median error is ≈0.15%; the error");
     r.note("range decreases monotonically as ε shrinks.");
@@ -370,7 +435,16 @@ pub fn fig12b(scale: Scale) -> Report {
 pub fn fig12c(scale: Scale) -> Report {
     let mut r = Report::new(
         "Fig. 12c: accurate vs approximate per polygon, ε = 20 m, with intervals",
-        &["poly", "accurate", "approx", "expected lo", "expected hi", "worst lo", "worst hi", "exact in worst?"],
+        &[
+            "poly",
+            "accurate",
+            "approx",
+            "expected lo",
+            "expected hi",
+            "worst lo",
+            "worst hi",
+            "exact in worst?",
+        ],
     );
     r.note("paper: all points hug the diagonal; expected intervals are tight and");
     r.note("the computed ranges bracket the accurate value.");
@@ -419,7 +493,12 @@ pub fn fig12c(scale: Scale) -> Report {
 pub fn fig6(scale: Scale) -> Report {
     let mut r = Report::new(
         "Fig. 6: visualization indistinguishability (JND analysis)",
-        &["epsilon m", "max normalized error", "JND (1/9)", "indistinguishable?"],
+        &[
+            "epsilon m",
+            "max normalized error",
+            "JND (1/9)",
+            "indistinguishable?",
+        ],
     );
     r.note("paper: max normalized error at ε = 20 m is < 0.002 << 1/9.");
     let n = scale.apply(400_000);
@@ -451,8 +530,14 @@ pub fn fig13(scale: Scale) -> Report {
     let mut r = Report::new(
         "Fig. 13: disk-resident scaling (Twitter ⋈ US-Counties, ε = 1 km)",
         &[
-            "points", "chunks", "bounded total", "disk", "processing", "transfer(model)",
-            "1-CPU(mem)", "bnd spd",
+            "points",
+            "chunks",
+            "bounded total",
+            "disk",
+            "processing",
+            "transfer(model)",
+            "1-CPU(mem)",
+            "bnd spd",
         ],
     );
     r.note("paper shape: disk I/O dominates totals, GPU processing stays consistent");
@@ -474,8 +559,7 @@ pub fn fig13(scale: Scale) -> Report {
         let dev = small_device(chunk_rows, 0);
         let joiner = BoundedRasterJoin::new(w);
         let prepared = joiner.prepare(polys, q.epsilon, &dev);
-        let mut reader =
-            raster_data::disk::ChunkedReader::open(&path, chunk_rows).expect("open");
+        let mut reader = raster_data::disk::ChunkedReader::open(&path, chunk_rows).expect("open");
         let mut counts = vec![0u64; raster_join::query::result_slots(polys)];
         let mut disk_time = Duration::ZERO;
         let mut proc = Duration::ZERO;
@@ -527,7 +611,13 @@ pub fn fig13(scale: Scale) -> Report {
 pub fn fig14(scale: Scale) -> Report {
     let mut r = Report::new(
         "Fig. 14: accuracy trade-offs (Twitter ⋈ US-Counties)",
-        &["epsilon m", "passes", "bounded", "median err %", "max norm err"],
+        &[
+            "epsilon m",
+            "passes",
+            "bounded",
+            "median err %",
+            "max norm err",
+        ],
     );
     r.note("paper: same shape as the taxi experiments at county scale (ε = 1 km default).");
     let n = scale.apply(800_000);
@@ -555,7 +645,6 @@ pub fn fig14(scale: Scale) -> Report {
     r
 }
 
-/// All experiments in paper order.
 // ------------------------------------------------------------- Ablations
 
 /// Beyond-the-paper comparison: every join strategy of §1/§2 on one
@@ -566,7 +655,14 @@ pub fn ablations(scale: Scale) -> Report {
     use raster_join::{SamplingJoin, TwoStepJoin};
     let mut r = Report::new(
         "Ablations: strategy lineage and approximation knobs",
-        &["strategy / knob", "time", "med err%", "max err%", "PIP tests", "pairs shipped"],
+        &[
+            "strategy / knob",
+            "time",
+            "med err%",
+            "max err%",
+            "PIP tests",
+            "pairs shipped",
+        ],
     );
     r.note("exact strategies must agree; approximate ones trade error for work");
     r.note("max err% is dominated by near-empty polygons (paper reports medians, Fig. 12b)");
@@ -603,24 +699,36 @@ pub fn ablations(scale: Scale) -> Report {
     };
 
     let two = TwoStepJoin::new(w).execute(&pts, polys, &q, &dev);
-    push("two-step filter-refine", &two.values(Aggregate::Count), &two.stats);
+    push(
+        "two-step filter-refine",
+        &two.values(Aggregate::Count),
+        &two.stats,
+    );
     let mat = MaterializingJoin::new(w).execute(&pts, polys, &q, &dev);
-    push("materializing [72]", &mat.values(Aggregate::Count), &mat.stats);
+    push(
+        "materializing [72]",
+        &mat.values(Aggregate::Count),
+        &mat.stats,
+    );
     let mut mat16 = MaterializingJoin::new(w);
     mat16.coord_bits = Some(16);
     let m16 = mat16.execute(&pts, polys, &q, &dev);
-    push("materializing 16-bit", &m16.values(Aggregate::Count), &m16.stats);
+    push(
+        "materializing 16-bit",
+        &m16.values(Aggregate::Count),
+        &m16.stats,
+    );
     let fused = IndexJoin::gpu(w).execute(&pts, polys, &q, &dev);
-    push("fused index join", &fused.values(Aggregate::Count), &fused.stats);
+    push(
+        "fused index join",
+        &fused.values(Aggregate::Count),
+        &fused.stats,
+    );
     let acc = AccurateRasterJoin::default().execute(&pts, polys, &q, &dev);
     push("accurate raster", &acc.values(Aggregate::Count), &acc.stats);
     for eps in [80.0, 20.0] {
-        let out = BoundedRasterJoin::new(w).execute(
-            &pts,
-            polys,
-            &Query::count().with_epsilon(eps),
-            &dev,
-        );
+        let out =
+            BoundedRasterJoin::new(w).execute(&pts, polys, &Query::count().with_epsilon(eps), &dev);
         push(
             &format!("bounded raster ε={eps}m"),
             &out.values(Aggregate::Count),

@@ -194,8 +194,7 @@ bad,9.9,1.0,1,skipme
     #[test]
     fn missing_columns_skip_row() {
         let body = "1.0\n1.0,2.0\n";
-        let (t, stats) =
-            read_csv(body.as_bytes(), &CsvSpec::new(0, 1).without_header()).unwrap();
+        let (t, stats) = read_csv(body.as_bytes(), &CsvSpec::new(0, 1).without_header()).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(stats.rows_skipped, 1);
     }

@@ -111,9 +111,10 @@ fn read_meta<R: Read>(r: &mut R) -> io::Result<TableMeta> {
         let mut name = vec![0u8; len];
         r.read_exact(&mut name)?;
         header_bytes += 4 + len as u64;
-        names.push(String::from_utf8(name).map_err(|_| {
-            io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 column name")
-        })?);
+        names.push(
+            String::from_utf8(name)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 column name"))?,
+        );
     }
     Ok(TableMeta {
         rows,

@@ -10,9 +10,9 @@
 //! paper's input-size sweep mechanism, §7.1 "Queries").
 
 use crate::table::PointTable;
-use raster_geom::{BBox, Point};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use raster_geom::{BBox, Point};
 
 /// World extent of the NYC-like workload: ~58 km square in metres, sized so
 /// that the paper's default ε = 20 m needs a ≈4k×4k canvas (§4.2, Fig. 6).
@@ -72,14 +72,34 @@ impl Default for TaxiModel {
             extent: e,
             hotspots: vec![
                 // Lower Manhattan: dominant, tight.
-                Hotspot { center: at(0.45, 0.42), sigma: 0.02 * w, weight: 0.40 },
+                Hotspot {
+                    center: at(0.45, 0.42),
+                    sigma: 0.02 * w,
+                    weight: 0.40,
+                },
                 // Midtown.
-                Hotspot { center: at(0.47, 0.50), sigma: 0.025 * w, weight: 0.30 },
+                Hotspot {
+                    center: at(0.47, 0.50),
+                    sigma: 0.025 * w,
+                    weight: 0.30,
+                },
                 // Two airports: compact, far from the core.
-                Hotspot { center: at(0.68, 0.38), sigma: 0.008 * w, weight: 0.10 },
-                Hotspot { center: at(0.62, 0.55), sigma: 0.008 * w, weight: 0.08 },
+                Hotspot {
+                    center: at(0.68, 0.38),
+                    sigma: 0.008 * w,
+                    weight: 0.10,
+                },
+                Hotspot {
+                    center: at(0.62, 0.55),
+                    sigma: 0.008 * w,
+                    weight: 0.08,
+                },
                 // Outer boroughs.
-                Hotspot { center: at(0.55, 0.30), sigma: 0.06 * w, weight: 0.07 },
+                Hotspot {
+                    center: at(0.55, 0.30),
+                    sigma: 0.06 * w,
+                    weight: 0.07,
+                },
             ],
             background_weight: 0.05,
         }
@@ -140,10 +160,22 @@ impl Default for TwitterModel {
         let at = |fx: f64, fy: f64| Point::new(e.min.x + fx * w, e.min.y + fy * h);
         // 16 "cities" at fixed pseudo-geographic positions, Zipf weights.
         let positions = [
-            (0.88, 0.62), (0.15, 0.55), (0.70, 0.72), (0.62, 0.30),
-            (0.85, 0.45), (0.10, 0.75), (0.58, 0.55), (0.78, 0.28),
-            (0.35, 0.60), (0.90, 0.75), (0.50, 0.40), (0.25, 0.35),
-            (0.65, 0.62), (0.80, 0.55), (0.42, 0.72), (0.55, 0.20),
+            (0.88, 0.62),
+            (0.15, 0.55),
+            (0.70, 0.72),
+            (0.62, 0.30),
+            (0.85, 0.45),
+            (0.10, 0.75),
+            (0.58, 0.55),
+            (0.78, 0.28),
+            (0.35, 0.60),
+            (0.90, 0.75),
+            (0.50, 0.40),
+            (0.25, 0.35),
+            (0.65, 0.62),
+            (0.80, 0.55),
+            (0.42, 0.72),
+            (0.55, 0.20),
         ];
         let cities = positions
             .iter()

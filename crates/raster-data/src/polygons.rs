@@ -7,10 +7,10 @@
 //! generation backs the polygon-scaling experiment (Fig. 10).
 
 use crate::generators::{nyc_extent, us_extent};
-use raster_geom::merge::generate_polygons;
-use raster_geom::{BBox, Polygon};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use raster_geom::merge::generate_polygons;
+use raster_geom::{BBox, Polygon};
 
 /// Number of polygons in the NYC-neighborhoods stand-in (Table 1).
 pub const NYC_NEIGHBORHOOD_COUNT: usize = 260;
@@ -92,16 +92,15 @@ mod tests {
         // Merged polygons must average well above 4 vertices (the paper's
         // real polygons have hundreds; complexity scales with merge depth).
         let p = synthetic_polygons(32, &nyc_extent(), 2);
-        let avg: f64 =
-            p.iter().map(|q| q.vertex_count() as f64).sum::<f64>() / p.len() as f64;
+        let avg: f64 = p.iter().map(|q| q.vertex_count() as f64).sum::<f64>() / p.len() as f64;
         assert!(avg > 6.0, "average vertex count {avg}");
     }
 
     #[test]
     fn nyc_stand_in_has_hundreds_of_vertices_per_polygon() {
         let polys = nyc_neighborhoods();
-        let avg: f64 = polys.iter().map(|p| p.vertex_count() as f64).sum::<f64>()
-            / polys.len() as f64;
+        let avg: f64 =
+            polys.iter().map(|p| p.vertex_count() as f64).sum::<f64>() / polys.len() as f64;
         assert!(
             (100.0..2_000.0).contains(&avg),
             "average vertex count {avg} outside the realistic band"

@@ -34,7 +34,10 @@ pub fn coverage_regions(sites: &[Point], extent: &BBox) -> Vec<Option<Polygon>> 
 
 /// Convenience: only the valid regions (still carrying site-index IDs).
 pub fn coverage_polygons(sites: &[Point], extent: &BBox) -> Vec<Polygon> {
-    coverage_regions(sites, extent).into_iter().flatten().collect()
+    coverage_regions(sites, extent)
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]

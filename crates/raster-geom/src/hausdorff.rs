@@ -64,8 +64,8 @@ pub fn resolution_for_epsilon(extent: &BBox, epsilon: f64) -> (u32, u32) {
 /// the FBO limit `max_dim` per axis (the multi-canvas splitting of Fig. 5).
 pub fn passes_for_epsilon(extent: &BBox, epsilon: f64, max_dim: u32) -> u32 {
     let (w, h) = resolution_for_epsilon(extent, epsilon);
-    let tiles_x = (w + max_dim - 1) / max_dim;
-    let tiles_y = (h + max_dim - 1) / max_dim;
+    let tiles_x = w.div_ceil(max_dim);
+    let tiles_y = h.div_ceil(max_dim);
     tiles_x * tiles_y
 }
 

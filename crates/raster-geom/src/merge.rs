@@ -195,11 +195,7 @@ pub fn merge_cells_into_polygons<R: Rng>(
 /// Full §7.4 generator: scatter `4 * target` random sites in `extent`,
 /// compute the constrained Voronoi diagram and merge down to `target`
 /// polygons.
-pub fn generate_polygons<R: Rng>(
-    target: usize,
-    extent: &crate::BBox,
-    rng: &mut R,
-) -> Vec<Polygon> {
+pub fn generate_polygons<R: Rng>(target: usize, extent: &crate::BBox, rng: &mut R) -> Vec<Polygon> {
     let nsites = 4 * target.max(1);
     let sites: Vec<Point> = (0..nsites)
         .map(|_| {
@@ -266,11 +262,8 @@ mod tests {
             let pts = p.outer().points();
             let n = pts.len();
             (0..n).any(|i| {
-                crate::predicates::signed_area2(
-                    pts[(i + n - 1) % n],
-                    pts[i],
-                    pts[(i + 1) % n],
-                ) < -1e-9
+                crate::predicates::signed_area2(pts[(i + n - 1) % n], pts[i], pts[(i + 1) % n])
+                    < -1e-9
             })
         });
         assert!(any_concave, "expected concave polygons from merging");

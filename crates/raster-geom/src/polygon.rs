@@ -155,7 +155,11 @@ impl Polygon {
     /// Area: outer ring minus holes.
     pub fn area(&self) -> f64 {
         self.outer.signed_area().abs()
-            - self.holes.iter().map(|h| h.signed_area().abs()).sum::<f64>()
+            - self
+                .holes
+                .iter()
+                .map(|h| h.signed_area().abs())
+                .sum::<f64>()
     }
 
     /// Perimeter of all rings (outline length — drives the number of

@@ -137,8 +137,14 @@ mod tests {
     fn orientation_basic() {
         let a = Point::new(0.0, 0.0);
         let b = Point::new(1.0, 0.0);
-        assert_eq!(orient2d(a, b, Point::new(0.0, 1.0)), Orientation::CounterClockwise);
-        assert_eq!(orient2d(a, b, Point::new(0.0, -1.0)), Orientation::Clockwise);
+        assert_eq!(
+            orient2d(a, b, Point::new(0.0, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orient2d(a, b, Point::new(0.0, -1.0)),
+            Orientation::Clockwise
+        );
         assert_eq!(orient2d(a, b, Point::new(2.0, 0.0)), Orientation::Collinear);
     }
 

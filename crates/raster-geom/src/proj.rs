@@ -72,7 +72,12 @@ impl WebMercator {
 }
 
 /// Project a lon/lat bounding box with a [`LocalProjection`] centred on it.
-pub fn project_bbox_local(lon_min: f64, lat_min: f64, lon_max: f64, lat_max: f64) -> (LocalProjection, BBox) {
+pub fn project_bbox_local(
+    lon_min: f64,
+    lat_min: f64,
+    lon_max: f64,
+    lat_max: f64,
+) -> (LocalProjection, BBox) {
     let proj = LocalProjection::new((lon_min + lon_max) / 2.0, (lat_min + lat_max) / 2.0);
     let corners = [
         proj.to_metres(lon_min, lat_min),
@@ -116,7 +121,11 @@ mod tests {
         let p = nyc();
         let m = p.to_metres(-72.98, 40.75);
         let expected = 111_195.0 * (40.75f64.to_radians()).cos();
-        assert!((m.x - expected).abs() < 200.0, "got {} want {expected}", m.x);
+        assert!(
+            (m.x - expected).abs() < 200.0,
+            "got {} want {expected}",
+            m.x
+        );
     }
 
     #[test]
@@ -130,8 +139,7 @@ mod tests {
         let (lat1, lat2) = (40.70f64.to_radians(), 40.85f64.to_radians());
         let dlat = lat2 - lat1;
         let dlon = (-73.90f64 + 74.05).to_radians();
-        let h = (dlat / 2.0).sin().powi(2)
-            + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
         let hav = 2.0 * EARTH_RADIUS_M * h.sqrt().asin();
         let rel = (planar - hav).abs() / hav;
         assert!(rel < 1e-3, "relative error {rel}");
@@ -158,7 +166,11 @@ mod tests {
             assert!(bbox.contains(proj.to_metres(lon, lat)));
         }
         // NYC box is ~50 km × 55 km.
-        assert!((40_000.0..70_000.0).contains(&bbox.width()), "{}", bbox.width());
+        assert!(
+            (40_000.0..70_000.0).contains(&bbox.width()),
+            "{}",
+            bbox.width()
+        );
         assert!((45_000.0..65_000.0).contains(&bbox.height()));
     }
 }

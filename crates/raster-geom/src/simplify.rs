@@ -165,10 +165,7 @@ mod tests {
         let poly = Polygon::new(0, Ring::new(pts));
         let tol = 4.0;
         let simple = simplify_polygon(&poly, tol);
-        let h = hausdorff(
-            &sample_boundary(&poly, 1.0),
-            &sample_boundary(&simple, 1.0),
-        );
+        let h = hausdorff(&sample_boundary(&poly, 1.0), &sample_boundary(&simple, 1.0));
         // DP guarantees each removed vertex is within tol of the chord;
         // boundary Hausdorff stays in the same ballpark.
         assert!(h <= 2.0 * tol, "hausdorff {h} > {}", 2.0 * tol);

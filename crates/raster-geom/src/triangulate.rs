@@ -323,7 +323,11 @@ mod tests {
         ]);
         let p = Polygon::with_holes(9, outer, vec![hole]);
         let tris = triangulate_polygon(&p);
-        assert!((total_area(&tris) - 60.0).abs() < 1e-6, "area {}", total_area(&tris));
+        assert!(
+            (total_area(&tris) - 60.0).abs() < 1e-6,
+            "area {}",
+            total_area(&tris)
+        );
         // Hole interior must not be covered.
         assert!(!tris.iter().any(|t| t.contains(Point::new(4.0, 4.0))));
         // Ring interior must be covered.

@@ -184,10 +184,8 @@ mod tests {
 
     #[test]
     fn bowtie_self_intersection_detected_not_repaired() {
-        let bowtie = Polygon::from_coords(
-            0,
-            vec![(0.0, 0.0), (10.0, 10.0), (10.0, 0.0), (0.0, 10.0)],
-        );
+        let bowtie =
+            Polygon::from_coords(0, vec![(0.0, 0.0), (10.0, 10.0), (10.0, 0.0), (0.0, 10.0)]);
         let issues = validate(&bowtie);
         assert!(issues.contains(&Issue::SelfIntersection(0)), "{issues:?}");
         assert!(repair(&bowtie).is_none());

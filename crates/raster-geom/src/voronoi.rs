@@ -180,7 +180,10 @@ pub fn voronoi_cells(sites: &[Point], extent: &BBox) -> Vec<VoronoiCell> {
                 }
                 ring += 1;
             }
-            VoronoiCell { site: i, verts: cell }
+            VoronoiCell {
+                site: i,
+                verts: cell,
+            }
         })
         .collect()
 }
@@ -203,10 +206,7 @@ mod tests {
 
     #[test]
     fn two_sites_split_in_half() {
-        let cells = voronoi_cells(
-            &[Point::new(25.0, 50.0), Point::new(75.0, 50.0)],
-            &extent(),
-        );
+        let cells = voronoi_cells(&[Point::new(25.0, 50.0), Point::new(75.0, 50.0)], &extent());
         assert_eq!(cells.len(), 2);
         assert!((cells[0].area() - 5_000.0).abs() < 1e-6);
         assert!((cells[1].area() - 5_000.0).abs() < 1e-6);

@@ -93,7 +93,7 @@ impl Device {
         if total_bytes == 0 {
             return 1;
         }
-        (total_bytes + self.config.memory_budget - 1) / self.config.memory_budget
+        total_bytes.div_ceil(self.config.memory_budget)
     }
 
     /// Largest number of points (each `point_bytes` wide) resident at once.
@@ -182,8 +182,10 @@ mod tests {
 
     #[test]
     fn modelled_time_is_bytes_over_bandwidth() {
-        let mut c = DeviceConfig::default();
-        c.bandwidth_bytes_per_sec = 1e9;
+        let c = DeviceConfig {
+            bandwidth_bytes_per_sec: 1e9,
+            ..Default::default()
+        };
         let d = Device::new(c);
         d.record_upload(2_000_000_000);
         let t = d.modelled_transfer_time();

@@ -26,7 +26,7 @@ where
         f(0, len);
         return;
     }
-    let chunk = (len + workers - 1) / workers;
+    let chunk = len.div_ceil(workers);
     crossbeam::thread::scope(|s| {
         for w in 0..workers {
             let start = w * chunk;
@@ -39,6 +39,16 @@ where
         }
     })
     .expect("worker thread panicked");
+}
+
+/// Block size for [`parallel_dynamic`] over `len` items on `workers`
+/// threads: aim for ~8 blocks per worker (enough granularity to absorb
+/// skewed per-item costs without paying a cursor `fetch_add` per item),
+/// clamped to [1, 256]. Callers used to hard-code guesses (4, 16, …) that
+/// degraded to one block per worker on small inputs and to thousands of
+/// cursor bumps on large ones.
+pub fn block_for(len: usize, workers: usize) -> usize {
+    (len / (workers.max(1) * 8)).clamp(1, 256)
 }
 
 /// Dynamic work stealing over items `0..len` in blocks of `block` — used
@@ -86,8 +96,8 @@ mod tests {
         let n = 10_001;
         let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
         parallel_ranges(n, 8, |s, e| {
-            for i in s..e {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
@@ -111,6 +121,15 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn block_for_scales_with_len_and_workers() {
+        assert_eq!(block_for(0, 4), 1);
+        assert_eq!(block_for(10, 4), 1);
+        assert_eq!(block_for(320, 4), 10);
+        assert_eq!(block_for(1 << 20, 8), 256); // clamped
+        assert_eq!(block_for(100, 0), 12); // degenerate workers treated as 1
     }
 
     #[test]

@@ -62,7 +62,14 @@ impl PointFbo {
     /// This is line 5 of Procedure DrawPoints.
     #[inline]
     pub fn blend_add(&self, x: u32, y: u32, value: f32) {
-        let i = self.idx(x, y);
+        self.blend_add_idx(self.idx(x, y), value);
+    }
+
+    /// [`PointFbo::blend_add`] addressed by linear pixel index — the form
+    /// the binned pipeline uses, where `bin_points` has already computed
+    /// `y * width + x` per entry.
+    #[inline]
+    pub fn blend_add_idx(&self, i: usize, value: f32) {
         self.counts[i].fetch_add(1, Ordering::Relaxed);
         if value != 0.0 {
             // CAS loop implementing atomic f32 add, as GLSL atomicAdd on
@@ -170,6 +177,232 @@ impl PointFbo {
     }
 }
 
+/// Private per-worker count/sum accumulation buffers for one FBO-sized
+/// canvas, merged into the canonical [`PointFbo`] after the point scan.
+///
+/// # Why shards
+///
+/// `blend_add` pays one `fetch_add` plus an f32 CAS loop per fragment on
+/// cache lines shared by every worker; on skewed data (the paper's taxi
+/// hotspots, §7.1) many fragments hit the *same* pixel and the CAS loop
+/// degenerates into retry storms. Hardware ROPs solve this with per-tile
+/// ownership; tile-binned software rasterizers solve it with per-block
+/// private accumulators merged at the end. `ShardSet` is that second
+/// design: each worker owns a full-canvas pair of plain (non-atomic)
+/// `u32`/`f32` buffers, the scan is contention-free, and a parallel merge
+/// folds the shards into the `PointFbo`.
+///
+/// # Equivalence contract
+///
+/// Counts are integer sums, so the merged result is **bit-identical** to
+/// the atomic path in any order. Pixel sums are f32 additions whose order
+/// changes (per-shard accumulation then shard-order merge, vs. arbitrary
+/// CAS interleaving), so sums agree only up to f32 rounding —
+/// ≤ a few ULP per fragment, asserted `≤ 1e-6` relative in the
+/// equivalence tests. The atomic path itself is already
+/// nondeterministic in this respect (CAS order varies run to run), so
+/// sharding does not weaken any guarantee the pipeline actually had.
+pub struct ShardSet {
+    pixels: usize,
+    /// Per-shard (counts, sums) buffers, each `pixels` long.
+    shards: Vec<(Vec<u32>, Vec<f32>)>,
+}
+
+impl ShardSet {
+    /// At most this many shards are worth their memory/merge cost; beyond
+    /// ~8 the merge bandwidth dominates the contention saved.
+    pub const MAX_SHARDS: usize = 8;
+
+    pub fn new(pixels: usize, shards: usize) -> Self {
+        let n = shards.clamp(1, Self::MAX_SHARDS);
+        ShardSet {
+            pixels,
+            shards: (0..n)
+                .map(|_| (vec![0u32; pixels], vec![0f32; pixels]))
+                .collect(),
+        }
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn pixels(&self) -> usize {
+        self.pixels
+    }
+
+    /// Replay pre-binned entries: shard `s` blends the `s`-th contiguous
+    /// slice of `idx` (and `values`, when the query aggregates) into its
+    /// private buffers, one scoped worker per shard, no atomics.
+    pub fn accumulate(&mut self, idx: &[u32], values: Option<&[f32]>) {
+        let n = idx.len();
+        let shards = self.shards.len().min(n.max(1));
+        let chunk = (n + shards - 1) / shards.max(1);
+        crossbeam::thread::scope(|s| {
+            for (w, (counts, sums)) in self.shards.iter_mut().take(shards).enumerate() {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(n);
+                if start >= end {
+                    continue;
+                }
+                s.spawn(move |_| match values {
+                    Some(vals) => {
+                        for (&pix, &v) in idx[start..end].iter().zip(&vals[start..end]) {
+                            counts[pix as usize] += 1;
+                            sums[pix as usize] += v;
+                        }
+                    }
+                    None => {
+                        for &pix in &idx[start..end] {
+                            counts[pix as usize] += 1;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("shard accumulation worker panicked");
+    }
+
+    /// Un-binned variant: shard `s` scans the `s`-th contiguous subrange
+    /// of `0..len`, classifying each point itself. `access(shard, i)`
+    /// returns the linear pixel index and value, or `None` when the point
+    /// is filtered or clipped; the shard index lets callers keep their own
+    /// side statistics contention-free (e.g. per-shard PIP counters in the
+    /// accurate join). Used when binning is toggled off (ablation) and by
+    /// the accurate join, whose boundary test forces a per-point branch.
+    pub fn accumulate_with<F>(&mut self, len: usize, access: F)
+    where
+        F: Fn(usize, usize) -> Option<(u32, f32)> + Sync,
+    {
+        let shards = self.shards.len().min(len.max(1));
+        let chunk = (len + shards - 1) / shards.max(1);
+        crossbeam::thread::scope(|s| {
+            for (w, (counts, sums)) in self.shards.iter_mut().take(shards).enumerate() {
+                let start = w * chunk;
+                let end = ((w + 1) * chunk).min(len);
+                if start >= end {
+                    continue;
+                }
+                let access = &access;
+                s.spawn(move |_| {
+                    for i in start..end {
+                        if let Some((pix, v)) = access(w, i) {
+                            counts[pix as usize] += 1;
+                            sums[pix as usize] += v;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("shard accumulation worker panicked");
+    }
+
+    /// Fold every shard into `fbo` (adding to its current contents), in
+    /// parallel over disjoint pixel ranges. Count channels merge exactly;
+    /// sum channels merge in fixed shard order, so the result is
+    /// deterministic for a given shard count.
+    pub fn merge_into(&self, fbo: &PointFbo, workers: usize) {
+        assert_eq!(
+            self.pixels,
+            fbo.width as usize * fbo.height as usize,
+            "shard/FBO shape mismatch"
+        );
+        crate::exec::parallel_ranges(self.pixels, workers, |lo, hi| {
+            for i in lo..hi {
+                let mut cnt = 0u32;
+                let mut sum = 0f32;
+                for (counts, sums) in &self.shards {
+                    cnt += counts[i];
+                    sum += sums[i];
+                }
+                if cnt > 0 {
+                    // Disjoint ranges: plain load+store, no RMW needed.
+                    let c = &fbo.counts[i];
+                    c.store(c.load(Ordering::Relaxed) + cnt, Ordering::Relaxed);
+                    if sum != 0.0 {
+                        let s = &fbo.sums[i];
+                        s.store(
+                            (f32::from_bits(s.load(Ordering::Relaxed)) + sum).to_bits(),
+                            Ordering::Relaxed,
+                        );
+                    }
+                }
+            }
+        });
+    }
+
+    /// Zero all shard buffers for reuse (memset fast path).
+    pub fn clear(&mut self) {
+        for (counts, sums) in &mut self.shards {
+            counts.fill(0);
+            sums.fill(0.0);
+        }
+    }
+}
+
+/// Recycles FBO and shard allocations across tiles and batches.
+///
+/// The rescan pipeline allocated (and faulted in) two fresh 32-bit
+/// channels per tile per batch; at 8192² that is 0.5 GB of zeroed pages
+/// per pass. The pool hands back cleared buffers of matching shape
+/// instead, so steady-state execution performs no allocation at all —
+/// the software analog of a GL implementation reusing FBO attachments
+/// across `glClear` calls rather than reallocating textures.
+#[derive(Default)]
+pub struct FboPool {
+    fbos: parking_lot::Mutex<Vec<PointFbo>>,
+    shards: parking_lot::Mutex<Vec<ShardSet>>,
+}
+
+impl FboPool {
+    pub fn new() -> Self {
+        FboPool::default()
+    }
+
+    /// A cleared `width × height` FBO, recycled when a matching one was
+    /// released, freshly allocated otherwise.
+    pub fn acquire(&self, width: u32, height: u32) -> PointFbo {
+        let mut free = self.fbos.lock();
+        if let Some(pos) = free
+            .iter()
+            .position(|f| f.width == width && f.height == height)
+        {
+            let mut fbo = free.swap_remove(pos);
+            drop(free);
+            fbo.clear();
+            return fbo;
+        }
+        drop(free);
+        PointFbo::new(width, height)
+    }
+
+    pub fn release(&self, fbo: PointFbo) {
+        self.fbos.lock().push(fbo);
+    }
+
+    /// A cleared shard set covering `pixels`, with `shards` shards
+    /// (clamped to [`ShardSet::MAX_SHARDS`]).
+    pub fn acquire_shards(&self, pixels: usize, shards: usize) -> ShardSet {
+        let want = shards.clamp(1, ShardSet::MAX_SHARDS);
+        let mut free = self.shards.lock();
+        if let Some(pos) = free
+            .iter()
+            .position(|s| s.pixels == pixels && s.shard_count() == want)
+        {
+            let mut set = free.swap_remove(pos);
+            drop(free);
+            set.clear();
+            return set;
+        }
+        drop(free);
+        ShardSet::new(pixels, want)
+    }
+
+    pub fn release_shards(&self, set: ShardSet) {
+        self.shards.lock().push(set);
+    }
+}
+
 /// The boundary FBO of the accurate variant (§4.3 step 1): one bit per
 /// pixel marking polygon outlines (drawn with conservative rasterization).
 pub struct BoundaryFbo {
@@ -181,7 +414,7 @@ pub struct BoundaryFbo {
 impl BoundaryFbo {
     pub fn new(width: u32, height: u32) -> Self {
         let n = width as usize * height as usize;
-        let words = (n + 31) / 32;
+        let words = n.div_ceil(32);
         BoundaryFbo {
             width,
             height,
@@ -324,6 +557,120 @@ mod tests {
     }
 
     #[test]
+    fn sharded_accumulation_matches_atomic_blend() {
+        let w = 16u32;
+        let h = 8u32;
+        // Deliberately hot: many entries hit the same few pixels.
+        let idx: Vec<u32> = (0..10_000).map(|i| (i % 7) as u32 * 3).collect();
+        let values: Vec<f32> = (0..10_000).map(|i| (i % 11) as f32 * 0.25).collect();
+
+        let atomic = PointFbo::new(w, h);
+        for (&pix, &v) in idx.iter().zip(&values) {
+            atomic.blend_add_idx(pix as usize, v);
+        }
+
+        let sharded = PointFbo::new(w, h);
+        let mut shards = ShardSet::new((w * h) as usize, 8);
+        shards.accumulate(&idx, Some(&values));
+        shards.merge_into(&sharded, 4);
+
+        for y in 0..h {
+            for x in 0..w {
+                assert_eq!(atomic.count_at(x, y), sharded.count_at(x, y), "({x},{y})");
+                let (a, s) = (atomic.sum_at(x, y), sharded.sum_at(x, y));
+                assert!(
+                    (a - s).abs() <= 1e-6 * a.abs().max(1.0),
+                    "({x},{y}): atomic {a} vs sharded {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_count_only_path() {
+        let fbo = PointFbo::new(4, 4);
+        let idx = vec![0u32, 5, 5, 15];
+        let mut shards = ShardSet::new(16, 3);
+        shards.accumulate(&idx, None);
+        shards.merge_into(&fbo, 2);
+        assert_eq!(fbo.count_at(0, 0), 1);
+        assert_eq!(fbo.count_at(1, 1), 2);
+        assert_eq!(fbo.count_at(3, 3), 1);
+        assert_eq!(fbo.total_count(), 4);
+    }
+
+    #[test]
+    fn accumulate_with_classifies_lazily() {
+        let fbo = PointFbo::new(4, 1);
+        let mut shards = ShardSet::new(4, 2);
+        // Even indices land on pixel i%4, odd are "filtered".
+        shards.accumulate_with(100, |_shard, i| {
+            (i % 2 == 0).then_some(((i % 4) as u32, 1.0))
+        });
+        shards.merge_into(&fbo, 2);
+        assert_eq!(fbo.total_count(), 50);
+        assert_eq!(fbo.count_at(0, 0), 25);
+        assert_eq!(fbo.count_at(2, 0), 25);
+        assert_eq!(fbo.count_at(1, 0), 0);
+    }
+
+    #[test]
+    fn merge_adds_to_existing_contents() {
+        let fbo = PointFbo::new(2, 1);
+        fbo.blend_add(0, 0, 1.0);
+        let mut shards = ShardSet::new(2, 2);
+        shards.accumulate(&[0, 1], Some(&[2.0, 3.0]));
+        shards.merge_into(&fbo, 1);
+        assert_eq!(fbo.count_at(0, 0), 2);
+        assert_eq!(fbo.count_at(1, 0), 1);
+        assert!((fbo.sum_at(0, 0) - 3.0).abs() < 1e-6);
+        assert!((fbo.sum_at(1, 0) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        let s = ShardSet::new(8, 64);
+        assert_eq!(s.shard_count(), ShardSet::MAX_SHARDS);
+        let s = ShardSet::new(8, 0);
+        assert_eq!(s.shard_count(), 1);
+    }
+
+    #[test]
+    fn pool_recycles_matching_shapes() {
+        let pool = FboPool::new();
+        let a = pool.acquire(8, 4);
+        a.blend_add(1, 1, 5.0);
+        let a_ptr = a.counts.as_ptr();
+        pool.release(a);
+        // Same shape: recycled (same allocation) and cleared.
+        let b = pool.acquire(8, 4);
+        assert_eq!(b.counts.as_ptr(), a_ptr);
+        assert_eq!(b.total_count(), 0);
+        assert_eq!(b.sum_at(1, 1), 0.0);
+        // Different shape: fresh allocation.
+        let c = pool.acquire(4, 4);
+        assert_eq!(c.width(), 4);
+        pool.release(b);
+        pool.release(c);
+        // Both shapes now pooled; each comes back on request.
+        assert_eq!(pool.acquire(4, 4).width(), 4);
+        assert_eq!(pool.acquire(8, 4).width(), 8);
+    }
+
+    #[test]
+    fn pool_recycles_shard_sets() {
+        let pool = FboPool::new();
+        let mut s = pool.acquire_shards(64, 4);
+        s.accumulate(&[3, 3], None);
+        pool.release_shards(s);
+        let s2 = pool.acquire_shards(64, 4);
+        // Cleared on reacquire: merging into a fresh FBO yields zero.
+        let fbo = PointFbo::new(8, 8);
+        s2.merge_into(&fbo, 1);
+        assert_eq!(fbo.total_count(), 0);
+    }
+
+    #[test]
     fn boundary_mark_and_test() {
         let b = BoundaryFbo::new(64, 2);
         assert!(!b.is_boundary(33, 1));
@@ -350,6 +697,6 @@ mod tests {
         let f = PointFbo::new(100, 50);
         assert_eq!(f.byte_size(), 100 * 50 * 8);
         let b = BoundaryFbo::new(100, 50);
-        assert_eq!(b.byte_size(), ((100 * 50 + 31) / 32) * 4);
+        assert_eq!(b.byte_size(), (100usize * 50).div_ceil(32) * 4);
     }
 }

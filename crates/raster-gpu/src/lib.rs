@@ -6,8 +6,13 @@
 //! atomics. This crate reimplements exactly those stages in portable Rust:
 //!
 //! * [`viewport`] — world→screen transforms (the vertex-shader transform);
+//! * [`bin`] — per-batch tile binning: each point is classified once into
+//!   the canvas tile that renders it, replacing the O(points × tiles)
+//!   per-tile rescans of the multi-canvas path (Fig. 5);
 //! * [`framebuffer`] — FBOs with additive blending, atomically updatable
-//!   (the paper's `Fpt` count/sum FBO and the boundary FBO);
+//!   (the paper's `Fpt` count/sum FBO and the boundary FBO), plus the
+//!   sharded accumulation path ([`framebuffer::ShardSet`]) and the
+//!   allocation-recycling [`framebuffer::FboPool`];
 //! * [`raster`] — point, triangle (pixel-center sampling + top-left fill
 //!   rule, i.e. the OpenGL rasterization contract the error analysis of
 //!   §4.2 depends on) and conservative rasterization (§6.1 uses the
@@ -17,6 +22,7 @@
 //!   the out-of-core batching experiments (Fig. 9, 11, 13);
 //! * [`exec`] — the scoped-thread fan-out standing in for GPU parallelism.
 
+pub mod bin;
 pub mod device;
 pub mod exec;
 pub mod framebuffer;
@@ -26,8 +32,9 @@ pub mod raster;
 pub mod ssbo;
 pub mod viewport;
 
+pub use bin::{bin_points, BinnedBatch, CanvasTiling, RasterConfig};
 pub use device::{Device, DeviceConfig, TransferStats};
-pub use framebuffer::{BoundaryFbo, PointFbo};
+pub use framebuffer::{BoundaryFbo, FboPool, PointFbo, ShardSet};
 pub use mrt::MrtFbo;
 pub use ssbo::{AtomicF64Array, AtomicU64Array};
 pub use viewport::Viewport;

@@ -702,9 +702,8 @@ mod tests {
                     Point::new(x0 + 1.0, y0 + 1.0),
                     Point::new(x0, y0 + 1.0),
                 ];
-                let inside = |p: Point| {
-                    p.x >= x0 && p.x <= x0 + 1.0 && p.y >= y0 && p.y <= y0 + 1.0
-                };
+                let inside =
+                    |p: Point| p.x >= x0 && p.x <= x0 + 1.0 && p.y >= y0 && p.y <= y0 + 1.0;
                 let mut touch = inside(pa) || inside(pb);
                 for i in 0..4 {
                     if touch {
@@ -937,7 +936,9 @@ mod tests {
         // Pseudo-random triangles with awkward coordinates.
         let mut state = 0x1234_5678_u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) * 24.0 - 4.0
         };
         for i in 0..200 {

@@ -39,7 +39,10 @@ impl AtomicU64Array {
     }
 
     pub fn to_vec(&self) -> Vec<u64> {
-        self.slots.iter().map(|s| s.load(Ordering::Relaxed)).collect()
+        self.slots
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
     }
 
     pub fn clear(&mut self) {

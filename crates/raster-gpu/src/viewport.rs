@@ -92,8 +92,8 @@ impl Viewport {
     /// exactly once.
     pub fn split(&self, max_dim: u32) -> Vec<Viewport> {
         assert!(max_dim > 0);
-        let tiles_x = (self.width + max_dim - 1) / max_dim;
-        let tiles_y = (self.height + max_dim - 1) / max_dim;
+        let tiles_x = self.width.div_ceil(max_dim);
+        let tiles_y = self.height.div_ceil(max_dim);
         let mut out = Vec::with_capacity((tiles_x * tiles_y) as usize);
         for ty in 0..tiles_y {
             for tx in 0..tiles_x {
@@ -117,6 +117,60 @@ impl Viewport {
 
     pub fn pixel_count(&self) -> usize {
         self.width as usize * self.height as usize
+    }
+
+    /// A hoisted-divisor form of [`Viewport::pixel_of`] for tight loops.
+    /// Bit-exact: it precomputes `pixel_width()` / `pixel_height()` once
+    /// (the same FP values every `pixel_of` call derives) and then applies
+    /// the identical operation sequence, so `probe.pixel_of(p) ==
+    /// vp.pixel_of(p)` for every input — asserted by tests over seam and
+    /// boundary coordinates.
+    pub fn pixel_probe(&self) -> PixelProbe {
+        PixelProbe {
+            min_x: self.extent.min.x,
+            min_y: self.extent.min.y,
+            pw: self.pixel_width(),
+            ph: self.pixel_height(),
+            width: self.width,
+            height: self.height,
+        }
+    }
+}
+
+/// See [`Viewport::pixel_probe`].
+#[derive(Debug, Clone, Copy)]
+pub struct PixelProbe {
+    min_x: f64,
+    min_y: f64,
+    pw: f64,
+    ph: f64,
+    width: u32,
+    height: u32,
+}
+
+impl PixelProbe {
+    #[inline]
+    pub fn pixel_of(&self, p: Point) -> Option<(u32, u32)> {
+        let sx = (p.x - self.min_x) / self.pw;
+        let sy = (p.y - self.min_y) / self.ph;
+        if sx < 0.0 || sy < 0.0 {
+            return None;
+        }
+        let (px, py) = (sx as u32, sy as u32);
+        if px >= self.width || py >= self.height {
+            return None;
+        }
+        Some((px, py))
+    }
+
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
     }
 }
 
@@ -190,6 +244,34 @@ mod tests {
         let tiles = v.split(4096);
         assert_eq!(tiles.len(), 1);
         assert_eq!(tiles[0], v);
+    }
+
+    #[test]
+    fn pixel_probe_is_bit_exact_with_pixel_of() {
+        // Awkward extents (non-representable pixel sizes) and probes on
+        // every pixel seam: the hoisted form must agree everywhere.
+        let vps = [
+            vp(),
+            Viewport::new(
+                BBox::new(Point::new(-3.7, 11.1), Point::new(96.3, 44.43)),
+                97,
+                31,
+            ),
+            Viewport::new(BBox::new(Point::new(0.1, 0.2), Point::new(0.4, 0.9)), 3, 7),
+        ];
+        for v in vps {
+            let probe = v.pixel_probe();
+            let (w, h) = (v.extent.width(), v.extent.height());
+            for i in -4..260 {
+                for j in -4..140 {
+                    let p = Point::new(
+                        v.extent.min.x + w * (i as f64 / 250.0),
+                        v.extent.min.y + h * (j as f64 / 130.0),
+                    );
+                    assert_eq!(probe.pixel_of(p), v.pixel_of(p), "{p:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -84,14 +84,22 @@ impl ARTree {
         // Leaf level: sort by x, slice into vertical strips, sort each
         // strip by y, chop into leaves.
         let mut recs: Vec<(Point, f32)> = records.to_vec();
-        let n_leaves = (len + LEAF_CAPACITY - 1) / LEAF_CAPACITY;
+        let n_leaves = len.div_ceil(LEAF_CAPACITY);
         let n_strips = (n_leaves as f64).sqrt().ceil() as usize;
-        let strip_len = (len + n_strips - 1) / n_strips;
-        recs.sort_by(|a, b| a.0.x.partial_cmp(&b.0.x).unwrap_or(std::cmp::Ordering::Equal));
+        let strip_len = len.div_ceil(n_strips);
+        recs.sort_by(|a, b| {
+            a.0.x
+                .partial_cmp(&b.0.x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut leaves: Vec<Node> = Vec::with_capacity(n_leaves);
         for strip in recs.chunks(strip_len.max(1)) {
             let mut strip = strip.to_vec();
-            strip.sort_by(|a, b| a.0.y.partial_cmp(&b.0.y).unwrap_or(std::cmp::Ordering::Equal));
+            strip.sort_by(|a, b| {
+                a.0.y
+                    .partial_cmp(&b.0.y)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             for chunk in strip.chunks(LEAF_CAPACITY) {
                 let bbox = BBox::from_points(chunk.iter().map(|(p, _)| *p));
                 let count = chunk.len() as u64;
@@ -107,7 +115,7 @@ impl ARTree {
         // Pack upward until a single root remains.
         let mut level = leaves;
         while level.len() > 1 {
-            let mut next = Vec::with_capacity((level.len() + NODE_FANOUT - 1) / NODE_FANOUT);
+            let mut next = Vec::with_capacity(level.len().div_ceil(NODE_FANOUT));
             // Keep spatial locality: sort nodes by bbox center x then
             // tile, mirroring STR at each level.
             level.sort_by(|a, b| {
@@ -128,12 +136,17 @@ impl ARTree {
                 let mut sum = 0f64;
                 let children: Vec<Node> = chunk
                     .iter_mut()
-                    .map(|c| std::mem::replace(c, Node::Leaf {
-                        bbox: BBox::empty(),
-                        count: 0,
-                        sum: 0.0,
-                        entries: Vec::new(),
-                    }))
+                    .map(|c| {
+                        std::mem::replace(
+                            c,
+                            Node::Leaf {
+                                bbox: BBox::empty(),
+                                count: 0,
+                                sum: 0.0,
+                                entries: Vec::new(),
+                            },
+                        )
+                    })
                     .collect();
                 for c in &children {
                     bbox.union(c.bbox());

@@ -115,8 +115,7 @@ impl AggQuadtree {
         if !cb.intersects(range) {
             return;
         }
-        let contained =
-            range.contains(cb.min) && range.contains(cb.max);
+        let contained = range.contains(cb.min) && range.contains(cb.max);
         if contained {
             *total += self.count_at(level, x, y);
             return;

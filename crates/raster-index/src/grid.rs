@@ -65,12 +65,7 @@ fn for_each_cell(
             let mut cells: HashSet<(u32, u32)> = HashSet::new();
             // Boundary cells: supercover traversal of every edge in grid
             // coordinates.
-            let to_grid = |p: Point| {
-                (
-                    (p.x - extent.min.x) / cw,
-                    (p.y - extent.min.y) / ch,
-                )
-            };
+            let to_grid = |p: Point| ((p.x - extent.min.x) / cw, (p.y - extent.min.y) / ch);
             for (ea, eb) in poly.all_edges() {
                 let ga = to_grid(ea);
                 let gb = to_grid(eb);
@@ -155,8 +150,7 @@ impl GridIndex {
         raster_gpu::exec::parallel_ranges(polys.len(), workers, |s, e| {
             for poly in &polys[s..e] {
                 for_each_cell(poly, &extent, nx, ny, mode, |cx, cy| {
-                    let slot =
-                        cursors[(cy * nx + cx) as usize].fetch_add(1, Ordering::Relaxed);
+                    let slot = cursors[(cy * nx + cx) as usize].fetch_add(1, Ordering::Relaxed);
                     entries[slot as usize].store(poly.id(), Ordering::Relaxed);
                 });
             }
@@ -228,7 +222,10 @@ mod tests {
     fn polys() -> Vec<Polygon> {
         vec![
             // Left half.
-            Polygon::from_coords(0, vec![(0.0, 0.0), (50.0, 0.0), (50.0, 100.0), (0.0, 100.0)]),
+            Polygon::from_coords(
+                0,
+                vec![(0.0, 0.0), (50.0, 0.0), (50.0, 100.0), (0.0, 100.0)],
+            ),
             // Top-right quadrant.
             Polygon::from_coords(
                 1,
@@ -308,7 +305,14 @@ mod tests {
                 (10.0, 90.0),
             ],
         );
-        let idx = GridIndex::build(&[u.clone()], extent(), 20, 20, AssignMode::Exact, 1);
+        let idx = GridIndex::build(
+            std::slice::from_ref(&u),
+            extent(),
+            20,
+            20,
+            AssignMode::Exact,
+            1,
+        );
         // Deep inside the notch (not touching the boundary cells).
         assert!(idx.candidates(Point::new(50.0, 80.0)).is_empty());
         // Inside the arms and the base.
@@ -359,7 +363,10 @@ mod tests {
     fn partitioning_polygons_index_touches_every_cell() {
         // Two polygons tiling the extent: every cell lists at least one.
         let halves = vec![
-            Polygon::from_coords(0, vec![(0.0, 0.0), (50.0, 0.0), (50.0, 100.0), (0.0, 100.0)]),
+            Polygon::from_coords(
+                0,
+                vec![(0.0, 0.0), (50.0, 0.0), (50.0, 100.0), (0.0, 100.0)],
+            ),
             Polygon::from_coords(
                 1,
                 vec![(50.0, 0.0), (100.0, 0.0), (100.0, 100.0), (50.0, 100.0)],

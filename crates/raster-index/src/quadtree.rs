@@ -225,10 +225,7 @@ mod tests {
         t.for_each_leaf(|bbox, batch| {
             assert!(batch.len() <= 64, "leaf overflow: {}", batch.len());
             for &i in batch {
-                assert!(
-                    bbox.contains(pts[i as usize]),
-                    "point {i} outside its leaf"
-                );
+                assert!(bbox.contains(pts[i as usize]), "point {i} outside its leaf");
             }
         });
         assert!(t.leaf_count() > 5_000 / 64);
@@ -278,10 +275,7 @@ mod tests {
         let pts = vec![Point::new(50.0, 50.0); 2_000];
         let t = PointQuadtree::with_leaf_capacity(&pts, extent(), 8);
         assert_eq!(t.len(), 2_000);
-        let cand = t.candidates_in_bbox(&BBox::new(
-            Point::new(49.0, 49.0),
-            Point::new(51.0, 51.0),
-        ));
+        let cand = t.candidates_in_bbox(&BBox::new(Point::new(49.0, 49.0), Point::new(51.0, 51.0)));
         assert_eq!(cand.len(), 2_000);
     }
 

@@ -273,9 +273,10 @@ mod tests {
         assert_eq!(t.height(), 0);
         assert!(t.candidates(Point::new(0.0, 0.0)).is_empty());
         let mut seen = 0;
-        t.query_bbox(&BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)), |_| {
-            seen += 1
-        });
+        t.query_bbox(
+            &BBox::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            |_| seen += 1,
+        );
         assert_eq!(seen, 0);
         assert!(t.bbox().is_empty());
     }

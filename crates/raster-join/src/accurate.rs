@@ -21,12 +21,12 @@ use raster_data::filter::passes;
 use raster_data::PointTable;
 use raster_geom::triangulate::triangulate_all;
 use raster_geom::{Point, Polygon};
-use raster_gpu::exec::{default_workers, parallel_dynamic, parallel_ranges};
+use raster_gpu::exec::{block_for, default_workers, parallel_dynamic, parallel_ranges};
 use raster_gpu::raster::{
     rasterize_segment_conservative, rasterize_segment_thick_outline, rasterize_triangle_spans,
 };
 use raster_gpu::ssbo::{AtomicF64Array, AtomicU64Array};
-use raster_gpu::{BoundaryFbo, Device, PointFbo, Viewport};
+use raster_gpu::{BoundaryFbo, Device, FboPool, PointFbo, RasterConfig, Viewport};
 use raster_index::{AssignMode, GridIndex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -56,6 +56,11 @@ pub struct AccurateRasterJoin {
     pub index_dim: u32,
     /// Outline rasterization mechanism (§6.1).
     pub conservative: ConservativeMode,
+    /// Pipeline toggles. Only `sharding` applies here: the accurate
+    /// canvas is a single FBO, so there are no tiles to bin — but the
+    /// interior-point blend has the same atomic-contention profile as the
+    /// bounded variant and takes the same shard-merge path.
+    pub config: RasterConfig,
 }
 
 impl Default for AccurateRasterJoin {
@@ -65,6 +70,7 @@ impl Default for AccurateRasterJoin {
             canvas_dim: 2048,
             index_dim: 1024,
             conservative: ConservativeMode::Dda,
+            config: RasterConfig::default(),
         }
     }
 }
@@ -135,7 +141,8 @@ impl AccurateRasterJoin {
 
         // Step 1: conservative outline pass.
         let boundary = BoundaryFbo::new(w, h);
-        parallel_dynamic(polys.len(), self.workers, 4, |pi| {
+        let poly_block = block_for(polys.len(), self.workers);
+        parallel_dynamic(polys.len(), self.workers, poly_block, |pi| {
             for (a, b) in polys[pi].all_edges() {
                 let sa = vp.to_screen(a);
                 let sb = vp.to_screen(b);
@@ -160,32 +167,74 @@ impl AccurateRasterJoin {
         let fragments = AtomicU64::new(0);
         let fbo = PointFbo::new(w, h);
         let preds = &query.predicates;
+        let pool = FboPool::new();
+        let pixels = w as usize * h as usize;
 
         let mut start = 0usize;
         while start < points.len() {
             let end = (start + per_batch).min(points.len());
             device.record_upload(((end - start) * point_bytes) as u64);
             stats.batches += 1;
-            parallel_ranges(end - start, self.workers, |s, e| {
-                let mut local_pip = 0u64;
-                for i in (start + s)..(start + e) {
+            let survivors = crate::bounded::estimate_survivors(points, start, end, preds, &vp);
+            if self.config.sharding
+                && survivors as f64 >= crate::bounded::SHARD_MIN_DENSITY * pixels as f64
+            {
+                // Sharded interior blend: each shard worker scans its
+                // point subrange privately; boundary points take the
+                // exact PIP path inline, as before (SSBO atomics are
+                // per-polygon and uncontended compared to per-pixel).
+                // PIP-test counts accumulate per shard — one padded slot
+                // each, folded once below — so boundary-dense workloads
+                // don't serialize on a single shared counter.
+                let mut shards = pool.acquire_shards(pixels, self.workers);
+                const PAD: usize = 8; // one 64-byte cache line per slot
+                let pip_by_shard: Vec<AtomicU64> = (0..shards.shard_count() * PAD)
+                    .map(|_| AtomicU64::new(0))
+                    .collect();
+                shards.accumulate_with(end - start, |shard, rel| {
+                    let i = start + rel;
                     if !preds.is_empty() && !passes(points, i, preds) {
-                        continue;
+                        return None;
                     }
                     let p = points.point(i);
-                    let Some((x, y)) = vp.pixel_of(p) else {
-                        continue;
-                    };
+                    let (x, y) = vp.pixel_of(p)?;
                     if boundary.is_boundary(x, y) {
-                        local_pip +=
-                            join_point(&index, polys, p, i, agg_attr, points, &counts, &sums);
-                    } else {
-                        let v = agg_attr.map_or(0.0, |a| points.attr(a)[i]);
-                        fbo.blend_add(x, y, v);
+                        let t = join_point(&index, polys, p, i, agg_attr, points, &counts, &sums);
+                        pip_by_shard[shard * PAD].fetch_add(t, Ordering::Relaxed);
+                        return None;
                     }
+                    let v = agg_attr.map_or(0.0, |a| points.attr(a)[i]);
+                    Some((y * w + x, v))
+                });
+                for slot in pip_by_shard.iter().step_by(PAD) {
+                    pip_tests.fetch_add(slot.load(Ordering::Relaxed), Ordering::Relaxed);
                 }
-                pip_tests.fetch_add(local_pip, Ordering::Relaxed);
-            });
+                let t0 = Instant::now();
+                shards.merge_into(&fbo, self.workers);
+                stats.shard_merge += t0.elapsed();
+                pool.release_shards(shards);
+            } else {
+                parallel_ranges(end - start, self.workers, |s, e| {
+                    let mut local_pip = 0u64;
+                    for i in (start + s)..(start + e) {
+                        if !preds.is_empty() && !passes(points, i, preds) {
+                            continue;
+                        }
+                        let p = points.point(i);
+                        let Some((x, y)) = vp.pixel_of(p) else {
+                            continue;
+                        };
+                        if boundary.is_boundary(x, y) {
+                            local_pip +=
+                                join_point(&index, polys, p, i, agg_attr, points, &counts, &sums);
+                        } else {
+                            let v = agg_attr.map_or(0.0, |a| points.attr(a)[i]);
+                            fbo.blend_add(x, y, v);
+                        }
+                    }
+                    pip_tests.fetch_add(local_pip, Ordering::Relaxed);
+                });
+            }
             start = end;
         }
         if points.is_empty() {
@@ -194,7 +243,8 @@ impl AccurateRasterJoin {
 
         // Step 3: polygon pass, discarding boundary fragments. Spans keep
         // the scan sequential; the boundary test stays per pixel.
-        parallel_dynamic(tris.len(), self.workers, 16, |ti| {
+        let tri_block = block_for(tris.len(), self.workers);
+        parallel_dynamic(tris.len(), self.workers, tri_block, |ti| {
             let t = &tris[ti];
             let a = vp.to_screen(t.a);
             let b = vp.to_screen(t.b);
@@ -252,6 +302,7 @@ impl AccurateRasterJoin {
 /// result arrays for every containing polygon. Returns the number of PIP
 /// tests performed.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn join_point(
     index: &GridIndex,
     polys: &[Polygon],
@@ -286,7 +337,10 @@ mod tests {
     fn simple_polys() -> Vec<Polygon> {
         vec![
             Polygon::from_coords(0, vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]),
-            Polygon::from_coords(1, vec![(10.0, 0.0), (20.0, 0.0), (20.0, 10.0), (10.0, 10.0)]),
+            Polygon::from_coords(
+                1,
+                vec![(10.0, 0.0), (20.0, 0.0), (20.0, 10.0), (10.0, 10.0)],
+            ),
         ]
     }
 
@@ -309,14 +363,12 @@ mod tests {
             index_dim: 64,
             ..Default::default()
         };
-        let out = join.execute(
-            &pts,
-            &simple_polys(),
-            &Query::count(),
-            &Device::default(),
-        );
+        let out = join.execute(&pts, &simple_polys(), &Query::count(), &Device::default());
         assert_eq!(out.counts, vec![3, 3]);
-        assert!(out.stats.pip_tests > 0, "boundary points must be PIP tested");
+        assert!(
+            out.stats.pip_tests > 0,
+            "boundary points must be PIP tested"
+        );
     }
 
     #[test]
@@ -324,12 +376,8 @@ mod tests {
         let extent = nyc_extent();
         let polys = synthetic_polygons(12, &extent, 77);
         let pts = uniform_points(4_000, &extent, 99);
-        let out = AccurateRasterJoin::new(4).execute(
-            &pts,
-            &polys,
-            &Query::count(),
-            &Device::default(),
-        );
+        let out =
+            AccurateRasterJoin::new(4).execute(&pts, &polys, &Query::count(), &Device::default());
         // Brute-force ground truth.
         for (pi, poly) in polys.iter().enumerate() {
             let truth = (0..pts.len())
@@ -345,12 +393,8 @@ mod tests {
         let polys = synthetic_polygons(8, &extent, 5);
         let pts = TaxiModel::default().generate(2_000, 3);
         let fare = pts.attr_index("fare").unwrap();
-        let out = AccurateRasterJoin::new(4).execute(
-            &pts,
-            &polys,
-            &Query::sum(fare),
-            &Device::default(),
-        );
+        let out =
+            AccurateRasterJoin::new(4).execute(&pts, &polys, &Query::sum(fare), &Device::default());
         for (pi, poly) in polys.iter().enumerate() {
             let truth: f64 = (0..pts.len())
                 .filter(|&i| poly.contains(pts.point(i)))
@@ -369,12 +413,8 @@ mod tests {
         let extent = nyc_extent();
         let polys = synthetic_polygons(16, &extent, 21);
         let pts = uniform_points(5_000, &extent, 22);
-        let acc = AccurateRasterJoin::new(2).execute(
-            &pts,
-            &polys,
-            &Query::count(),
-            &Device::default(),
-        );
+        let acc =
+            AccurateRasterJoin::new(2).execute(&pts, &polys, &Query::count(), &Device::default());
         let base = crate::index_join::IndexJoin::gpu(2).execute(
             &pts,
             &polys,
@@ -416,8 +456,7 @@ mod tests {
         pts.push(Point::new(9.999, 5.0), &[1.0]); // on boundary pixel
         pts.push(Point::new(2.0, 2.0), &[1.0]); // interior
         let q = Query::count().with_predicates(vec![Predicate::new(0, CmpOp::Gt, 2.0)]);
-        let out =
-            AccurateRasterJoin::new(1).execute(&pts, &simple_polys(), &q, &Device::default());
+        let out = AccurateRasterJoin::new(1).execute(&pts, &simple_polys(), &q, &Device::default());
         assert_eq!(out.counts, vec![0, 0]);
     }
 
@@ -442,6 +481,40 @@ mod tests {
         .execute(&pts, &polys, &Query::count(), &dev);
         assert_eq!(dda.counts, thick.counts);
         assert_eq!(dda.stats.pip_tests, thick.stats.pip_tests);
+    }
+
+    /// The sharded interior blend is exact: identical counts to the
+    /// atomic path AND to brute force, boundary PIP handling included.
+    #[test]
+    fn sharded_blend_stays_exact() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(8, &extent, 71);
+        // Dense enough to exceed the shard gate on a 128² canvas.
+        let pts = uniform_points(40_000, &extent, 72);
+        let base = AccurateRasterJoin {
+            workers: 4,
+            canvas_dim: 128,
+            index_dim: 64,
+            config: raster_gpu::RasterConfig::naive(),
+            ..Default::default()
+        };
+        let sharded = AccurateRasterJoin {
+            config: raster_gpu::RasterConfig::default(),
+            ..base
+        };
+        let dev = Device::default();
+        let a = base.execute(&pts, &polys, &Query::count(), &dev);
+        let b = sharded.execute(&pts, &polys, &Query::count(), &dev);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.stats.pip_tests, b.stats.pip_tests);
+        assert_eq!(a.stats.shard_merge, std::time::Duration::ZERO);
+        assert!(b.stats.shard_merge > std::time::Duration::ZERO);
+        for (pi, poly) in polys.iter().enumerate() {
+            let truth = (0..pts.len())
+                .filter(|&i| poly.contains(pts.point(i)))
+                .count() as u64;
+            assert_eq!(b.counts[pi], truth, "polygon {pi}");
+        }
     }
 
     #[test]

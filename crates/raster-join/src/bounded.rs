@@ -13,6 +13,17 @@
 //! ε); when it exceeds the device FBO limit the canvas splits into tiles
 //! and the two steps re-run per tile (Fig. 5). Points are uploaded to the
 //! device exactly once per batch regardless of the tile count (§5).
+//!
+//! Two execution paths exist per batch, selected by [`RasterConfig`]:
+//!
+//! * **Binned** (default) — `raster_gpu::bin_points` classifies every
+//!   filtered point into its tile once, so each tile's DrawPoints replays
+//!   only its own pre-transformed entries: O(points + fragments) per
+//!   batch. With `sharding` on and enough point density, the replay goes
+//!   through private per-worker shards instead of FBO atomics.
+//! * **Rescan** (`RasterConfig::naive`) — the literal translation of the
+//!   hardware pipeline: every tile pass re-filters and re-transforms the
+//!   whole batch, O(points × tiles). Kept for the ablation bench.
 
 use crate::query::{result_slots, JoinOutput, Query};
 use crate::stats::ExecStats;
@@ -20,22 +31,74 @@ use raster_data::filter::passes;
 use raster_data::PointTable;
 use raster_geom::hausdorff::resolution_for_epsilon;
 use raster_geom::{BBox, Point, Polygon};
-use raster_gpu::exec::{default_workers, parallel_dynamic, parallel_ranges};
+use raster_gpu::bin::{bin_points, BinnedBatch, CanvasTiling};
+use raster_gpu::exec::{block_for, default_workers, parallel_dynamic, parallel_ranges};
 use raster_gpu::raster::rasterize_polygon_spans;
 use raster_gpu::ssbo::{AtomicF64Array, AtomicU64Array};
-use raster_gpu::{Device, PointFbo, Viewport};
+use raster_gpu::{Device, FboPool, PointFbo, RasterConfig, Viewport};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Sharding pays an O(pixels × shards) merge per tile; below this many
+/// entries per pixel the atomic path's contention is cheaper than the
+/// merge bandwidth, so a sharding-enabled config still uses atomics for
+/// sparse tiles. (The ablation bench runs well above this density.)
+pub(crate) const SHARD_MIN_DENSITY: f64 = 0.5;
+
+/// Estimate how many points of `[start, end)` will actually blend into
+/// `canvas`: survive the filter predicates AND land inside the canvas
+/// extent. Drives the sharding density gate — a deterministic
+/// evenly-spaced sample of up to 1024 rows, scaled up; cheap enough to
+/// run per batch and accurate enough for an order-of-magnitude gate.
+/// Without it, a selective predicate (0.1% pass rate) or a point set
+/// mostly outside the polygon extent (nationwide points vs one city's
+/// polygons) would trigger a full O(pixels × shards) merge to blend a
+/// handful of fragments.
+pub(crate) fn estimate_survivors(
+    points: &PointTable,
+    start: usize,
+    end: usize,
+    preds: &[raster_data::Predicate],
+    canvas: &Viewport,
+) -> usize {
+    let n = end - start;
+    if n == 0 {
+        return 0;
+    }
+    let probe = canvas.pixel_probe();
+    let sample = n.min(1024);
+    // Round the stride *up* so the sample spans the whole range — rounding
+    // down degenerates to the first `sample` consecutive rows for
+    // n < 2·sample, which biases the estimate on row-order-correlated
+    // predicates (the taxi tables are time-ordered).
+    let step = n.div_ceil(sample);
+    let mut hits = 0usize;
+    let mut checked = 0usize;
+    let mut i = start;
+    while i < end && checked < sample {
+        if (preds.is_empty() || passes(points, i, preds))
+            && probe.pixel_of(points.point(i)).is_some()
+        {
+            hits += 1;
+        }
+        checked += 1;
+        i += step;
+    }
+    n * hits / checked.max(1)
+}
 
 /// The bounded (approximate) raster join operator.
 pub struct BoundedRasterJoin {
     pub workers: usize,
+    /// Binning/sharding toggles (both on by default).
+    pub config: RasterConfig,
 }
 
 impl Default for BoundedRasterJoin {
     fn default() -> Self {
         BoundedRasterJoin {
             workers: default_workers(),
+            config: RasterConfig::default(),
         }
     }
 }
@@ -55,20 +118,36 @@ struct PolyRings {
 
 pub struct PreparedBounded {
     polys: Vec<PolyRings>,
-    tiles: Vec<Viewport>,
+    tiling: Option<CanvasTiling>,
     nslots: usize,
     preparation: std::time::Duration,
 }
 
 impl PreparedBounded {
     pub fn passes_per_batch(&self) -> u32 {
-        self.tiles.len() as u32
+        self.tiling.as_ref().map_or(0, |t| t.tile_count()) as u32
     }
 }
 
 impl BoundedRasterJoin {
     pub fn new(workers: usize) -> Self {
-        BoundedRasterJoin { workers }
+        BoundedRasterJoin {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// The pre-binning pipeline (per-tile rescans, atomic blending) — the
+    /// ablation baseline.
+    pub fn naive(workers: usize) -> Self {
+        BoundedRasterJoin {
+            workers,
+            config: RasterConfig::naive(),
+        }
+    }
+
+    pub fn with_config(workers: usize, config: RasterConfig) -> Self {
+        BoundedRasterJoin { workers, config }
     }
 
     /// Extract polygon rings and derive the canvas tiling for `epsilon`.
@@ -93,16 +172,17 @@ impl BoundedRasterJoin {
             })
             .collect();
         let preparation = t0.elapsed();
-        let tiles = if polys.is_empty() {
-            Vec::new()
+        let tiling = if polys.is_empty() {
+            None
         } else {
             let extent = polygon_extent(polys);
             let (w, h) = resolution_for_epsilon(&extent, epsilon);
-            Viewport::new(extent, w, h).split(device.config().max_fbo_dim)
+            let max_dim = device.config().max_fbo_dim;
+            Some(CanvasTiling::new(Viewport::new(extent, w, h), max_dim))
         };
         PreparedBounded {
             polys: prepared_polys,
-            tiles,
+            tiling,
             nslots: result_slots(polys),
             preparation,
         }
@@ -134,15 +214,14 @@ impl BoundedRasterJoin {
         let nslots = prepared.nslots;
         let counts = AtomicU64Array::new(nslots);
         let sums = AtomicF64Array::new(nslots);
-        if prepared.tiles.is_empty() {
+        let Some(tiling) = prepared.tiling.as_ref() else {
             return JoinOutput {
                 counts: counts.to_vec(),
                 sums: sums.to_vec(),
                 stats,
             };
-        }
+        };
         stats.triangulation = prepared.preparation;
-        let tiles = &prepared.tiles;
 
         // Out-of-core batching: points transferred exactly once.
         let attrs_up = query.attrs_uploaded();
@@ -150,6 +229,7 @@ impl BoundedRasterJoin {
         let per_batch = device.points_per_batch(point_bytes);
         let agg_attr = query.aggregate.attr();
         let fragments = AtomicU64::new(0);
+        let pool = FboPool::new();
 
         let proc0 = Instant::now();
         let mut start = 0usize;
@@ -158,9 +238,67 @@ impl BoundedRasterJoin {
             device.record_upload(((end - start) * point_bytes) as u64);
             stats.batches += 1;
 
-            for vp in tiles {
-                let fbo = PointFbo::new(vp.width, vp.height);
-                self.draw_points(points, start, end, query, agg_attr, vp, &fbo);
+            // Binning: classify this batch's surviving points into their
+            // tiles once, instead of rescanning the batch per tile below.
+            // A single-tile canvas has no rescan to eliminate — the direct
+            // blend already filters and transforms each point exactly once
+            // — so binning there would only pay the staging buffer.
+            let binned = if self.config.binning && tiling.tile_count() > 1 {
+                let t0 = Instant::now();
+                let preds = &query.predicates;
+                let b = bin_points(
+                    tiling,
+                    end - start,
+                    self.workers,
+                    agg_attr.is_some(),
+                    |rel| {
+                        let i = start + rel;
+                        if !preds.is_empty() && !passes(points, i, preds) {
+                            return None;
+                        }
+                        let v = agg_attr.map_or(0.0, |a| points.attr(a)[i]);
+                        Some((points.point(i), v))
+                    },
+                );
+                stats.binning += t0.elapsed();
+                stats.binned_points += b.len() as u64;
+                Some(b)
+            } else {
+                None
+            };
+
+            // For the rescan path's sharding gate: expected entries per
+            // tile, estimated once per batch (each tile receives roughly
+            // an even share of the surviving points). Only the explicit
+            // rescan+sharding ablation arm takes this path — with binning
+            // enabled, sharding rides on the binned replay (whose per-tile
+            // entry counts are exact), and a binning-skipped single-tile
+            // canvas runs plain atomics, which the data shows beat the
+            // shard merge when no rescan is being amortized.
+            let est_tile_entries = if !self.config.binning && self.config.sharding {
+                estimate_survivors(points, start, end, &query.predicates, &tiling.full)
+                    / tiling.tile_count().max(1)
+            } else {
+                0
+            };
+
+            for (ti, vp) in tiling.tiles.iter().enumerate() {
+                let fbo = pool.acquire(vp.width, vp.height);
+                match &binned {
+                    Some(b) => self.draw_points_binned(b, ti, vp, &fbo, &pool, &mut stats),
+                    None => self.draw_points(
+                        points,
+                        start,
+                        end,
+                        query,
+                        agg_attr,
+                        vp,
+                        est_tile_entries,
+                        &fbo,
+                        &pool,
+                        &mut stats,
+                    ),
+                }
                 self.draw_polygons(
                     &prepared.polys,
                     vp,
@@ -170,6 +308,7 @@ impl BoundedRasterJoin {
                     &sums,
                     &fragments,
                 );
+                pool.release(fbo);
                 stats.passes += 1;
             }
 
@@ -195,7 +334,53 @@ impl BoundedRasterJoin {
         }
     }
 
-    /// Step I (Procedure DrawPoints): blend filtered points into the FBO.
+    /// Does this tile's point load justify the shard-merge bandwidth?
+    fn use_shards(&self, entries: usize, pixels: usize) -> bool {
+        self.config.sharding && entries as f64 >= SHARD_MIN_DENSITY * pixels as f64
+    }
+
+    /// Step I via the binner: replay tile `ti`'s pre-transformed entries.
+    fn draw_points_binned(
+        &self,
+        binned: &BinnedBatch,
+        ti: usize,
+        vp: &Viewport,
+        fbo: &PointFbo,
+        pool: &FboPool,
+        stats: &mut ExecStats,
+    ) {
+        let (idx, vals) = binned.tile(ti);
+        if idx.is_empty() {
+            return;
+        }
+        if self.use_shards(idx.len(), vp.pixel_count()) {
+            let mut shards = pool.acquire_shards(vp.pixel_count(), self.workers);
+            shards.accumulate(idx, vals);
+            let t0 = Instant::now();
+            shards.merge_into(fbo, self.workers);
+            stats.shard_merge += t0.elapsed();
+            pool.release_shards(shards);
+        } else {
+            match vals {
+                Some(vals) => parallel_ranges(idx.len(), self.workers, |s, e| {
+                    for (&pix, &v) in idx[s..e].iter().zip(&vals[s..e]) {
+                        fbo.blend_add_idx(pix as usize, v);
+                    }
+                }),
+                None => parallel_ranges(idx.len(), self.workers, |s, e| {
+                    for &pix in &idx[s..e] {
+                        fbo.blend_add_idx(pix as usize, 0.0);
+                    }
+                }),
+            }
+        }
+    }
+
+    /// Step I (Procedure DrawPoints), rescan form: blend filtered points
+    /// into the FBO, re-filtering the whole batch for this tile.
+    /// `est_tile_entries` is the caller's per-batch estimate of surviving
+    /// points landing in this tile, driving the sharding gate.
+    #[allow(clippy::too_many_arguments)]
     fn draw_points(
         &self,
         points: &PointTable,
@@ -204,9 +389,32 @@ impl BoundedRasterJoin {
         query: &Query,
         agg_attr: Option<usize>,
         vp: &Viewport,
+        est_tile_entries: usize,
         fbo: &PointFbo,
+        pool: &FboPool,
+        stats: &mut ExecStats,
     ) {
         let preds = &query.predicates;
+        if self.use_shards(est_tile_entries, vp.pixel_count()) {
+            // Sharding without binning (ablation): every shard worker
+            // still rescans its point subrange per tile, but blends into
+            // private buffers instead of the shared atomics.
+            let mut shards = pool.acquire_shards(vp.pixel_count(), self.workers);
+            shards.accumulate_with(end - start, |_shard, rel| {
+                let i = start + rel;
+                if !preds.is_empty() && !passes(points, i, preds) {
+                    return None;
+                }
+                let (x, y) = vp.pixel_of(points.point(i))?;
+                let v = agg_attr.map_or(0.0, |a| points.attr(a)[i]);
+                Some((y * vp.width + x, v))
+            });
+            let t0 = Instant::now();
+            shards.merge_into(fbo, self.workers);
+            stats.shard_merge += t0.elapsed();
+            pool.release_shards(shards);
+            return;
+        }
         parallel_ranges(end - start, self.workers, |s, e| {
             for i in (start + s)..(start + e) {
                 // Vertex-shader constraint test: failing points are
@@ -226,6 +434,7 @@ impl BoundedRasterJoin {
     /// the FBO and fold the pixel partial aggregates into its result
     /// slot. Accumulation is local per polygon, so a single atomic update
     /// per polygon reaches the SSBO.
+    #[allow(clippy::too_many_arguments)]
     fn draw_polygons(
         &self,
         polys: &[PolyRings],
@@ -237,7 +446,8 @@ impl BoundedRasterJoin {
         fragments: &AtomicU64,
     ) {
         let (w, h) = (vp.width, vp.height);
-        parallel_dynamic(polys.len(), self.workers, 4, |pi| {
+        let block = block_for(polys.len(), self.workers);
+        parallel_dynamic(polys.len(), self.workers, block, |pi| {
             let poly = &polys[pi];
             let id = poly.id as usize;
             // Vertex stage: transform the rings to screen space.
@@ -246,8 +456,7 @@ impl BoundedRasterJoin {
                 .iter()
                 .map(|r| r.iter().map(|&p| vp.to_screen(p)).collect())
                 .collect();
-            let ring_refs: Vec<&[(f64, f64)]> =
-                screen.iter().map(|r| r.as_slice()).collect();
+            let ring_refs: Vec<&[(f64, f64)]> = screen.iter().map(|r| r.as_slice()).collect();
             let mut frags = 0u64;
             let mut cnt_acc = 0u64;
             let mut sum_acc = 0f64;
@@ -465,5 +674,104 @@ mod tests {
         let a = BoundedRasterJoin::new(1).execute(&pts, &polys, &q, &Device::default());
         let b = BoundedRasterJoin::new(8).execute(&pts, &polys, &q, &Device::default());
         assert_eq!(a.counts, b.counts);
+    }
+
+    /// All four binning × sharding combinations, with a tiled canvas and a
+    /// dense workload (so the sharding density gate actually engages):
+    /// identical counts, sums within f32 reassociation tolerance.
+    #[test]
+    fn config_matrix_is_equivalent() {
+        use raster_data::generators::{nyc_extent, TaxiModel};
+        use raster_data::polygons::synthetic_polygons;
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(10, &extent, 31);
+        let pts = TaxiModel::default().generate(30_000, 32);
+        let fare = pts.attr_index("fare").unwrap();
+        let q = Query::sum(fare).with_epsilon(200.0);
+        // Small tiles so the canvas splits, and a small enough FBO that
+        // 30k points exceed the shard density threshold.
+        let dev = Device::new(raster_gpu::DeviceConfig::small(3 << 30, 128));
+
+        let combos = [(false, false), (true, false), (false, true), (true, true)];
+        let outs: Vec<JoinOutput> = combos
+            .iter()
+            .map(|&(binning, sharding)| {
+                BoundedRasterJoin::with_config(4, RasterConfig { binning, sharding })
+                    .execute(&pts, &polys, &q, &dev)
+            })
+            .collect();
+        let base = &outs[0];
+        assert!(base.stats.passes > base.stats.batches, "canvas must tile");
+        for (i, out) in outs.iter().enumerate().skip(1) {
+            assert_eq!(out.counts, base.counts, "combo {:?}", combos[i]);
+            for (s, (a, b)) in out.sums.iter().zip(&base.sums).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                    "combo {:?} slot {s}: {a} vs {b}",
+                    combos[i]
+                );
+            }
+        }
+        // The binned runs actually went through the binner...
+        assert!(outs[3].stats.binned_points > 0);
+        assert_eq!(outs[0].stats.binned_points, 0);
+        // ...and the sharded runs through the merge pass.
+        assert!(outs[3].stats.shard_merge > std::time::Duration::ZERO);
+        assert_eq!(outs[0].stats.shard_merge, std::time::Duration::ZERO);
+    }
+
+    /// The sharding density gate: a sparse workload over a huge canvas
+    /// must not pay the per-pixel merge even when sharding is enabled.
+    #[test]
+    fn sparse_tiles_skip_the_shard_merge() {
+        let polys = grid_polys();
+        let pts = points_in_quadrants(); // 8 points on a large tiled canvas
+        let q = Query::count().with_epsilon(0.05);
+        // ε = 0.05 over the 20×20 extent needs a ~566² canvas; a 128-pixel
+        // FBO limit splits it into tiles so binning engages.
+        let dev = Device::new(raster_gpu::DeviceConfig::small(3 << 30, 128));
+        let out = BoundedRasterJoin::new(4).execute(&pts, &polys, &q, &dev);
+        assert_eq!(out.counts, vec![1, 2, 3, 2]);
+        assert_eq!(out.stats.shard_merge, std::time::Duration::ZERO);
+        assert_eq!(out.stats.binned_points, 8);
+    }
+
+    /// Single-tile canvases skip the binner entirely: the direct blend
+    /// already touches each point exactly once.
+    #[test]
+    fn single_tile_canvas_skips_binning() {
+        let polys = grid_polys();
+        let pts = points_in_quadrants();
+        let q = Query::count().with_epsilon(0.5);
+        let out = BoundedRasterJoin::new(4).execute(&pts, &polys, &q, &Device::default());
+        assert_eq!(out.stats.passes, 1, "canvas must be a single tile");
+        assert_eq!(out.counts, vec![1, 2, 3, 2]);
+        assert_eq!(out.stats.binned_points, 0);
+        assert_eq!(out.stats.binning, std::time::Duration::ZERO);
+    }
+
+    /// Binned + sharded out-of-core batching still matches single-batch.
+    #[test]
+    fn binned_out_of_core_matches_in_memory() {
+        use raster_data::generators::{nyc_extent, uniform_points};
+        use raster_data::polygons::synthetic_polygons;
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(6, &extent, 41);
+        let pts = uniform_points(5_000, &extent, 42);
+        let q = Query::count().with_epsilon(100.0);
+        // Same tiled canvas (ε=100 → ~820², split at 256) on both devices,
+        // so both runs bin; only the batch size differs.
+        let big = Device::new(raster_gpu::DeviceConfig::small(3 << 30, 256));
+        let small = Device::new(raster_gpu::DeviceConfig::small(
+            1024 * PointTable::point_bytes(0),
+            256,
+        ));
+        let a = BoundedRasterJoin::new(4).execute(&pts, &polys, &q, &big);
+        let b = BoundedRasterJoin::new(4).execute(&pts, &polys, &q, &small);
+        assert_eq!(a.counts, b.counts);
+        assert!(b.stats.batches > 1);
+        // Binning ran once per batch over that batch only: entries never
+        // exceed points, and both paths bin every in-extent point.
+        assert_eq!(a.stats.binned_points, b.stats.binned_points);
     }
 }

@@ -152,7 +152,13 @@ impl IndexJoin {
                                 continue;
                             }
                             local_pip += crate::accurate::join_point(
-                                &index, polys, points.point(i), i, agg_attr, points, &counts,
+                                &index,
+                                polys,
+                                points.point(i),
+                                i,
+                                agg_attr,
+                                points,
+                                &counts,
                                 &sums,
                             );
                         }
@@ -246,7 +252,11 @@ mod tests {
             })
             .collect();
         let dev = Device::default();
-        for j in [IndexJoin::gpu(4), IndexJoin::cpu_multi(4), IndexJoin::cpu_single()] {
+        for j in [
+            IndexJoin::gpu(4),
+            IndexJoin::cpu_multi(4),
+            IndexJoin::cpu_single(),
+        ] {
             let out = j.execute(&pts, &polys, &Query::count(), &dev);
             assert_eq!(out.counts, truth, "{:?}", j.mode);
         }
@@ -304,7 +314,8 @@ mod tests {
         let pts = TaxiModel::default().generate(1_000, 5);
         let hour = pts.attr_index("hour").unwrap();
         let q = Query::count().with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 84.0)]);
-        let full = IndexJoin::cpu_single().execute(&pts, &polys, &Query::count(), &Device::default());
+        let full =
+            IndexJoin::cpu_single().execute(&pts, &polys, &Query::count(), &Device::default());
         let half = IndexJoin::cpu_single().execute(&pts, &polys, &q, &Device::default());
         // Roughly half the (time-ordered) points pass the hour < 84 filter.
         let tf: u64 = full.total_count();

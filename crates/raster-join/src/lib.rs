@@ -52,7 +52,8 @@ pub use moments::{MomentsOutput, MomentsQuery, MomentsRasterJoin};
 pub use multi::{MultiBoundedRasterJoin, MultiQuery};
 pub use optimizer::{AutoRasterJoin, Variant};
 pub use query::{Aggregate, JoinOutput, Query};
+pub use raster_gpu::RasterConfig;
 pub use sampling::{SamplingJoin, SamplingOutput};
-pub use temporal::{TemporalRasterJoin, TimeBuckets};
 pub use stats::ExecStats;
+pub use temporal::{TemporalRasterJoin, TimeBuckets};
 pub use two_step::TwoStepJoin;

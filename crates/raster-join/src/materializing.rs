@@ -88,7 +88,9 @@ impl MaterializingJoin {
         // Point index build (the batching structure of [72]).
         let t0 = Instant::now();
         let grid = PointGrid::build(
-            &(0..points.len()).map(|i| points.point(i)).collect::<Vec<_>>(),
+            &(0..points.len())
+                .map(|i| points.point(i))
+                .collect::<Vec<_>>(),
             extent,
             self.point_grid_dim,
             self.point_grid_dim,
@@ -103,10 +105,10 @@ impl MaterializingJoin {
         match quantizer {
             Some(_) => device.record_upload(
                 (points.len()
-                    * (crate::quantize::Quantizer::BYTES_PER_POINT
-                        + 4 * query.attrs_uploaded())) as u64,
+                    * (crate::quantize::Quantizer::BYTES_PER_POINT + 4 * query.attrs_uploaded()))
+                    as u64,
             ),
-            None => device.record_upload(points.upload_bytes(query.attrs_uploaded()) as u64),
+            None => device.record_upload(points.upload_bytes(query.attrs_uploaded())),
         }
 
         let agg_attr = query.aggregate.attr();

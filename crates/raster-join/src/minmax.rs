@@ -196,8 +196,7 @@ impl MinMaxRasterJoin {
                         .iter()
                         .map(|r| r.iter().map(|&p| vp.to_screen(p)).collect())
                         .collect();
-                    let refs: Vec<&[(f64, f64)]> =
-                        screen.iter().map(|r| r.as_slice()).collect();
+                    let refs: Vec<&[(f64, f64)]> = screen.iter().map(|r| r.as_slice()).collect();
                     let mut local_min = f32::INFINITY;
                     let mut local_max = f32::NEG_INFINITY;
                     let mut any = false;
@@ -212,8 +211,7 @@ impl MinMaxRasterJoin {
                     });
                     if any {
                         mins[*id as usize].fetch_min(key_of(local_min), Ordering::Relaxed);
-                        maxs[*id as usize]
-                            .fetch_max(key_of(local_max).max(1), Ordering::Relaxed);
+                        maxs[*id as usize].fetch_max(key_of(local_max).max(1), Ordering::Relaxed);
                     }
                 });
                 stats.passes += 1;
@@ -283,7 +281,10 @@ mod tests {
         // Points far from boundaries: bounded MIN/MAX is exact.
         let polys = vec![
             Polygon::from_coords(0, vec![(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]),
-            Polygon::from_coords(1, vec![(20.0, 0.0), (30.0, 0.0), (30.0, 10.0), (20.0, 10.0)]),
+            Polygon::from_coords(
+                1,
+                vec![(20.0, 0.0), (30.0, 0.0), (30.0, 10.0), (20.0, 10.0)],
+            ),
         ];
         let mut pts = PointTable::with_capacity(5, &["v"]);
         pts.push(Point::new(5.0, 5.0), &[3.0]);
@@ -291,14 +292,7 @@ mod tests {
         pts.push(Point::new(6.0, 4.0), &[9.0]);
         pts.push(Point::new(25.0, 5.0), &[42.0]);
         pts.push(Point::new(26.0, 6.0), &[41.0]);
-        let out = MinMaxRasterJoin::new(2).execute(
-            &pts,
-            &polys,
-            0,
-            &[],
-            0.2,
-            &Device::default(),
-        );
+        let out = MinMaxRasterJoin::new(2).execute(&pts, &polys, 0, &[], 0.2, &Device::default());
         assert_eq!(out.min[0], Some(-1.0));
         assert_eq!(out.max[0], Some(9.0));
         assert_eq!(out.min[1], Some(41.0));
@@ -313,8 +307,7 @@ mod tests {
         ];
         let mut pts = PointTable::with_capacity(1, &["v"]);
         pts.push(Point::new(5.0, 5.0), &[7.0]);
-        let out =
-            MinMaxRasterJoin::new(1).execute(&pts, &polys, 0, &[], 0.5, &Device::default());
+        let out = MinMaxRasterJoin::new(1).execute(&pts, &polys, 0, &[], 0.5, &Device::default());
         assert_eq!(out.max[0], Some(7.0));
         assert_eq!(out.min[1], None);
         assert_eq!(out.max[1], None);
@@ -327,14 +320,8 @@ mod tests {
         let pts = TaxiModel::default().generate(4_000, 402);
         let fare = pts.attr_index("fare").unwrap();
         let eps = 20.0;
-        let out = MinMaxRasterJoin::new(2).execute(
-            &pts,
-            &polys,
-            fare,
-            &[],
-            eps,
-            &Device::default(),
-        );
+        let out =
+            MinMaxRasterJoin::new(2).execute(&pts, &polys, fare, &[], eps, &Device::default());
         // The bounded extremum must lie between the extremum over the
         // eroded polygon and over the dilated polygon. Cheap check: the
         // reported max never exceeds the max over inside-or-within-ε.

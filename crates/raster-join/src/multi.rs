@@ -299,12 +299,8 @@ mod tests {
         let three = MultiBoundedRasterJoin::new(2).execute(
             &pts,
             &polys,
-            &MultiQuery::new(vec![
-                Aggregate::Count,
-                Aggregate::Sum(0),
-                Aggregate::Sum(2),
-            ])
-            .with_epsilon(30.0),
+            &MultiQuery::new(vec![Aggregate::Count, Aggregate::Sum(0), Aggregate::Sum(2)])
+                .with_epsilon(30.0),
             &dev,
         );
         assert!(three.stats.upload_bytes > one.stats.upload_bytes);

@@ -98,9 +98,8 @@ pub fn estimate(
     let side = pixel_side_for_epsilon(query.epsilon);
     let (w, h) = resolution_for_epsilon(extent, query.epsilon);
     let max_dim = device.config().max_fbo_dim;
-    let passes = ((w + max_dim - 1) / max_dim) * ((h + max_dim - 1) / max_dim);
-    let bounded =
-        passes as f64 * n * C_POINT_BOUNDED + C_FRAG * fragments(area, perimeter, side);
+    let passes = w.div_ceil(max_dim) * h.div_ceil(max_dim);
+    let bounded = passes as f64 * n * C_POINT_BOUNDED + C_FRAG * fragments(area, perimeter, side);
 
     // ---- accurate --------------------------------------------------------
     let dim = accurate_canvas_dim.min(max_dim) as f64;
@@ -235,8 +234,22 @@ mod tests {
     fn cost_is_monotone_in_passes() {
         let (polys, extent) = setup();
         let dev = Device::default();
-        let coarse = estimate(100_000, &polys, &extent, &Query::count().with_epsilon(20.0), &dev, 2048);
-        let fine = estimate(100_000, &polys, &extent, &Query::count().with_epsilon(1.0), &dev, 2048);
+        let coarse = estimate(
+            100_000,
+            &polys,
+            &extent,
+            &Query::count().with_epsilon(20.0),
+            &dev,
+            2048,
+        );
+        let fine = estimate(
+            100_000,
+            &polys,
+            &extent,
+            &Query::count().with_epsilon(1.0),
+            &dev,
+            2048,
+        );
         assert!(fine.passes > coarse.passes);
         assert!(fine.bounded > coarse.bounded);
         // Accurate cost does not depend on ε.
@@ -255,12 +268,18 @@ mod tests {
         assert_eq!(variant, est.choice());
         assert!(out.total_count() > 0);
 
-        let (variant2, out2) =
-            AutoRasterJoin::default().execute(&pts, &polys, &Query::count().with_epsilon(0.05), &dev);
+        let (variant2, out2) = AutoRasterJoin::default().execute(
+            &pts,
+            &polys,
+            &Query::count().with_epsilon(0.05),
+            &dev,
+        );
         assert_eq!(variant2, Variant::Accurate);
         // Accurate path is exact: compare against brute force.
         for (i, poly) in polys.iter().enumerate() {
-            let truth = (0..pts.len()).filter(|&k| poly.contains(pts.point(k))).count() as u64;
+            let truth = (0..pts.len())
+                .filter(|&k| poly.contains(pts.point(k)))
+                .count() as u64;
             assert_eq!(out2.counts[i], truth);
         }
     }

@@ -160,9 +160,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at most")]
     fn too_many_constraints_rejected() {
-        let preds = (0..6)
-            .map(|i| Predicate::new(i, CmpOp::Gt, 0.0))
-            .collect();
+        let preds = (0..6).map(|i| Predicate::new(i, CmpOp::Gt, 0.0)).collect();
         let _ = Query::count().with_predicates(preds);
     }
 

@@ -111,7 +111,11 @@ fn estimate_ranges_impl(
     workers: usize,
     attr: Option<usize>,
 ) -> Vec<ResultRange> {
-    let workers = if workers == 0 { default_workers() } else { workers };
+    let workers = if workers == 0 {
+        default_workers()
+    } else {
+        workers
+    };
     let nslots = crate::query::result_slots(polys);
     let mut out = vec![
         ResultRange {
@@ -224,9 +228,9 @@ fn estimate_ranges_impl(
         });
     }
 
-    for i in 0..nslots {
+    for (i, slot) in out.iter_mut().enumerate().take(nslots) {
         let val = a.get(i);
-        out[i] = ResultRange {
+        *slot = ResultRange {
             value: val,
             worst_lo: val - worst_plus.get(i),
             worst_hi: val + worst_minus.get(i),
@@ -347,10 +351,15 @@ mod tests {
         let q = Query::count().with_epsilon(800.0);
         let dev = Device::default();
         let counts = estimate_count_ranges(&pts, &polys, &q, &dev, 4);
-        let sums =
-            estimate_sum_ranges(&pts, &polys, &Query::sum(fare).with_epsilon(800.0), fare, &dev, 4);
-        let exact =
-            AccurateRasterJoin::new(4).execute(&pts, &polys, &Query::avg(fare), &dev);
+        let sums = estimate_sum_ranges(
+            &pts,
+            &polys,
+            &Query::sum(fare).with_epsilon(800.0),
+            fare,
+            &dev,
+            4,
+        );
+        let exact = AccurateRasterJoin::new(4).execute(&pts, &polys, &Query::avg(fare), &dev);
         let exact_avg = exact.values(crate::query::Aggregate::Avg(fare));
         for i in 0..counts.len() {
             if exact.counts[i] == 0 {
@@ -373,20 +382,12 @@ mod tests {
         let polys = synthetic_polygons(4, &extent, 56);
         let pts = uniform_points(2_000, &extent, 57);
         let dev = Device::default();
-        let coarse = estimate_count_ranges(
-            &pts,
-            &polys,
-            &Query::count().with_epsilon(1_000.0),
-            &dev,
-            4,
-        );
+        let coarse =
+            estimate_count_ranges(&pts, &polys, &Query::count().with_epsilon(1_000.0), &dev, 4);
         let fine =
             estimate_count_ranges(&pts, &polys, &Query::count().with_epsilon(100.0), &dev, 4);
         let wc: f64 = coarse.iter().map(ResultRange::worst_width).sum();
         let wf: f64 = fine.iter().map(ResultRange::worst_width).sum();
-        assert!(
-            wf < wc,
-            "finer ε must tighten intervals: {wf} !< {wc}"
-        );
+        assert!(wf < wc, "finer ε must tighten intervals: {wf} !< {wc}");
     }
 }

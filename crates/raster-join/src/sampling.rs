@@ -22,14 +22,14 @@
 
 use crate::query::{result_slots, Aggregate, Query};
 use crate::stats::ExecStats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use raster_data::filter::passes;
 use raster_data::PointTable;
 use raster_geom::Polygon;
 use raster_gpu::exec::default_workers;
 use raster_gpu::Device;
 use raster_index::{AssignMode, GridIndex};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::time::Instant;
 
 /// z-score of the two-sided 95% confidence interval.
@@ -217,12 +217,8 @@ mod tests {
         let extent = nyc_extent();
         let polys = synthetic_polygons(6, &extent, 81);
         let pts = uniform_points(2_000, &extent, 82);
-        let out = SamplingJoin::new(2_000, 7).execute(
-            &pts,
-            &polys,
-            &Query::count(),
-            &Device::default(),
-        );
+        let out =
+            SamplingJoin::new(2_000, 7).execute(&pts, &polys, &Query::count(), &Device::default());
         let want = truth(&pts, &polys, &Query::count());
         for (e, w) in out.estimates.iter().zip(&want) {
             assert!((e - w).abs() < 1e-9, "{e} vs {w}");
@@ -248,9 +244,9 @@ mod tests {
                 &Query::count(),
                 &Device::default(),
             );
-            for id in 0..want.len() {
+            for (id, w) in want.iter().enumerate() {
                 cases += 1;
-                if (out.estimates[id] - want[id]).abs() <= out.ci[id] {
+                if (out.estimates[id] - w).abs() <= out.ci[id] {
                     covered += 1;
                 }
             }
@@ -264,18 +260,10 @@ mod tests {
         let extent = nyc_extent();
         let polys = synthetic_polygons(8, &extent, 85);
         let pts = uniform_points(30_000, &extent, 86);
-        let small = SamplingJoin::new(500, 3).execute(
-            &pts,
-            &polys,
-            &Query::count(),
-            &Device::default(),
-        );
-        let large = SamplingJoin::new(10_000, 3).execute(
-            &pts,
-            &polys,
-            &Query::count(),
-            &Device::default(),
-        );
+        let small =
+            SamplingJoin::new(500, 3).execute(&pts, &polys, &Query::count(), &Device::default());
+        let large =
+            SamplingJoin::new(10_000, 3).execute(&pts, &polys, &Query::count(), &Device::default());
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(
             avg(&large.ci) < avg(&small.ci) * 0.5,
@@ -310,8 +298,7 @@ mod tests {
         let mut total_est = 0.0;
         let runs = 8;
         for seed in 0..runs {
-            let out =
-                SamplingJoin::new(3_000, seed).execute(&pts, &polys, &q, &Device::default());
+            let out = SamplingJoin::new(3_000, seed).execute(&pts, &polys, &q, &Device::default());
             total_est += out.estimates.iter().sum::<f64>();
         }
         let mean_est = total_est / runs as f64;
@@ -354,12 +341,8 @@ mod tests {
         let pts = TaxiModel::default().generate(8_000, 94);
         let hour = pts.attr_index("hour").unwrap();
         let q = Query::count().with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 84.0)]);
-        let all = SamplingJoin::new(4_000, 1).execute(
-            &pts,
-            &polys,
-            &Query::count(),
-            &Device::default(),
-        );
+        let all =
+            SamplingJoin::new(4_000, 1).execute(&pts, &polys, &Query::count(), &Device::default());
         let filt = SamplingJoin::new(4_000, 1).execute(&pts, &polys, &q, &Device::default());
         let (ta, tf) = (
             all.estimates.iter().sum::<f64>(),

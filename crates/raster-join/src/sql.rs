@@ -473,7 +473,10 @@ mod tests {
         .unwrap();
         assert!(plan.contains("AVG(#0)"), "{plan}");
         assert!(plan.contains("1 predicate(s)"), "{plan}");
-        assert!(plan.contains("BOUNDED") || plan.contains("ACCURATE"), "{plan}");
+        assert!(
+            plan.contains("BOUNDED") || plan.contains("ACCURATE"),
+            "{plan}"
+        );
         assert!(plan.contains("render pass(es)"), "{plan}");
         // The keyword is optional.
         assert!(explain_query(

@@ -22,6 +22,16 @@ pub struct ExecStats {
     pub upload_bytes: u64,
     /// Bytes shipped device→host (results, materialized pairs).
     pub download_bytes: u64,
+    /// Wall-clock time binning points to canvas tiles (subset of
+    /// `processing`; zero when binning is disabled or the canvas has a
+    /// single tile batch path).
+    pub binning: Duration,
+    /// Wall-clock time merging per-worker shards into the point FBO
+    /// (subset of `processing`; zero when sharding is disabled).
+    pub shard_merge: Duration,
+    /// Point fragments routed through the binned path (entries emitted by
+    /// the binner across all batches).
+    pub binned_points: u64,
     /// Out-of-core point batches executed (§5).
     pub batches: u32,
     /// Rendering passes (canvas tiles × batches) executed (Fig. 5).
@@ -80,5 +90,21 @@ mod tests {
         assert_eq!(s.total(), Duration::ZERO);
         assert_eq!(s.pip_tests, 0);
         assert_eq!(s.fragments, 0);
+        assert_eq!(s.binning, Duration::ZERO);
+        assert_eq!(s.shard_merge, Duration::ZERO);
+        assert_eq!(s.binned_points, 0);
+    }
+
+    #[test]
+    fn binning_and_merge_are_subsets_of_processing() {
+        // They are sub-measurements, not additional components: total()
+        // must not double-count them.
+        let s = ExecStats {
+            processing: Duration::from_millis(100),
+            binning: Duration::from_millis(30),
+            shard_merge: Duration::from_millis(20),
+            ..Default::default()
+        };
+        assert_eq!(s.total(), Duration::from_millis(100));
     }
 }

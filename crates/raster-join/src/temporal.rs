@@ -190,6 +190,9 @@ impl TemporalRasterJoin {
                 // a failed §5 constraint.
                 parallel_ranges(end - start, self.workers, |s, e| {
                     let mut vals = vec![0f32; k];
+                    // Indexes three parallel columns (times, points,
+                    // attrs); a range loop is the clear form here.
+                    #[allow(clippy::needless_range_loop)]
                     for i in (start + s)..(start + e) {
                         if !preds.is_empty() && !passes(points, i, preds) {
                             continue;
@@ -298,8 +301,8 @@ mod tests {
         let join = TemporalRasterJoin::new(2, eps);
         let got = join.execute(&pts, &polys, &buckets, &Device::default());
         let want = per_bucket_reference(&pts, &polys, &buckets, eps);
-        for b in 0..buckets.n {
-            assert_eq!(got.counts[b], want[b], "bucket {b}");
+        for (b, w) in want.iter().enumerate().take(buckets.n) {
+            assert_eq!(got.counts[b], *w, "bucket {b}");
         }
     }
 
@@ -331,8 +334,8 @@ mod tests {
         let (pts, polys, hour) = setup();
         // Cover only the first half of the week.
         let buckets = TimeBuckets::covering(hour, 0.0, 84.0, 6);
-        let out = TemporalRasterJoin::new(2, 15.0)
-            .execute(&pts, &polys, &buckets, &Device::default());
+        let out =
+            TemporalRasterJoin::new(2, 15.0).execute(&pts, &polys, &buckets, &Device::default());
         let full = BoundedRasterJoin::new(2).execute(
             &pts,
             &polys,
@@ -365,8 +368,8 @@ mod tests {
         let mut join = TemporalRasterJoin::new(2, 15.0);
         join.predicates = vec![Predicate::new(pass_attr, CmpOp::Ge, 3.0)];
         let filtered = join.execute(&pts, &polys, &buckets, &Device::default());
-        let unfiltered = TemporalRasterJoin::new(2, 15.0)
-            .execute(&pts, &polys, &buckets, &Device::default());
+        let unfiltered =
+            TemporalRasterJoin::new(2, 15.0).execute(&pts, &polys, &buckets, &Device::default());
         let (tf, tu) = (
             filtered.totals.iter().sum::<u64>(),
             unfiltered.totals.iter().sum::<u64>(),
@@ -390,8 +393,8 @@ mod tests {
             );
         }
         let buckets = TimeBuckets::covering(0, 0.0, 100.0, 4);
-        let out = TemporalRasterJoin::new(1, 10.0)
-            .execute(&pts, &polys, &buckets, &Device::default());
+        let out =
+            TemporalRasterJoin::new(1, 10.0).execute(&pts, &polys, &buckets, &Device::default());
         assert_eq!(out.peak_bucket(), 2);
     }
 

@@ -86,26 +86,23 @@ impl TwoStepJoin {
         let rtree = RTree::build(polys);
         stats.index_build = t0.elapsed();
 
-        device.record_upload(points.upload_bytes(query.attrs_uploaded()) as u64);
+        device.record_upload(points.upload_bytes(query.attrs_uploaded()));
 
         let agg_attr = query.aggregate.attr();
         let preds = &query.predicates;
         let workers = self.workers.max(1);
 
         let proc0 = Instant::now();
-        let state = Mutex::new(TwoStepState {
-            candidates: Vec::new(),
-            counts: vec![0u64; nslots],
-            sums: vec![0f64; nslots],
-            candidate_pairs: 0,
-            result_pairs: 0,
-            pip: 0,
-            rounds: 0,
-        });
 
         // Step 1 — filter: probe the R-tree per point and materialize the
         // MBR candidate pairs. Attribute predicates are pushed below the
-        // join, as a DBMS scan would.
+        // join, as a DBMS scan would. Workers accumulate into private
+        // buffers and merge exactly once — the shard-then-merge idiom of
+        // the binned pipeline. (The previous version extended a global
+        // Mutex-guarded buffer per worker chunk and could even run the
+        // whole serial refinement step under that lock, stalling every
+        // other filter worker behind it.)
+        let filtered: Mutex<Vec<(usize, Vec<Pair>)>> = Mutex::new(Vec::new());
         parallel_ranges(points.len(), workers, |s, e| {
             let mut local: Vec<Pair> = Vec::new();
             let mut cand_buf: Vec<u32> = Vec::new();
@@ -117,15 +114,30 @@ impl TwoStepJoin {
                 rtree.candidates_into(points.point(i), &mut cand_buf);
                 local.extend(cand_buf.iter().map(|&id| (i as u32, id)));
             }
-            let mut st = state.lock();
-            st.candidate_pairs += local.len() as u64;
-            st.candidates.extend_from_slice(&local);
-            if st.candidates.len() >= self.pair_buffer_cap {
-                refine_and_aggregate(&mut st, points, polys, agg_attr, device);
-            }
+            filtered.lock().push((s, local));
         });
-        let mut st = state.into_inner();
-        refine_and_aggregate(&mut st, points, polys, agg_attr, device);
+        let mut buffers = filtered.into_inner();
+        buffers.sort_unstable_by_key(|(s, _)| *s); // deterministic pair order
+        let candidates: Vec<Pair> = buffers.into_iter().flat_map(|(_, b)| b).collect();
+
+        let mut st = TwoStepState {
+            counts: vec![0u64; nslots],
+            sums: vec![0f64; nslots],
+            candidate_pairs: candidates.len() as u64,
+            result_pairs: 0,
+            pip: 0,
+            rounds: 0,
+        };
+
+        // Steps 2+3 in buffer-cap-sized rounds. The cap bounds what the
+        // modelled *device* holds at once — each round ships at most
+        // `pair_buffer_cap` pairs through refinement and charges its
+        // buffer transfers, as before. (Host-side the simulation now
+        // stages the full candidate list; the per-round transfer ledger,
+        // round count and results are unchanged.)
+        for chunk in candidates.chunks(self.pair_buffer_cap.max(1)) {
+            refine_and_aggregate(&mut st, chunk, points, polys, agg_attr, device);
+        }
         stats.processing = proc0.elapsed();
 
         device.record_download((nslots * 16) as u64);
@@ -147,7 +159,6 @@ impl TwoStepJoin {
 }
 
 struct TwoStepState {
-    candidates: Vec<Pair>,
     counts: Vec<u64>,
     sums: Vec<f64>,
     candidate_pairs: u64,
@@ -163,26 +174,26 @@ struct TwoStepState {
 /// fused execution avoids (Insight 1).
 fn refine_and_aggregate(
     st: &mut TwoStepState,
+    candidates: &[Pair],
     points: &PointTable,
     polys: &[Polygon],
     agg_attr: Option<usize>,
     device: &Device,
 ) {
-    if st.candidates.is_empty() {
+    if candidates.is_empty() {
         return;
     }
-    device.record_download((st.candidates.len() * 8) as u64);
+    device.record_download((candidates.len() * 8) as u64);
 
     // Step 2 — refine: exact PIP test per candidate pair, materializing
     // the surviving join result.
     let mut result: Vec<Pair> = Vec::new();
-    for &(row, pid) in &st.candidates {
+    for &(row, pid) in candidates {
         st.pip += 1;
         if polys[pid as usize].contains(points.point(row as usize)) {
             result.push((row, pid));
         }
     }
-    st.candidates.clear();
     device.record_download((result.len() * 8) as u64);
     st.result_pairs += result.len() as u64;
 
@@ -256,9 +267,30 @@ mod tests {
         j.pair_buffer_cap = 256;
         let out = j.execute(&pts, &polys, &Query::count(), &Device::default());
         assert!(out.stats.batches > 1, "expected multiple rounds");
+        // Rounds follow the cap exactly: ceil(candidates / cap).
+        assert_eq!(
+            out.stats.batches as u64,
+            out.stats.candidate_pairs.div_ceil(256),
+        );
         let fused =
             IndexJoin::cpu_single().execute(&pts, &polys, &Query::count(), &Device::default());
         assert_eq!(out.counts, fused.counts);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        // The worker-local merge must be order-deterministic: any worker
+        // count yields identical counts, pair totals and round structure.
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(9, &extent, 67);
+        let pts = uniform_points(3_000, &extent, 68);
+        let dev = Device::default();
+        let a = TwoStepJoin::new(1).execute(&pts, &polys, &Query::count(), &dev);
+        let b = TwoStepJoin::new(8).execute(&pts, &polys, &Query::count(), &dev);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.stats.candidate_pairs, b.stats.candidate_pairs);
+        assert_eq!(a.stats.materialized_pairs, b.stats.materialized_pairs);
+        assert_eq!(a.stats.batches, b.stats.batches);
     }
 
     #[test]
@@ -271,7 +303,10 @@ mod tests {
         let dev = Device::default();
         let two = TwoStepJoin::new(2).execute(&pts, &polys, &q, &dev);
         let fused = IndexJoin::cpu_single().execute(&pts, &polys, &q, &dev);
-        let (va, vb) = (two.values(Aggregate::Avg(fare)), fused.values(Aggregate::Avg(fare)));
+        let (va, vb) = (
+            two.values(Aggregate::Avg(fare)),
+            fused.values(Aggregate::Avg(fare)),
+        );
         for i in 0..va.len() {
             assert!((va[i] - vb[i]).abs() < 1e-6, "slot {i}");
         }

@@ -64,7 +64,11 @@ fn main() {
     // Knob 2: sampling, n sweep.
     for n in [1_000usize, 10_000, 100_000] {
         let out = SamplingJoin::new(n, 3).execute(&points, &polys, &Query::count(), &device);
-        report(format!("sampling n = {n:>7}"), &out.estimates, out.stats.total());
+        report(
+            format!("sampling n = {n:>7}"),
+            &out.estimates,
+            out.stats.total(),
+        );
     }
 
     // Knob 3: coordinate truncation, bit sweep.

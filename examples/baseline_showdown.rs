@@ -111,8 +111,12 @@ fn main() {
     });
 
     println!("\n  exact total count: {total_exact}");
-    println!("\n  strategy                  total      max err%   time        PIP tests   pairs shipped");
-    println!("  ------------------------+----------+----------+-----------+-----------+-------------");
+    println!(
+        "\n  strategy                  total      max err%   time        PIP tests   pairs shipped"
+    );
+    println!(
+        "  ------------------------+----------+----------+-----------+-----------+-------------"
+    );
     for r in &rows {
         println!(
             "  {}  {:>9.0}  {:>8.3}%  {:>9.1?}  {:>10}  {:>12}",

@@ -40,13 +40,23 @@ fn main() {
     let q = Query::count().with_epsilon(20.0);
     let t = Instant::now();
     let out = joiner.execute(&points, &polys, &q, &device);
-    show_top("heat map: COUNT(*)", polys.len(), &out.values(Aggregate::Count), t.elapsed());
+    show_top(
+        "heat map: COUNT(*)",
+        polys.len(),
+        &out.values(Aggregate::Count),
+        t.elapsed(),
+    );
 
     // 2. Switch the distribution: AVG(fare).
     let q = Query::avg(fare).with_epsilon(20.0);
     let t = Instant::now();
     let out = joiner.execute(&points, &polys, &q, &device);
-    show_top("switch distribution: AVG(fare)", polys.len(), &out.values(q.aggregate), t.elapsed());
+    show_top(
+        "switch distribution: AVG(fare)",
+        polys.len(),
+        &out.values(q.aggregate),
+        t.elapsed(),
+    );
 
     // 3. Filter: weekday rush hours only.
     let q = Query::count().with_epsilon(20.0).with_predicates(vec![
@@ -55,7 +65,12 @@ fn main() {
     ]);
     let t = Instant::now();
     let out = joiner.execute(&points, &polys, &q, &device);
-    show_top("filter: 40 ≤ hour ≤ 60", polys.len(), &out.values(Aggregate::Count), t.elapsed());
+    show_top(
+        "filter: 40 ≤ hour ≤ 60",
+        polys.len(),
+        &out.values(Aggregate::Count),
+        t.elapsed(),
+    );
 
     // 4. Stack another filter: group rides.
     let q = Query::count().with_epsilon(20.0).with_predicates(vec![
@@ -65,7 +80,12 @@ fn main() {
     ]);
     let t = Instant::now();
     let out = joiner.execute(&points, &polys, &q, &device);
-    show_top("+ filter: passengers ≥ 3", polys.len(), &out.values(Aggregate::Count), t.elapsed());
+    show_top(
+        "+ filter: passengers ≥ 3",
+        polys.len(),
+        &out.values(Aggregate::Count),
+        t.elapsed(),
+    );
 
     // 5. Drill down with guarantees: result ranges (§5).
     let q = Query::count().with_epsilon(50.0);

@@ -54,13 +54,15 @@ fn main() {
         &Query::count().with_epsilon(20.0),
         &device,
     );
-    let exact =
-        AccurateRasterJoin::default().execute(&points, &polys, &Query::count(), &device);
+    let exact = AccurateRasterJoin::default().execute(&points, &polys, &Query::count(), &device);
 
     let va = approx.values(Aggregate::Count);
     let ve = exact.values(Aggregate::Count);
 
-    println!("bounded raster join, ε = 20 m ({:?}):", approx.stats.total());
+    println!(
+        "bounded raster join, ε = 20 m ({:?}):",
+        approx.stats.total()
+    );
     print!("{}", ascii_choropleth(&polys, &va, 64, 24));
     println!("\naccurate raster join ({:?}):", exact.stats.total());
     print!("{}", ascii_choropleth(&polys, &ve, 64, 24));

@@ -10,7 +10,7 @@
 
 use raster_join_repro::data::generators::{nyc_extent, TaxiModel};
 use raster_join_repro::data::polygons::synthetic_polygons;
-use raster_join_repro::index::{AggQuadtree, ARTree};
+use raster_join_repro::index::{ARTree, AggQuadtree};
 use raster_join_repro::prelude::*;
 use std::time::Instant;
 
@@ -29,7 +29,10 @@ fn main() {
     let t1 = Instant::now();
     let artree = ARTree::build(&recs);
     let t_art = t1.elapsed();
-    println!("pre-computation: AggQuadtree {t_cube:?} ({} stored values), aR-tree {t_art:?}", cube.stored_values());
+    println!(
+        "pre-computation: AggQuadtree {t_cube:?} ({} stored values), aR-tree {t_art:?}",
+        cube.stored_values()
+    );
     println!("raster join pre-computation: none (polygons processed per query)\n");
 
     // --- ground truth + raster join ------------------------------------
@@ -53,7 +56,10 @@ fn main() {
     let cube_counts: Vec<u64> = polys.iter().map(|p| cube.polygon_count_approx(p)).collect();
     let t_cube_q = t3.elapsed();
     let t4 = Instant::now();
-    let art_counts: Vec<u64> = polys.iter().map(|p| artree.polygon_count_via_mbr(p)).collect();
+    let art_counts: Vec<u64> = polys
+        .iter()
+        .map(|p| artree.polygon_count_via_mbr(p))
+        .collect();
     let t_art_q = t4.elapsed();
     for (i, poly) in polys.iter().enumerate() {
         let e = exact.counts[i] as i64;
@@ -72,7 +78,10 @@ fn main() {
         }
     }
     let total: i64 = exact.counts.iter().map(|&c| c as i64).sum();
-    println!("\ntotal |abs error| over {} polygons (total count {total}):", polys.len());
+    println!(
+        "\ntotal |abs error| over {} polygons (total count {total}):",
+        polys.len()
+    );
     println!("  bounded raster join (ε=20m): {raster_err}  in {t_bounded:?}");
     println!("  cube center-snap:            {cube_err}  in {t_cube_q:?} (error frozen at build)");
     println!("  aR-tree via MBR:             {art_err}  in {t_art_q:?} (rectangles only)");

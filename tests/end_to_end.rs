@@ -76,34 +76,44 @@ fn bounded_errors_only_near_boundaries() {
 }
 
 /// Error shrinks monotonically (in aggregate) as ε decreases — the
-/// accuracy–ε trade-off of Fig. 12b.
+/// accuracy–ε trade-off of Fig. 12b. A single 10k-point workload carries
+/// only a handful of boundary-pixel errors, so per-seed step-to-step
+/// comparisons are noise; the figure's claim is about the aggregate
+/// trend, which we test by summing the error over several workloads at
+/// well-separated ε values.
 #[test]
 fn total_error_shrinks_with_epsilon() {
     let extent = nyc_extent();
     let polys = synthetic_polygons(12, &extent, 61);
-    let pts = TaxiModel::default().generate(10_000, 62);
     let dev = Device::default();
-    let exact = AccurateRasterJoin::default().execute(&pts, &polys, &Query::count(), &dev);
 
-    let mut totals = Vec::new();
-    for eps in [800.0, 200.0, 50.0] {
-        let b = BoundedRasterJoin::default().execute(
-            &pts,
-            &polys,
-            &Query::count().with_epsilon(eps),
-            &dev,
-        );
-        let err: u64 = b
-            .counts
-            .iter()
-            .zip(&exact.counts)
-            .map(|(&a, &e)| a.abs_diff(e))
-            .sum();
-        totals.push(err);
+    let mut totals = [0u64; 3];
+    for seed in [62u64, 63, 64, 65, 100] {
+        let pts = TaxiModel::default().generate(10_000, seed);
+        let exact = AccurateRasterJoin::default().execute(&pts, &polys, &Query::count(), &dev);
+        for (slot, eps) in [6400.0, 800.0, 50.0].into_iter().enumerate() {
+            let b = BoundedRasterJoin::default().execute(
+                &pts,
+                &polys,
+                &Query::count().with_epsilon(eps),
+                &dev,
+            );
+            totals[slot] += b
+                .counts
+                .iter()
+                .zip(&exact.counts)
+                .map(|(&a, &e)| a.abs_diff(e))
+                .sum::<u64>();
+        }
     }
     assert!(
         totals[0] >= totals[1] && totals[1] >= totals[2],
-        "errors must not grow as ε shrinks: {totals:?}"
+        "aggregate error must not grow as ε shrinks: {totals:?}"
+    );
+    // And the coarse-to-fine improvement must be substantial, not a tie.
+    assert!(
+        totals[0] > 2 * totals[2],
+        "ε sweep should show a clear accuracy trend: {totals:?}"
     );
 }
 
@@ -155,12 +165,8 @@ fn epsilon_controls_pass_count() {
         &dev,
     );
     assert_eq!(coarse.stats.passes, 1);
-    let fine = BoundedRasterJoin::default().execute(
-        &pts,
-        &polys,
-        &Query::count().with_epsilon(5.0),
-        &dev,
-    );
+    let fine =
+        BoundedRasterJoin::default().execute(&pts, &polys, &Query::count().with_epsilon(5.0), &dev);
     assert!(fine.stats.passes > 1);
     // Multi-pass must not change which answer is ε-compatible: both are
     // exact on points far from boundaries, so totals stay close.

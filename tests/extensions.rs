@@ -4,7 +4,7 @@
 
 use raster_join_repro::data::generators::{nyc_extent, TaxiModel};
 use raster_join_repro::data::polygons::synthetic_polygons;
-use raster_join_repro::index::{AggQuadtree, ARTree};
+use raster_join_repro::index::{ARTree, AggQuadtree};
 use raster_join_repro::join::multi::{MultiBoundedRasterJoin, MultiQuery};
 use raster_join_repro::join::optimizer::{estimate, Variant};
 use raster_join_repro::join::sql::parse_query;
@@ -126,7 +126,9 @@ fn lod_zoom_monotonically_sharpens() {
         prev_eps = eps;
         let out = lod.query_view(&view, &pts, &polys, &Query::count(), &dev);
         // Sanity: counting only what is visible.
-        let visible = (0..pts.len()).filter(|&i| view.contains(pts.point(i))).count() as u64;
+        let visible = (0..pts.len())
+            .filter(|&i| view.contains(pts.point(i)))
+            .count() as u64;
         assert!(out.total_count() <= visible);
         // Zoom to the central half.
         let c = view.center();
@@ -178,7 +180,10 @@ fn related_work_structures_lose_on_arbitrary_polygons() {
         "bounded ({err_bounded}) must beat MBR-only aR-tree ({err_art})"
     );
     // The aR-tree is exact for what it is built for — rectangles.
-    let rect = BBox::new(Point::new(10_000.0, 12_000.0), Point::new(30_000.0, 35_000.0));
+    let rect = BBox::new(
+        Point::new(10_000.0, 12_000.0),
+        Point::new(30_000.0, 35_000.0),
+    );
     let got = artree.range_aggregate(&rect);
     let want = pts.iter().filter(|p| rect.contains(**p)).count() as u64;
     assert_eq!(got.count, want);

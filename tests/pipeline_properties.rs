@@ -6,20 +6,13 @@ use proptest::prelude::*;
 use raster_join_repro::data::csv::{read_csv, write_csv, CsvSpec};
 use raster_join_repro::data::disk::{write_table, ChunkedReader};
 use raster_join_repro::geom::proj::LocalProjection;
-use raster_join_repro::gpu::raster::{
-    rasterize_triangle, rasterize_triangle_spans, ScreenTri,
-};
+use raster_join_repro::gpu::raster::{rasterize_triangle, rasterize_triangle_spans, ScreenTri};
 use raster_join_repro::prelude::*;
 use std::collections::HashSet;
 
 fn arb_table(max_rows: usize) -> impl Strategy<Value = PointTable> {
     prop::collection::vec(
-        (
-            -1e6f64..1e6,
-            -1e6f64..1e6,
-            -1e3f32..1e3,
-            -1e3f32..1e3,
-        ),
+        (-1e6f64..1e6, -1e6f64..1e6, -1e3f32..1e3, -1e3f32..1e3),
         0..max_rows,
     )
     .prop_map(|rows| {

@@ -18,7 +18,9 @@ fn arb_star_polygon() -> impl Strategy<Value = Polygon> {
         let mut pts = Vec::with_capacity(n);
         let mut state = seed as u64 | 1;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as f64 / (1u64 << 31) as f64
         };
         for i in 0..n {

@@ -1,0 +1,150 @@
+//! Offline stand-in for the `bytes` crate: a growable byte buffer with
+//! little-endian put/get accessors — exactly the subset the columnar disk
+//! format uses.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable, contiguous byte buffer (`Vec<u8>` underneath).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Writing primitives into a buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Reading primitives from a buffer, advancing a cursor. Implemented for
+/// `&[u8]` so a slice reference can be consumed in place.
+pub trait Buf {
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N];
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.copy_to_array())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.copy_to_array())
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.copy_to_array())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.copy_to_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.split_at(N);
+        *self = tail;
+        head.try_into().expect("split_at returned N bytes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_primitives() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u64_le(0xdead_beef_0102_0304);
+        b.put_u32_le(77);
+        b.put_f64_le(-1.5);
+        b.put_f32_le(2.25);
+        b.put_slice(b"xy");
+        assert_eq!(b.len(), 8 + 4 + 8 + 4 + 2);
+        let mut r: &[u8] = &b;
+        assert_eq!(r.get_u64_le(), 0xdead_beef_0102_0304);
+        assert_eq!(r.get_u32_le(), 77);
+        assert_eq!(r.get_f64_le(), -1.5);
+        assert_eq!(r.get_f32_le(), 2.25);
+        assert_eq!(r, b"xy");
+    }
+
+    #[test]
+    fn clear_keeps_capacity_semantics() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(1);
+        b.clear();
+        assert!(b.is_empty());
+        b.put_u32_le(2);
+        let mut r: &[u8] = &b;
+        assert_eq!(r.get_u32_le(), 2);
+    }
+}

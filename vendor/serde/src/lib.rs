@@ -1,0 +1,5 @@
+//! Offline stand-in for `serde`: only the derive re-exports this
+//! workspace's types reference. See the `serde_derive` shim for why the
+//! derives are no-ops.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde_derive`: the derives parse (so type
+//! definitions annotated with `#[derive(Serialize, Deserialize)]` keep
+//! compiling) and expand to nothing. No code in this workspace serializes
+//! through serde — the derives on the geometry types exist for downstream
+//! consumers, which the offline build does not have.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
