@@ -1,0 +1,455 @@
+//! `bench_planner` — planner calibration + decision-quality benchmark.
+//!
+//! Three phases over a micro-workload grid (points × ε × selectivity ×
+//! memory budget on the NYC-like extent):
+//!
+//! 1. **Measure** every plan key ({bounded × binning × sharding} ∪
+//!    {accurate × sharding}) on every cell, best-of-`--reps` processing
+//!    time, recording the planner's feature vectors alongside.
+//! 2. **Fit** the cost-model weights from those samples
+//!    (`Calibration::fit`) and serialize the calibration (`--calibration
+//!    PATH`, default `planner_calibration.json`).
+//! 3. **Feed back & evaluate**: an [`AutoRasterJoin`] loaded with the
+//!    fitted calibration executes each cell once (folding
+//!    predicted-vs-actual into the per-key corrections), then its
+//!    decisions are scored against the measured grid — and against the
+//!    uncalibrated constant-weight model — into `BENCH_planner.json`.
+//!
+//! The headline summary reports the fraction of cells where the
+//! calibrated planner's pick is within 15% of the best measured plan,
+//! and whether it ever does worse than the built-in constants.
+//!
+//! ```text
+//! bench_planner [--quick] [--reps N] [--out PATH] [--calibration PATH]
+//! ```
+
+use raster_data::filter::{CmpOp, Predicate};
+use raster_data::generators::{nyc_extent, TaxiModel};
+use raster_data::polygons::synthetic_polygons;
+use raster_data::PointTable;
+use raster_gpu::{Device, DeviceConfig, RasterConfig};
+use raster_join::optimizer::{
+    effective_key, features, plan_workload, Calibration, Plan, Variant, Workload, KEY_NAMES,
+    NWEIGHTS,
+};
+use raster_join::{AutoRasterJoin, Query};
+use std::fmt::Write as _;
+
+struct Cell {
+    label: String,
+    n: usize,
+    epsilon: f64,
+    selective: bool,
+    /// Device point budget; `None` keeps the cell in-core.
+    budget_points: Option<usize>,
+}
+
+struct CellResult {
+    label: String,
+    n: usize,
+    epsilon: f64,
+    selective: bool,
+    tiles: u32,
+    batches: u32,
+    /// (key name, measured ms, calibrated predicted ms, point-stage ms,
+    /// polygon-stage ms). The stage breakdown comes from the executors'
+    /// `ExecStats` calibration timers.
+    measured: Vec<(&'static str, f64, f64, f64, f64)>,
+    best_key: &'static str,
+    best_ms: f64,
+    calibrated_key: &'static str,
+    calibrated_ms: f64,
+    builtin_key: &'static str,
+    builtin_ms: f64,
+    within_15pct: bool,
+}
+
+/// The measured plan keys: every bounded config plus accurate ± sharding.
+fn measured_plans(batch: usize, workers: usize) -> Vec<Plan> {
+    let mut plans = Vec::new();
+    for (binning, sharding) in [(false, false), (false, true), (true, false), (true, true)] {
+        plans.push(Plan {
+            variant: Variant::Bounded,
+            config: RasterConfig { binning, sharding },
+            batch_points: batch,
+            canvas_dim: 2048,
+            index_dim: 1024,
+            workers,
+        });
+    }
+    for sharding in [false, true] {
+        plans.push(Plan {
+            variant: Variant::Accurate,
+            config: RasterConfig {
+                binning: false,
+                sharding,
+            },
+            batch_points: batch,
+            canvas_dim: 2048,
+            index_dim: 1024,
+            workers,
+        });
+    }
+    plans
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let reps = arg_value(&args, "--reps")
+        .map(|v| v.parse().expect("--reps N"))
+        .unwrap_or(2usize)
+        .max(1);
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_planner.json".to_string());
+    let cal_path =
+        arg_value(&args, "--calibration").unwrap_or_else(|| "planner_calibration.json".to_string());
+
+    let sizes: &[usize] = if quick {
+        &[40_000, 120_000]
+    } else {
+        &[150_000, 600_000]
+    };
+    // ε=200 → a 411² single-tile canvas dense enough to engage the shard
+    // merge; ε=50 → 1641², single tile, gate off; ε=12 → 6834², 16 tiles.
+    let epsilons = [200.0f64, 50.0, 12.0];
+    let max_fbo = 2048u32;
+    let workers = raster_gpu::exec::default_workers();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &n in sizes {
+        for &epsilon in &epsilons {
+            for selective in [false, true] {
+                cells.push(Cell {
+                    label: format!(
+                        "n{}k_eps{}_{}",
+                        n / 1000,
+                        epsilon,
+                        if selective { "sel10" } else { "nopred" }
+                    ),
+                    n,
+                    epsilon,
+                    selective,
+                    budget_points: None,
+                });
+            }
+        }
+    }
+    // Out-of-core cells exercise the batch dimension of the plan space.
+    let big = *sizes.last().unwrap();
+    for &epsilon in &epsilons {
+        cells.push(Cell {
+            label: format!("n{}k_eps{}_oocore", big / 1000, epsilon),
+            n: big,
+            epsilon,
+            selective: false,
+            budget_points: Some(big / 3),
+        });
+    }
+
+    let extent = nyc_extent();
+    let polys = synthetic_polygons(32, &extent, 7);
+    let model = TaxiModel::default();
+    eprintln!("generating {big} points…");
+    let full = model.generate(big, 7);
+    let hour = full.attr_index("hour").expect("taxi hour attr");
+
+    // ---------------------------------------------------- phase 1: measure
+    struct Measured {
+        wl: Workload,
+        query: Query,
+        device: Device,
+        /// Per plan: (plan, best seconds, point-stage ms, polygon-stage
+        /// ms of the best rep — the ExecStats calibration timers).
+        runs: Vec<(Plan, f64, f64, f64)>,
+    }
+    let mut grid: Vec<Measured> = Vec::new();
+    let mut samples: Vec<([f64; NWEIGHTS], f64)> = Vec::new();
+    for cell in &cells {
+        let pts = full.prefix(cell.n);
+        let mut query = Query::count().with_epsilon(cell.epsilon);
+        if cell.selective {
+            // hour < 16.8 passes ~10% of the uniform [0, 168) hours.
+            query = query.with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 16.8)]);
+        }
+        let device = match cell.budget_points {
+            Some(b) => Device::new(DeviceConfig {
+                memory_budget: b * PointTable::point_bytes(query.attrs_uploaded()),
+                max_fbo_dim: max_fbo,
+                ..DeviceConfig::default()
+            }),
+            None => Device::new(DeviceConfig::small(3 << 30, max_fbo)),
+        };
+        let capacity = device.points_per_batch(PointTable::point_bytes(query.attrs_uploaded()));
+        let wl = Workload::sample(&pts, &polys, &query);
+        let mut runs = Vec::new();
+        for plan in measured_plans(capacity, workers) {
+            let mut best = f64::INFINITY;
+            let (mut point_ms, mut polygon_ms) = (0.0, 0.0);
+            for _ in 0..reps {
+                let out = plan.execute(&pts, &polys, &query, &device);
+                // The quantity the model predicts: processing time
+                // (polygon preprocessing excluded as in §7.1).
+                let secs = out.stats.processing.as_secs_f64();
+                if secs < best {
+                    best = secs;
+                    point_ms = out.stats.point_stage.as_secs_f64() * 1e3;
+                    polygon_ms = out.stats.polygon_stage.as_secs_f64() * 1e3;
+                }
+            }
+            let f = features(&plan, &wl, &device);
+            samples.push((f, best));
+            eprintln!(
+                "{:<22} {:<24} {:>8.1} ms (pt {:.1} / poly {:.1})",
+                cell.label,
+                plan.key_name(),
+                best * 1e3,
+                point_ms,
+                polygon_ms
+            );
+            runs.push((plan, best, point_ms, polygon_ms));
+        }
+        grid.push(Measured {
+            wl,
+            query,
+            device,
+            runs,
+        });
+    }
+
+    // -------------------------------------------------------- phase 2: fit
+    let mut fitted = Calibration::fit(&samples).expect("calibration fit");
+    eprintln!(
+        "fitted {} weights from {} samples",
+        NWEIGHTS, fitted.samples
+    );
+    // Replay every measured run through the feedback loop: the
+    // per-pipeline corrections start from the whole grid's residuals
+    // (e.g. a systematically underpredicted shard merge) instead of 1.0.
+    for m in &grid {
+        for (plan, secs, _, _) in &m.runs {
+            let f = features(plan, &m.wl, &m.device);
+            let raw = fitted.raw(&f);
+            fitted.observe(effective_key(plan, &m.wl, &m.device), raw, *secs);
+        }
+    }
+    eprintln!(
+        "replayed {} observations into the calibration",
+        fitted.observations
+    );
+
+    // ----------------------------------------- phase 3: feedback + evaluate
+    let auto = AutoRasterJoin::with_calibration(fitted.clone());
+    for (cell, m) in cells.iter().zip(&grid) {
+        let pts = full.prefix(cell.n);
+        let (plan, out) = auto.execute(&pts, &polys, &m.query, &m.device);
+        eprintln!(
+            "feedback {:<22} ran {:<24} {:>8.1} ms",
+            cell.label,
+            plan.key_name(),
+            out.stats.processing.as_secs_f64() * 1e3
+        );
+    }
+    let calibrated = auto.calibration();
+    calibrated
+        .save(std::path::Path::new(&cal_path))
+        .expect("write calibration");
+    eprintln!("wrote {cal_path}");
+    // Round-trip sanity: the serialized calibration must load.
+    let reloaded = Calibration::load(std::path::Path::new(&cal_path)).expect("reload calibration");
+    assert_eq!(reloaded.samples, calibrated.samples);
+
+    let builtin = Calibration::builtin();
+    let mut results: Vec<CellResult> = Vec::new();
+    for (cell, m) in cells.iter().zip(&grid) {
+        let choose = |cal: &Calibration| -> Plan {
+            plan_workload(&m.wl, &m.query, &m.device, cal, workers, 2048, 1024, None)
+                .best()
+                .plan
+        };
+        // Distinct config labels can resolve to the identical physical
+        // execution (binning skipped on one tile, shard gate not
+        // engaged); merge measurements by effective pipeline so noise
+        // between identical runs never scores as a planner error.
+        let mut by_pipeline: std::collections::HashMap<usize, f64> =
+            std::collections::HashMap::new();
+        for (p, s, _, _) in &m.runs {
+            let k = effective_key(p, &m.wl, &m.device);
+            let e = by_pipeline.entry(k).or_insert(f64::INFINITY);
+            *e = e.min(*s);
+        }
+        let measured_ms_of =
+            |plan: &Plan| -> f64 { by_pipeline[&effective_key(plan, &m.wl, &m.device)] * 1e3 };
+        let cal_plan = choose(&calibrated);
+        let builtin_plan = choose(&builtin);
+        let (&best_key, &best_secs) = by_pipeline
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("runs");
+        let best_ms = best_secs * 1e3;
+        let calibrated_ms = measured_ms_of(&cal_plan);
+        let builtin_ms = measured_ms_of(&builtin_plan);
+        let within = calibrated_ms <= best_ms * 1.15;
+        let measured: Vec<(&'static str, f64, f64, f64, f64)> = m
+            .runs
+            .iter()
+            .map(|(p, s, point_ms, polygon_ms)| {
+                let predicted_ms = calibrated.predict(
+                    effective_key(p, &m.wl, &m.device),
+                    &features(p, &m.wl, &m.device),
+                ) * 1e3;
+                (p.key_name(), s * 1e3, predicted_ms, *point_ms, *polygon_ms)
+            })
+            .collect();
+        let sh = plan_workload(
+            &m.wl,
+            &m.query,
+            &m.device,
+            &calibrated,
+            workers,
+            2048,
+            1024,
+            None,
+        )
+        .best()
+        .shape;
+        results.push(CellResult {
+            label: cell.label.clone(),
+            n: cell.n,
+            epsilon: cell.epsilon,
+            selective: cell.selective,
+            tiles: sh.tiles,
+            batches: sh.batches,
+            measured,
+            best_key: KEY_NAMES[best_key],
+            best_ms,
+            calibrated_key: cal_plan.key_name(),
+            calibrated_ms,
+            builtin_key: builtin_plan.key_name(),
+            builtin_ms,
+            within_15pct: within,
+        });
+    }
+
+    let json = render_json(&results, &calibrated, quick, reps, workers);
+    std::fs::write(&out_path, &json).expect("write BENCH_planner.json");
+    eprintln!("wrote {out_path}");
+
+    let within = results.iter().filter(|r| r.within_15pct).count();
+    let never_worse = results
+        .iter()
+        .all(|r| r.calibrated_ms <= r.builtin_ms * 1.000001);
+    eprintln!(
+        "calibrated within 15% of best on {}/{} cells; never worse than builtin: {}",
+        within,
+        results.len(),
+        never_worse
+    );
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn render_json(
+    results: &[CellResult],
+    calibrated: &Calibration,
+    quick: bool,
+    reps: usize,
+    workers: usize,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"planner\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    let _ = writeln!(s, "  \"workers\": {workers},");
+    s.push_str("  \"cells\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"label\": \"{}\",", r.label);
+        let _ = writeln!(
+            s,
+            "      \"points\": {}, \"epsilon\": {}, \"selective\": {}, \
+             \"tiles\": {}, \"batches\": {},",
+            r.n, r.epsilon, r.selective, r.tiles, r.batches
+        );
+        s.push_str("      \"plans\": [");
+        for (j, (key, ms, pred_ms, pt_ms, poly_ms)) in r.measured.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}{{\"key\": \"{key}\", \"measured_ms\": {ms:.2}, \"predicted_ms\": {pred_ms:.2}, \
+                 \"point_stage_ms\": {pt_ms:.2}, \"polygon_stage_ms\": {poly_ms:.2}}}",
+                if j == 0 { "" } else { ", " }
+            );
+        }
+        s.push_str("],\n");
+        let _ = writeln!(
+            s,
+            "      \"best\": {{\"key\": \"{}\", \"ms\": {:.2}}},",
+            r.best_key, r.best_ms
+        );
+        let _ = writeln!(
+            s,
+            "      \"calibrated\": {{\"key\": \"{}\", \"ms\": {:.2}, \"within_15pct\": {}}},",
+            r.calibrated_key, r.calibrated_ms, r.within_15pct
+        );
+        let _ = writeln!(
+            s,
+            "      \"builtin\": {{\"key\": \"{}\", \"ms\": {:.2}}}",
+            r.builtin_key, r.builtin_ms
+        );
+        let _ = write!(
+            s,
+            "    }}{}",
+            if i + 1 < results.len() { ",\n" } else { "\n" }
+        );
+    }
+    s.push_str("  ],\n");
+
+    let within = results.iter().filter(|r| r.within_15pct).count();
+    let never_worse = results
+        .iter()
+        .all(|r| r.calibrated_ms <= r.builtin_ms * 1.000001);
+    let sum = |f: fn(&CellResult) -> f64| -> f64 { results.iter().map(f).sum() };
+    s.push_str("  \"summary\": {\n");
+    let _ = writeln!(s, "    \"cells\": {},", results.len());
+    let _ = writeln!(s, "    \"calibrated_within_15pct\": {within},");
+    let _ = writeln!(
+        s,
+        "    \"within_15pct_fraction\": {:.3},",
+        within as f64 / results.len().max(1) as f64
+    );
+    let _ = writeln!(
+        s,
+        "    \"best_total_ms\": {:.2}, \"calibrated_total_ms\": {:.2}, \"builtin_total_ms\": {:.2},",
+        sum(|r| r.best_ms),
+        sum(|r| r.calibrated_ms),
+        sum(|r| r.builtin_ms)
+    );
+    let _ = writeln!(
+        s,
+        "    \"calibrated_never_worse_than_builtin\": {never_worse},"
+    );
+    let _ = writeln!(
+        s,
+        "    \"fit_samples\": {}, \"observations\": {}",
+        calibrated.samples, calibrated.observations
+    );
+    s.push_str("  },\n");
+    // The full calibration document, inline, for the artifact reader.
+    s.push_str("  \"calibration\": ");
+    let cal_json = calibrated.to_json();
+    for (i, line) in cal_json.trim_end().lines().enumerate() {
+        if i > 0 {
+            s.push_str("  ");
+        }
+        s.push_str(line);
+        s.push('\n');
+    }
+    s.pop();
+    s.push('\n');
+    s.push_str("}\n");
+    s
+}

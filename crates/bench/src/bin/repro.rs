@@ -8,7 +8,7 @@
 
 use bench::{experiments, Scale};
 
-const USAGE: &str = "usage: repro [--scale F] [all | table1 | table2 | fig6 | fig8 | fig9 | fig10 | fig11 | fig12a | fig12b | fig12c | fig13 | fig14 | ablations]...";
+const USAGE: &str = "usage: repro [--scale F] [all | table1 | table2 | fig6 | fig8 | fig9 | fig10 | fig11 | fig12a | fig12b | fig12c | fig13 | fig14 | ablations | planner]...";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +46,7 @@ fn main() {
             "fig13" => vec![experiments::fig13(scale)],
             "fig14" => vec![experiments::fig14(scale)],
             "ablations" => vec![experiments::ablations(scale)],
+            "planner" => vec![experiments::planner(scale)],
             other => {
                 eprintln!("unknown experiment `{other}`\n{USAGE}");
                 std::process::exit(2);

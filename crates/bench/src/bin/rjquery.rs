@@ -175,8 +175,8 @@ fn main() {
     };
 
     let (label, out) = if args.auto {
-        let (variant, out) = AutoRasterJoin::default().execute(&points, &polys, &query, &device);
-        (format!("auto → {variant:?}"), out)
+        let (plan, out) = AutoRasterJoin::default().execute(&points, &polys, &query, &device);
+        (format!("auto → {}", plan.describe()), out)
     } else if args.exact {
         (
             "accurate".to_string(),

@@ -742,6 +742,74 @@ pub fn ablations(scale: Scale) -> Report {
     r
 }
 
+// --------------------------------------------------------------- Planner
+
+/// Beyond-the-paper §8 extension: the feedback-calibrated planner's
+/// decisions across an ε/selectivity sweep — predicted vs measured cost
+/// of the chosen plan, and the measured cost of the best alternative
+/// variant it rejected.
+pub fn planner(scale: Scale) -> Report {
+    use raster_join::optimizer::Variant;
+    use raster_join::AutoRasterJoin;
+    let mut r = Report::new(
+        "Planner: feedback-calibrated decisions (Taxi ⋈ Neighborhoods)",
+        &[
+            "epsilon m",
+            "selective",
+            "chosen plan",
+            "predicted (units)",
+            "measured",
+            "rejected variant",
+        ],
+    );
+    r.note("the planner ranks {variant × RasterConfig × batch} per query; online");
+    r.note("feedback folds each run's predicted-vs-actual ratio back in.");
+    r.note("predicted costs are in the builtin model's abstract units (not ms) —");
+    r.note("run bench_planner for a calibration fitted to seconds.");
+    let n = scale.apply(300_000);
+    let pts = workloads::taxi(n);
+    let polys = workloads::neighborhoods();
+    let dev = Device::new(DeviceConfig::small(3 << 30, 2048));
+    let hour = pts.attr_index("hour").unwrap();
+    let auto = AutoRasterJoin::default();
+    for (eps, selective) in [
+        (100.0, false),
+        (20.0, false),
+        (20.0, true),
+        (4.0, false),
+        (4.0, true),
+    ] {
+        let mut q = Query::count().with_epsilon(eps);
+        if selective {
+            q = q.with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 16.8)]);
+        }
+        let choice = auto.plan(&pts, polys, &q, &dev);
+        let rejected = match choice.choice() {
+            Variant::Bounded => Variant::Accurate,
+            Variant::Accurate => Variant::Bounded,
+        };
+        let rejected_cost = choice
+            .best_of(rejected)
+            .map(|c| format!("{:?} @ {:.3e}", rejected, c.cost))
+            .unwrap_or_else(|| "n/a".into());
+        let (plan, out) = auto.execute(&pts, polys, &q, &dev);
+        r.row(vec![
+            format!("{eps}"),
+            selective.to_string(),
+            plan.describe(),
+            format!("{:.3e}", choice.best().cost),
+            format!("{} ms", ms(out.stats.processing)),
+            rejected_cost,
+        ]);
+    }
+    let cal = auto.calibration();
+    r.note(format!(
+        "calibration after sweep: {} observation(s), unit {:.3e} s/op",
+        cal.observations, cal.unit
+    ));
+    r
+}
+
 pub fn all(scale: Scale) -> Vec<Report> {
     vec![
         table1(scale),
@@ -757,5 +825,6 @@ pub fn all(scale: Scale) -> Vec<Report> {
         fig13(scale),
         fig14(scale),
         ablations(scale),
+        planner(scale),
     ]
 }

@@ -65,6 +65,12 @@ impl Default for RasterConfig {
     }
 }
 
+/// Sharding pays an O(pixels × shards) merge per tile; below this many
+/// entries per pixel the atomic path's contention is cheaper than the
+/// merge bandwidth, so a sharding-enabled config still uses atomics for
+/// sparse tiles. (The ablation bench runs well above this density.)
+pub const SHARD_MIN_DENSITY: f64 = 0.5;
+
 impl RasterConfig {
     /// The pre-binning pipeline: per-tile rescans + atomic FBO blending.
     pub fn naive() -> Self {
@@ -72,6 +78,13 @@ impl RasterConfig {
             binning: false,
             sharding: false,
         }
+    }
+
+    /// The sharding density gate, shared by every executor (bounded,
+    /// accurate) and mirrored by the planner's cost model: does this
+    /// tile's expected point load justify the O(pixels × shards) merge?
+    pub fn use_shards(&self, entries: usize, pixels: usize) -> bool {
+        self.sharding && entries as f64 >= SHARD_MIN_DENSITY * pixels as f64
     }
 }
 

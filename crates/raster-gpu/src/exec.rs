@@ -6,6 +6,7 @@
 //! `crossbeam`'s scoped threads.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 /// Number of workers: the available CPU parallelism (or 1 when unknown).
 pub fn default_workers() -> usize {
@@ -39,6 +40,19 @@ where
         }
     })
     .expect("worker thread panicked");
+}
+
+/// Accumulate the wall-clock time of one pipeline stage into `acc` and
+/// return the stage's result. Each executor attributes its processing
+/// time to the stage that spent it (point blend, polygon scan, binning,
+/// shard merge); the planner's calibration bench records the breakdown
+/// alongside every measured run so fitted weights can be sanity-checked
+/// against where the time actually went.
+pub fn timed<T>(acc: &mut Duration, f: impl FnOnce() -> T) -> T {
+    let t0 = Instant::now();
+    let v = f();
+    *acc += t0.elapsed();
+    v
 }
 
 /// Block size for [`parallel_dynamic`] over `len` items on `workers`

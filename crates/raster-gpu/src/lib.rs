@@ -32,7 +32,7 @@ pub mod raster;
 pub mod ssbo;
 pub mod viewport;
 
-pub use bin::{bin_points, BinnedBatch, CanvasTiling, RasterConfig};
+pub use bin::{bin_points, BinnedBatch, CanvasTiling, RasterConfig, SHARD_MIN_DENSITY};
 pub use device::{Device, DeviceConfig, TransferStats};
 pub use framebuffer::{BoundaryFbo, FboPool, PointFbo, ShardSet};
 pub use mrt::MrtFbo;

@@ -119,6 +119,21 @@ impl Viewport {
         self.width as usize * self.height as usize
     }
 
+    /// The square-ish canvas resolution for `extent` under a per-axis
+    /// budget of `dim` pixels: the longer axis gets `dim`, the shorter is
+    /// scaled to keep pixels square-ish. One definition shared by the
+    /// accurate raster join and the planner's cost model, so the modelled
+    /// canvas can never drift from the executed one.
+    pub fn canvas_for_extent(extent: &BBox, dim: u32) -> (u32, u32) {
+        if extent.width() >= extent.height() {
+            let h = ((extent.height() / extent.width().max(1e-30)) * dim as f64).ceil() as u32;
+            (dim.max(1), h.max(1))
+        } else {
+            let w = ((extent.width() / extent.height().max(1e-30)) * dim as f64).ceil() as u32;
+            (w.max(1), dim.max(1))
+        }
+    }
+
     /// A hoisted-divisor form of [`Viewport::pixel_of`] for tight loops.
     /// Bit-exact: it precomputes `pixel_width()` / `pixel_height()` once
     /// (the same FP values every `pixel_of` call derives) and then applies

@@ -21,7 +21,7 @@ use raster_data::filter::passes;
 use raster_data::PointTable;
 use raster_geom::triangulate::triangulate_all;
 use raster_geom::{Point, Polygon};
-use raster_gpu::exec::{block_for, default_workers, parallel_dynamic, parallel_ranges};
+use raster_gpu::exec::{block_for, default_workers, parallel_dynamic, parallel_ranges, timed};
 use raster_gpu::raster::{
     rasterize_segment_conservative, rasterize_segment_thick_outline, rasterize_triangle_spans,
 };
@@ -61,6 +61,9 @@ pub struct AccurateRasterJoin {
     /// interior-point blend has the same atomic-contention profile as the
     /// bounded variant and takes the same shard-merge path.
     pub config: RasterConfig,
+    /// Planner-chosen points-per-batch override; capped by the device
+    /// memory budget. `None` fills the device budget (the default).
+    pub batch_points: Option<usize>,
 }
 
 impl Default for AccurateRasterJoin {
@@ -71,6 +74,7 @@ impl Default for AccurateRasterJoin {
             index_dim: 1024,
             conservative: ConservativeMode::Dda,
             config: RasterConfig::default(),
+            batch_points: None,
         }
     }
 }
@@ -109,14 +113,8 @@ impl AccurateRasterJoin {
 
         let extent = crate::bounded::polygon_extent(polys);
         let dim = self.canvas_dim.min(device.config().max_fbo_dim);
-        // Keep pixels square-ish by scaling the shorter axis.
-        let (w, h) = if extent.width() >= extent.height() {
-            let h = ((extent.height() / extent.width()) * dim as f64).ceil() as u32;
-            (dim, h.max(1))
-        } else {
-            let w = ((extent.width() / extent.height()) * dim as f64).ceil() as u32;
-            (w.max(1), dim)
-        };
+        // Square-ish canvas, shared rule with the planner's cost model.
+        let (w, h) = Viewport::canvas_for_extent(&extent, dim);
         let vp = Viewport::new(extent, w, h);
 
         // On-the-fly GPU index build (§6.1), timed separately (Table 1).
@@ -142,19 +140,23 @@ impl AccurateRasterJoin {
         // Step 1: conservative outline pass.
         let boundary = BoundaryFbo::new(w, h);
         let poly_block = block_for(polys.len(), self.workers);
-        parallel_dynamic(polys.len(), self.workers, poly_block, |pi| {
-            for (a, b) in polys[pi].all_edges() {
-                let sa = vp.to_screen(a);
-                let sb = vp.to_screen(b);
-                match self.conservative {
-                    ConservativeMode::Dda => {
-                        rasterize_segment_conservative(sa, sb, w, h, |x, y| boundary.mark(x, y))
-                    }
-                    ConservativeMode::ThickOutline => {
-                        rasterize_segment_thick_outline(sa, sb, w, h, |x, y| boundary.mark(x, y))
+        timed(&mut stats.polygon_stage, || {
+            parallel_dynamic(polys.len(), self.workers, poly_block, |pi| {
+                for (a, b) in polys[pi].all_edges() {
+                    let sa = vp.to_screen(a);
+                    let sb = vp.to_screen(b);
+                    match self.conservative {
+                        ConservativeMode::Dda => {
+                            rasterize_segment_conservative(sa, sb, w, h, |x, y| boundary.mark(x, y))
+                        }
+                        ConservativeMode::ThickOutline => {
+                            rasterize_segment_thick_outline(sa, sb, w, h, |x, y| {
+                                boundary.mark(x, y)
+                            })
+                        }
                     }
                 }
-            }
+            })
         });
         stats.passes += 1;
 
@@ -162,7 +164,10 @@ impl AccurateRasterJoin {
         let agg_attr = query.aggregate.attr();
         let attrs_up = query.attrs_uploaded();
         let point_bytes = PointTable::point_bytes(attrs_up);
-        let per_batch = device.points_per_batch(point_bytes);
+        let per_batch = self
+            .batch_points
+            .map_or(usize::MAX, |b| b.max(1))
+            .min(device.points_per_batch(point_bytes));
         let pip_tests = AtomicU64::new(0);
         let fragments = AtomicU64::new(0);
         let fbo = PointFbo::new(w, h);
@@ -170,15 +175,14 @@ impl AccurateRasterJoin {
         let pool = FboPool::new();
         let pixels = w as usize * h as usize;
 
+        let point_stage0 = Instant::now();
         let mut start = 0usize;
         while start < points.len() {
             let end = (start + per_batch).min(points.len());
             device.record_upload(((end - start) * point_bytes) as u64);
             stats.batches += 1;
             let survivors = crate::bounded::estimate_survivors(points, start, end, preds, &vp);
-            if self.config.sharding
-                && survivors as f64 >= crate::bounded::SHARD_MIN_DENSITY * pixels as f64
-            {
+            if self.config.use_shards(survivors, pixels) {
                 // Sharded interior blend: each shard worker scans its
                 // point subrange privately; boundary points take the
                 // exact PIP path inline, as before (SSBO atomics are
@@ -237,12 +241,14 @@ impl AccurateRasterJoin {
             }
             start = end;
         }
+        stats.point_stage = point_stage0.elapsed();
         if points.is_empty() {
             stats.batches = 1;
         }
 
         // Step 3: polygon pass, discarding boundary fragments. Spans keep
         // the scan sequential; the boundary test stays per pixel.
+        let polygon_stage0 = Instant::now();
         let tri_block = block_for(tris.len(), self.workers);
         parallel_dynamic(tris.len(), self.workers, tri_block, |ti| {
             let t = &tris[ti];
@@ -279,6 +285,7 @@ impl AccurateRasterJoin {
                 fragments.fetch_add(frags, Ordering::Relaxed);
             }
         });
+        stats.polygon_stage += polygon_stage0.elapsed();
         stats.passes += 1;
         stats.processing = proc0.elapsed();
 

@@ -32,18 +32,16 @@ use raster_data::PointTable;
 use raster_geom::hausdorff::resolution_for_epsilon;
 use raster_geom::{BBox, Point, Polygon};
 use raster_gpu::bin::{bin_points, BinnedBatch, CanvasTiling};
-use raster_gpu::exec::{block_for, default_workers, parallel_dynamic, parallel_ranges};
+use raster_gpu::exec::{block_for, default_workers, parallel_dynamic, parallel_ranges, timed};
 use raster_gpu::raster::rasterize_polygon_spans;
 use raster_gpu::ssbo::{AtomicF64Array, AtomicU64Array};
 use raster_gpu::{Device, FboPool, PointFbo, RasterConfig, Viewport};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Sharding pays an O(pixels × shards) merge per tile; below this many
-/// entries per pixel the atomic path's contention is cheaper than the
-/// merge bandwidth, so a sharding-enabled config still uses atomics for
-/// sparse tiles. (The ablation bench runs well above this density.)
-pub(crate) const SHARD_MIN_DENSITY: f64 = 0.5;
+// The sharding density gate lives on `RasterConfig::use_shards` so the
+// bounded and accurate executors (and the planner's cost model) share one
+// definition; see `raster_gpu::SHARD_MIN_DENSITY` for the threshold.
 
 /// Estimate how many points of `[start, end)` will actually blend into
 /// `canvas`: survive the filter predicates AND land inside the canvas
@@ -92,6 +90,9 @@ pub struct BoundedRasterJoin {
     pub workers: usize,
     /// Binning/sharding toggles (both on by default).
     pub config: RasterConfig,
+    /// Planner-chosen points-per-batch override; capped by the device
+    /// memory budget. `None` fills the device budget (the default).
+    pub batch_points: Option<usize>,
 }
 
 impl Default for BoundedRasterJoin {
@@ -99,6 +100,7 @@ impl Default for BoundedRasterJoin {
         BoundedRasterJoin {
             workers: default_workers(),
             config: RasterConfig::default(),
+            batch_points: None,
         }
     }
 }
@@ -143,11 +145,16 @@ impl BoundedRasterJoin {
         BoundedRasterJoin {
             workers,
             config: RasterConfig::naive(),
+            ..Default::default()
         }
     }
 
     pub fn with_config(workers: usize, config: RasterConfig) -> Self {
-        BoundedRasterJoin { workers, config }
+        BoundedRasterJoin {
+            workers,
+            config,
+            batch_points: None,
+        }
     }
 
     /// Extract polygon rings and derive the canvas tiling for `epsilon`.
@@ -226,7 +233,10 @@ impl BoundedRasterJoin {
         // Out-of-core batching: points transferred exactly once.
         let attrs_up = query.attrs_uploaded();
         let point_bytes = PointTable::point_bytes(attrs_up);
-        let per_batch = device.points_per_batch(point_bytes);
+        let per_batch = self
+            .batch_points
+            .map_or(usize::MAX, |b| b.max(1))
+            .min(device.points_per_batch(point_bytes));
         let agg_attr = query.aggregate.attr();
         let fragments = AtomicU64::new(0);
         let pool = FboPool::new();
@@ -260,7 +270,9 @@ impl BoundedRasterJoin {
                         Some((points.point(i), v))
                     },
                 );
-                stats.binning += t0.elapsed();
+                let dt = t0.elapsed();
+                stats.binning += dt;
+                stats.point_stage += dt;
                 stats.binned_points += b.len() as u64;
                 Some(b)
             } else {
@@ -284,7 +296,8 @@ impl BoundedRasterJoin {
 
             for (ti, vp) in tiling.tiles.iter().enumerate() {
                 let fbo = pool.acquire(vp.width, vp.height);
-                match &binned {
+                let mut point_stage = std::time::Duration::ZERO;
+                timed(&mut point_stage, || match &binned {
                     Some(b) => self.draw_points_binned(b, ti, vp, &fbo, &pool, &mut stats),
                     None => self.draw_points(
                         points,
@@ -298,16 +311,19 @@ impl BoundedRasterJoin {
                         &pool,
                         &mut stats,
                     ),
-                }
-                self.draw_polygons(
-                    &prepared.polys,
-                    vp,
-                    &fbo,
-                    agg_attr.is_some(),
-                    &counts,
-                    &sums,
-                    &fragments,
-                );
+                });
+                stats.point_stage += point_stage;
+                timed(&mut stats.polygon_stage, || {
+                    self.draw_polygons(
+                        &prepared.polys,
+                        vp,
+                        &fbo,
+                        agg_attr.is_some(),
+                        &counts,
+                        &sums,
+                        &fragments,
+                    )
+                });
                 pool.release(fbo);
                 stats.passes += 1;
             }
@@ -334,11 +350,6 @@ impl BoundedRasterJoin {
         }
     }
 
-    /// Does this tile's point load justify the shard-merge bandwidth?
-    fn use_shards(&self, entries: usize, pixels: usize) -> bool {
-        self.config.sharding && entries as f64 >= SHARD_MIN_DENSITY * pixels as f64
-    }
-
     /// Step I via the binner: replay tile `ti`'s pre-transformed entries.
     fn draw_points_binned(
         &self,
@@ -353,7 +364,7 @@ impl BoundedRasterJoin {
         if idx.is_empty() {
             return;
         }
-        if self.use_shards(idx.len(), vp.pixel_count()) {
+        if self.config.use_shards(idx.len(), vp.pixel_count()) {
             let mut shards = pool.acquire_shards(vp.pixel_count(), self.workers);
             shards.accumulate(idx, vals);
             let t0 = Instant::now();
@@ -395,7 +406,7 @@ impl BoundedRasterJoin {
         stats: &mut ExecStats,
     ) {
         let preds = &query.predicates;
-        if self.use_shards(est_tile_entries, vp.pixel_count()) {
+        if self.config.use_shards(est_tile_entries, vp.pixel_count()) {
             // Sharding without binning (ablation): every shard worker
             // still rescans its point subrange per tile, but blends into
             // private buffers instead of the shared atomics.

@@ -1,0 +1,526 @@
+//! Calibration: fitting the cost-model weights from measured executions
+//! and folding per-query predicted-vs-actual feedback back in.
+//!
+//! # File format
+//!
+//! A calibration serializes to a small flat JSON document (written by
+//! `bench_planner`, loaded with [`Calibration::load`]):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "samples": 48,
+//!   "observations": 10,
+//!   "unit": 1.0e-7,
+//!   "weights": { "filter": 2.1e-9, "bin": ..., ... },
+//!   "scale": { "bounded_rescan": 1.0, "bounded_binned_sharded": ..., ... }
+//! }
+//! ```
+//!
+//! `weights` holds one entry per [`WEIGHT_NAMES`] slot (seconds per
+//! feature unit once fitted). `scale` holds one multiplicative correction
+//! per plan key ([`KEY_NAMES`]) maintained by the online feedback loop;
+//! `unit` is the running global units→seconds factor the per-key
+//! corrections are measured against. Every key is optional on load —
+//! missing entries keep their built-in value — so the format is
+//! forward-compatible with added stages.
+//!
+//! # Fitting
+//!
+//! [`Calibration::fit`] solves a ridge-regularised least-squares problem
+//! over (feature-vector, measured-seconds) samples: columns are
+//! normalised, the normal equations solved by Gaussian elimination, and
+//! negative weights clamped to zero with one re-solve over the remaining
+//! columns (a single active-set step — enough for 12 well-scaled
+//! features). Feature columns never exercised by the sample grid fall
+//! back to the built-in constant converted at the fitted unit rate, so an
+//! uncalibrated stage still costs something plausible.
+//!
+//! # Online feedback
+//!
+//! [`Calibration::observe`] receives each executed plan's raw predicted
+//! cost and measured seconds. It maintains `unit` as an EMA of the
+//! global seconds-per-unit ratio and, per plan key, an EMA of the
+//! *residual* ratio relative to `unit`. Predictions are multiplied by the
+//! plan key's residual, so systematic per-pipeline bias (e.g. a machine
+//! whose shard merge is unusually slow) corrects within a few queries
+//! without disturbing the fitted weights.
+
+use super::cost::{Weights, NWEIGHTS, WEIGHT_NAMES};
+use std::io;
+use std::path::Path;
+
+/// Plan-key count: {Bounded, Accurate} × binning × sharding. The accurate
+/// variant ignores binning, but the encoding stays uniform. Online
+/// corrections are attributed to the *effective* pipeline
+/// (`cost::effective_key`) — binning skipped on single-tile canvases, the
+/// shard gate possibly not engaging — so labels that resolve to the same
+/// execution share one correction.
+pub const NKEYS: usize = 8;
+
+/// Stable names for plan keys — `variant*4 + binning*2 + sharding`.
+pub const KEY_NAMES: [&str; NKEYS] = [
+    "bounded_rescan",
+    "bounded_rescan_sharded",
+    "bounded_binned",
+    "bounded_binned_sharded",
+    "accurate",
+    "accurate_sharded",
+    "accurate_binned",
+    "accurate_binned_sharded",
+];
+
+/// EMA step for the online feedback loop.
+const ALPHA: f64 = 0.3;
+
+/// Serialized format version.
+pub const CALIBRATION_VERSION: u32 = 1;
+
+/// The planner's knowledge: fitted (or built-in) stage weights plus the
+/// online per-plan-key corrections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    pub weights: Weights,
+    /// Multiplicative correction per plan key, updated by feedback.
+    pub scale: [f64; NKEYS],
+    /// Running global units→seconds factor (informational; rankings only
+    /// depend on the per-key residuals).
+    pub unit: f64,
+    /// Number of measured samples the weights were fitted from (0 ⇒
+    /// built-in constants).
+    pub samples: u32,
+    /// Number of predicted-vs-actual observations folded back in.
+    pub observations: u64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration::builtin()
+    }
+}
+
+impl Calibration {
+    /// The uncalibrated fallback: hand-tuned constants, neutral scales.
+    pub fn builtin() -> Self {
+        Calibration {
+            weights: Weights::BUILTIN,
+            scale: [1.0; NKEYS],
+            unit: 1.0,
+            samples: 0,
+            observations: 0,
+        }
+    }
+
+    /// Has any measurement informed this calibration?
+    pub fn is_calibrated(&self) -> bool {
+        self.samples > 0 || self.observations > 0
+    }
+
+    /// Raw model cost (no per-key correction) of a feature vector.
+    pub fn raw(&self, feats: &[f64; NWEIGHTS]) -> f64 {
+        self.weights.dot(feats)
+    }
+
+    /// Corrected predicted cost for a plan with key `key`.
+    pub fn predict(&self, key: usize, feats: &[f64; NWEIGHTS]) -> f64 {
+        self.raw(feats) * self.scale[key.min(NKEYS - 1)]
+    }
+
+    /// Fold one execution's predicted-vs-actual outcome back in (simple
+    /// online reweighting). `predicted_raw` is the *uncorrected* model
+    /// cost; `actual_secs` the measured processing time.
+    pub fn observe(&mut self, key: usize, predicted_raw: f64, actual_secs: f64) {
+        // NaN or non-positive values carry no usable signal.
+        let usable = |x: f64| x.is_finite() && x > 0.0;
+        if !usable(predicted_raw) || !usable(actual_secs) {
+            return;
+        }
+        let r = actual_secs / predicted_raw;
+        self.unit = if self.observations == 0 {
+            r
+        } else {
+            self.unit * (1.0 - ALPHA) + r * ALPHA
+        };
+        let residual = r / self.unit.max(1e-300);
+        let k = key.min(NKEYS - 1);
+        self.scale[k] = (self.scale[k] * (1.0 - ALPHA) + residual * ALPHA).clamp(0.05, 20.0);
+        self.observations += 1;
+    }
+
+    /// Fit weights from `(features, measured_seconds)` samples. Returns
+    /// `None` when the system is hopelessly underdetermined (fewer samples
+    /// than two, or all-zero features).
+    pub fn fit(raw_samples: &[([f64; NWEIGHTS], f64)]) -> Option<Calibration> {
+        // Fit in *relative* space — scale each sample by 1/measured so the
+        // loss is relative error, not absolute seconds. A grid mixes 2 ms
+        // and 40 ms cells; in absolute space the big cells dominate and
+        // the model can be 2× off on the small ones, which is exactly
+        // where plan rankings are tight.
+        let samples: Vec<([f64; NWEIGHTS], f64)> = raw_samples
+            .iter()
+            .filter(|(_, y)| y.is_finite() && *y > 0.0)
+            .map(|(f, y)| (f.map(|x| x / y), 1.0))
+            .collect();
+        let samples = samples.as_slice();
+        if samples.len() < 2 {
+            return None;
+        }
+        // Column norms for scaling; remember never-exercised columns.
+        let mut norm = [0.0f64; NWEIGHTS];
+        for (f, _) in samples {
+            for (j, x) in f.iter().enumerate() {
+                norm[j] += x * x;
+            }
+        }
+        for n in &mut norm {
+            *n = n.sqrt();
+        }
+        if norm.iter().all(|&n| n == 0.0) {
+            return None;
+        }
+        // Global unit estimate: measured seconds per built-in unit —
+        // the fallback rate for unexercised columns.
+        let total_builtin: f64 = samples.iter().map(|(f, _)| Weights::BUILTIN.dot(f)).sum();
+        let total_secs: f64 = samples.iter().map(|(_, y)| *y).sum();
+        let unit = if total_builtin > 0.0 {
+            total_secs / total_builtin
+        } else {
+            1.0
+        };
+
+        let active: Vec<usize> = (0..NWEIGHTS).filter(|&j| norm[j] > 0.0).collect();
+        let mut w = solve_ridge(samples, &active, &norm);
+        // One active-set step: clamp negatives to zero, re-solve the rest.
+        if w.iter().any(|&x| x < 0.0) {
+            let keep: Vec<usize> = active.iter().copied().filter(|&j| w[j] >= 0.0).collect();
+            let mut w2 = solve_ridge(samples, &keep, &norm);
+            for x in &mut w2 {
+                if *x < 0.0 {
+                    *x = 0.0;
+                }
+            }
+            w = w2;
+        }
+        // Unexercised columns: built-in constant at the fitted unit rate.
+        // Exercised columns are floored at a small fraction of the same —
+        // least squares happily zeroes a stage whose contribution sits in
+        // its noise floor (e.g. a shard merge worth ~1 ms inside 40 ms
+        // cells), and a zero-cost stage would let the planner rank a plan
+        // that does strictly more work as tied with one that does not.
+        for j in 0..NWEIGHTS {
+            if norm[j] == 0.0 {
+                w[j] = Weights::BUILTIN.0[j] * unit;
+            } else {
+                w[j] = w[j].max(0.02 * Weights::BUILTIN.0[j] * unit);
+            }
+        }
+        Some(Calibration {
+            weights: Weights(w),
+            scale: [1.0; NKEYS],
+            unit: 1.0,
+            samples: samples.len() as u32,
+            observations: 0,
+        })
+    }
+
+    // ------------------------------------------------------------ ser/de
+
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"version\": {},", CALIBRATION_VERSION);
+        let _ = writeln!(s, "  \"samples\": {},", self.samples);
+        let _ = writeln!(s, "  \"observations\": {},", self.observations);
+        let _ = writeln!(s, "  \"unit\": {:e},", self.unit);
+        s.push_str("  \"weights\": {");
+        for (j, name) in WEIGHT_NAMES.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\"{}\": {:e}",
+                if j == 0 { "" } else { ", " },
+                name,
+                self.weights.0[j]
+            );
+        }
+        s.push_str("},\n  \"scale\": {");
+        for (k, name) in KEY_NAMES.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\"{}\": {:e}",
+                if k == 0 { "" } else { ", " },
+                name,
+                self.scale[k]
+            );
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parse the flat JSON document written by [`Calibration::to_json`].
+    /// Unknown keys are ignored; missing keys keep built-in values.
+    pub fn from_json(json: &str) -> Result<Calibration, String> {
+        if let Some(v) = extract_number(json, "version") {
+            if v as u32 > CALIBRATION_VERSION {
+                return Err(format!("unsupported calibration version {v}"));
+            }
+        }
+        let mut cal = Calibration::builtin();
+        let mut any = false;
+        for (j, name) in WEIGHT_NAMES.iter().enumerate() {
+            if let Some(v) = extract_number(json, name) {
+                cal.weights.0[j] = v;
+                any = true;
+            }
+        }
+        for (k, name) in KEY_NAMES.iter().enumerate() {
+            if let Some(v) = extract_number(json, name) {
+                cal.scale[k] = v;
+            }
+        }
+        if let Some(v) = extract_number(json, "unit") {
+            cal.unit = v;
+        }
+        if let Some(v) = extract_number(json, "samples") {
+            cal.samples = v as u32;
+        }
+        if let Some(v) = extract_number(json, "observations") {
+            cal.observations = v as u64;
+        }
+        if !any {
+            return Err("no weight entries found".into());
+        }
+        Ok(cal)
+    }
+
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    pub fn load(path: &Path) -> io::Result<Calibration> {
+        let text = std::fs::read_to_string(path)?;
+        Calibration::from_json(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Extract the number following `"key":` in a flat JSON document. All our
+/// keys are globally unique, so no nesting tracking is needed.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Ridge least squares over the `active` feature columns with per-column
+/// normalisation: solve (A'ᵀA' + λI) w' = A'ᵀy with A' = A / colnorm,
+/// return w (inactive slots zero).
+fn solve_ridge(
+    samples: &[([f64; NWEIGHTS], f64)],
+    active: &[usize],
+    norm: &[f64; NWEIGHTS],
+) -> [f64; NWEIGHTS] {
+    let k = active.len();
+    let mut out = [0.0; NWEIGHTS];
+    if k == 0 {
+        return out;
+    }
+    let mut ata = vec![vec![0.0f64; k]; k];
+    let mut aty = vec![0.0f64; k];
+    for (f, y) in samples {
+        for (a, &ja) in active.iter().enumerate() {
+            let xa = f[ja] / norm[ja];
+            aty[a] += xa * y;
+            for (b, &jb) in active.iter().enumerate() {
+                ata[a][b] += xa * f[jb] / norm[jb];
+            }
+        }
+    }
+    const LAMBDA: f64 = 1e-4;
+    // Scale the ridge to the problem: λ relative to the mean diagonal.
+    let mean_diag: f64 = (0..k).map(|i| ata[i][i]).sum::<f64>() / k as f64;
+    for (i, row) in ata.iter_mut().enumerate() {
+        row[i] += LAMBDA * mean_diag.max(1e-30);
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut m = ata;
+    let mut y = aty;
+    for col in 0..k {
+        let (pivot, _) = (col..k)
+            .map(|r| (r, m[r][col].abs()))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        m.swap(col, pivot);
+        y.swap(col, pivot);
+        let p = m[col][col];
+        if p.abs() < 1e-300 {
+            continue;
+        }
+        for r in (col + 1)..k {
+            let factor = m[r][col] / p;
+            if factor == 0.0 {
+                continue;
+            }
+            let (pivot_rows, lower) = m.split_at_mut(r);
+            for (c, cell) in lower[0].iter_mut().enumerate().skip(col) {
+                *cell -= factor * pivot_rows[col][c];
+            }
+            y[r] -= factor * y[col];
+        }
+    }
+    let mut w = vec![0.0f64; k];
+    for col in (0..k).rev() {
+        let mut acc = y[col];
+        for c in (col + 1)..k {
+            acc -= m[col][c] * w[c];
+        }
+        let p = m[col][col];
+        w[col] = if p.abs() < 1e-300 { 0.0 } else { acc / p };
+    }
+    for (a, &j) in active.iter().enumerate() {
+        out[j] = w[a] / norm[j];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_known_weights() {
+        // Synthesize samples from a known weight vector over random-ish
+        // deterministic features; the fit must reproduce the costs.
+        let mut truth = [0.0; NWEIGHTS];
+        for (j, t) in truth.iter_mut().enumerate() {
+            *t = 1e-9 * (j as f64 + 1.0);
+        }
+        let mut samples = Vec::new();
+        let mut state = 0x1234_5678u64;
+        for _ in 0..64 {
+            let mut f = [0.0; NWEIGHTS];
+            for x in &mut f {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                *x = ((state >> 33) % 1_000_000) as f64;
+            }
+            let y: f64 = truth.iter().zip(&f).map(|(w, x)| w * x).sum();
+            samples.push((f, y));
+        }
+        let cal = Calibration::fit(&samples).expect("fit");
+        assert_eq!(cal.samples, 64);
+        for (f, y) in &samples {
+            let pred = cal.raw(f);
+            assert!(
+                (pred - y).abs() <= 0.02 * y.abs().max(1e-12),
+                "pred {pred} vs truth {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_handles_unexercised_columns() {
+        // Only the blend feature varies; the merge column is never hit.
+        let samples: Vec<([f64; NWEIGHTS], f64)> = (1..20)
+            .map(|i| {
+                let mut f = [0.0; NWEIGHTS];
+                f[super::super::cost::W_BLEND] = i as f64 * 1000.0;
+                (f, i as f64 * 1e-3)
+            })
+            .collect();
+        let cal = Calibration::fit(&samples).expect("fit");
+        let w = cal.weights.0;
+        assert!((w[super::super::cost::W_BLEND] - 1e-6).abs() < 1e-8);
+        // Unseen column got the built-in constant at the fitted unit rate.
+        assert!(w[super::super::cost::W_MERGE_PX] > 0.0);
+    }
+
+    #[test]
+    fn fit_never_returns_negative_weights() {
+        // Collinear + noisy samples that push naive LS negative.
+        let mut samples = Vec::new();
+        for i in 1..40 {
+            let mut f = [0.0; NWEIGHTS];
+            f[0] = i as f64;
+            f[1] = i as f64 * 2.0; // collinear with column 0
+            samples.push((f, i as f64 * 3.0 + if i % 2 == 0 { 0.5 } else { -0.5 }));
+        }
+        let cal = Calibration::fit(&samples).expect("fit");
+        assert!(cal.weights.0.iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn observe_corrects_systematic_bias() {
+        let mut cal = Calibration::builtin();
+        // Key 3's pipeline consistently runs 4x the global rate.
+        for _ in 0..50 {
+            cal.observe(0, 1000.0, 1.0e-3);
+            cal.observe(3, 1000.0, 4.0e-3);
+        }
+        assert!(cal.observations == 100);
+        assert!(
+            cal.scale[3] > 1.5 * cal.scale[0],
+            "key 3 must be scaled up relative to key 0 ({} vs {})",
+            cal.scale[3],
+            cal.scale[0]
+        );
+        // Rankings flip accordingly.
+        let mut f = [0.0; NWEIGHTS];
+        f[super::super::cost::W_BLEND] = 1000.0;
+        assert!(cal.predict(3, &f) > cal.predict(0, &f));
+    }
+
+    #[test]
+    fn observe_ignores_degenerate_inputs() {
+        let mut cal = Calibration::builtin();
+        cal.observe(0, 0.0, 1.0);
+        cal.observe(0, 1.0, 0.0);
+        cal.observe(0, -1.0, 1.0);
+        assert_eq!(cal.observations, 0);
+        assert_eq!(cal, Calibration::builtin());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut cal = Calibration::builtin();
+        cal.samples = 48;
+        cal.weights.0[0] = 2.25e-9;
+        cal.weights.0[11] = 7.5e-8;
+        cal.scale[3] = 1.75;
+        cal.observe(2, 100.0, 1e-4);
+        let json = cal.to_json();
+        let back = Calibration::from_json(&json).expect("parse");
+        assert_eq!(back.samples, cal.samples);
+        assert_eq!(back.observations, cal.observations);
+        for j in 0..NWEIGHTS {
+            assert!(
+                (back.weights.0[j] - cal.weights.0[j]).abs()
+                    <= 1e-12 * cal.weights.0[j].abs().max(1e-30),
+                "weight {j}"
+            );
+        }
+        for k in 0..NKEYS {
+            assert!((back.scale[k] - cal.scale[k]).abs() <= 1e-12 * cal.scale[k].abs());
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Calibration::from_json("{}").is_err());
+        assert!(Calibration::from_json("not json at all").is_err());
+        // Future versions refused, current accepted.
+        let v999 = "{\"version\": 999, \"weights\": {\"filter\": 1.0}}";
+        assert!(Calibration::from_json(v999).is_err());
+    }
+
+    #[test]
+    fn builtin_is_not_calibrated() {
+        let mut cal = Calibration::builtin();
+        assert!(!cal.is_calibrated());
+        cal.observe(0, 1.0, 1.0);
+        assert!(cal.is_calibrated());
+    }
+}

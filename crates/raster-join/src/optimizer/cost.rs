@@ -1,0 +1,448 @@
+//! The per-stage cost model: workload summaries, plan shapes and the
+//! feature vectors whose weighted sum is a plan's predicted cost.
+//!
+//! Every candidate plan is costed as `dot(weights, features(plan))` where
+//! the feature vector counts how many times each pipeline stage runs:
+//! points filtered, points binned, points blended, pixels shard-merged,
+//! pixels cleared, polygon fragments folded, PIP vertices visited, outline
+//! pixels marked, index cells touched, render passes, out-of-core batches
+//! and accurate-variant per-point overhead. The weights are either the
+//! built-in constants ([`Weights::BUILTIN`], hand-tuned against this
+//! reproduction's Fig. 8/12a measurements) or fitted from measured
+//! [`crate::ExecStats`] by the calibration pass (`bench_planner`).
+//!
+//! The features mirror the PR-1 pipeline exactly: binning scans the batch
+//! once and replays survivors per tile, the rescan path re-filters the
+//! whole batch per tile, the sharding density gate
+//! ([`RasterConfig::use_shards`]) decides whether the shard merge runs,
+//! and single-tile canvases skip binning entirely.
+
+use super::{Plan, Variant};
+use crate::query::Query;
+use raster_data::filter::passes;
+use raster_data::PointTable;
+use raster_geom::hausdorff::{pixel_side_for_epsilon, resolution_for_epsilon};
+use raster_geom::{BBox, Polygon};
+use raster_gpu::{Device, SHARD_MIN_DENSITY};
+
+/// Number of per-stage cost terms.
+pub const NWEIGHTS: usize = 12;
+
+/// Stable names for the weight slots — the keys of the calibration file.
+pub const WEIGHT_NAMES: [&str; NWEIGHTS] = [
+    "filter",
+    "bin",
+    "blend",
+    "merge_px",
+    "clear_px",
+    "frag",
+    "pip_vertex",
+    "outline_px",
+    "index_cell",
+    "pass",
+    "batch",
+    "point_accurate",
+];
+
+/// Feature/weight slot indices.
+pub const W_FILTER: usize = 0; // per raw point scanned by the predicate filter
+pub const W_BIN: usize = 1; // per surviving point staged by the binner
+pub const W_BLEND: usize = 2; // per surviving point blended into the FBO
+pub const W_MERGE_PX: usize = 3; // per pixel folded by a shard merge
+pub const W_CLEAR_PX: usize = 4; // per pixel cleared on FBO acquire
+pub const W_FRAG: usize = 5; // per polygon fragment folded
+pub const W_PIP_VERTEX: usize = 6; // per vertex visited by a PIP test
+pub const W_OUTLINE_PX: usize = 7; // per conservative outline pixel marked
+pub const W_INDEX_CELL: usize = 8; // per grid-index cell touched at build
+pub const W_PASS: usize = 9; // fixed overhead per render pass
+pub const W_BATCH: usize = 10; // fixed overhead per out-of-core batch
+pub const W_POINT_ACC: usize = 11; // per surviving point, accurate extra (boundary lookup)
+
+/// A weight vector: the cost (abstract units for the built-in fallback,
+/// seconds once calibrated) of one unit of each feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights(pub [f64; NWEIGHTS]);
+
+impl Weights {
+    /// The hand-tuned fallback, in abstract point-op units: a blended
+    /// point costs 1. Used until a calibration is fitted; online feedback
+    /// then scales whole plans, not individual weights.
+    pub const BUILTIN: Weights = Weights([
+        0.3,    // filter: predicate eval + early reject
+        0.7,    // bin: classify + stage one entry
+        1.0,    // blend: transform + FBO add
+        0.25,   // merge_px: one pixel of one shard folded
+        0.05,   // clear_px: zeroing reused FBO memory
+        0.12,   // frag: span-walk FBO read, usually early-out
+        1.0,    // pip_vertex: one edge test of a PIP walk
+        1.5,    // outline_px: conservative segment traversal
+        1.0,    // index_cell: scanline index build per cell
+        500.0,  // pass: viewport setup + worker fan-out
+        2000.0, // batch: upload bookkeeping + binner reset
+        1.0,    // point_accurate: boundary-FBO lookup per point
+    ]);
+
+    pub fn dot(&self, f: &[f64; NWEIGHTS]) -> f64 {
+        self.0.iter().zip(f).map(|(w, x)| w * x).sum()
+    }
+}
+
+/// How many rows the deterministic selectivity sample visits at most.
+pub const SELECTIVITY_SAMPLE: usize = 1024;
+
+/// Everything the cost model needs to know about one (points, polygons,
+/// query) triple, summarised so plan enumeration is O(plans) not
+/// O(plans × data).
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    pub n_points: usize,
+    /// Fraction of points passing the filter predicates (deterministic
+    /// evenly-spaced sample of ≤ [`SELECTIVITY_SAMPLE`] rows).
+    pub selectivity: f64,
+    /// Fraction passing the predicates AND inside the polygon extent —
+    /// the points that actually reach the blend stage.
+    pub surviving: f64,
+    /// Rows the selectivity sample actually visited (0 ⇒ assumed 1.0).
+    pub sampled_rows: usize,
+    pub epsilon: f64,
+    pub n_polys: usize,
+    pub area: f64,
+    pub perimeter: f64,
+    pub avg_vertices: f64,
+    /// Σ polygon-MBR areas — drives the index-build cell count.
+    pub bbox_area: f64,
+    pub extent: BBox,
+}
+
+impl Workload {
+    /// Summarise real inputs: polygon shape statistics plus sampled
+    /// predicate selectivity. This is the fix for the planner's old
+    /// `points.len()` blindness — both variants filter first, so costs
+    /// must be charged to the *surviving* points.
+    pub fn sample(points: &PointTable, polys: &[Polygon], query: &Query) -> Workload {
+        let mut wl = Workload::assumed(points.len(), polys, query);
+        let n = points.len();
+        if n == 0 {
+            return wl;
+        }
+        let sample = n.min(SELECTIVITY_SAMPLE);
+        // Stride rounded up so the sample spans the whole table (taxi
+        // tables are time-ordered; a head-only sample would bias
+        // hour-correlated predicates).
+        let step = n.div_ceil(sample);
+        let preds = &query.predicates;
+        let (mut pass, mut surv, mut checked) = (0usize, 0usize, 0usize);
+        let mut i = 0;
+        while i < n && checked < sample {
+            if preds.is_empty() || passes(points, i, preds) {
+                pass += 1;
+                if wl.extent.contains(points.point(i)) {
+                    surv += 1;
+                }
+            }
+            checked += 1;
+            i += step;
+        }
+        wl.selectivity = pass as f64 / checked.max(1) as f64;
+        wl.surviving = surv as f64 / checked.max(1) as f64;
+        wl.sampled_rows = checked;
+        wl
+    }
+
+    /// Summarise with *assumed* full selectivity (no point data at hand —
+    /// e.g. EXPLAIN against a bare schema).
+    pub fn assumed(n_points: usize, polys: &[Polygon], query: &Query) -> Workload {
+        let extent = crate::bounded::polygon_extent(polys);
+        let area: f64 = polys.iter().map(Polygon::area).sum();
+        let perimeter: f64 = polys.iter().map(Polygon::perimeter).sum();
+        let avg_vertices = if polys.is_empty() {
+            0.0
+        } else {
+            polys.iter().map(|p| p.vertex_count() as f64).sum::<f64>() / polys.len() as f64
+        };
+        let bbox_area: f64 = polys.iter().map(|p| p.bbox().area()).sum();
+        Workload {
+            n_points,
+            selectivity: 1.0,
+            surviving: 1.0,
+            sampled_rows: 0,
+            epsilon: query.epsilon,
+            n_polys: polys.len(),
+            area,
+            perimeter,
+            avg_vertices,
+            bbox_area,
+            extent,
+        }
+    }
+}
+
+/// Derived execution shape of one plan over one workload: how the canvas
+/// tiles, how the points batch, and how many passes result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanShape {
+    pub tiles: u32,
+    pub batches: u32,
+    pub passes: u32,
+    /// Total canvas pixels (all tiles of one batch).
+    pub pixels: f64,
+    /// Whether the sharding density gate is predicted to engage.
+    pub sharded: bool,
+}
+
+/// Estimated polygon fragments at a given pixel side: interior area
+/// fragments plus one extra band along the outlines.
+fn fragments(area: f64, perimeter: f64, pixel_side: f64) -> f64 {
+    let px2 = pixel_side * pixel_side;
+    area / px2 + perimeter / pixel_side
+}
+
+/// The execution shape a plan implies for a workload.
+pub fn shape(plan: &Plan, wl: &Workload, device: &Device) -> PlanShape {
+    let batches = wl.n_points.div_ceil(plan.batch_points.max(1)).max(1) as u32;
+    let max_dim = device.config().max_fbo_dim;
+    match plan.variant {
+        Variant::Bounded => {
+            let (w, h) = resolution_for_epsilon(&wl.extent, wl.epsilon);
+            let tiles = w.div_ceil(max_dim) * h.div_ceil(max_dim);
+            let pixels = w as f64 * h as f64;
+            let tile_px = pixels / tiles as f64;
+            let surv_per_tile = wl.n_points as f64 * wl.surviving / batches as f64 / tiles as f64;
+            // Mirrors the executor: with binning on, a single-tile canvas
+            // skips both the binner and the shard path; the shard gate
+            // then applies per tile.
+            let shard_possible = plan.config.sharding && !(plan.config.binning && tiles <= 1);
+            let sharded = shard_possible && surv_per_tile >= SHARD_MIN_DENSITY * tile_px;
+            PlanShape {
+                tiles,
+                batches,
+                passes: tiles * batches,
+                pixels,
+                sharded,
+            }
+        }
+        Variant::Accurate => {
+            // Shared rule with AccurateRasterJoin::execute.
+            let (w, h) =
+                raster_gpu::Viewport::canvas_for_extent(&wl.extent, plan.canvas_dim.min(max_dim));
+            let pixels = w as f64 * h as f64;
+            let surv_per_batch = wl.n_points as f64 * wl.surviving / batches as f64;
+            let sharded = plan
+                .config
+                .use_shards(surv_per_batch as usize, pixels as usize);
+            PlanShape {
+                tiles: 1,
+                batches,
+                // Outline pass + polygon pass (the point stage is a
+                // compute pass, not a render pass — matching ExecStats).
+                passes: 2,
+                pixels,
+                sharded,
+            }
+        }
+    }
+}
+
+/// The *effective* pipeline a plan resolves to on a workload, encoded
+/// like [`Plan::key`]: binning is skipped on single-tile canvases and the
+/// sharding density gate may not engage, so distinct configs can collapse
+/// to the identical execution. The bench evaluation compares decisions by
+/// effective pipeline rather than by label, so noise between physically
+/// identical runs never scores as a planner error.
+pub fn effective_key(plan: &Plan, wl: &Workload, device: &Device) -> usize {
+    effective_key_of(plan, &shape(plan, wl, device))
+}
+
+/// [`effective_key`] for an already-computed shape.
+pub fn effective_key_of(plan: &Plan, sh: &PlanShape) -> usize {
+    let binning = matches!(plan.variant, Variant::Bounded) && plan.config.binning && sh.tiles > 1;
+    let v = match plan.variant {
+        Variant::Bounded => 0,
+        Variant::Accurate => 4,
+    };
+    v + (binning as usize) * 2 + sh.sharded as usize
+}
+
+/// The feature vector of one plan over one workload: how many times each
+/// pipeline stage runs.
+pub fn features(plan: &Plan, wl: &Workload, device: &Device) -> [f64; NWEIGHTS] {
+    features_for(plan, wl, device, &shape(plan, wl, device))
+}
+
+/// [`features`] for an already-computed shape (the planner derives the
+/// shape once per candidate and reuses it here, for the effective key and
+/// for the reported layout).
+pub fn features_for(
+    plan: &Plan,
+    wl: &Workload,
+    device: &Device,
+    sh: &PlanShape,
+) -> [f64; NWEIGHTS] {
+    let n = wl.n_points as f64;
+    let surv = n * wl.surviving;
+    let batches = sh.batches as f64;
+    let tiles = sh.tiles as f64;
+    let mut f = [0.0; NWEIGHTS];
+    f[W_BATCH] = batches;
+    f[W_PASS] = sh.passes as f64;
+    match plan.variant {
+        Variant::Bounded => {
+            let side = pixel_side_for_epsilon(wl.epsilon);
+            // DrawPolygons re-runs per (tile × batch); the tile split
+            // keeps total fragments resolution-bound, but every batch
+            // folds the full fragment volume again.
+            f[W_FRAG] = fragments(wl.area, wl.perimeter, side) * batches;
+            // FBOs are cleared per (tile × batch) on acquire.
+            f[W_CLEAR_PX] = sh.pixels * batches;
+            let binned = plan.config.binning && sh.tiles > 1;
+            if binned {
+                // One filter scan per batch over its own points; survivors
+                // staged once and replayed once.
+                f[W_FILTER] = n;
+                f[W_BIN] = surv;
+            } else {
+                // Rescan: every tile pass re-filters the whole batch.
+                f[W_FILTER] = n * tiles;
+            }
+            f[W_BLEND] = surv;
+            if sh.sharded {
+                // Each tile's shard set folds its pixels once per batch.
+                f[W_MERGE_PX] = sh.pixels * batches;
+            }
+        }
+        Variant::Accurate => {
+            let dim = plan.canvas_dim.min(device.config().max_fbo_dim);
+            let acc_side = wl.extent.width().max(wl.extent.height()) / (dim as f64).max(1.0);
+            f[W_FILTER] = n;
+            f[W_POINT_ACC] = surv;
+            f[W_BLEND] = surv;
+            // Probability a point lands on a boundary pixel ≈ outline-band
+            // area over the extent area (supercover marks up to ~3 pixels
+            // per crossed column), clamped to 1.
+            let p_boundary =
+                (wl.perimeter * 3.0 * acc_side / wl.extent.area().max(1e-30)).clamp(0.0, 1.0);
+            // Each boundary point PIP-tests its grid-cell candidates,
+            // linear in vertex count.
+            let candidates = 2.0f64.min(wl.n_polys as f64).max(1.0);
+            f[W_PIP_VERTEX] = surv * p_boundary * candidates * wl.avg_vertices;
+            f[W_OUTLINE_PX] = wl.perimeter / acc_side.max(1e-30);
+            // The on-the-fly grid-index build is deliberately NOT charged:
+            // it is polygon preprocessing, excluded from query time as in
+            // §7.1 (ExecStats::total does the same), reported separately
+            // (Table 1) and cacheable across queries — charging it here
+            // would bias the accurate variant by work the measured target
+            // never contains. W_INDEX_CELL stays reserved in the weight
+            // vector for a future prepared-polygon plan dimension.
+            f[W_FRAG] = fragments(wl.area, wl.perimeter, acc_side);
+            // Single canvas + boundary FBO, cleared once per query.
+            f[W_CLEAR_PX] = sh.pixels;
+            if sh.sharded {
+                f[W_MERGE_PX] = sh.pixels * batches;
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raster_data::filter::{CmpOp, Predicate};
+    use raster_data::generators::{nyc_extent, TaxiModel};
+    use raster_data::polygons::synthetic_polygons;
+    use raster_gpu::exec::default_workers;
+    use raster_gpu::RasterConfig;
+
+    fn plan(variant: Variant, binning: bool, sharding: bool, batch: usize) -> Plan {
+        Plan {
+            variant,
+            config: RasterConfig { binning, sharding },
+            batch_points: batch,
+            canvas_dim: 2048,
+            index_dim: 1024,
+            workers: default_workers(),
+        }
+    }
+
+    #[test]
+    fn sampled_selectivity_tracks_predicates() {
+        let pts = TaxiModel::default().generate(10_000, 9);
+        let polys = synthetic_polygons(8, &nyc_extent(), 9);
+        let hour = pts.attr_index("hour").unwrap();
+        // hour is uniform over [0, 168): < 16.8 passes ~10%.
+        let q = Query::count().with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 16.8)]);
+        let wl = Workload::sample(&pts, &polys, &q);
+        assert!(wl.sampled_rows > 0);
+        assert!(
+            (wl.selectivity - 0.1).abs() < 0.05,
+            "sampled selectivity {} should be ≈ 0.1",
+            wl.selectivity
+        );
+        assert!(wl.surviving <= wl.selectivity);
+        let open = Workload::sample(&pts, &polys, &Query::count());
+        assert!((open.selectivity - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rescan_refilters_per_tile_but_binned_does_not() {
+        let polys = synthetic_polygons(8, &nyc_extent(), 3);
+        let q = Query::count().with_epsilon(12.0);
+        let wl = Workload::assumed(1_000_000, &polys, &q);
+        let dev = Device::new(raster_gpu::DeviceConfig::small(3 << 30, 2048));
+        let binned = features(&plan(Variant::Bounded, true, false, usize::MAX), &wl, &dev);
+        let rescan = features(&plan(Variant::Bounded, false, false, usize::MAX), &wl, &dev);
+        let sh = shape(&plan(Variant::Bounded, true, false, usize::MAX), &wl, &dev);
+        assert!(sh.tiles > 1, "ε=12 over NYC must tile at max_fbo=2048");
+        assert_eq!(rescan[W_FILTER], binned[W_FILTER] * sh.tiles as f64);
+        assert_eq!(binned[W_BIN], 1_000_000.0);
+        assert_eq!(rescan[W_BIN], 0.0);
+        assert_eq!(binned[W_BLEND], rescan[W_BLEND]);
+    }
+
+    #[test]
+    fn shard_gate_mirrors_the_executor() {
+        let polys = synthetic_polygons(8, &nyc_extent(), 3);
+        let q = Query::count().with_epsilon(12.0);
+        let dense = Workload::assumed(50_000_000, &polys, &q);
+        let sparse = Workload::assumed(1_000, &polys, &q);
+        // max_fbo 2048 tiles the ε=12 canvas (~6836²) into 16 tiles.
+        let dev = Device::new(raster_gpu::DeviceConfig::small(3 << 30, 2048));
+        let p = plan(Variant::Bounded, true, true, usize::MAX);
+        assert!(shape(&p, &dense, &dev).sharded);
+        assert!(!shape(&p, &sparse, &dev).sharded);
+        // Binning on + single tile ⇒ no shard path, no matter the density
+        // (the executor skips the binner there).
+        let coarse = Workload::assumed(50_000_000, &polys, &Query::count().with_epsilon(500.0));
+        let sh = shape(&p, &coarse, &dev);
+        assert_eq!(sh.tiles, 1);
+        assert!(!sh.sharded);
+        assert_eq!(features(&p, &coarse, &dev)[W_MERGE_PX], 0.0);
+    }
+
+    #[test]
+    fn batch_size_drives_batch_and_pass_features() {
+        let polys = synthetic_polygons(8, &nyc_extent(), 3);
+        let q = Query::count().with_epsilon(12.0);
+        let wl = Workload::assumed(1_000_000, &polys, &q);
+        let dev = Device::default();
+        let one = shape(&plan(Variant::Bounded, true, true, usize::MAX), &wl, &dev);
+        let four = shape(&plan(Variant::Bounded, true, true, 250_000), &wl, &dev);
+        assert_eq!(one.batches, 1);
+        assert_eq!(four.batches, 4);
+        assert_eq!(four.passes, 4 * four.tiles);
+        let f1 = features(&plan(Variant::Bounded, true, true, usize::MAX), &wl, &dev);
+        let f4 = features(&plan(Variant::Bounded, true, true, 250_000), &wl, &dev);
+        assert!(f4[W_BATCH] > f1[W_BATCH]);
+        assert!(f4[W_CLEAR_PX] > f1[W_CLEAR_PX]);
+    }
+
+    #[test]
+    fn accurate_features_are_epsilon_independent() {
+        let polys = synthetic_polygons(8, &nyc_extent(), 3);
+        let wl_fine = Workload::assumed(100_000, &polys, &Query::count().with_epsilon(0.5));
+        let wl_coarse = Workload::assumed(100_000, &polys, &Query::count().with_epsilon(50.0));
+        let dev = Device::default();
+        let p = plan(Variant::Accurate, false, false, usize::MAX);
+        assert_eq!(features(&p, &wl_fine, &dev), features(&p, &wl_coarse, &dev));
+    }
+}

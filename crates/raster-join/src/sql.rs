@@ -35,7 +35,7 @@
 //! [`explain_query`] prefixes the dialect with `EXPLAIN` and prints the
 //! physical plan the §8 optimizer would pick, with its cost estimates.
 
-use crate::optimizer::{estimate, Variant};
+use crate::optimizer::{plan_workload, Calibration, Variant, Workload};
 use crate::query::{Aggregate, Query};
 use raster_data::filter::{CmpOp, Predicate};
 use raster_data::PointTable;
@@ -265,8 +265,18 @@ pub fn parse_query(sql: &str, schema: &PointTable) -> Result<Query, ParseError> 
 }
 
 /// Parse an `EXPLAIN <query>` statement and render the physical plan the
-/// §8 cost model would pick for the given data shape: chosen variant,
-/// canvas passes, ε, and the attribute columns that would be uploaded.
+/// §8 planner picks for the given data shape: chosen variant and
+/// `RasterConfig`, batch layout, sampled selectivity, per-variant cost
+/// estimates, and the attribute columns that would be uploaded.
+///
+/// `schema` doubles as the sample source for the selectivity estimate:
+/// when it holds rows, the planner samples the filter pass rate from
+/// them; a bare schema (no rows) assumes full selectivity. `n_points` is
+/// the advertised table size the plan is costed for (it may exceed the
+/// sampled rows — e.g. EXPLAIN over a prefix of a big table).
+///
+/// Pass a fitted [`Calibration`] via [`explain_query_calibrated`] to see
+/// the calibrated ranking; this entry point uses the built-in constants.
 ///
 /// The returned text is stable line-oriented output suitable for the
 /// `rjquery` CLI and for tests; the plain query (without `EXPLAIN`) is
@@ -278,6 +288,25 @@ pub fn explain_query(
     polys: &[Polygon],
     device: &Device,
 ) -> Result<String, ParseError> {
+    explain_query_calibrated(
+        sql,
+        schema,
+        n_points,
+        polys,
+        device,
+        &Calibration::builtin(),
+    )
+}
+
+/// [`explain_query`] with an explicit planner calibration.
+pub fn explain_query_calibrated(
+    sql: &str,
+    schema: &PointTable,
+    n_points: usize,
+    polys: &[Polygon],
+    device: &Device,
+    cal: &Calibration,
+) -> Result<String, ParseError> {
     let trimmed = sql.trim_start();
     let body = trimmed
         .strip_prefix("EXPLAIN")
@@ -285,9 +314,17 @@ pub fn explain_query(
         .unwrap_or(trimmed);
     let query = parse_query(body, schema)?;
 
-    let extent = crate::bounded::polygon_extent(polys);
-    let cost = estimate(n_points, polys, &extent, &query, device, 4096);
-    let choice = cost.choice();
+    let wl = if !schema.is_empty() {
+        Workload {
+            n_points,
+            ..Workload::sample(schema, polys, &query)
+        }
+    } else {
+        Workload::assumed(n_points, polys, &query)
+    };
+    let workers = raster_gpu::exec::default_workers();
+    let choice = plan_workload(&wl, &query, device, cal, workers, 2048, 1024, None);
+    let best = choice.best();
 
     let mut out = String::new();
     out.push_str("RasterJoin plan\n");
@@ -311,15 +348,42 @@ pub fn explain_query(
         polys.len()
     ));
     out.push_str(&format!(
-        "  operator: {} raster join\n",
-        match choice {
-            Variant::Bounded => "BOUNDED",
-            Variant::Accurate => "ACCURATE",
+        "  selectivity: {:.4} predicate, {:.4} surviving ({})\n",
+        wl.selectivity,
+        wl.surviving,
+        if wl.sampled_rows > 0 {
+            format!("sampled {} rows", wl.sampled_rows)
+        } else {
+            "assumed; no sample rows".to_string()
         }
     ));
+    out.push_str(&format!("  operator: {}\n", best.plan.describe()));
     out.push_str(&format!(
-        "  cost: bounded={:.3e} accurate={:.3e} ({} render pass(es))\n",
-        cost.bounded, cost.accurate, cost.passes
+        "  layout: {} batch(es) x {} tile(s), {} render pass(es)\n",
+        best.shape.batches, best.shape.tiles, best.shape.passes
+    ));
+    let fmt_best = |v: Variant| {
+        choice
+            .best_of(v)
+            .map(|c| format!("{:.3e}", c.cost))
+            .unwrap_or_else(|| "n/a".to_string())
+    };
+    out.push_str(&format!(
+        "  cost: chosen={:.3e} bounded={} accurate={} ({} candidate plan(s))\n",
+        best.cost,
+        fmt_best(Variant::Bounded),
+        fmt_best(Variant::Accurate),
+        choice.candidates.len()
+    ));
+    out.push_str(&format!(
+        "  calibration: {} ({} sample(s), {} observation(s))\n",
+        if cal.is_calibrated() {
+            "fitted"
+        } else {
+            "builtin constants"
+        },
+        cal.samples,
+        cal.observations
     ));
     Ok(out)
 }
@@ -487,6 +551,55 @@ mod tests {
             &raster_gpu::Device::default(),
         )
         .is_ok());
+    }
+
+    #[test]
+    fn explain_reports_config_selectivity_and_calibration() {
+        use raster_data::generators::TaxiModel;
+        use raster_data::polygons::synthetic_polygons;
+        let polys = synthetic_polygons(6, &raster_data::generators::nyc_extent(), 40);
+        // With sample rows, the selectivity line reflects the predicate.
+        let pts = TaxiModel::default().generate(4_000, 41);
+        let plan = explain_query(
+            "EXPLAIN SELECT COUNT(*) FROM P, R WHERE P.loc INSIDE R.geometry \
+             AND hour < 16.8 GROUP BY R.id",
+            &pts,
+            1_000_000,
+            &polys,
+            &raster_gpu::Device::default(),
+        )
+        .unwrap();
+        assert!(plan.contains("selectivity: 0.1"), "{plan}");
+        assert!(plan.contains("sampled"), "{plan}");
+        // The selective predicate flips the choice to ACCURATE (the
+        // surviving points no longer amortise bounded's canvas costs).
+        assert!(plan.contains("ACCURATE raster join [sharding="), "{plan}");
+        assert!(plan.contains("batch="), "{plan}");
+        assert!(plan.contains("candidate plan(s)"), "{plan}");
+        assert!(plan.contains("builtin constants"), "{plan}");
+        // A bare schema (no rows) assumes full selectivity.
+        let bare = explain_query(
+            "SELECT COUNT(*) FROM P, R WHERE P.loc INSIDE R.geometry GROUP BY R.id",
+            &schema(),
+            1_000_000,
+            &polys,
+            &raster_gpu::Device::default(),
+        )
+        .unwrap();
+        assert!(bare.contains("assumed; no sample rows"), "{bare}");
+        // A fitted calibration is reported as such.
+        let mut cal = crate::optimizer::Calibration::builtin();
+        cal.samples = 12;
+        let fitted = explain_query_calibrated(
+            "SELECT COUNT(*) FROM P, R WHERE P.loc INSIDE R.geometry GROUP BY R.id",
+            &schema(),
+            1_000_000,
+            &polys,
+            &raster_gpu::Device::default(),
+            &cal,
+        )
+        .unwrap();
+        assert!(fitted.contains("fitted (12 sample(s)"), "{fitted}");
     }
 
     #[test]

@@ -32,6 +32,16 @@ pub struct ExecStats {
     /// Point fragments routed through the binned path (entries emitted by
     /// the binner across all batches).
     pub binned_points: u64,
+    /// Wall-clock time of the point stage — filtering, transforming and
+    /// blending points into the FBO, including binning/shard time (subset
+    /// of `processing`; recorded per run by the planner's calibration
+    /// bench as a sanity check on the fitted stage weights).
+    pub point_stage: Duration,
+    /// Wall-clock time of the polygon stage — scan-converting polygons
+    /// and folding pixel partials into result slots (subset of
+    /// `processing`; recorded per run by the planner's calibration
+    /// bench as a sanity check on the fitted stage weights).
+    pub polygon_stage: Duration,
     /// Out-of-core point batches executed (§5).
     pub batches: u32,
     /// Rendering passes (canvas tiles × batches) executed (Fig. 5).
@@ -93,6 +103,8 @@ mod tests {
         assert_eq!(s.binning, Duration::ZERO);
         assert_eq!(s.shard_merge, Duration::ZERO);
         assert_eq!(s.binned_points, 0);
+        assert_eq!(s.point_stage, Duration::ZERO);
+        assert_eq!(s.polygon_stage, Duration::ZERO);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use raster_join_repro::data::generators::{nyc_extent, TaxiModel};
 use raster_join_repro::data::polygons::synthetic_polygons;
 use raster_join_repro::index::{ARTree, AggQuadtree};
 use raster_join_repro::join::multi::{MultiBoundedRasterJoin, MultiQuery};
-use raster_join_repro::join::optimizer::{estimate, Variant};
+use raster_join_repro::join::optimizer::{plan_workload, Calibration, Variant, Workload};
 use raster_join_repro::join::sql::parse_query;
 use raster_join_repro::join::LodExplorer;
 use raster_join_repro::prelude::*;
@@ -76,24 +76,19 @@ fn sql_query_end_to_end() {
     assert_eq!(a.sums, b.sums);
 }
 
-/// The optimizer's crossover tracks the pass count: sweeping ε downward
+/// The planner's crossover tracks the pass count: sweeping ε downward
 /// flips the choice from Bounded to Accurate exactly once.
 #[test]
 fn optimizer_crossover_is_monotone() {
     let polys = synthetic_polygons(12, &nyc_extent(), 305);
-    let extent = nyc_extent();
     let dev = Device::default();
+    let cal = Calibration::builtin();
     let mut seen_accurate = false;
     for eps in [50.0, 20.0, 10.0, 2.0, 0.5, 0.1, 0.02] {
-        let est = estimate(
-            2_000_000,
-            &polys,
-            &extent,
-            &Query::count().with_epsilon(eps),
-            &dev,
-            2048,
-        );
-        match est.choice() {
+        let q = Query::count().with_epsilon(eps);
+        let wl = Workload::assumed(2_000_000, &polys, &q);
+        let choice = plan_workload(&wl, &q, &dev, &cal, 4, 2048, 1024, None);
+        match choice.choice() {
             Variant::Accurate => seen_accurate = true,
             Variant::Bounded => {
                 assert!(
