@@ -18,6 +18,11 @@
 //! # of executing
 //! rjquery --generate 1000000 --sql "EXPLAIN SELECT COUNT(*) FROM P, R \
 //!         WHERE P.loc INSIDE R.geometry GROUP BY R.id"
+//!
+//! # a quoted FROM source streams the table straight off disk through the
+//! # planner-driven out-of-core executor (never fully in memory)
+//! rjquery --sql "SELECT AVG(fare) FROM 'taxi.bin', R \
+//!         WHERE P.loc INSIDE R.geometry GROUP BY R.id" --epsilon 20
 //! ```
 
 use raster_data::generators::{nyc_extent, TaxiModel};
@@ -129,6 +134,17 @@ fn load_points(args: &Args) -> Result<PointTable, String> {
     }
 }
 
+/// Top-`top` result slots, largest value first.
+fn print_results(values: &[f64], top: usize) {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[b].total_cmp(&values[a]));
+    println!("\n  region |        value");
+    println!("  -------+-------------");
+    for &i in order.iter().take(top) {
+        println!("  {i:6} | {:12.2}", values[i]);
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -137,6 +153,87 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let is_explain = args
+        .sql
+        .trim_start()
+        .to_ascii_uppercase()
+        .starts_with("EXPLAIN");
+    let file_source = raster_join::sql::file_source(&args.sql);
+
+    // A quoted FROM source ("… FROM 'taxi.bin', R …") resolves its schema
+    // from the file header; execution streams straight off disk through
+    // the planner-driven out-of-core executor — the table is never fully
+    // materialised in memory.
+    if let Some(source) = file_source {
+        // The streaming planner owns the variant choice and the SQL owns
+        // the table; refuse flags that would silently be overridden.
+        if args.exact {
+            eprintln!(
+                "error: --exact cannot be combined with a quoted FROM file source \
+                 (the streaming planner chooses the variant)"
+            );
+            std::process::exit(2);
+        }
+        if args.points.is_some() {
+            eprintln!(
+                "error: --points conflicts with the quoted FROM file source `{source}` \
+                 (the SQL names the table)"
+            );
+            std::process::exit(2);
+        }
+        let polys = synthetic_polygons(args.polygons, &nyc_extent(), 1);
+        let device = Device::default();
+        if is_explain {
+            let meta = match raster_data::disk::table_meta(std::path::Path::new(&source)) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("error reading `{source}`: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let names: Vec<&str> = meta.attr_names.iter().map(String::as_str).collect();
+            let schema = PointTable::with_capacity(0, &names);
+            match raster_join::sql::explain_query(
+                &args.sql,
+                &schema,
+                meta.rows as usize,
+                &polys,
+                &device,
+            ) {
+                Ok(plan) => {
+                    print!("{plan}");
+                    return;
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        let stream = raster_join::StreamingRasterJoin::default();
+        match stream.execute_sql(&args.sql, Some(args.epsilon), &polys, &device) {
+            Ok((query, s)) => {
+                println!("executor: streamed {}", s.plan.describe());
+                println!(
+                    "streamed {} rows in {} chunk(s) of {} ({:?} processing, {:?} disk wait, \
+                     {:?} read)",
+                    s.rows,
+                    s.chunks,
+                    s.chunk_rows,
+                    s.output.stats.processing,
+                    s.output.stats.disk,
+                    s.read_time
+                );
+                print_results(&s.output.values(query.aggregate), args.top);
+                return;
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     let points = match load_points(&args) {
         Ok(p) => p,
         Err(e) => {
@@ -148,12 +245,7 @@ fn main() {
     let device = Device::default();
 
     // EXPLAIN: print the optimizer's plan and stop.
-    if args
-        .sql
-        .trim_start()
-        .to_ascii_uppercase()
-        .starts_with("EXPLAIN")
-    {
+    if is_explain {
         match raster_join::sql::explain_query(&args.sql, &points, points.len(), &polys, &device) {
             Ok(plan) => {
                 print!("{plan}");
@@ -189,17 +281,10 @@ fn main() {
         )
     };
 
-    let values = out.values(query.aggregate);
-    let mut order: Vec<usize> = (0..values.len()).collect();
-    order.sort_by(|&a, &b| values[b].partial_cmp(&values[a]).unwrap());
     println!("executor: {label}");
     println!(
         "time: {:?} processing, {:?} transfer (modelled), {} PIP tests",
         out.stats.processing, out.stats.transfer, out.stats.pip_tests
     );
-    println!("\n  region |        value");
-    println!("  -------+-------------");
-    for &i in order.iter().take(args.top) {
-        println!("  {i:6} | {:12.2}", values[i]);
-    }
+    print_results(&out.values(query.aggregate), args.top);
 }

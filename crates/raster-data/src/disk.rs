@@ -5,7 +5,17 @@
 //! from disk as and when required to transfer to the GPU" without parallel
 //! prefetching. This module mirrors that: a self-describing little-endian
 //! columnar file plus [`ChunkedReader`], which streams fixed-size record
-//! batches so a query never holds more than one chunk in memory.
+//! batches so a query never holds more than one chunk in memory. (The
+//! prefetching streaming executor that overlaps these reads with join
+//! processing lives in `raster-join::stream`.)
+//!
+//! Each chunk is read with one *positioned* read per column
+//! (`pread`-style on Unix), issued in ascending file-offset order; when a
+//! single chunk covers the whole remainder — the `read_table` whole-file
+//! load — this degenerates to one sequential pass over the data section.
+//! Column bytes are decoded straight into the final column `Vec`s
+//! ([`PointTable::from_columns`]) through one reused scratch buffer, so a
+//! chunk allocates exactly its own storage plus one column of bytes.
 //!
 //! Layout (little-endian):
 //! ```text
@@ -20,9 +30,8 @@
 
 use crate::table::PointTable;
 use bytes::{Buf, BufMut, BytesMut};
-use raster_geom::Point;
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: u64 = 0x524a_5054_424c_3031;
@@ -123,7 +132,8 @@ fn read_meta<R: Read>(r: &mut R) -> io::Result<TableMeta> {
     })
 }
 
-/// Load the whole file into memory (the in-memory experiments).
+/// Load the whole file into memory (the in-memory experiments). Single
+/// sequential pass over the data section, decoded column-wise.
 pub fn read_table(path: &Path) -> io::Result<PointTable> {
     let mut reader = ChunkedReader::open(path, usize::MAX)?;
     reader
@@ -131,39 +141,59 @@ pub fn read_table(path: &Path) -> io::Result<PointTable> {
         .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "empty table file"))
 }
 
+/// Read just the header of a columnar table file (schema discovery for
+/// the SQL `FROM 'path.bin'` source and the streaming planner), with the
+/// same truncation validation as [`ChunkedReader::open`].
+pub fn table_meta(path: &Path) -> io::Result<TableMeta> {
+    let mut f = File::open(path)?;
+    let actual_bytes = f.metadata()?.len();
+    let meta = read_meta(&mut f)?;
+    validate_size(&meta, actual_bytes)?;
+    Ok(meta)
+}
+
+fn validate_size(meta: &TableMeta, actual_bytes: u64) -> io::Result<()> {
+    // Fail fast on truncated or inconsistent files: a header claiming
+    // more data than the file holds would otherwise surface as an
+    // UnexpectedEof deep inside a chunked scan (possibly hours into
+    // the §7.7 disk-resident experiment).
+    if actual_bytes < meta.file_bytes() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "table file truncated: header implies {} bytes, file has {}",
+                meta.file_bytes(),
+                actual_bytes
+            ),
+        ));
+    }
+    Ok(())
+}
+
 /// Streams record batches of at most `chunk_rows` from a columnar file.
 pub struct ChunkedReader {
-    file: BufReader<File>,
+    file: File,
     meta: TableMeta,
     cursor: u64,
     chunk_rows: usize,
+    /// Reused raw-byte buffer: one column of the current chunk at a time
+    /// is decoded through it, so a chunk's footprint is its own columns
+    /// plus this single scratch allocation.
+    scratch: Vec<u8>,
 }
 
 impl ChunkedReader {
     pub fn open(path: &Path, chunk_rows: usize) -> io::Result<Self> {
-        let f = File::open(path)?;
-        let actual_bytes = f.metadata()?.len();
-        let mut file = BufReader::new(f);
+        let mut file = File::open(path)?;
+        let actual_bytes = file.metadata()?.len();
         let meta = read_meta(&mut file)?;
-        // Fail fast on truncated or inconsistent files: a header claiming
-        // more data than the file holds would otherwise surface as an
-        // UnexpectedEof deep inside a chunked scan (possibly hours into
-        // the §7.7 disk-resident experiment).
-        if actual_bytes < meta.file_bytes() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "table file truncated: header implies {} bytes, file has {}",
-                    meta.file_bytes(),
-                    actual_bytes
-                ),
-            ));
-        }
+        validate_size(&meta, actual_bytes)?;
         Ok(ChunkedReader {
             file,
             meta,
             cursor: 0,
             chunk_rows: chunk_rows.max(1),
+            scratch: Vec::new(),
         })
     }
 
@@ -171,37 +201,71 @@ impl ChunkedReader {
         &self.meta
     }
 
+    /// Rows already consumed.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
     /// Rows remaining to be read.
     pub fn remaining(&self) -> u64 {
         self.meta.rows - self.cursor
     }
 
-    /// Read the next chunk, or `None` at end of data. Each call performs
-    /// one seek+read per column, as a columnar scan does.
+    /// Change the chunk size for subsequent [`Self::next_chunk`] calls.
+    /// The streaming executor samples the first (small) chunk to summarise
+    /// the workload, then switches to the planner-chosen chunk size
+    /// without re-reading.
+    pub fn set_chunk_rows(&mut self, chunk_rows: usize) {
+        self.chunk_rows = chunk_rows.max(1);
+    }
+
+    /// Positioned read: does not move any shared cursor and keeps no
+    /// buffered readahead to discard, so per-column jumps cost exactly one
+    /// `pread` each (the old `BufReader` + `SeekFrom::Start` pairing threw
+    /// its buffer away on every column of every chunk).
+    #[cfg(unix)]
+    fn read_at(&mut self, offset: u64, len: usize) -> io::Result<&[u8]> {
+        use std::os::unix::fs::FileExt;
+        self.scratch.resize(len, 0);
+        self.file.read_exact_at(&mut self.scratch[..len], offset)?;
+        Ok(&self.scratch[..len])
+    }
+
+    /// Fallback for targets without positioned reads: a raw seek on the
+    /// unbuffered handle (still no readahead buffer to discard).
+    #[cfg(not(unix))]
+    fn read_at(&mut self, offset: u64, len: usize) -> io::Result<&[u8]> {
+        use std::io::{Seek, SeekFrom};
+        self.scratch.resize(len, 0);
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(&mut self.scratch[..len])?;
+        Ok(&self.scratch[..len])
+    }
+
+    /// Read the next chunk, or `None` at end of data. One positioned read
+    /// per column in ascending offset order; when the chunk covers the
+    /// whole remainder this is a single sequential pass over the rest of
+    /// the file.
     pub fn next_chunk(&mut self) -> io::Result<Option<PointTable>> {
         if self.cursor >= self.meta.rows {
             return Ok(None);
         }
         let n = (self.meta.rows - self.cursor).min(self.chunk_rows as u64) as usize;
 
-        let read_f64 = |offset: u64, file: &mut BufReader<File>| -> io::Result<Vec<f64>> {
-            file.seek(SeekFrom::Start(offset))?;
-            let mut raw = vec![0u8; n * 8];
-            file.read_exact(&mut raw)?;
-            Ok(raw
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-                .collect())
-        };
-        let xs = read_f64(self.meta.xs_offset() + self.cursor * 8, &mut self.file)?;
-        let ys = read_f64(self.meta.ys_offset() + self.cursor * 8, &mut self.file)?;
+        let raw = self.read_at(self.meta.xs_offset() + self.cursor * 8, n * 8)?;
+        let xs: Vec<f64> = raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        let raw = self.read_at(self.meta.ys_offset() + self.cursor * 8, n * 8)?;
+        let ys: Vec<f64> = raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
 
         let mut attr_vals: Vec<Vec<f32>> = Vec::with_capacity(self.meta.col_count());
         for c in 0..self.meta.col_count() {
-            self.file
-                .seek(SeekFrom::Start(self.meta.attr_offset(c) + self.cursor * 4))?;
-            let mut raw = vec![0u8; n * 4];
-            self.file.read_exact(&mut raw)?;
+            let raw = self.read_at(self.meta.attr_offset(c) + self.cursor * 4, n * 4)?;
             attr_vals.push(
                 raw.chunks_exact(4)
                     .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
@@ -210,22 +274,15 @@ impl ChunkedReader {
         }
 
         let names: Vec<&str> = self.meta.attr_names.iter().map(String::as_str).collect();
-        let mut t = PointTable::with_capacity(n, &names);
-        let mut row_attrs = vec![0f32; self.meta.col_count()];
-        for i in 0..n {
-            for (c, vals) in attr_vals.iter().enumerate() {
-                row_attrs[c] = vals[i];
-            }
-            t.push(Point::new(xs[i], ys[i]), &row_attrs);
-        }
         self.cursor += n as u64;
-        Ok(Some(t))
+        Ok(Some(PointTable::from_columns(xs, ys, &names, attr_vals)))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use raster_geom::Point;
     use std::path::PathBuf;
 
     fn tmp(name: &str) -> PathBuf {
@@ -341,6 +398,42 @@ mod tests {
         }
         assert_eq!(chunks, 11);
         assert_eq!(whole, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunk_size_can_change_mid_scan() {
+        // The streaming executor reads a small sample chunk, then switches
+        // to the planner-chosen chunk size without re-reading.
+        let path = tmp("rechunk.bin");
+        let t = sample(1_000);
+        write_table(&path, &t).unwrap();
+        let mut r = ChunkedReader::open(&path, 64).unwrap();
+        let first = r.next_chunk().unwrap().unwrap();
+        assert_eq!(first.len(), 64);
+        assert_eq!(r.cursor(), 64);
+        r.set_chunk_rows(400);
+        let mut whole = first;
+        while let Some(c) = r.next_chunk().unwrap() {
+            assert!(c.len() <= 400);
+            whole.extend(&c);
+        }
+        assert_eq!(whole, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn table_meta_reads_header_and_validates() {
+        let path = tmp("meta-only.bin");
+        let t = sample(321);
+        write_table(&path, &t).unwrap();
+        let meta = table_meta(&path).unwrap();
+        assert_eq!(meta.rows, 321);
+        assert_eq!(meta.attr_names, vec!["a", "bb"]);
+        // Truncation is caught at the header read, like open().
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 100]).unwrap();
+        assert!(table_meta(&path).is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -19,14 +19,14 @@ use crate::query::{result_slots, JoinOutput, Query};
 use crate::stats::ExecStats;
 use raster_data::filter::passes;
 use raster_data::PointTable;
-use raster_geom::triangulate::triangulate_all;
+use raster_geom::triangulate::{triangulate_all, Triangle};
 use raster_geom::{Point, Polygon};
-use raster_gpu::exec::{block_for, default_workers, parallel_dynamic, parallel_ranges, timed};
+use raster_gpu::exec::{block_for, default_workers, parallel_dynamic, parallel_ranges};
 use raster_gpu::raster::{
     rasterize_segment_conservative, rasterize_segment_thick_outline, rasterize_triangle_spans,
 };
 use raster_gpu::ssbo::{AtomicF64Array, AtomicU64Array};
-use raster_gpu::{BoundaryFbo, Device, FboPool, PointFbo, RasterConfig, Viewport};
+use raster_gpu::{BoundaryFbo, Device, FboPool, RasterConfig, Viewport};
 use raster_index::{AssignMode, GridIndex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -79,6 +79,41 @@ impl Default for AccurateRasterJoin {
     }
 }
 
+/// Polygon-side state reusable across point batches/chunks of one query
+/// (the accurate counterpart of [`crate::bounded::PreparedBounded`]): the
+/// triangulation, canvas viewport, conservative boundary FBO and grid
+/// index. Chunked scans (`raster-join::stream`, §7.7) call
+/// [`AccurateRasterJoin::prepare`] once and
+/// [`AccurateRasterJoin::execute_prepared`] per chunk.
+pub struct PreparedAccurate<'a> {
+    polys: &'a [Polygon],
+    state: Option<AccurateState>,
+    nslots: usize,
+    triangulation: std::time::Duration,
+    index_build: std::time::Duration,
+    outline: std::time::Duration,
+    /// FBO/shard recycling shared across every chunk executed against
+    /// this preparation (see `PreparedBounded::pool`).
+    pool: FboPool,
+}
+
+struct AccurateState {
+    tris: Vec<Triangle>,
+    vp: Viewport,
+    boundary: BoundaryFbo,
+    index: GridIndex,
+}
+
+impl PreparedAccurate<'_> {
+    /// Wall time of the one-off conservative outline pass. It is part of
+    /// *processing* time in one-shot execution (unlike triangulation and
+    /// index build, which §7.1 excludes); a chunk loop must charge it
+    /// exactly once, not per chunk.
+    pub fn outline_time(&self) -> std::time::Duration {
+        self.outline
+    }
+}
+
 impl AccurateRasterJoin {
     pub fn new(workers: usize) -> Self {
         AccurateRasterJoin {
@@ -87,29 +122,25 @@ impl AccurateRasterJoin {
         }
     }
 
-    pub fn execute(
-        &self,
-        points: &PointTable,
-        polys: &[Polygon],
-        query: &Query,
-        device: &Device,
-    ) -> JoinOutput {
-        device.reset_stats();
-        let mut stats = ExecStats::default();
+    /// Triangulate, build the grid index and draw the conservative
+    /// outline pass — everything that depends only on the polygons and
+    /// can be reused across point chunks.
+    pub fn prepare<'a>(&self, polys: &'a [Polygon], device: &Device) -> PreparedAccurate<'a> {
         let nslots = result_slots(polys);
-        let counts = AtomicU64Array::new(nslots);
-        let sums = AtomicF64Array::new(nslots);
         if polys.is_empty() {
-            return JoinOutput {
-                counts: Vec::new(),
-                sums: Vec::new(),
-                stats,
+            return PreparedAccurate {
+                polys,
+                state: None,
+                nslots,
+                triangulation: std::time::Duration::ZERO,
+                index_build: std::time::Duration::ZERO,
+                outline: std::time::Duration::ZERO,
+                pool: FboPool::new(),
             };
         }
-
         let t0 = Instant::now();
         let tris = triangulate_all(polys);
-        stats.triangulation = t0.elapsed();
+        let triangulation = t0.elapsed();
 
         let extent = crate::bounded::polygon_extent(polys);
         let dim = self.canvas_dim.min(device.config().max_fbo_dim);
@@ -133,32 +164,93 @@ impl AccurateRasterJoin {
             AssignMode::Exact,
             self.workers,
         );
-        stats.index_build = t1.elapsed();
-
-        let proc0 = Instant::now();
+        let index_build = t1.elapsed();
 
         // Step 1: conservative outline pass.
+        let t2 = Instant::now();
         let boundary = BoundaryFbo::new(w, h);
         let poly_block = block_for(polys.len(), self.workers);
-        timed(&mut stats.polygon_stage, || {
-            parallel_dynamic(polys.len(), self.workers, poly_block, |pi| {
-                for (a, b) in polys[pi].all_edges() {
-                    let sa = vp.to_screen(a);
-                    let sb = vp.to_screen(b);
-                    match self.conservative {
-                        ConservativeMode::Dda => {
-                            rasterize_segment_conservative(sa, sb, w, h, |x, y| boundary.mark(x, y))
-                        }
-                        ConservativeMode::ThickOutline => {
-                            rasterize_segment_thick_outline(sa, sb, w, h, |x, y| {
-                                boundary.mark(x, y)
-                            })
-                        }
+        parallel_dynamic(polys.len(), self.workers, poly_block, |pi| {
+            for (a, b) in polys[pi].all_edges() {
+                let sa = vp.to_screen(a);
+                let sb = vp.to_screen(b);
+                match self.conservative {
+                    ConservativeMode::Dda => {
+                        rasterize_segment_conservative(sa, sb, w, h, |x, y| boundary.mark(x, y))
+                    }
+                    ConservativeMode::ThickOutline => {
+                        rasterize_segment_thick_outline(sa, sb, w, h, |x, y| boundary.mark(x, y))
                     }
                 }
-            })
+            }
         });
-        stats.passes += 1;
+        let outline = t2.elapsed();
+        PreparedAccurate {
+            polys,
+            state: Some(AccurateState {
+                tris,
+                vp,
+                boundary,
+                index,
+            }),
+            nslots,
+            triangulation,
+            index_build,
+            outline,
+            pool: FboPool::new(),
+        }
+    }
+
+    pub fn execute(
+        &self,
+        points: &PointTable,
+        polys: &[Polygon],
+        query: &Query,
+        device: &Device,
+    ) -> JoinOutput {
+        let prepared = self.prepare(polys, device);
+        let mut out = self.execute_prepared(&prepared, points, query, device);
+        // One-shot execution charges the outline pass to processing, as
+        // the paper's step 1 runs inside the query (§4.3); chunk loops
+        // charge it once via `PreparedAccurate::outline_time`.
+        if prepared.state.is_some() {
+            out.stats.processing += prepared.outline;
+            out.stats.polygon_stage += prepared.outline;
+            out.stats.passes += 1;
+        }
+        out
+    }
+
+    /// Execute against a prepared polygon side (chunked scans reuse the
+    /// preparation — including the outline pass — across every chunk).
+    /// The outline pass is *not* charged here; see
+    /// [`PreparedAccurate::outline_time`].
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedAccurate<'_>,
+        points: &PointTable,
+        query: &Query,
+        device: &Device,
+    ) -> JoinOutput {
+        device.reset_stats();
+        let mut stats = ExecStats::default();
+        let nslots = prepared.nslots;
+        let counts = AtomicU64Array::new(nslots);
+        let sums = AtomicF64Array::new(nslots);
+        let Some(state) = prepared.state.as_ref() else {
+            return JoinOutput {
+                counts: Vec::new(),
+                sums: Vec::new(),
+                stats,
+            };
+        };
+        let polys = prepared.polys;
+        let (tris, vp, boundary, index) = (&state.tris, &state.vp, &state.boundary, &state.index);
+        let (w, h) = (vp.width, vp.height);
+        stats.triangulation = prepared.triangulation;
+        stats.index_build = prepared.index_build;
+
+        let proc0 = Instant::now();
 
         // Step 2: point pass (compute-shader style), batched out-of-core.
         let agg_attr = query.aggregate.attr();
@@ -170,9 +262,9 @@ impl AccurateRasterJoin {
             .min(device.points_per_batch(point_bytes));
         let pip_tests = AtomicU64::new(0);
         let fragments = AtomicU64::new(0);
-        let fbo = PointFbo::new(w, h);
         let preds = &query.predicates;
-        let pool = FboPool::new();
+        let pool = &prepared.pool;
+        let fbo = pool.acquire(w, h);
         let pixels = w as usize * h as usize;
 
         let point_stage0 = Instant::now();
@@ -181,7 +273,7 @@ impl AccurateRasterJoin {
             let end = (start + per_batch).min(points.len());
             device.record_upload(((end - start) * point_bytes) as u64);
             stats.batches += 1;
-            let survivors = crate::bounded::estimate_survivors(points, start, end, preds, &vp);
+            let survivors = crate::bounded::estimate_survivors(points, start, end, preds, vp);
             if self.config.use_shards(survivors, pixels) {
                 // Sharded interior blend: each shard worker scans its
                 // point subrange privately; boundary points take the
@@ -203,7 +295,7 @@ impl AccurateRasterJoin {
                     let p = points.point(i);
                     let (x, y) = vp.pixel_of(p)?;
                     if boundary.is_boundary(x, y) {
-                        let t = join_point(&index, polys, p, i, agg_attr, points, &counts, &sums);
+                        let t = join_point(index, polys, p, i, agg_attr, points, &counts, &sums);
                         pip_by_shard[shard * PAD].fetch_add(t, Ordering::Relaxed);
                         return None;
                     }
@@ -230,7 +322,7 @@ impl AccurateRasterJoin {
                         };
                         if boundary.is_boundary(x, y) {
                             local_pip +=
-                                join_point(&index, polys, p, i, agg_attr, points, &counts, &sums);
+                                join_point(index, polys, p, i, agg_attr, points, &counts, &sums);
                         } else {
                             let v = agg_attr.map_or(0.0, |a| points.attr(a)[i]);
                             fbo.blend_add(x, y, v);
@@ -288,6 +380,7 @@ impl AccurateRasterJoin {
         stats.polygon_stage += polygon_stage0.elapsed();
         stats.passes += 1;
         stats.processing = proc0.elapsed();
+        pool.release(fbo);
 
         device.record_download((nslots * 16) as u64);
         let ts = device.stats();
@@ -522,6 +615,30 @@ mod tests {
                 .count() as u64;
             assert_eq!(b.counts[pi], truth, "polygon {pi}");
         }
+    }
+
+    /// Prepare-once chunked execution (the streaming scan's shape) is
+    /// exact: identical counts to one-shot execution, with the polygon
+    /// side prepared a single time.
+    #[test]
+    fn prepared_chunked_execution_matches_one_shot() {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(8, &extent, 51);
+        let pts = uniform_points(6_000, &extent, 52);
+        let dev = Device::default();
+        let join = AccurateRasterJoin::new(4);
+        let one = join.execute(&pts, &polys, &Query::count(), &dev);
+        let prepared = join.prepare(&polys, &dev);
+        let mut merged = vec![0u64; one.counts.len()];
+        for start in (0..pts.len()).step_by(1_700) {
+            let chunk = pts.slice(start, (start + 1_700).min(pts.len()));
+            let out = join.execute_prepared(&prepared, &chunk, &Query::count(), &dev);
+            for (m, c) in merged.iter_mut().zip(&out.counts) {
+                *m += c;
+            }
+        }
+        assert_eq!(merged, one.counts);
+        assert!(prepared.outline_time() > std::time::Duration::ZERO);
     }
 
     #[test]

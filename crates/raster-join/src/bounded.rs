@@ -123,6 +123,11 @@ pub struct PreparedBounded {
     tiling: Option<CanvasTiling>,
     nslots: usize,
     preparation: std::time::Duration,
+    /// FBO/shard recycling shared across every chunk executed against
+    /// this preparation: a streamed scan would otherwise reallocate (and
+    /// page-fault) the full canvas once per chunk — hundreds of MB at
+    /// fine ε — outside any timer.
+    pool: FboPool,
 }
 
 impl PreparedBounded {
@@ -192,6 +197,7 @@ impl BoundedRasterJoin {
             tiling,
             nslots: result_slots(polys),
             preparation,
+            pool: FboPool::new(),
         }
     }
 
@@ -239,7 +245,7 @@ impl BoundedRasterJoin {
             .min(device.points_per_batch(point_bytes));
         let agg_attr = query.aggregate.attr();
         let fragments = AtomicU64::new(0);
-        let pool = FboPool::new();
+        let pool = &prepared.pool;
 
         let proc0 = Instant::now();
         let mut start = 0usize;
@@ -298,7 +304,7 @@ impl BoundedRasterJoin {
                 let fbo = pool.acquire(vp.width, vp.height);
                 let mut point_stage = std::time::Duration::ZERO;
                 timed(&mut point_stage, || match &binned {
-                    Some(b) => self.draw_points_binned(b, ti, vp, &fbo, &pool, &mut stats),
+                    Some(b) => self.draw_points_binned(b, ti, vp, &fbo, pool, &mut stats),
                     None => self.draw_points(
                         points,
                         start,
@@ -308,7 +314,7 @@ impl BoundedRasterJoin {
                         vp,
                         est_tile_entries,
                         &fbo,
-                        &pool,
+                        pool,
                         &mut stats,
                     ),
                 });

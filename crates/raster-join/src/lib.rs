@@ -18,6 +18,11 @@
 //! * [`materializing::MaterializingJoin`] — a Zhang-et-al-style [72]
 //!   baseline that materializes the join result before aggregating
 //!   (Table 2's comparison point).
+//! * [`stream::StreamingRasterJoin`] — the §7.7 disk-resident scan as a
+//!   planner-driven streaming executor: chunk sizes from the planner's
+//!   batch model, polygon side prepared once, disk reads overlapped with
+//!   join processing by a prefetching reader thread, per-chunk results
+//!   merged by the §5 distributive-aggregate rule.
 //! * [`ranges`] — the §5 result-range estimation (worst-case and expected
 //!   intervals from boundary pixels).
 //! * [`accuracy`] — error metrics used by the §7.6 accuracy analysis,
@@ -39,6 +44,7 @@ pub mod ranges;
 pub mod sampling;
 pub mod sql;
 pub mod stats;
+pub mod stream;
 pub mod temporal;
 pub mod two_step;
 
@@ -51,9 +57,10 @@ pub use minmax::MinMaxRasterJoin;
 pub use moments::{MomentsOutput, MomentsQuery, MomentsRasterJoin};
 pub use multi::{MultiBoundedRasterJoin, MultiQuery};
 pub use optimizer::{AutoRasterJoin, Calibration, Decision, Plan, PlanChoice, Variant};
-pub use query::{Aggregate, JoinOutput, Query};
+pub use query::{Aggregate, AggregateMerger, JoinOutput, Query};
 pub use raster_gpu::RasterConfig;
 pub use sampling::{SamplingJoin, SamplingOutput};
 pub use stats::ExecStats;
+pub use stream::{StreamError, StreamOutput, StreamingRasterJoin};
 pub use temporal::{TemporalRasterJoin, TimeBuckets};
 pub use two_step::TwoStepJoin;

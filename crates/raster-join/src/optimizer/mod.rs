@@ -125,6 +125,35 @@ impl Plan {
         }
     }
 
+    /// The bounded executor this plan configures, with `batch_points`
+    /// overriding the plan's own batch size (chunked scans batch by
+    /// chunk). The single source of the plan→executor field mapping,
+    /// shared by [`Plan::execute`] and the streaming executor.
+    pub fn bounded_executor(&self, batch_points: usize) -> BoundedRasterJoin {
+        BoundedRasterJoin {
+            workers: self.workers,
+            config: self.config,
+            batch_points: Some(batch_points),
+        }
+    }
+
+    /// The accurate executor this plan configures (see
+    /// [`Plan::bounded_executor`]); the accurate variant never bins — its
+    /// canvas is a single FBO.
+    pub fn accurate_executor(&self, batch_points: usize) -> AccurateRasterJoin {
+        AccurateRasterJoin {
+            workers: self.workers,
+            canvas_dim: self.canvas_dim,
+            index_dim: self.index_dim,
+            config: RasterConfig {
+                binning: false,
+                sharding: self.config.sharding,
+            },
+            batch_points: Some(batch_points),
+            ..Default::default()
+        }
+    }
+
     /// Run exactly this plan. [`AutoRasterJoin::execute`] goes through
     /// here, so a caller can re-run the returned plan and get the same
     /// execution.
@@ -136,24 +165,12 @@ impl Plan {
         device: &Device,
     ) -> JoinOutput {
         match self.variant {
-            Variant::Bounded => BoundedRasterJoin {
-                workers: self.workers,
-                config: self.config,
-                batch_points: Some(self.batch_points),
-            }
-            .execute(points, polys, query, device),
-            Variant::Accurate => AccurateRasterJoin {
-                workers: self.workers,
-                canvas_dim: self.canvas_dim,
-                index_dim: self.index_dim,
-                config: RasterConfig {
-                    binning: false,
-                    sharding: self.config.sharding,
-                },
-                batch_points: Some(self.batch_points),
-                ..Default::default()
-            }
-            .execute(points, polys, query, device),
+            Variant::Bounded => self
+                .bounded_executor(self.batch_points)
+                .execute(points, polys, query, device),
+            Variant::Accurate => self
+                .accurate_executor(self.batch_points)
+                .execute(points, polys, query, device),
         }
     }
 }
@@ -362,6 +379,11 @@ pub struct AutoRasterJoin {
     /// calibration (on by default).
     pub feedback: bool,
     calibration: Mutex<Calibration>,
+    /// When set, the calibration was loaded from this file at
+    /// construction and is re-saved after every feedback fold, so the
+    /// per-machine corrections survive the process (the ROADMAP
+    /// "persist the feedback-updated calibration" item).
+    calibration_path: Option<std::path::PathBuf>,
     trace: Mutex<Vec<Decision>>,
 }
 
@@ -382,7 +404,37 @@ impl AutoRasterJoin {
             config_override: None,
             feedback: true,
             calibration: Mutex::new(cal),
+            calibration_path: None,
             trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Persist the calibration at `path` across processes: load it now if
+    /// the file exists (keeping the current calibration otherwise) and
+    /// re-save after every feedback fold. Save failures are reported on
+    /// the next explicit [`AutoRasterJoin::persist`]; the periodic
+    /// autosaves are best-effort so a read-only filesystem can't poison
+    /// query execution.
+    pub fn with_calibration_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        let path = path.into();
+        if let Ok(cal) = Calibration::load(&path) {
+            *self.calibration.lock() = cal;
+        }
+        self.calibration_path = Some(path);
+        self
+    }
+
+    /// Write the current calibration to the configured path now.
+    pub fn persist(&self) -> std::io::Result<()> {
+        match &self.calibration_path {
+            Some(path) => self.calibration.lock().save(path),
+            None => Ok(()),
+        }
+    }
+
+    fn autosave(&self) {
+        if let Some(path) = &self.calibration_path {
+            let _ = self.calibration.lock().save(path);
         }
     }
 
@@ -411,6 +463,22 @@ impl AutoRasterJoin {
     /// Every decision taken so far, oldest first.
     pub fn decision_trace(&self) -> Vec<Decision> {
         self.trace.lock().clone()
+    }
+
+    /// Fold one externally-measured execution into the calibration — the
+    /// streaming executor drives its own chunk loop and feeds each
+    /// chunk's predicted-vs-actual outcome through here (honouring the
+    /// `feedback` toggle). Unlike [`AutoRasterJoin::execute`] this does
+    /// NOT autosave — a scan feeds once per chunk, and one file write per
+    /// chunk on the consumer hot path buys nothing; loop drivers call
+    /// [`AutoRasterJoin::persist`] once when their loop ends.
+    pub fn feed(&self, effective_key: usize, predicted_raw: f64, actual: Duration) {
+        if !self.feedback {
+            return;
+        }
+        self.calibration
+            .lock()
+            .observe(effective_key, predicted_raw, actual.as_secs_f64());
     }
 
     /// Rank the plan space for this query without executing anything.
@@ -464,6 +532,7 @@ impl AutoRasterJoin {
             self.calibration
                 .lock()
                 .observe(eff, best.raw, actual.as_secs_f64());
+            self.autosave();
         }
         self.trace.lock().push(Decision {
             plan: best.plan,
@@ -645,6 +714,58 @@ mod tests {
         frozen.execute(&pts, &polys, &Query::count().with_epsilon(20.0), &dev);
         assert_eq!(frozen.calibration().observations, 0);
         assert_eq!(frozen.decision_trace().len(), 1);
+    }
+
+    /// The ROADMAP "persist the feedback-updated calibration across
+    /// processes" item: a planner with a calibration path saves after
+    /// every feedback fold, and a fresh planner (a new process, as far as
+    /// the file is concerned) resumes from the saved state.
+    #[test]
+    fn calibration_persists_across_planner_instances() {
+        let (polys, _) = setup();
+        let pts = uniform_points(2_000, &nyc_extent(), 9);
+        let dev = Device::default();
+        let path =
+            std::env::temp_dir().join(format!("rjr-cal-roundtrip-{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        // Missing file: construction keeps the builtin calibration.
+        let first = AutoRasterJoin::default().with_calibration_path(&path);
+        assert!(!first.calibration().is_calibrated());
+        for eps in [20.0, 20.0, 0.5] {
+            first.execute(&pts, &polys, &Query::count().with_epsilon(eps), &dev);
+        }
+        let saved = first.calibration();
+        assert_eq!(saved.observations, 3);
+        drop(first);
+
+        // "Next process": loads the feedback-updated state.
+        let second = AutoRasterJoin::default().with_calibration_path(&path);
+        let resumed = second.calibration();
+        assert_eq!(resumed.observations, saved.observations);
+        for k in 0..NKEYS {
+            assert!(
+                (resumed.scale[k] - saved.scale[k]).abs() <= 1e-9 * saved.scale[k].abs(),
+                "scale {k} must survive the round trip"
+            );
+        }
+        // feed() accumulates without touching disk (a chunk loop feeds
+        // per chunk; one write per chunk would be waste) — persist()
+        // flushes explicitly, as the streaming executor does per scan.
+        second.feed(0, 100.0, Duration::from_millis(5));
+        let unflushed = AutoRasterJoin::default().with_calibration_path(&path);
+        assert_eq!(unflushed.calibration().observations, 3);
+        second.persist().unwrap();
+        let third = AutoRasterJoin::default().with_calibration_path(&path);
+        assert_eq!(third.calibration().observations, 4);
+
+        // Feedback off: feed() is inert.
+        let frozen = AutoRasterJoin::default()
+            .with_feedback(false)
+            .with_calibration_path(&path);
+        frozen.feed(0, 100.0, Duration::from_millis(5));
+        assert_eq!(frozen.calibration().observations, 4);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -133,6 +133,90 @@ pub fn result_slots(polys: &[raster_geom::Polygon]) -> usize {
     polys.iter().map(|p| p.id() as usize + 1).max().unwrap_or(0)
 }
 
+/// Folds per-chunk [`JoinOutput`]s of one query into the final answer —
+/// the §5 combination rule for distributive aggregates: COUNT and SUM
+/// accumulators add slot-wise, and the algebraic AVG derives from the
+/// merged accumulators via [`JoinOutput::values`]. Every chunked scan
+/// (the streaming executor, the Fig. 13 experiment, SQL over a file
+/// source) merges through here, so none of them can drop an accumulator —
+/// the original Fig. 13 loop folded only `counts` and silently zeroed
+/// every SUM/AVG answer over chunked streams.
+///
+/// [`ExecStats`] fold additively for the per-chunk quantities (times,
+/// bytes, batches, passes, work counters); the per-query preparation
+/// times (`triangulation`, `index_build`) take the maximum, since a
+/// prepared chunk loop reports the same one-off preparation each chunk.
+#[derive(Debug, Clone)]
+pub struct AggregateMerger {
+    counts: Vec<u64>,
+    sums: Vec<f64>,
+    stats: ExecStats,
+    chunks: u32,
+}
+
+impl AggregateMerger {
+    /// A merger for `nslots` result slots (see [`result_slots`]).
+    pub fn new(nslots: usize) -> Self {
+        AggregateMerger {
+            counts: vec![0; nslots],
+            sums: vec![0.0; nslots],
+            stats: ExecStats::default(),
+            chunks: 0,
+        }
+    }
+
+    /// Fold one chunk's output in. Panics if the chunk's result arrays
+    /// are longer than the merger's (shorter is fine: an executor given a
+    /// polygon subset still merges correctly).
+    pub fn fold(&mut self, out: &JoinOutput) {
+        assert!(
+            out.counts.len() <= self.counts.len() && out.sums.len() <= self.sums.len(),
+            "chunk output has more result slots than the merger"
+        );
+        for (acc, &c) in self.counts.iter_mut().zip(&out.counts) {
+            *acc += c;
+        }
+        for (acc, &s) in self.sums.iter_mut().zip(&out.sums) {
+            *acc += s;
+        }
+        let s = &mut self.stats;
+        let o = &out.stats;
+        s.processing += o.processing;
+        s.transfer += o.transfer;
+        s.disk += o.disk;
+        s.upload_bytes += o.upload_bytes;
+        s.download_bytes += o.download_bytes;
+        s.binning += o.binning;
+        s.shard_merge += o.shard_merge;
+        s.binned_points += o.binned_points;
+        s.point_stage += o.point_stage;
+        s.polygon_stage += o.polygon_stage;
+        s.batches += o.batches;
+        s.passes += o.passes;
+        s.pip_tests += o.pip_tests;
+        s.fragments += o.fragments;
+        s.materialized_pairs += o.materialized_pairs;
+        s.candidate_pairs += o.candidate_pairs;
+        s.triangulation = s.triangulation.max(o.triangulation);
+        s.index_build = s.index_build.max(o.index_build);
+        self.chunks += 1;
+    }
+
+    /// Chunks folded so far.
+    pub fn chunks(&self) -> u32 {
+        self.chunks
+    }
+
+    /// The merged result.
+    pub fn finish(self) -> JoinOutput {
+        JoinOutput {
+            counts: self.counts,
+            sums: self.sums,
+            stats: self.stats,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +252,61 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn non_positive_epsilon_rejected() {
         let _ = Query::count().with_epsilon(0.0);
+    }
+
+    #[test]
+    fn merger_folds_counts_sums_and_stats() {
+        use std::time::Duration;
+        let chunk = |c: Vec<u64>, s: Vec<f64>, ms: u64| JoinOutput {
+            counts: c,
+            sums: s,
+            stats: ExecStats {
+                processing: Duration::from_millis(ms),
+                triangulation: Duration::from_millis(7),
+                batches: 1,
+                passes: 2,
+                ..ExecStats::default()
+            },
+        };
+        let mut m = AggregateMerger::new(3);
+        m.fold(&chunk(vec![1, 0, 2], vec![0.5, 0.0, 2.0], 10));
+        m.fold(&chunk(vec![0, 3, 1], vec![0.0, 3.0, 1.0], 20));
+        assert_eq!(m.chunks(), 2);
+        let out = m.finish();
+        assert_eq!(out.counts, vec![1, 3, 3]);
+        assert_eq!(out.sums, vec![0.5, 3.0, 3.0]);
+        // AVG derives from the merged accumulators (the Fig. 13 bug:
+        // dropping sums made every chunked AVG zero).
+        assert_eq!(out.values(Aggregate::Avg(0)), vec![0.5, 1.0, 1.0]);
+        assert_eq!(out.stats.processing, Duration::from_millis(30));
+        // One-off preparation is not double-counted across chunks.
+        assert_eq!(out.stats.triangulation, Duration::from_millis(7));
+        assert_eq!(out.stats.batches, 2);
+        assert_eq!(out.stats.passes, 4);
+    }
+
+    #[test]
+    fn merger_accepts_shorter_chunk_outputs() {
+        let mut m = AggregateMerger::new(3);
+        m.fold(&JoinOutput {
+            counts: vec![5],
+            sums: vec![1.5],
+            stats: ExecStats::default(),
+        });
+        let out = m.finish();
+        assert_eq!(out.counts, vec![5, 0, 0]);
+        assert_eq!(out.sums, vec![1.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more result slots")]
+    fn merger_rejects_oversized_chunks() {
+        let mut m = AggregateMerger::new(1);
+        m.fold(&JoinOutput {
+            counts: vec![1, 2],
+            sums: vec![0.0, 0.0],
+            stats: ExecStats::default(),
+        });
     }
 
     #[test]

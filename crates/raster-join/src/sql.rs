@@ -58,7 +58,9 @@ fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError(msg.into()))
 }
 
-/// Tokenize: words, numbers, parens, commas, comparison operators.
+/// Tokenize: words, numbers, parens, commas, comparison operators, and
+/// single-quoted strings (file table sources, kept as one token with the
+/// quotes preserved).
 fn tokenize(sql: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut cur = String::new();
@@ -72,6 +74,21 @@ fn tokenize(sql: &str) -> Vec<String> {
     while i < chars.len() {
         let c = chars[i];
         match c {
+            '\'' => {
+                flush(&mut cur, &mut out);
+                let mut lit = String::from('\'');
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    lit.push(chars[i]);
+                    i += 1;
+                }
+                // An unterminated quote yields a token without the
+                // closing quote; the FROM-source extraction rejects it.
+                if i < chars.len() {
+                    lit.push('\'');
+                }
+                out.push(lit);
+            }
             c if c.is_whitespace() => flush(&mut cur, &mut out),
             '(' | ')' | ',' | '*' => {
                 flush(&mut cur, &mut out);
@@ -176,6 +193,24 @@ fn parse_op(tok: &str) -> Result<CmpOp, ParseError> {
         "=" => CmpOp::Eq,
         other => return err(format!("unsupported operator `{other}`")),
     })
+}
+
+/// The on-disk table source of a query's point relation, when the FROM
+/// clause names a file instead of a bare relation:
+/// `SELECT … FROM 'taxi.bin', R WHERE …`. The schema then comes from the
+/// file's column names and the query runs straight off disk through the
+/// streaming executor (`raster_join::stream`). Returns `None` when the
+/// FROM clause holds a plain relation name (or the SQL has no FROM at
+/// all — the caller's parse will produce the real error).
+pub fn file_source(sql: &str) -> Option<String> {
+    let toks = tokenize(sql);
+    let from = toks.iter().position(|t| t.eq_ignore_ascii_case("FROM"))?;
+    let src = toks.get(from + 1)?;
+    let inner = src.strip_prefix('\'')?.strip_suffix('\'')?;
+    if inner.is_empty() {
+        return None;
+    }
+    Some(inner.to_string())
 }
 
 /// Parse one query of the paper's dialect against `schema` (a table whose
@@ -520,6 +555,24 @@ mod tests {
         )
         .unwrap_err();
         assert!(e.0.contains("empty"), "{e}");
+    }
+
+    #[test]
+    fn file_source_extracts_quoted_from_paths() {
+        let sql = "SELECT AVG(fare) FROM 'data/taxi trips.bin', R \
+                   WHERE P.loc INSIDE R.geometry GROUP BY R.id";
+        assert_eq!(file_source(sql), Some("data/taxi trips.bin".to_string()));
+        // The quoted source still parses as a relation token.
+        let q = parse_query(sql, &schema()).unwrap();
+        assert_eq!(q.aggregate, Aggregate::Avg(0));
+        // Plain relations, missing FROM, empty and unterminated quotes.
+        assert_eq!(
+            file_source("SELECT COUNT(*) FROM P, R WHERE P.loc INSIDE R.geometry GROUP BY R.id"),
+            None
+        );
+        assert_eq!(file_source("SELECT COUNT(*)"), None);
+        assert_eq!(file_source("SELECT COUNT(*) FROM '', R"), None);
+        assert_eq!(file_source("SELECT COUNT(*) FROM 'unterminated"), None);
     }
 
     #[test]

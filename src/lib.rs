@@ -65,8 +65,8 @@ pub mod prelude {
     pub use raster_geom::{BBox, Point, Polygon, Ring};
     pub use raster_gpu::{Device, DeviceConfig, Viewport};
     pub use raster_join::{
-        AccurateRasterJoin, Aggregate, AutoRasterJoin, BoundedRasterJoin, ExecStats, IndexJoin,
-        JoinOutput, MaterializingJoin, MomentsQuery, MomentsRasterJoin, Parallelism, Plan, Query,
-        SamplingJoin, TwoStepJoin,
+        AccurateRasterJoin, Aggregate, AggregateMerger, AutoRasterJoin, BoundedRasterJoin,
+        ExecStats, IndexJoin, JoinOutput, MaterializingJoin, MomentsQuery, MomentsRasterJoin,
+        Parallelism, Plan, Query, SamplingJoin, StreamingRasterJoin, TwoStepJoin,
     };
 }

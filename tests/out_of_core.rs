@@ -73,6 +73,53 @@ fn disk_resident_sum_equals_in_memory() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Regression for the Fig. 13 chunk-loop bug: the hand-rolled merge
+/// folded only `counts` and silently dropped `sums`, so every SUM/AVG
+/// answer over a chunked stream came back zero. Chunk loops now merge
+/// through the shared [`AggregateMerger`]; a chunked `Query::avg` over
+/// ≥ 3 chunks must match the in-memory answer.
+#[test]
+fn chunked_avg_over_three_chunks_matches_in_memory() {
+    let pts = TaxiModel::default().generate(9_000, 209);
+    let fare = pts.attr_index("fare").unwrap();
+    let polys = synthetic_polygons(8, &nyc_extent(), 210);
+    let q = Query::avg(fare).with_epsilon(25.0);
+    let dev = Device::default();
+    let joiner = BoundedRasterJoin::default();
+    let in_memory = joiner.execute(&pts, &polys, &q, &dev);
+
+    let path = tmp("chunked-avg.bin");
+    write_table(&path, &pts).unwrap();
+    // The Fig. 13 loop shape: prepare once, stream chunks, merge.
+    let prepared = joiner.prepare(&polys, q.epsilon, &dev);
+    let mut reader = ChunkedReader::open(&path, 2_500).unwrap();
+    let mut merger = AggregateMerger::new(in_memory.counts.len());
+    while let Some(chunk) = reader.next_chunk().unwrap() {
+        merger.fold(&joiner.execute_prepared(&prepared, &chunk, &q, &dev));
+    }
+    assert!(
+        merger.chunks() >= 3,
+        "9k rows at 2.5k/chunk must chunk ≥ 3×"
+    );
+    let merged = merger.finish();
+    assert_eq!(merged.counts, in_memory.counts);
+    let (got, want) = (
+        merged.values(Aggregate::Avg(fare)),
+        in_memory.values(Aggregate::Avg(fare)),
+    );
+    assert!(
+        want.iter().any(|&v| v != 0.0),
+        "the workload must produce nonzero averages for the test to bite"
+    );
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert!(
+            (g - w).abs() <= 1e-6 * w.abs().max(1.0),
+            "polygon {i}: chunked AVG {g} vs in-memory {w}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
 /// The device memory budget drives batch counts without changing results,
 /// for every executor that honours the budget.
 #[test]
