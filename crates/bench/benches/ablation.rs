@@ -6,7 +6,7 @@
 //! * single canvas vs tiled multi-pass rendering (Fig. 5 mechanism);
 //! * pixel-center vs conservative rasterization cost;
 //! * two-step filter-refine (§2's classical join) vs fused execution;
-//! * [72]-style 16-bit coordinate truncation vs exact coordinates;
+//! * \[72\]-style 16-bit coordinate truncation vs exact coordinates;
 //! * hardware conservative rasterization vs the §6.1 thick-outline
 //!   fallback for non-NVIDIA GPUs;
 //! * sampling-based vs resolution-based approximation;

@@ -1,4 +1,4 @@
-//! Table 2 bench: materializing join [72] vs fused Index Join.
+//! Table 2 bench: materializing join \[72\] vs fused Index Join.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use raster_gpu::exec::default_workers;

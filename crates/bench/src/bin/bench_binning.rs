@@ -15,6 +15,7 @@
 //! `--quick` shrinks the sweep (100k/1M points) for CI smoke runs; the
 //! default sweep is 1M/10M points × 1/4/16 canvas tiles.
 
+use bench::arg_value;
 use raster_data::generators::TaxiModel;
 use raster_data::polygons::synthetic_polygons;
 use raster_data::PointTable;
@@ -140,12 +141,6 @@ fn main() {
     let json = render_json(&rows, quick, reps, workers);
     std::fs::write(&out_path, &json).expect("write BENCH_binning.json");
     eprintln!("wrote {out_path}");
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn render_json(rows: &[Row], quick: bool, reps: usize, workers: usize) -> String {

@@ -23,6 +23,7 @@
 //! bench_planner [--quick] [--reps N] [--out PATH] [--calibration PATH]
 //! ```
 
+use bench::arg_value;
 use raster_data::filter::{CmpOp, Predicate};
 use raster_data::generators::{nyc_extent, TaxiModel};
 use raster_data::polygons::synthetic_polygons;
@@ -216,6 +217,61 @@ fn main() {
         });
     }
 
+    // ------------------------------------------ disk-scan calibration rows
+    // The streaming executor's disk features (`read_byte`, `decode_val`)
+    // never occur in the in-memory grid; measure them with raw and
+    // compressed chunked scans of the same prefixes so the fit can price
+    // the decode-cost-vs-bytes-saved trade the compressed format poses.
+    {
+        use raster_data::disk::{write_table, write_table_compressed, ChunkedReader};
+        let scan_rows = if quick { 150_000 } else { 600_000 };
+        for compressed in [false, true] {
+            for frac in [2usize, 1] {
+                let n = scan_rows / frac;
+                let t = full.prefix(n);
+                let path = std::env::temp_dir().join(format!(
+                    "rjr-planner-scan-{}-{n}-{}.bin",
+                    if compressed { "z" } else { "raw" },
+                    std::process::id()
+                ));
+                if compressed {
+                    write_table_compressed(&path, &t, 1 << 16).expect("write scan table");
+                } else {
+                    write_table(&path, &t).expect("write scan table");
+                }
+                let mut best = f64::INFINITY;
+                let mut feats = [0.0; NWEIGHTS];
+                for _ in 0..reps {
+                    let mut r = ChunkedReader::open(&path, 1 << 16).expect("open scan table");
+                    let t0 = std::time::Instant::now();
+                    while r.next_chunk().expect("scan chunk").is_some() {}
+                    let secs = t0.elapsed().as_secs_f64();
+                    if secs < best {
+                        best = secs;
+                        feats = [0.0; NWEIGHTS];
+                        feats[raster_join::optimizer::cost::W_READ_BYTE] = r.bytes_read() as f64;
+                        if compressed {
+                            feats[raster_join::optimizer::cost::W_DECODE_VAL] =
+                                (n * (2 + t.attr_count())) as f64;
+                        }
+                    }
+                }
+                eprintln!(
+                    "scan sample {:>8} rows {}: {:>8.1} ms",
+                    n,
+                    if compressed {
+                        "compressed"
+                    } else {
+                        "raw       "
+                    },
+                    best * 1e3
+                );
+                samples.push((feats, best));
+                std::fs::remove_file(&path).ok();
+            }
+        }
+    }
+
     // -------------------------------------------------------- phase 2: fit
     let mut fitted = Calibration::fit(&samples).expect("calibration fit");
     eprintln!(
@@ -344,12 +400,6 @@ fn main() {
         results.len(),
         never_worse
     );
-}
-
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn render_json(

@@ -1,26 +1,34 @@
 //! `bench_stream` — the disk-resident streaming executor benchmark
 //! (the Fig. 13 cell, §7.7, run through `StreamingRasterJoin`).
 //!
-//! Four measurements into `BENCH_stream.json`:
+//! Five measurements into `BENCH_stream.json`:
 //!
 //! 1. **Prefetch vs blocking** at the headline cell (default: 2 M Twitter
 //!    points ⋈ US counties, ε = 1 km, 250 k-point device budget): total
 //!    disk+processing time of the double-buffered prefetch reader against
 //!    the paper-faithful blocking reader, best of `--reps`.
-//! 2. **Chunk-size grid**: fixed chunk sizes (fractions of the device
+//! 2. **Compressed vs raw**: the same prefetched scan over the v2
+//!    compressed table — the modelled disk charges the compressed bytes,
+//!    so the arm shows how much of the bandwidth-bound read the codecs
+//!    buy back (and what the overlapped decode costs). Counts must be
+//!    bit-identical and sums exactly equal to the raw streaming arm.
+//! 3. **Chunk-size grid**: fixed chunk sizes (fractions of the device
 //!    budget) against the planner-chosen chunk, to verify the planner's
 //!    batch model is a sound chunk-size oracle (within 20% of the best
 //!    fixed size).
-//! 3. **Equality**: streamed counts must equal the in-memory execution of
+//! 4. **Equality**: streamed counts must equal the in-memory execution of
 //!    the same plan bit-for-bit; sums within f32 reassociation tolerance.
-//! 4. **Reader throughput**: a processing-free chunked scan of the table,
-//!    documenting the positioned-read reader.
+//! 5. **Reader throughput**: processing-free chunked scans of both files,
+//!    documenting the positioned-read reader and the raw decode cost.
 //!
 //! ```text
 //! bench_stream [--quick] [--reps N] [--out PATH]
 //! ```
 
-use raster_data::disk::{write_table, ChunkedReader};
+use bench::arg_value;
+use raster_data::disk::{
+    write_table, write_table_compressed, ChunkedReader, DEFAULT_COMPRESSED_CHUNK_ROWS,
+};
 use raster_data::PointTable;
 use raster_gpu::{Device, DeviceConfig};
 use raster_join::stream::MODELLED_DISK_BANDWIDTH;
@@ -87,13 +95,29 @@ fn main() {
 
     let path = std::env::temp_dir().join(format!("rjr-bench-stream-{n}.bin"));
     write_table(&path, &pts).expect("write table");
+    let pathz = std::env::temp_dir().join(format!("rjr-bench-stream-{n}.binz"));
+    // Stored chunks sized to the device budget: the planner's delivery
+    // chunk then maps ~1:1 onto stored blocks, so the reader mostly hands
+    // decoded blocks over without re-slicing.
+    write_table_compressed(
+        &pathz,
+        &pts,
+        budget_points.min(DEFAULT_COMPRESSED_CHUNK_ROWS),
+    )
+    .expect("write compressed");
+    let raw_file_bytes = std::fs::metadata(&path).expect("stat").len();
+    let z_file_bytes = std::fs::metadata(&pathz).expect("stat").len();
+    eprintln!(
+        "table: {raw_file_bytes} bytes raw, {z_file_bytes} compressed ({:.2}x)",
+        raw_file_bytes as f64 / z_file_bytes as f64
+    );
 
     // ------------------------------------------------- reader throughput
-    let scan_ms = {
+    let scan = |p: &Path| -> f64 {
         let mut best = f64::INFINITY;
         for _ in 0..reps {
             let t0 = Instant::now();
-            let mut r = ChunkedReader::open(&path, capacity).expect("open");
+            let mut r = ChunkedReader::open(p, capacity).expect("open");
             let mut rows = 0usize;
             while let Some(c) = r.next_chunk().expect("chunk") {
                 rows += c.len();
@@ -103,17 +127,20 @@ fn main() {
         }
         best
     };
-    eprintln!("reader-only chunked scan: {scan_ms:.1} ms");
+    let scan_ms = scan(&path);
+    let scan_z_ms = scan(&pathz);
+    eprintln!("reader-only chunked scan: {scan_ms:.1} ms raw, {scan_z_ms:.1} ms compressed");
 
     // -------------------------------------- prefetch vs blocking headline
-    let run = |stream: &StreamingRasterJoin| -> Run {
+    let run_on = |stream: &StreamingRasterJoin, p: &Path| -> Run {
         let t0 = Instant::now();
-        let out = stream.execute(&path, polys, &q, &dev).expect("stream");
+        let out = stream.execute(p, polys, &q, &dev).expect("stream");
         Run {
             wall_ms: t0.elapsed().as_secs_f64() * 1e3,
             out,
         }
     };
+    let run = |stream: &StreamingRasterJoin| -> Run { run_on(stream, &path) };
     // Reads are paced to the modelled disk (see MODELLED_DISK_BANDWIDTH):
     // this box's page cache serves the table at RAM speed, which would
     // reduce the §7.7 "disk-resident" experiment to an in-memory one.
@@ -131,6 +158,40 @@ fn main() {
         disk_plus_processing_ms(&blocking),
         blocking.wall_ms,
         blocking.out.output.stats.disk.as_secs_f64() * 1e3,
+    );
+
+    // --------------------------------------------- compressed streaming arm
+    let compressed = best_of(reps, || run_on(&stream(), &pathz));
+    let bytes_reduction = prefetch.out.read_bytes as f64 / compressed.out.read_bytes.max(1) as f64;
+    let compressed_beats_raw =
+        disk_plus_processing_ms(&compressed) < disk_plus_processing_ms(&prefetch);
+    // Same chunk boundaries, bit-exact decode ⇒ the compressed stream
+    // must reproduce the raw stream's aggregates *exactly*. Counts are
+    // integer folds and compare across the measured runs directly; the
+    // f32 sum folds reassociate nondeterministically across >1 worker
+    // (run-to-run, even on identical inputs), so sum exactness is probed
+    // with a deterministic single-worker, unpaced pair at the measured
+    // chunk size — bitwise equality, no tolerance.
+    let compressed_counts_exact = compressed.out.output.counts == prefetch.out.output.counts;
+    let exact_probe = |p: &Path| {
+        StreamingRasterJoin::new(1)
+            .with_chunk_rows(planner_chunk)
+            .execute(p, polys, &q, &dev)
+            .expect("exactness probe")
+            .output
+    };
+    let (probe_raw, probe_z) = (exact_probe(&path), exact_probe(&pathz));
+    let compressed_sums_exact =
+        probe_z.sums == probe_raw.sums && probe_z.counts == probe_raw.counts;
+    eprintln!(
+        "compressed: {:.1} ms disk+proc (read {:.1} ms, decode {:.1} ms) | bytes {} vs {} raw \
+         ({bytes_reduction:.2}x) | beats raw prefetch: {compressed_beats_raw} | counts exact: \
+         {compressed_counts_exact}, sums exact: {compressed_sums_exact}",
+        disk_plus_processing_ms(&compressed),
+        compressed.out.read_time.as_secs_f64() * 1e3,
+        compressed.out.decode_time.as_secs_f64() * 1e3,
+        compressed.out.read_bytes,
+        prefetch.out.read_bytes,
     );
 
     // ------------------------------------------------------ equality check
@@ -173,6 +234,16 @@ fn main() {
          {prefetch_wins}"
     );
 
+    let arm = CompressedArm {
+        run: &compressed,
+        scan_z_ms,
+        raw_file_bytes,
+        z_file_bytes,
+        bytes_reduction,
+        beats_raw: compressed_beats_raw,
+        counts_exact: compressed_counts_exact,
+        sums_exact: compressed_sums_exact,
+    };
     let json = render_json(
         quick,
         reps,
@@ -184,6 +255,7 @@ fn main() {
         scan_ms,
         &prefetch,
         &blocking,
+        &arm,
         &grid,
         best_chunk,
         within_20pct,
@@ -194,12 +266,19 @@ fn main() {
     std::fs::write(Path::new(&out_path), &json).expect("write BENCH_stream.json");
     eprintln!("wrote {out_path}");
     std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&pathz).ok();
 }
 
-fn arg_value(args: &[String], key: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1).cloned())
+/// The compressed streaming arm's metrics, bundled for `render_json`.
+struct CompressedArm<'a> {
+    run: &'a Run,
+    scan_z_ms: f64,
+    raw_file_bytes: u64,
+    z_file_bytes: u64,
+    bytes_reduction: f64,
+    beats_raw: bool,
+    counts_exact: bool,
+    sums_exact: bool,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -214,6 +293,7 @@ fn render_json(
     scan_ms: f64,
     prefetch: &Run,
     blocking: &Run,
+    arm: &CompressedArm,
     grid: &[(usize, Run)],
     best_chunk: usize,
     within_20pct: bool,
@@ -225,15 +305,18 @@ fn render_json(
         let st = &r.out.output.stats;
         format!(
             "{{\"disk_plus_processing_ms\": {:.2}, \"wall_ms\": {:.2}, \"total_ms\": {:.2}, \
-             \"disk_wait_ms\": {:.2}, \"read_ms\": {:.2}, \"processing_ms\": {:.2}, \
-             \"transfer_ms\": {:.2}, \"chunk_rows\": {}, \"chunks\": {}}}",
+             \"disk_wait_ms\": {:.2}, \"read_ms\": {:.2}, \"decode_ms\": {:.2}, \
+             \"processing_ms\": {:.2}, \"transfer_ms\": {:.2}, \"read_bytes\": {}, \
+             \"chunk_rows\": {}, \"chunks\": {}}}",
             disk_plus_processing_ms(r),
             r.wall_ms,
             st.total().as_secs_f64() * 1e3,
             st.disk.as_secs_f64() * 1e3,
             r.out.read_time.as_secs_f64() * 1e3,
+            r.out.decode_time.as_secs_f64() * 1e3,
             st.processing.as_secs_f64() * 1e3,
             st.transfer.as_secs_f64() * 1e3,
+            r.out.read_bytes,
             r.out.chunk_rows,
             r.out.chunks
         )
@@ -250,9 +333,11 @@ fn render_json(
          \"aggregate\": \"sum\", \"budget_points\": {budget_points}, \"capacity\": {capacity}}},"
     );
     let _ = writeln!(s, "  \"reader_scan_ms\": {scan_ms:.2},");
+    let _ = writeln!(s, "  \"reader_scan_compressed_ms\": {:.2},", arm.scan_z_ms);
     let _ = writeln!(s, "  \"plan\": \"{}\",", prefetch.out.plan.describe());
     let _ = writeln!(s, "  \"prefetch\": {},", run_obj(prefetch));
     let _ = writeln!(s, "  \"blocking\": {},", run_obj(blocking));
+    let _ = writeln!(s, "  \"compressed\": {},", run_obj(arm.run));
     s.push_str("  \"grid\": [\n");
     for (i, (chunk, r)) in grid.iter().enumerate() {
         let _ = write!(
@@ -292,6 +377,28 @@ fn render_json(
         s,
         "    \"planner_ms\": {prefetch_ms:.2}, \"best_fixed_ms\": {best_fixed_ms:.2}, \
          \"planner_within_20pct_of_best_fixed\": {within_20pct},"
+    );
+    let compressed_ms = disk_plus_processing_ms(arm.run);
+    let _ = writeln!(
+        s,
+        "    \"compressed_ms\": {compressed_ms:.2}, \"compressed_speedup_vs_raw\": {:.3},",
+        prefetch_ms / compressed_ms.max(1e-9)
+    );
+    let _ = writeln!(
+        s,
+        "    \"raw_file_bytes\": {}, \"compressed_file_bytes\": {}, \
+         \"raw_read_bytes\": {}, \"compressed_read_bytes\": {},",
+        arm.raw_file_bytes, arm.z_file_bytes, prefetch.out.read_bytes, arm.run.out.read_bytes
+    );
+    let _ = writeln!(
+        s,
+        "    \"bytes_reduction\": {:.3}, \"compressed_beats_raw_prefetch\": {},",
+        arm.bytes_reduction, arm.beats_raw
+    );
+    let _ = writeln!(
+        s,
+        "    \"compressed_counts_exact\": {}, \"compressed_sums_exact\": {},",
+        arm.counts_exact, arm.sums_exact
     );
     let _ = writeln!(
         s,

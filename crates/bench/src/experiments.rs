@@ -96,8 +96,8 @@ pub fn table1(_scale: Scale) -> Report {
 
 // ---------------------------------------------------------------- Table 2
 
-/// Table 2: materializing GPU join (Zhang et al. [72] style) vs the fused
-/// Index Join baseline.
+/// Table 2: materializing GPU join (Zhang et al. \[72\] style) vs the
+/// fused Index Join baseline.
 pub fn table2(scale: Scale) -> Report {
     let mut r = Report::new(
         "Table 2: choice of GPU baseline (materializing [72] vs fused Index Join)",

@@ -17,6 +17,14 @@ pub mod experiments;
 pub mod report;
 pub mod workloads;
 
+/// Value of a `--key VALUE` CLI flag (shared by the bench binaries'
+/// minimal argument parsing).
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 /// Global scale knob: multiplies every point-count in the sweeps.
 #[derive(Debug, Clone, Copy)]
 pub struct Scale(pub f64);

@@ -1,0 +1,715 @@
+//! Lossless per-chunk column codecs for the compressed on-disk format.
+//!
+//! The §7.7 disk-resident experiment is bandwidth-bound: PR 3's prefetch
+//! reader already hides processing under the read, so the next win is
+//! shrinking the bytes read (CuRast streams billions of triangles by
+//! compressing geometry on SSD; GeoBlocks gets interactivity from compact
+//! block-level storage). This module provides the codecs; the file layout
+//! that embeds them is `disk.rs`'s format v2 (`write_table_compressed`).
+//!
+//! # On-disk format v2 (header layout)
+//!
+//! All integers little-endian:
+//!
+//! ```text
+//! magic      u64   = 0x524a_5054_424c_3032 ("RJPTBL02")
+//! rows       u64
+//! ncols      u32
+//! per column: name_len u32, name bytes (UTF-8)
+//! chunk_rows u64         stored-chunk granularity (last chunk short)
+//! n_chunks   u32
+//! per chunk:  block_len u64
+//! then the chunk blocks back to back; each block holds, for every
+//! stored column in order (xs, ys, attr 0, attr 1, …):
+//!   codec    u8          one of the CODEC_* ids below
+//!   enc_len  u32         payload byte length
+//!   payload  enc_len bytes
+//! ```
+//!
+//! The v1 header differs only in the magic (`…3031`) and has no chunk
+//! directory — its data section is raw contiguous columns. Readers accept
+//! both.
+//!
+//! **Forward-compat rule:** the trailing magic byte is the format
+//! version. A reader must accept any version ≤ its own and reject newer
+//! ones with [`FormatError::UnsupportedVersion`] (never attempt a decode);
+//! within a version, unknown codec ids are a hard
+//! [`FormatError::Corrupt`] error. Writers may only add codec ids
+//! together with a version bump.
+//!
+//! # Codecs
+//!
+//! Every codec is **bit-exact lossless**: `decode(encode(col)) == col` to
+//! the bit, including NaN payloads and `-0.0` (the fixed-point probe
+//! verifies a bit-exact round trip per value and rejects the column
+//! otherwise). The encoder tries each applicable codec and keeps the
+//! smallest encoding, per column per chunk — the per-chunk codec choice
+//! recorded in the chunk block.
+//!
+//! * [`CODEC_RAW`] (0) — plain little-endian values, the fallback that
+//!   makes compression free to decline.
+//! * [`CODEC_FOR`] (1) — fixed-point frame-of-reference bit packing for
+//!   integer-valued columns (counts, hour-of-week timestamps, fares in
+//!   cents, coordinates on a sensor grid): probe the smallest `scale`
+//!   such that every `v · 2^scale` is an integer reproducing `v` exactly,
+//!   subtract the minimum, drop common trailing zero bits (`shift`), and
+//!   bit-pack the residuals at the minimal width. Payload:
+//!   `scale u8, shift u8, bits u8, ref i64, packed ⌈n·bits/8⌉ bytes`.
+//! * [`CODEC_XOR`] (2) — XOR-delta + byte-plane shuffle + zero run-length
+//!   coding for floating-point columns (Gorilla-style): XOR each value's
+//!   bit pattern with its predecessor's, transpose the result bytes into
+//!   per-byte planes (all byte-0s, then all byte-1s, …) so the
+//!   slowly-varying sign/exponent/high-mantissa planes become long zero
+//!   runs, then run-length encode zeros. Payload: the RLE stream
+//!   (op `b < 128` ⇒ `b+1` literal bytes follow; `b ≥ 128` ⇒ `b-127`
+//!   zero bytes).
+
+use std::fmt;
+
+/// Plain little-endian values (the identity codec).
+pub const CODEC_RAW: u8 = 0;
+/// Fixed-point frame-of-reference bit packing (integer-valued columns).
+pub const CODEC_FOR: u8 = 1;
+/// XOR-delta + byte shuffle + zero-RLE (floating-point columns).
+pub const CODEC_XOR: u8 = 2;
+
+/// Largest fixed-point scale the FOR probe tries: `2^24` resolves well
+/// below micrometre grids on metre-unit extents and centi-cent currency
+/// grids, while keeping scaled magnitudes far inside `i64`.
+const MAX_SCALE: u32 = 24;
+
+/// One encoded column of one chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodedColumn {
+    /// One of the `CODEC_*` ids.
+    pub codec: u8,
+    /// The codec payload (excludes the id and length, which the chunk
+    /// block carries).
+    pub bytes: Vec<u8>,
+}
+
+/// A structural defect found while reading an encoded table: wrong or
+/// foreign magic, a version newer than this reader, a header that
+/// disagrees with the file, or an undecodable payload. Wrapped in an
+/// [`std::io::Error`] of kind `InvalidData` by the disk reader; use
+/// [`FormatError::of`] to recover the typed value from one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The file does not start with any known table magic.
+    BadMagic,
+    /// The magic is ours but the version byte is newer than this reader
+    /// understands (see the module-level forward-compat rule).
+    UnsupportedVersion(u32),
+    /// The header implies more bytes than the file holds.
+    Truncated { expected: u64, actual: u64 },
+    /// A header field or codec payload is internally inconsistent.
+    Corrupt(String),
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic => write!(f, "not a columnar table file (bad magic)"),
+            FormatError::UnsupportedVersion(v) => {
+                write!(f, "table format version {v} is newer than this reader")
+            }
+            FormatError::Truncated { expected, actual } => write!(
+                f,
+                "table file truncated: header implies {expected} bytes, file has {actual}"
+            ),
+            FormatError::Corrupt(what) => write!(f, "corrupt table file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<FormatError> for std::io::Error {
+    fn from(e: FormatError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+impl FormatError {
+    /// Recover the typed error from an [`std::io::Error`] produced by the
+    /// disk reader, if it carries one.
+    pub fn of(e: &std::io::Error) -> Option<&FormatError> {
+        e.get_ref().and_then(|inner| inner.downcast_ref())
+    }
+
+    fn corrupt(what: impl Into<String>) -> FormatError {
+        FormatError::Corrupt(what.into())
+    }
+}
+
+/// The value types the codecs understand, as raw bit patterns plus the
+/// exact-f64 bridge the fixed-point probe needs.
+trait Value: Copy + PartialEq {
+    /// Bytes per value on disk.
+    const WIDTH: usize;
+    /// The value's bit pattern, zero-extended to 64 bits.
+    fn bits(self) -> u64;
+    fn from_bits(b: u64) -> Self;
+    /// Exact widening to f64 (both f32 and f64 widen exactly).
+    fn widen(self) -> f64;
+    /// Narrow a decoded f64 back; exactness is verified by the probe.
+    fn narrow(v: f64) -> Self;
+}
+
+impl Value for f64 {
+    const WIDTH: usize = 8;
+    fn bits(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_bits(b: u64) -> Self {
+        f64::from_bits(b)
+    }
+    fn widen(self) -> f64 {
+        self
+    }
+    fn narrow(v: f64) -> Self {
+        v
+    }
+}
+
+impl Value for f32 {
+    const WIDTH: usize = 4;
+    fn bits(self) -> u64 {
+        self.to_bits() as u64
+    }
+    fn from_bits(b: u64) -> Self {
+        f32::from_bits(b as u32)
+    }
+    fn widen(self) -> f64 {
+        self as f64
+    }
+    fn narrow(v: f64) -> Self {
+        v as f32
+    }
+}
+
+// --------------------------------------------------------------- encoding
+
+/// Encode an f64 column (coordinates), keeping the smallest of the
+/// applicable codecs.
+pub fn encode_f64s(vals: &[f64]) -> EncodedColumn {
+    encode(vals)
+}
+
+/// Encode an f32 column (attributes), keeping the smallest of the
+/// applicable codecs.
+pub fn encode_f32s(vals: &[f32]) -> EncodedColumn {
+    encode(vals)
+}
+
+fn encode<T: Value>(vals: &[T]) -> EncodedColumn {
+    let raw_len = vals.len() * T::WIDTH;
+    let mut best = EncodedColumn {
+        codec: CODEC_RAW,
+        bytes: encode_raw(vals),
+    };
+    debug_assert_eq!(best.bytes.len(), raw_len);
+    if let Some(bytes) = encode_for(vals) {
+        if bytes.len() < best.bytes.len() {
+            best = EncodedColumn {
+                codec: CODEC_FOR,
+                bytes,
+            };
+        }
+    }
+    let xor = encode_xor(vals);
+    if xor.len() < best.bytes.len() {
+        best = EncodedColumn {
+            codec: CODEC_XOR,
+            bytes: xor,
+        };
+    }
+    best
+}
+
+fn encode_raw<T: Value>(vals: &[T]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * T::WIDTH);
+    for v in vals {
+        out.extend_from_slice(&v.bits().to_le_bytes()[..T::WIDTH]);
+    }
+    out
+}
+
+/// Probe the smallest power-of-two scale at which every value is an
+/// integer that round-trips bit-exactly (rejects NaN, ±∞, `-0.0` and any
+/// value off every probed grid), then frame-of-reference bit-pack.
+fn encode_for<T: Value>(vals: &[T]) -> Option<Vec<u8>> {
+    let mut scale = 0u32;
+    let mut scaled: Vec<i64> = Vec::new();
+    'probe: loop {
+        scaled.clear();
+        let mul = (1u64 << scale) as f64;
+        for &v in vals {
+            let a = v.widen() * mul;
+            // Strict magnitude guard: |k| < 2^62 keeps `as i64` exact AND
+            // bounds max−min below 2^63, so the frame-of-reference delta
+            // can never overflow i64 (±2^62 exactly must be rejected).
+            if !a.is_finite() || a.abs() >= (1i64 << 62) as f64 || a.fract() != 0.0 {
+                if scale == MAX_SCALE {
+                    return None;
+                }
+                scale += 1;
+                continue 'probe;
+            }
+            let k = a as i64;
+            if T::narrow(k as f64 / mul).bits() != v.bits() {
+                // On-grid magnitude but not bit-identical (e.g. -0.0):
+                // no scale will fix that.
+                return None;
+            }
+            scaled.push(k);
+        }
+        break;
+    }
+    let reference = scaled.iter().copied().min().unwrap_or(0);
+    let mut range = 0u64;
+    let mut shift = 63u32;
+    for k in &mut scaled {
+        let d = (*k - reference) as u64;
+        range = range.max(d);
+        if d != 0 {
+            shift = shift.min(d.trailing_zeros());
+        }
+        *k = d as i64;
+    }
+    if range == 0 {
+        shift = 0;
+    }
+    let bits = (64 - range.leading_zeros()).saturating_sub(shift);
+    let mut out = Vec::with_capacity(11 + (vals.len() * bits as usize).div_ceil(8));
+    out.push(scale as u8);
+    out.push(shift as u8);
+    out.push(bits as u8);
+    out.extend_from_slice(&reference.to_le_bytes());
+    pack_bits(scaled.iter().map(|&d| (d as u64) >> shift), bits, &mut out);
+    Some(out)
+}
+
+fn pack_bits(vals: impl Iterator<Item = u64>, bits: u32, out: &mut Vec<u8>) {
+    if bits == 0 {
+        return;
+    }
+    let mut acc = 0u128;
+    let mut filled = 0u32;
+    for v in vals {
+        acc |= (v as u128) << filled;
+        filled += bits;
+        while filled >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            filled -= 8;
+        }
+    }
+    if filled > 0 {
+        out.push(acc as u8);
+    }
+}
+
+/// XOR-delta the bit patterns, transpose into byte planes, zero-RLE.
+fn encode_xor<T: Value>(vals: &[T]) -> Vec<u8> {
+    let n = vals.len();
+    let mut planes = vec![0u8; n * T::WIDTH];
+    let mut prev = 0u64;
+    for (i, v) in vals.iter().enumerate() {
+        let d = v.bits() ^ prev;
+        prev = v.bits();
+        let db = d.to_le_bytes();
+        for (plane, &b) in db.iter().take(T::WIDTH).enumerate() {
+            planes[plane * n + i] = b;
+        }
+    }
+    rle_encode(&planes)
+}
+
+/// Zero run-length coding: op `b < 128` ⇒ `b+1` literal bytes follow;
+/// `b ≥ 128` ⇒ `b-127` zero bytes. Worst-case expansion 1/128 (the raw
+/// fallback wins then anyway).
+fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 4 + 8);
+    let mut i = 0;
+    let mut lit_start = 0;
+    let flush_literals = |out: &mut Vec<u8>, from: usize, to: usize| {
+        let mut s = from;
+        while s < to {
+            let len = (to - s).min(128);
+            out.push((len - 1) as u8);
+            out.extend_from_slice(&data[s..s + len]);
+            s += len;
+        }
+    };
+    while i < data.len() {
+        if data[i] == 0 {
+            let mut j = i + 1;
+            while j < data.len() && data[j] == 0 {
+                j += 1;
+            }
+            // A lone zero rides cheaper inside a literal run.
+            if j - i >= 2 {
+                flush_literals(&mut out, lit_start, i);
+                let mut run = j - i;
+                while run > 0 {
+                    let take = run.min(128);
+                    out.push((127 + take) as u8);
+                    run -= take;
+                }
+                lit_start = j;
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, lit_start, data.len());
+    out
+}
+
+// --------------------------------------------------------------- decoding
+
+/// Decode an f64 column of `n` values.
+pub fn decode_f64s(codec: u8, n: usize, payload: &[u8]) -> Result<Vec<f64>, FormatError> {
+    decode(codec, n, payload)
+}
+
+/// Decode an f32 column of `n` values.
+pub fn decode_f32s(codec: u8, n: usize, payload: &[u8]) -> Result<Vec<f32>, FormatError> {
+    decode(codec, n, payload)
+}
+
+fn decode<T: Value>(codec: u8, n: usize, payload: &[u8]) -> Result<Vec<T>, FormatError> {
+    match codec {
+        CODEC_RAW => decode_raw(n, payload),
+        CODEC_FOR => decode_for(n, payload),
+        CODEC_XOR => decode_xor(n, payload),
+        other => Err(FormatError::corrupt(format!("unknown codec id {other}"))),
+    }
+}
+
+fn decode_raw<T: Value>(n: usize, payload: &[u8]) -> Result<Vec<T>, FormatError> {
+    if payload.len() != n * T::WIDTH {
+        return Err(FormatError::corrupt(format!(
+            "raw column: {} bytes for {n} values of width {}",
+            payload.len(),
+            T::WIDTH
+        )));
+    }
+    Ok(payload
+        .chunks_exact(T::WIDTH)
+        .map(|c| {
+            let mut b = [0u8; 8];
+            b[..T::WIDTH].copy_from_slice(c);
+            T::from_bits(u64::from_le_bytes(b))
+        })
+        .collect())
+}
+
+fn decode_for<T: Value>(n: usize, payload: &[u8]) -> Result<Vec<T>, FormatError> {
+    if payload.len() < 11 {
+        return Err(FormatError::corrupt("FOR column: payload under 11 bytes"));
+    }
+    let scale = payload[0] as u32;
+    let shift = payload[1] as u32;
+    let bits = payload[2] as u32;
+    let reference = i64::from_le_bytes(payload[3..11].try_into().unwrap());
+    if scale > MAX_SCALE || bits > 63 || shift >= 64 || bits + shift > 64 {
+        return Err(FormatError::corrupt(format!(
+            "FOR column: scale {scale} / shift {shift} / bits {bits} out of range"
+        )));
+    }
+    let packed = &payload[11..];
+    let need = (n * bits as usize).div_ceil(8);
+    if packed.len() != need {
+        return Err(FormatError::corrupt(format!(
+            "FOR column: {} packed bytes, {need} expected for {n} values × {bits} bits",
+            packed.len()
+        )));
+    }
+    let inv = 1.0 / (1u64 << scale) as f64;
+    let mut out = Vec::with_capacity(n);
+    let mut acc = 0u128;
+    let mut filled = 0u32;
+    let mut at = 0usize;
+    let mask = if bits == 0 {
+        0
+    } else {
+        u64::MAX >> (64 - bits)
+    };
+    for _ in 0..n {
+        while filled < bits {
+            acc |= (packed[at] as u128) << filled;
+            at += 1;
+            filled += 8;
+        }
+        let d = (acc as u64) & mask;
+        acc >>= bits;
+        filled -= bits;
+        let k = reference.wrapping_add((d << shift) as i64);
+        out.push(T::narrow(k as f64 * inv));
+    }
+    Ok(out)
+}
+
+fn decode_xor<T: Value>(n: usize, payload: &[u8]) -> Result<Vec<T>, FormatError> {
+    let planes = rle_decode(payload, n * T::WIDTH)?;
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for i in 0..n {
+        let mut b = [0u8; 8];
+        for (plane, byte) in b.iter_mut().take(T::WIDTH).enumerate() {
+            *byte = planes[plane * n + i];
+        }
+        prev ^= u64::from_le_bytes(b);
+        out.push(T::from_bits(prev));
+    }
+    Ok(out)
+}
+
+fn rle_decode(stream: &[u8], expect: usize) -> Result<Vec<u8>, FormatError> {
+    let mut out = Vec::with_capacity(expect);
+    let mut i = 0;
+    while i < stream.len() {
+        let op = stream[i] as usize;
+        i += 1;
+        if op < 128 {
+            let len = op + 1;
+            if i + len > stream.len() {
+                return Err(FormatError::corrupt("RLE literal run past payload end"));
+            }
+            out.extend_from_slice(&stream[i..i + len]);
+            i += len;
+        } else {
+            out.resize(out.len() + (op - 127), 0);
+        }
+        if out.len() > expect {
+            return Err(FormatError::corrupt(format!(
+                "RLE stream inflates past the column ({} > {expect} bytes)",
+                out.len()
+            )));
+        }
+    }
+    if out.len() != expect {
+        return Err(FormatError::corrupt(format!(
+            "RLE stream ends early ({} of {expect} bytes)",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_f64(vals: &[f64]) -> EncodedColumn {
+        let enc = encode_f64s(vals);
+        let back = decode_f64s(enc.codec, vals.len(), &enc.bytes).expect("decode");
+        let (got, want): (Vec<u64>, Vec<u64>) = (
+            back.iter().map(|v| v.to_bits()).collect(),
+            vals.iter().map(|v| v.to_bits()).collect(),
+        );
+        assert_eq!(got, want, "f64 round trip (codec {})", enc.codec);
+        enc
+    }
+
+    fn roundtrip_f32(vals: &[f32]) -> EncodedColumn {
+        let enc = encode_f32s(vals);
+        let back = decode_f32s(enc.codec, vals.len(), &enc.bytes).expect("decode");
+        let (got, want): (Vec<u32>, Vec<u32>) = (
+            back.iter().map(|v| v.to_bits()).collect(),
+            vals.iter().map(|v| v.to_bits()).collect(),
+        );
+        assert_eq!(got, want, "f32 round trip (codec {})", enc.codec);
+        enc
+    }
+
+    #[test]
+    fn integer_valued_column_bit_packs() {
+        // Passenger counts 1..=6: 3 bits per value after FOR.
+        let vals: Vec<f32> = (0..10_000).map(|i| (i % 6 + 1) as f32).collect();
+        let enc = roundtrip_f32(&vals);
+        assert_eq!(enc.codec, CODEC_FOR);
+        assert!(
+            enc.bytes.len() < vals.len(), // < 1 byte per value vs 4 raw
+            "{} bytes for {} small ints",
+            enc.bytes.len(),
+            vals.len()
+        );
+    }
+
+    /// A deterministic splitmix-style generator for value shuffling.
+    fn rand_u64(state: &mut u64) -> u64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        *state >> 11
+    }
+
+    #[test]
+    fn grid_coordinates_bit_pack() {
+        // Metre coordinates on a 2^-10 m grid over a 58 km extent, in
+        // arrival (spatially random) order — XOR-delta gets nothing, the
+        // probe must find scale 10 and pack at ~26 bits.
+        let mut state = 42u64;
+        let vals: Vec<f64> = (0..4_096)
+            .map(|_| (rand_u64(&mut state) % 59_000_000) as f64 / 1024.0)
+            .collect();
+        let enc = roundtrip_f64(&vals);
+        assert_eq!(enc.codec, CODEC_FOR);
+        assert_eq!(enc.bytes[0], 10, "probe must settle on the 2^-10 grid");
+        assert!(enc.bytes.len() <= 11 + vals.len() * 26 / 8 + 1);
+    }
+
+    #[test]
+    fn constant_column_is_tiny() {
+        let enc = roundtrip_f32(&[4.25f32; 100_000]);
+        assert_eq!(enc.codec, CODEC_FOR);
+        assert_eq!(enc.bytes.len(), 11, "constant ⇒ zero packed bits");
+        // Constant NaN can't take the FOR path but XOR turns it into one
+        // literal + zeros.
+        let enc = roundtrip_f32(&[f32::NAN; 100_000]);
+        assert_eq!(enc.codec, CODEC_XOR);
+        assert!(enc.bytes.len() < 4 * 100_000 / 100);
+    }
+
+    #[test]
+    fn slowly_varying_f32_compresses_via_xor() {
+        // The taxi `hour` column: monotone, tiny increments — high byte
+        // planes are almost all zero after XOR-delta.
+        let vals: Vec<f32> = (0..100_000).map(|i| i as f32 / 100_000.0 * 168.0).collect();
+        let enc = roundtrip_f32(&vals);
+        assert_eq!(enc.codec, CODEC_XOR);
+        assert!(
+            enc.bytes.len() * 4 < vals.len() * 4 * 3,
+            "{} bytes vs {} raw",
+            enc.bytes.len(),
+            vals.len() * 4
+        );
+    }
+
+    #[test]
+    fn incompressible_column_falls_back_to_raw() {
+        // Full-entropy bit patterns: neither codec can win.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let vals: Vec<f64> = (0..4_096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let bits = state ^ (state << 13) ^ (state >> 7);
+                f64::from_bits(bits)
+            })
+            .collect();
+        let enc = roundtrip_f64(&vals);
+        assert_eq!(enc.codec, CODEC_RAW);
+        assert_eq!(enc.bytes.len(), vals.len() * 8);
+    }
+
+    #[test]
+    fn special_values_round_trip() {
+        roundtrip_f64(&[
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -1.5e-300,
+        ]);
+        roundtrip_f32(&[0.0, -0.0, f32::NAN, f32::INFINITY, f32::NEG_INFINITY]);
+        // -0.0 must keep its sign bit: FOR would decode it as +0.0, so the
+        // probe has to reject the column.
+        let enc = encode_f64s(&[-0.0, 1.0, 2.0]);
+        assert_ne!(enc.codec, CODEC_FOR);
+    }
+
+    #[test]
+    fn empty_column_round_trips() {
+        let enc = roundtrip_f64(&[]);
+        assert!(enc.bytes.is_empty());
+        roundtrip_f32(&[]);
+    }
+
+    #[test]
+    fn extreme_magnitudes_never_overflow_the_probe() {
+        // ±2^62 exactly: on-grid integers whose frame-of-reference delta
+        // would overflow i64 — the probe must reject them (falling back
+        // to XOR/raw), not panic in debug builds.
+        let huge = (1i64 << 62) as f64;
+        let enc = roundtrip_f64(&[-huge, huge]);
+        assert_ne!(enc.codec, CODEC_FOR);
+        // Just inside the guard still packs.
+        let ok = [-(huge / 2.0) + 1.0, huge / 2.0 - 1.0, 0.0];
+        let enc = encode_f64s(&ok);
+        let back = decode_f64s(enc.codec, ok.len(), &enc.bytes).unwrap();
+        assert_eq!(back, ok);
+    }
+
+    #[test]
+    fn negative_and_mixed_sign_integers_pack() {
+        // Random order so the XOR codec can't ride the constant stride.
+        let mut state = 7u64;
+        let vals: Vec<f64> = (0..2_000)
+            .map(|_| (rand_u64(&mut state) % 1000) as f64 * 3.0 - 1500.0)
+            .collect();
+        let enc = roundtrip_f64(&vals);
+        assert_eq!(enc.codec, CODEC_FOR);
+    }
+
+    #[test]
+    fn unknown_codec_is_corrupt_not_panic() {
+        let err = decode_f32s(77, 10, &[0u8; 40]).unwrap_err();
+        assert!(matches!(err, FormatError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_payloads_are_corrupt_not_panic() {
+        let vals: Vec<f32> = (0..1000).map(|i| (i % 7) as f32).collect();
+        let enc = encode_f32s(&vals);
+        assert_eq!(enc.codec, CODEC_FOR);
+        for cut in [0, 5, enc.bytes.len() - 1] {
+            assert!(decode_f32s(enc.codec, vals.len(), &enc.bytes[..cut]).is_err());
+        }
+        // Wrong claimed length on a raw column.
+        assert!(decode_f64s(CODEC_RAW, 3, &[0u8; 17]).is_err());
+        // XOR stream that ends early / inflates past the column.
+        let vals: Vec<f32> = (0..100).map(|i| i as f32 * 0.1).collect();
+        let enc = encode_f32s(&vals);
+        assert_eq!(enc.codec, CODEC_XOR);
+        assert!(decode_f32s(CODEC_XOR, vals.len(), &enc.bytes[..enc.bytes.len() - 2]).is_err());
+        assert!(decode_f32s(CODEC_XOR, 10, &enc.bytes).is_err());
+    }
+
+    #[test]
+    fn for_decode_validates_header_fields() {
+        // bits > 63.
+        let mut p = vec![0u8, 0, 64];
+        p.extend_from_slice(&0i64.to_le_bytes());
+        assert!(decode_f64s(CODEC_FOR, 1, &p).is_err());
+        // scale beyond the probe's maximum.
+        let mut p = vec![60u8, 0, 1];
+        p.extend_from_slice(&0i64.to_le_bytes());
+        p.push(0);
+        assert!(decode_f64s(CODEC_FOR, 1, &p).is_err());
+    }
+
+    #[test]
+    fn rle_handles_long_runs_and_lone_zeros() {
+        let mut data = vec![0u8; 1000];
+        data.extend_from_slice(&[1, 2, 3, 0, 4, 5]);
+        data.extend(vec![0u8; 300]);
+        data.extend(std::iter::repeat_n(7u8, 400));
+        let enc = rle_encode(&data);
+        assert_eq!(rle_decode(&enc, data.len()).unwrap(), data);
+        assert!(enc.len() < data.len());
+    }
+
+    #[test]
+    fn format_error_round_trips_through_io_error() {
+        let io: std::io::Error = FormatError::BadMagic.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(FormatError::of(&io), Some(&FormatError::BadMagic));
+        let plain = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        assert_eq!(FormatError::of(&plain), None);
+    }
+}

@@ -9,15 +9,31 @@
 //! prefetching streaming executor that overlaps these reads with join
 //! processing lives in `raster-join::stream`.)
 //!
-//! Each chunk is read with one *positioned* read per column
-//! (`pread`-style on Unix), issued in ascending file-offset order; when a
-//! single chunk covers the whole remainder — the `read_table` whole-file
-//! load — this degenerates to one sequential pass over the data section.
-//! Column bytes are decoded straight into the final column `Vec`s
-//! ([`PointTable::from_columns`]) through one reused scratch buffer, so a
-//! chunk allocates exactly its own storage plus one column of bytes.
+//! Two format versions share the magic prefix and differ in the trailing
+//! version byte (see [`crate::codec`] for the full v2 layout and the
+//! forward-compat rule):
 //!
-//! Layout (little-endian):
+//! * **v1** (`RJPTBL01`, [`write_table`]) — raw contiguous columns. Each
+//!   chunk is read with one *positioned* read per column (`pread`-style
+//!   on Unix), issued in ascending file-offset order; when a single chunk
+//!   covers the whole remainder — the `read_table` whole-file load — this
+//!   degenerates to one sequential pass over the data section. Column
+//!   bytes are decoded straight into the final column `Vec`s
+//!   ([`PointTable::from_columns`]) through one reused scratch buffer.
+//! * **v2** (`RJPTBL02`, [`write_table_compressed`]) — chunked compressed
+//!   columns: the data section is a sequence of stored-chunk blocks, each
+//!   holding every column of its row range encoded with the per-chunk
+//!   codec choice of [`crate::codec`]. A block is fetched with a single
+//!   positioned read and decoded column-wise; [`ChunkedReader`] re-slices
+//!   stored chunks to whatever delivery chunk size the caller asked for,
+//!   so v1 and v2 files behave identically above this module.
+//!
+//! Structural defects (foreign magic, newer version, truncation,
+//! undecodable payloads) surface as [`FormatError`] wrapped in an
+//! `InvalidData` [`io::Error`] — recover the typed value with
+//! [`FormatError::of`].
+//!
+//! v1 layout (little-endian):
 //! ```text
 //! magic  u64   = 0x524a5054424c3031 ("RJPTBL01")
 //! rows   u64
@@ -28,13 +44,24 @@
 //! per column: rows × f32
 //! ```
 
+use crate::codec::{self, FormatError};
 use crate::table::PointTable;
 use bytes::{Buf, BufMut, BytesMut};
 use std::fs::File;
 use std::io::{self, BufWriter, Read, Write};
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 const MAGIC: u64 = 0x524a_5054_424c_3031;
+const MAGIC_V2: u64 = 0x524a_5054_424c_3032;
+/// The shared `RJPTBL0` prefix; the low byte is the ASCII version digit.
+const MAGIC_PREFIX: u64 = 0x524a_5054_424c_3000;
+
+/// Default stored-chunk granularity of [`write_table_compressed`]: large
+/// enough that per-column headers are noise and the FOR/XOR probes see
+/// representative value ranges, small enough that one decoded block is a
+/// few MB.
+pub const DEFAULT_COMPRESSED_CHUNK_ROWS: usize = 1 << 18;
 
 /// Serialize a table to the columnar format.
 pub fn write_table(path: &Path, table: &PointTable) -> io::Result<()> {
@@ -70,12 +97,94 @@ pub fn write_table(path: &Path, table: &PointTable) -> io::Result<()> {
     w.flush()
 }
 
+/// Serialize a table to the compressed chunked format (v2): every column
+/// of every `chunk_rows`-row stored chunk is encoded with the smallest
+/// applicable codec ([`crate::codec`]) and the chunk blocks are indexed
+/// by a directory in the header, so the reader can fetch any block with
+/// one positioned read.
+///
+/// Blocks are encoded and written one at a time — peak extra memory is a
+/// single encoded block, not the whole compressed file — and the header's
+/// chunk directory (whose lengths are only known afterwards) is
+/// back-patched with one positioned write at the end.
+pub fn write_table_compressed(
+    path: &Path,
+    table: &PointTable,
+    chunk_rows: usize,
+) -> io::Result<()> {
+    let chunk_rows = chunk_rows.max(1);
+    let n_chunks = table.len().div_ceil(chunk_rows);
+
+    let f = File::create(path)?;
+    let mut w = BufWriter::new(f);
+    let mut header = BytesMut::new();
+    header.put_u64_le(MAGIC_V2);
+    header.put_u64_le(table.len() as u64);
+    header.put_u32_le(table.attr_count() as u32);
+    for name in table.attr_names() {
+        header.put_u32_le(name.len() as u32);
+        header.put_slice(name.as_bytes());
+    }
+    header.put_u64_le(chunk_rows as u64);
+    header.put_u32_le(n_chunks as u32);
+    let dir_offset = header.len() as u64;
+    for _ in 0..n_chunks {
+        header.put_u64_le(0); // directory placeholder, patched below
+    }
+    w.write_all(&header)?;
+
+    let mut lens = BytesMut::with_capacity(n_chunks * 8);
+    let mut block = Vec::new();
+    let mut start = 0usize;
+    while start < table.len() {
+        let end = (start + chunk_rows).min(table.len());
+        block.clear();
+        let mut put = |col: codec::EncodedColumn| {
+            block.push(col.codec);
+            block.extend_from_slice(&(col.bytes.len() as u32).to_le_bytes());
+            block.extend_from_slice(&col.bytes);
+        };
+        put(codec::encode_f64s(&table.xs()[start..end]));
+        put(codec::encode_f64s(&table.ys()[start..end]));
+        for c in 0..table.attr_count() {
+            put(codec::encode_f32s(&table.attr(c)[start..end]));
+        }
+        w.write_all(&block)?;
+        lens.put_u64_le(block.len() as u64);
+        start = end;
+    }
+    w.flush()?;
+    let f = w.into_inner().map_err(|e| e.into_error())?;
+    write_at(&f, dir_offset, &lens)
+}
+
+/// Positioned write for the directory back-patch (`pwrite`-style on
+/// Unix; a seek + write elsewhere).
+#[cfg(unix)]
+fn write_at(f: &File, offset: u64, bytes: &[u8]) -> io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    f.write_all_at(bytes, offset)
+}
+
+#[cfg(not(unix))]
+fn write_at(mut f: &File, offset: u64, bytes: &[u8]) -> io::Result<()> {
+    use std::io::{Seek, SeekFrom};
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(bytes)
+}
+
 /// File metadata read from the header.
 #[derive(Debug, Clone)]
 pub struct TableMeta {
     pub rows: u64,
     pub attr_names: Vec<String>,
     header_bytes: u64,
+    /// Format version (1 = raw columns, 2 = compressed chunk blocks).
+    version: u32,
+    /// v2 only: stored-chunk granularity (last chunk short).
+    chunk_rows: u64,
+    /// v2 only: byte length of each stored-chunk block.
+    chunk_lens: Vec<u64>,
 }
 
 impl TableMeta {
@@ -97,38 +206,133 @@ impl TableMeta {
 
     /// Total file size implied by the header.
     pub fn file_bytes(&self) -> u64 {
-        self.attr_offset(self.col_count())
+        match self.version {
+            1 => self.attr_offset(self.col_count()),
+            _ => self.header_bytes + self.chunk_lens.iter().sum::<u64>(),
+        }
+    }
+
+    /// Format version (1 = raw columns, 2 = compressed chunk blocks).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Does the data section hold compressed chunk blocks?
+    pub fn is_compressed(&self) -> bool {
+        self.version >= 2
+    }
+
+    /// Logical (uncompressed) bytes per row: two f64 coordinates plus one
+    /// f32 per attribute column.
+    pub fn row_bytes(&self) -> usize {
+        16 + 4 * self.col_count()
+    }
+
+    /// Bytes a full scan reads off disk: the raw data section for v1,
+    /// the compressed blocks for v2.
+    pub fn scan_bytes(&self) -> u64 {
+        match self.version {
+            1 => self.rows * self.row_bytes() as u64,
+            _ => self.chunk_lens.iter().sum::<u64>(),
+        }
+    }
+
+    /// Number of stored columns (coordinates + attributes).
+    fn stored_cols(&self) -> usize {
+        2 + self.col_count()
     }
 }
 
-fn read_meta<R: Read>(r: &mut R) -> io::Result<TableMeta> {
+fn read_meta<R: Read>(r: &mut R, file_len: u64) -> io::Result<TableMeta> {
     let mut fixed = [0u8; 20];
     r.read_exact(&mut fixed)?;
     let mut b = &fixed[..];
     let magic = b.get_u64_le();
-    if magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
-    }
+    let version = match magic {
+        MAGIC => 1,
+        MAGIC_V2 => 2,
+        m if m & !0xFF == MAGIC_PREFIX && (m & 0xFF) as u8 > b'2' => {
+            return Err(FormatError::UnsupportedVersion((m & 0xFF) as u32 - b'0' as u32).into());
+        }
+        _ => return Err(FormatError::BadMagic.into()),
+    };
     let rows = b.get_u64_le();
     let ncols = b.get_u32_le();
-    let mut names = Vec::with_capacity(ncols as usize);
+    let mut names = Vec::with_capacity(ncols.min(1 << 16) as usize);
     let mut header_bytes = 20u64;
     for _ in 0..ncols {
         let mut lenb = [0u8; 4];
         r.read_exact(&mut lenb)?;
         let len = u32::from_le_bytes(lenb) as usize;
+        if header_bytes + 4 + len as u64 > file_len {
+            return Err(FormatError::Corrupt("column name runs past the file".into()).into());
+        }
         let mut name = vec![0u8; len];
         r.read_exact(&mut name)?;
         header_bytes += 4 + len as u64;
         names.push(
-            String::from_utf8(name)
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF8 column name"))?,
+            String::from_utf8(name).map_err(|_| {
+                io::Error::from(FormatError::Corrupt("non-UTF8 column name".into()))
+            })?,
         );
     }
+    let (chunk_rows, chunk_lens) = if version >= 2 {
+        let mut fixed = [0u8; 12];
+        r.read_exact(&mut fixed)?;
+        let mut b = &fixed[..];
+        let chunk_rows = b.get_u64_le();
+        let n_chunks = b.get_u32_le() as u64;
+        header_bytes += 12;
+        if rows > 0 && chunk_rows == 0 {
+            return Err(FormatError::Corrupt("zero stored-chunk rows".into()).into());
+        }
+        let expect_chunks = if rows == 0 {
+            0
+        } else {
+            rows.div_ceil(chunk_rows)
+        };
+        if n_chunks != expect_chunks {
+            return Err(FormatError::Corrupt(format!(
+                "{n_chunks} stored chunks, {expect_chunks} implied by {rows} rows × {chunk_rows}"
+            ))
+            .into());
+        }
+        if header_bytes + n_chunks * 8 > file_len {
+            return Err(FormatError::Corrupt("chunk directory runs past the file".into()).into());
+        }
+        let mut lens = Vec::with_capacity(n_chunks as usize);
+        // Checked accumulation: a corrupted directory entry (e.g.
+        // u64::MAX) must surface as a typed error here, not overflow the
+        // later prefix sums / size checks into a wrap-around that passes
+        // validation and then aborts on a giant allocation.
+        let overflow = || {
+            io::Error::from(FormatError::Corrupt(
+                "chunk directory lengths overflow".into(),
+            ))
+        };
+        let mut total = 0u64;
+        for _ in 0..n_chunks {
+            let mut lb = [0u8; 8];
+            r.read_exact(&mut lb)?;
+            let len = u64::from_le_bytes(lb);
+            total = total.checked_add(len).ok_or_else(overflow)?;
+            lens.push(len);
+        }
+        header_bytes += n_chunks * 8;
+        // Non-overflowing but file-exceeding totals are ordinary
+        // truncation, reported as such by validate_size.
+        total.checked_add(header_bytes).ok_or_else(overflow)?;
+        (chunk_rows, lens)
+    } else {
+        (0, Vec::new())
+    };
     Ok(TableMeta {
         rows,
         attr_names: names,
         header_bytes,
+        version,
+        chunk_rows,
+        chunk_lens,
     })
 }
 
@@ -147,7 +351,7 @@ pub fn read_table(path: &Path) -> io::Result<PointTable> {
 pub fn table_meta(path: &Path) -> io::Result<TableMeta> {
     let mut f = File::open(path)?;
     let actual_bytes = f.metadata()?.len();
-    let meta = read_meta(&mut f)?;
+    let meta = read_meta(&mut f, actual_bytes)?;
     validate_size(&meta, actual_bytes)?;
     Ok(meta)
 }
@@ -158,42 +362,64 @@ fn validate_size(meta: &TableMeta, actual_bytes: u64) -> io::Result<()> {
     // UnexpectedEof deep inside a chunked scan (possibly hours into
     // the §7.7 disk-resident experiment).
     if actual_bytes < meta.file_bytes() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "table file truncated: header implies {} bytes, file has {}",
-                meta.file_bytes(),
-                actual_bytes
-            ),
-        ));
+        return Err(FormatError::Truncated {
+            expected: meta.file_bytes(),
+            actual: actual_bytes,
+        }
+        .into());
     }
     Ok(())
 }
 
-/// Streams record batches of at most `chunk_rows` from a columnar file.
+/// Streams record batches of at most `chunk_rows` from a columnar file
+/// (either format version; compressed stored chunks are decoded and
+/// re-sliced transparently).
+#[derive(Debug)]
 pub struct ChunkedReader {
     file: File,
     meta: TableMeta,
     cursor: u64,
     chunk_rows: usize,
-    /// Reused raw-byte buffer: one column of the current chunk at a time
-    /// is decoded through it, so a chunk's footprint is its own columns
-    /// plus this single scratch allocation.
+    /// Reused raw-byte buffer: one column (v1) or one stored block (v2)
+    /// at a time is decoded through it, so a chunk's footprint is its own
+    /// storage plus this single scratch allocation.
     scratch: Vec<u8>,
+    /// v2: index of the next stored block to fetch.
+    next_block: usize,
+    /// v2: file offset of each stored block (prefix sums of the chunk
+    /// directory, computed once — a scan must not re-sum the prefix per
+    /// fetch, which would be O(blocks²) over the whole file).
+    block_offsets: Vec<u64>,
+    /// v2: decoded stored chunk not yet fully delivered, plus the rows of
+    /// it already taken.
+    pending: Option<(PointTable, usize)>,
+    bytes_read: u64,
+    decode_time: Duration,
 }
 
 impl ChunkedReader {
     pub fn open(path: &Path, chunk_rows: usize) -> io::Result<Self> {
         let mut file = File::open(path)?;
         let actual_bytes = file.metadata()?.len();
-        let meta = read_meta(&mut file)?;
+        let meta = read_meta(&mut file, actual_bytes)?;
         validate_size(&meta, actual_bytes)?;
+        let mut block_offsets = Vec::with_capacity(meta.chunk_lens.len());
+        let mut at = meta.header_bytes;
+        for len in &meta.chunk_lens {
+            block_offsets.push(at);
+            at += len;
+        }
         Ok(ChunkedReader {
             file,
             meta,
             cursor: 0,
             chunk_rows: chunk_rows.max(1),
             scratch: Vec::new(),
+            next_block: 0,
+            block_offsets,
+            pending: None,
+            bytes_read: 0,
+            decode_time: Duration::ZERO,
         })
     }
 
@@ -204,6 +430,20 @@ impl ChunkedReader {
     /// Rows already consumed.
     pub fn cursor(&self) -> u64 {
         self.cursor
+    }
+
+    /// Bytes fetched from disk so far: raw column bytes for v1 files,
+    /// compressed block bytes for v2 — the quantity a bandwidth-bound
+    /// scan actually pays for (and the one the modelled-disk pacing
+    /// charges).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Cumulative time spent decoding compressed blocks (zero for v1
+    /// files); a subset of the wall time `next_chunk` calls took.
+    pub fn decode_time(&self) -> Duration {
+        self.decode_time
     }
 
     /// Rows remaining to be read.
@@ -242,15 +482,24 @@ impl ChunkedReader {
         Ok(&self.scratch[..len])
     }
 
-    /// Read the next chunk, or `None` at end of data. One positioned read
-    /// per column in ascending offset order; when the chunk covers the
-    /// whole remainder this is a single sequential pass over the rest of
-    /// the file.
+    /// Read the next chunk, or `None` at end of data.
+    ///
+    /// * v1: one positioned read per column in ascending offset order;
+    ///   when the chunk covers the whole remainder this is a single
+    ///   sequential pass over the rest of the file.
+    /// * v2: whole stored blocks are fetched with one positioned read
+    ///   each and decoded; the decoded rows are re-sliced to the
+    ///   requested delivery chunk size (a stored chunk that exactly fills
+    ///   the request is handed over without copying).
     pub fn next_chunk(&mut self) -> io::Result<Option<PointTable>> {
+        if self.meta.is_compressed() {
+            return self.next_chunk_v2();
+        }
         if self.cursor >= self.meta.rows {
             return Ok(None);
         }
         let n = (self.meta.rows - self.cursor).min(self.chunk_rows as u64) as usize;
+        self.bytes_read += (n * self.meta.row_bytes()) as u64;
 
         let raw = self.read_at(self.meta.xs_offset() + self.cursor * 8, n * 8)?;
         let xs: Vec<f64> = raw
@@ -276,6 +525,109 @@ impl ChunkedReader {
         let names: Vec<&str> = self.meta.attr_names.iter().map(String::as_str).collect();
         self.cursor += n as u64;
         Ok(Some(PointTable::from_columns(xs, ys, &names, attr_vals)))
+    }
+
+    /// v2 delivery: assemble up to `chunk_rows` rows from the pending
+    /// decoded stored chunk and as many further blocks as needed.
+    fn next_chunk_v2(&mut self) -> io::Result<Option<PointTable>> {
+        let mut out: Option<PointTable> = None;
+        let mut need = self.chunk_rows;
+        while need > 0 {
+            // Drain the pending decoded chunk first.
+            if let Some((table, taken)) = self.pending.take() {
+                let left = table.len() - taken;
+                if left == 0 {
+                    // Exhausted; fall through to fetch the next block.
+                } else if taken == 0 && left <= need && out.is_none() {
+                    // Whole stored chunk fits the request: hand it over
+                    // without copying.
+                    need -= left;
+                    out = Some(table);
+                    continue;
+                } else {
+                    let take = left.min(need);
+                    let slice = table.slice(taken, taken + take);
+                    match &mut out {
+                        Some(o) => o.extend(&slice),
+                        None => out = Some(slice),
+                    }
+                    need -= take;
+                    if taken + take < table.len() {
+                        self.pending = Some((table, taken + take));
+                    }
+                    continue;
+                }
+            }
+            if self.next_block >= self.meta.chunk_lens.len() {
+                break;
+            }
+            let table = self.fetch_block(self.next_block)?;
+            self.next_block += 1;
+            self.pending = Some((table, 0));
+        }
+        match out {
+            Some(t) if !t.is_empty() => {
+                self.cursor += t.len() as u64;
+                Ok(Some(t))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Fetch stored block `idx` with one positioned read and decode every
+    /// column. All payload lengths are validated against the block, so a
+    /// corrupted directory or payload yields a typed error, not a panic
+    /// or a garbage table.
+    fn fetch_block(&mut self, idx: usize) -> io::Result<PointTable> {
+        let offset = self.block_offsets[idx];
+        let len = self.meta.chunk_lens[idx] as usize;
+        let rows_before = idx as u64 * self.meta.chunk_rows;
+        let n = (self.meta.rows - rows_before).min(self.meta.chunk_rows) as usize;
+        let stored_cols = self.meta.stored_cols();
+        self.bytes_read += len as u64;
+
+        // Fill scratch with the block, then walk its column entries.
+        self.read_at(offset, len)?;
+        let t0 = Instant::now();
+        let mut at = 0usize;
+        let mut next_col = |scratch: &[u8]| -> io::Result<(u8, std::ops::Range<usize>)> {
+            if at + 5 > len {
+                return Err(
+                    FormatError::Corrupt("chunk block ends mid column header".into()).into(),
+                );
+            }
+            let codec = scratch[at];
+            let plen = u32::from_le_bytes(scratch[at + 1..at + 5].try_into().unwrap()) as usize;
+            if at + 5 + plen > len {
+                return Err(FormatError::Corrupt(
+                    "column payload runs past its chunk block".into(),
+                )
+                .into());
+            }
+            let range = at + 5..at + 5 + plen;
+            at += 5 + plen;
+            Ok((codec, range))
+        };
+        let (c, r) = next_col(&self.scratch)?;
+        let xs = codec::decode_f64s(c, n, &self.scratch[r])?;
+        let (c, r) = next_col(&self.scratch)?;
+        let ys = codec::decode_f64s(c, n, &self.scratch[r])?;
+        let mut attr_vals = Vec::with_capacity(stored_cols - 2);
+        for _ in 2..stored_cols {
+            let (c, r) = next_col(&self.scratch)?;
+            attr_vals.push(codec::decode_f32s(c, n, &self.scratch[r])?);
+        }
+        if at != len {
+            return Err(FormatError::Corrupt(format!(
+                "chunk block has {} trailing bytes after its last column",
+                len - at
+            ))
+            .into());
+        }
+        let names: Vec<&str> = self.meta.attr_names.iter().map(String::as_str).collect();
+        let table = PointTable::from_columns(xs, ys, &names, attr_vals);
+        self.decode_time += t0.elapsed();
+        Ok(table)
     }
 }
 
@@ -457,6 +809,165 @@ mod tests {
         let mut r = ChunkedReader::open(&path, 10).unwrap();
         assert_eq!(r.remaining(), 0);
         assert!(r.next_chunk().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compressed_roundtrip_whole_table() {
+        let path = tmp("z-roundtrip.binz");
+        let t = sample(2_500);
+        write_table_compressed(&path, &t, 700).unwrap();
+        let meta = table_meta(&path).unwrap();
+        assert_eq!(meta.version(), 2);
+        assert!(meta.is_compressed());
+        assert_eq!(meta.file_bytes(), std::fs::metadata(&path).unwrap().len());
+        let back = read_table(&path).unwrap();
+        assert_eq!(t, back);
+        // The sample's integer-ish columns compress: fewer stored than
+        // logical bytes.
+        assert!(meta.scan_bytes() < t.len() as u64 * meta.row_bytes() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compressed_chunked_read_matches_raw_at_any_delivery_size() {
+        // Delivery chunk sizes that undershoot, straddle and overshoot
+        // the 400-row stored chunks must all reassemble the same table.
+        let path = tmp("z-chunks.binz");
+        let t = sample(1_003);
+        write_table_compressed(&path, &t, 400).unwrap();
+        for delivery in [1usize, 7, 399, 400, 401, 1000, 5000] {
+            let mut r = ChunkedReader::open(&path, delivery).unwrap();
+            let mut whole = PointTable::with_capacity(0, &["a", "bb"]);
+            while let Some(c) = r.next_chunk().unwrap() {
+                assert!(c.len() <= delivery);
+                whole.extend(&c);
+            }
+            assert_eq!(whole, t, "delivery chunk {delivery}");
+            assert_eq!(r.bytes_read(), r.meta().scan_bytes());
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compressed_chunk_size_can_change_mid_scan() {
+        let path = tmp("z-rechunk.binz");
+        let t = sample(1_000);
+        write_table_compressed(&path, &t, 256).unwrap();
+        let mut r = ChunkedReader::open(&path, 64).unwrap();
+        let first = r.next_chunk().unwrap().unwrap();
+        assert_eq!(first.len(), 64);
+        r.set_chunk_rows(333);
+        let mut whole = first;
+        while let Some(c) = r.next_chunk().unwrap() {
+            assert!(c.len() <= 333);
+            whole.extend(&c);
+        }
+        assert_eq!(whole, t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compressed_empty_table_roundtrips() {
+        let path = tmp("z-empty.binz");
+        let t = PointTable::with_capacity(0, &["x"]);
+        write_table_compressed(&path, &t, 100).unwrap();
+        let mut r = ChunkedReader::open(&path, 10).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert!(r.next_chunk().unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_file_yields_typed_bad_magic() {
+        let path = tmp("foreign.bin");
+        std::fs::write(&path, b"PARQUET1_not_really_a_table_file_____").unwrap();
+        let err = ChunkedReader::open(&path, 10).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(FormatError::of(&err), Some(&FormatError::BadMagic));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newer_version_yields_typed_unsupported() {
+        // "RJPTBL03" — our prefix, a future version byte.
+        let path = tmp("future.bin");
+        let mut bytes = (MAGIC_V2 + 1).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 56]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ChunkedReader::open(&path, 10).unwrap_err();
+        assert_eq!(
+            FormatError::of(&err),
+            Some(&FormatError::UnsupportedVersion(3))
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_compressed_file_rejected_at_open() {
+        let path = tmp("z-truncated.binz");
+        let t = sample(2_000);
+        write_table_compressed(&path, &t, 512).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 200]).unwrap();
+        let err = ChunkedReader::open(&path, 100).unwrap_err();
+        assert!(
+            matches!(FormatError::of(&err), Some(FormatError::Truncated { .. })),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_compressed_payload_is_an_error_not_garbage() {
+        // Flip bytes inside the first block's first column header so the
+        // payload length disagrees with the block — the reader must
+        // return a typed error instead of panicking or decoding garbage.
+        let path = tmp("z-corrupt.binz");
+        let t = sample(1_000);
+        write_table_compressed(&path, &t, 512).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        let meta = table_meta(&path).unwrap();
+        let header = (clean.len() as u64 - meta.scan_bytes()) as usize;
+
+        // Corrupt the codec id of the first column.
+        let mut bad = clean.clone();
+        bad[header] = 99;
+        std::fs::write(&path, &bad).unwrap();
+        let mut r = ChunkedReader::open(&path, 100).unwrap();
+        let err = r.next_chunk().unwrap_err();
+        assert!(
+            matches!(FormatError::of(&err), Some(FormatError::Corrupt(_))),
+            "{err}"
+        );
+
+        // Corrupt the payload length so it runs past the block.
+        let mut bad = clean.clone();
+        bad[header + 1..header + 5].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        let mut r = ChunkedReader::open(&path, 100).unwrap();
+        assert!(r.next_chunk().is_err());
+
+        // Corrupt the chunk directory count.
+        let mut bad = clean.clone();
+        let ndir = header - meta.chunk_lens.len() * 8 - 4;
+        bad[ndir..ndir + 4].copy_from_slice(&1_000u32.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            FormatError::of(&ChunkedReader::open(&path, 100).unwrap_err()),
+            Some(FormatError::Corrupt(_))
+        ));
+
+        // Oversized directory entry (u64::MAX): must be a typed error at
+        // open, not an arithmetic overflow or a giant allocation later.
+        let mut bad = clean;
+        let dir0 = header - meta.chunk_lens.len() * 8;
+        bad[dir0..dir0 + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            FormatError::of(&ChunkedReader::open(&path, 100).unwrap_err()),
+            Some(FormatError::Corrupt(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 

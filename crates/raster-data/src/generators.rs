@@ -14,6 +14,51 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use raster_geom::{BBox, Point};
 
+/// Generated coordinates are snapped to this binary grid (2⁻¹⁰ m ≈ 1 mm).
+///
+/// Real position data has finite sensor precision — published NYC-taxi
+/// coordinates carry ~1 cm of it, GPS far less — whereas a raw
+/// `gen_range` f64 carries a full 52-bit random mantissa that no sensor
+/// ever produced. Snapping reproduces the realistic property that
+/// coordinate columns sit on a fixed-point grid, which the on-disk
+/// fixed-point codec (`crate::codec`) detects and packs losslessly; the
+/// grid is a power of two so every snapped value (and its scaled integer)
+/// is exactly representable and the snap is the last lossy step — disk
+/// round trips stay bit-exact.
+pub const COORD_GRID: f64 = 1.0 / 1024.0;
+
+/// Snap a coordinate down to [`COORD_GRID`] (floor, so values inside an
+/// extent whose minimum lies on the grid stay inside).
+fn snap(v: f64) -> f64 {
+    (v / COORD_GRID).floor() * COORD_GRID
+}
+
+fn snap_point(x: f64, y: f64) -> Point {
+    Point::new(snap(x), snap(y))
+}
+
+/// Snap `v ∈ [lo, hi)` without leaving the interval: flooring can land
+/// below an off-grid `lo`, in which case the next grid line up is taken
+/// (still ≤ the original value's cell); an interval narrower than one
+/// grid cell keeps the value unsnapped rather than exiting it.
+fn snap_into(v: f64, lo: f64, hi: f64) -> f64 {
+    let s = snap(v);
+    if s >= lo {
+        s
+    } else if s + COORD_GRID < hi {
+        s + COORD_GRID
+    } else {
+        v
+    }
+}
+
+fn snap_point_into(x: f64, y: f64, extent: &BBox) -> Point {
+    Point::new(
+        snap_into(x, extent.min.x, extent.max.x),
+        snap_into(y, extent.min.y, extent.max.y),
+    )
+}
+
 /// World extent of the NYC-like workload: ~58 km square in metres, sized so
 /// that the paper's default ε = 20 m needs a ≈4k×4k canvas (§4.2, Fig. 6).
 pub fn nyc_extent() -> BBox {
@@ -47,7 +92,7 @@ fn sample_gaussian<R: Rng>(rng: &mut R, c: Point, sigma: f64, extent: &BBox) -> 
         let u1: f64 = rng.gen_range(1e-12..1.0);
         let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
         let r = (-2.0 * u1.ln()).sqrt() * sigma;
-        let p = Point::new(c.x + r * u2.cos(), c.y + r * u2.sin());
+        let p = snap_point(c.x + r * u2.cos(), c.y + r * u2.sin());
         if extent.contains(p) {
             return p;
         }
@@ -128,9 +173,10 @@ impl TaxiModel {
                 pick -= hs.weight;
             }
             let p = p.unwrap_or_else(|| {
-                Point::new(
+                snap_point_into(
                     rng.gen_range(self.extent.min.x..self.extent.max.x),
                     rng.gen_range(self.extent.min.y..self.extent.max.y),
+                    &self.extent,
                 )
             });
             let distance = rng.gen_range(0.5f32..20.0);
@@ -210,9 +256,10 @@ impl TwitterModel {
                 pick -= c.weight;
             }
             let p = p.unwrap_or_else(|| {
-                Point::new(
+                snap_point_into(
                     rng.gen_range(self.extent.min.x..self.extent.max.x),
                     rng.gen_range(self.extent.min.y..self.extent.max.y),
+                    &self.extent,
                 )
             });
             let favorites = rng.gen_range(0u32..500) as f32;
@@ -230,9 +277,10 @@ pub fn uniform_points(n: usize, extent: &BBox, seed: u64) -> PointTable {
     let mut t = PointTable::with_capacity(n, &[]);
     for _ in 0..n {
         t.push(
-            Point::new(
+            snap_point_into(
                 rng.gen_range(extent.min.x..extent.max.x),
                 rng.gen_range(extent.min.y..extent.max.y),
+                extent,
             ),
             &[],
         );
@@ -306,6 +354,23 @@ mod tests {
             })
             .count();
         assert!(near as f64 > 0.6 * t.len() as f64, "near = {near}");
+    }
+
+    #[test]
+    fn snapping_never_exits_an_off_grid_extent() {
+        // A public-API extent whose minimum is not a multiple of the
+        // snap grid: flooring alone would push points below it.
+        let e = BBox::new(Point::new(0.0003, 10.0007), Point::new(5.0003, 12.0007));
+        let t = uniform_points(5_000, &e, 11);
+        for i in 0..t.len() {
+            assert!(e.contains(t.point(i)), "{:?} outside {e:?}", t.point(i));
+        }
+        // Degenerate sub-grid interval: values stay put, still inside.
+        let tiny = BBox::new(Point::new(0.00031, 0.00031), Point::new(0.00049, 0.00049));
+        let t = uniform_points(100, &tiny, 12);
+        for i in 0..t.len() {
+            assert!(tiny.contains(t.point(i)));
+        }
     }
 
     #[test]

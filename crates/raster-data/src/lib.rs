@@ -20,6 +20,7 @@
 //!   neighborhoods (260) and US counties (3 945) built with the §7.4
 //!   Voronoi-merge generator, plus arbitrary-count generation for Fig. 10.
 
+pub mod codec;
 pub mod csv;
 pub mod disk;
 pub mod filter;

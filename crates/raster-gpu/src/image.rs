@@ -1,7 +1,7 @@
 //! Rendering FBO contents to images (PPM/PGM) with sequential color maps.
 //!
 //! The paper's §7.6 visualization argument rests on sequential color maps
-//! with at most 9 perceivable classes (ColorBrewer [25]): heat maps built
+//! with at most 9 perceivable classes (ColorBrewer \[25\]): heat maps built
 //! from the per-pixel or per-polygon aggregates are classed into ≤9 bins
 //! before display, which is why sub-JND numeric errors are invisible.
 //! This module provides that final display stage: a 9-class sequential

@@ -1,7 +1,7 @@
 //! An aggregate R-tree (aR-tree) over points — the §2 related-work
 //! baseline.
 //!
-//! "The aRtree [46] enhances the R-tree structure by keeping aggregate
+//! "The aRtree \[46\] enhances the R-tree structure by keeping aggregate
 //! information in intermediate nodes. These algorithms … have three key
 //! limitations: queries are constrained to rectangular regions, …" — §2.
 //!

@@ -1,7 +1,7 @@
 //! A Nanocube/Hashedcubes-style pre-aggregation structure — the other §2
 //! related-work baseline.
 //!
-//! "Compact data structures such as Nanocubes [33] and Hashedcubes [45]
+//! "Compact data structures such as Nanocubes \[33\] and Hashedcubes \[45\]
 //! … pre-aggregate records at various spatial resolutions and store this
 //! summarized information in a hierarchy of rectangular regions
 //! (maintained using a quadtree)" with three limitations the paper keeps

@@ -2,7 +2,7 @@
 //!
 //! The paper's §2 positions raster join against "existing spatial join
 //! techniques, common in database systems", whose filtering step walks an
-//! R-tree [24] of minimum bounding rectangles. This module provides that
+//! R-tree \[24\] of minimum bounding rectangles. This module provides that
 //! classic substrate so the [`two-step` baseline](../raster-join) can be
 //! measured against the fused raster operators.
 //!

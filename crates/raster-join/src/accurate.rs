@@ -33,7 +33,7 @@ use std::time::Instant;
 
 /// How the boundary-FBO outline pass is rasterized (§6.1): NVIDIA GPUs
 /// expose `GL_NV_conservative_raster`; everyone else draws "a thicker
-/// outline and discard[s] pixels that do not intersect with the drawn
+/// outline and discard\[s\] pixels that do not intersect with the drawn
 /// polygon". Both produce the same boundary pixels (verified in tests),
 /// so results are identical either way — only the mechanism differs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -15,7 +15,7 @@
 //! * [`index_join::IndexJoin`] — the §6.2 baseline (grid index + PIP for
 //!   every point) in GPU-style parallel, multi-core CPU and single-core
 //!   CPU flavours.
-//! * [`materializing::MaterializingJoin`] — a Zhang-et-al-style [72]
+//! * [`materializing::MaterializingJoin`] — a Zhang-et-al-style \[72\]
 //!   baseline that materializes the join result before aggregating
 //!   (Table 2's comparison point).
 //! * [`stream::StreamingRasterJoin`] — the §7.7 disk-resident scan as a

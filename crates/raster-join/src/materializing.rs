@@ -1,4 +1,4 @@
-//! A materializing GPU join baseline in the style of Zhang et al. [72].
+//! A materializing GPU join baseline in the style of Zhang et al. \[72\].
 //!
 //! Table 2 of the paper compares its fused Index Join against the
 //! state-of-the-art GPU zonal-statistics system of Zhang et al., which
@@ -26,7 +26,7 @@ use raster_gpu::Device;
 use raster_index::PointGrid;
 use std::time::Instant;
 
-/// One materialized join pair, 8 bytes as in [72]'s compacted output.
+/// One materialized join pair, 8 bytes as in \[72\]'s compacted output.
 type Pair = (u32, u32); // (point row, polygon id)
 
 /// The materializing join baseline.
@@ -36,10 +36,10 @@ pub struct MaterializingJoin {
     pub point_grid_dim: u32,
     /// Cap on the materialized pair buffer, in pairs. When full the buffer
     /// is flushed through the aggregation pass (costing an extra device→
-    /// host transfer), modelling [72]'s GPU-memory pressure.
+    /// host transfer), modelling \[72\]'s GPU-memory pressure.
     pub pair_buffer_cap: usize,
     /// When set, point coordinates are truncated to this many bits per
-    /// axis before the containment tests, exactly as [72] does (§2: "they
+    /// axis before the containment tests, exactly as \[72\] does (§2: "they
     /// truncate coordinates to 16-bit integers, thus resulting in
     /// approximate joins"). Uploads then ship the compact lattice
     /// coordinates instead of f64 pairs, reproducing the memory saving

@@ -14,7 +14,8 @@
 //! The features mirror the PR-1 pipeline exactly: binning scans the batch
 //! once and replays survivors per tile, the rescan path re-filters the
 //! whole batch per tile, the sharding density gate
-//! ([`RasterConfig::use_shards`]) decides whether the shard merge runs,
+//! ([`raster_gpu::RasterConfig::use_shards`]) decides whether the shard
+//! merge runs,
 //! and single-tile canvases skip binning entirely.
 
 use super::{Plan, Variant};
@@ -26,7 +27,7 @@ use raster_geom::{BBox, Polygon};
 use raster_gpu::{Device, SHARD_MIN_DENSITY};
 
 /// Number of per-stage cost terms.
-pub const NWEIGHTS: usize = 12;
+pub const NWEIGHTS: usize = 14;
 
 /// Stable names for the weight slots — the keys of the calibration file.
 pub const WEIGHT_NAMES: [&str; NWEIGHTS] = [
@@ -42,6 +43,8 @@ pub const WEIGHT_NAMES: [&str; NWEIGHTS] = [
     "pass",
     "batch",
     "point_accurate",
+    "read_byte",
+    "decode_val",
 ];
 
 /// Feature/weight slot indices.
@@ -57,6 +60,8 @@ pub const W_INDEX_CELL: usize = 8; // per grid-index cell touched at build
 pub const W_PASS: usize = 9; // fixed overhead per render pass
 pub const W_BATCH: usize = 10; // fixed overhead per out-of-core batch
 pub const W_POINT_ACC: usize = 11; // per surviving point, accurate extra (boundary lookup)
+pub const W_READ_BYTE: usize = 12; // per byte fetched from storage (disk scans only)
+pub const W_DECODE_VAL: usize = 13; // per stored value decompressed (compressed scans only)
 
 /// A weight vector: the cost (abstract units for the built-in fallback,
 /// seconds once calibrated) of one unit of each feature.
@@ -80,6 +85,8 @@ impl Weights {
         500.0,  // pass: viewport setup + worker fan-out
         2000.0, // batch: upload bookkeeping + binner reset
         1.0,    // point_accurate: boundary-FBO lookup per point
+        0.05,   // read_byte: page-cache-speed storage fetch per byte
+        0.5,    // decode_val: bit-unpack / XOR-unshuffle one value
     ]);
 
     pub fn dot(&self, f: &[f64; NWEIGHTS]) -> f64 {
@@ -112,6 +119,17 @@ pub struct Workload {
     /// Σ polygon-MBR areas — drives the index-build cell count.
     pub bbox_area: f64,
     pub extent: BBox,
+    /// Storage bytes fetched per row when the points stream off disk
+    /// (compressed files read fewer than the logical row width's worth);
+    /// `0.0` for in-memory workloads — the disk features vanish.
+    pub stored_row_bytes: f64,
+    /// Stored columns decompressed per row (coordinates + attributes) on
+    /// a compressed scan; `0.0` for raw or in-memory sources. Together
+    /// with `stored_row_bytes` this is the planner's
+    /// decode-cost-vs-bytes-saved trade: compressed chunks are cheaper
+    /// to read ([`W_READ_BYTE`] × fewer bytes) but cost decode CPU
+    /// ([`W_DECODE_VAL`] × values).
+    pub decode_cols: f64,
 }
 
 impl Workload {
@@ -173,6 +191,8 @@ impl Workload {
             avg_vertices,
             bbox_area,
             extent,
+            stored_row_bytes: 0.0,
+            decode_cols: 0.0,
         }
     }
 }
@@ -285,6 +305,10 @@ pub fn features_for(
     let mut f = [0.0; NWEIGHTS];
     f[W_BATCH] = batches;
     f[W_PASS] = sh.passes as f64;
+    // Disk-scan terms, variant-independent: the whole table is fetched
+    // (and, when compressed, decoded) exactly once however it is joined.
+    f[W_READ_BYTE] = n * wl.stored_row_bytes;
+    f[W_DECODE_VAL] = n * wl.decode_cols;
     match plan.variant {
         Variant::Bounded => {
             let side = pixel_side_for_epsilon(wl.epsilon);

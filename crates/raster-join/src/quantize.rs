@@ -1,6 +1,6 @@
-//! Coordinate quantization as in Zhang et al. [72].
+//! Coordinate quantization as in Zhang et al. \[72\].
 //!
-//! Section 2 notes that the materializing GPU join of [72] "truncate[s]
+//! Section 2 notes that the materializing GPU join of \[72\] "truncate\[s\]
 //! coordinates to 16-bit integers, thus resulting in approximate joins as
 //! well" — i.e. the state-of-the-art comparator is *also* approximate,
 //! just with a fixed, resolution-independent error. This module models
@@ -25,7 +25,7 @@ pub struct Quantizer {
 }
 
 impl Quantizer {
-    /// Lattice of `2^bits` cells per axis over `extent`. [72] uses
+    /// Lattice of `2^bits` cells per axis over `extent`. \[72\] uses
     /// `bits = 16`.
     pub fn new(extent: BBox, bits: u8) -> Self {
         assert!((1..=16).contains(&bits), "bits must be in 1..=16");
@@ -73,8 +73,8 @@ impl Quantizer {
     }
 
     /// The bounded-raster-join ε giving the same worst-case positional
-    /// error. A snapped point can land up to [`max_displacement`]
-    /// (`Self::max_displacement`) from its true location, matching the
+    /// error. A snapped point can land up to [`Self::max_displacement`]
+    /// from its true location, matching the
     /// bounded join's guarantee that misclassified points lie within ε of
     /// the polygon boundary.
     pub fn epsilon_equivalent(&self) -> f64 {
@@ -83,7 +83,7 @@ impl Quantizer {
 
     /// Bytes per quantized point: two 16-bit lattice coordinates, versus
     /// the 8-byte (f32, f32) VBO layout of §6.1. This is the memory
-    /// saving [72] buys with the approximation.
+    /// saving \[72\] buys with the approximation.
     pub const BYTES_PER_POINT: usize = 4;
 }
 

@@ -1,7 +1,7 @@
-//! Online-sampling spatial aggregation (the §2 comparison point [65]).
+//! Online-sampling spatial aggregation (the §2 comparison point \[65\]).
 //!
 //! The paper's related work cites spatial online sampling (Wang et al.
-//! [65]) as the other way to trade accuracy for response time, noting it
+//! \[65\]) as the other way to trade accuracy for response time, noting it
 //! "is also limited to range queries and does not provide support for
 //! join and group-by predicates". This module builds the natural
 //! extension of that idea to the paper's query shape — aggregate a
@@ -16,7 +16,7 @@
 //!
 //! Estimates come with classical 95% confidence intervals (normal
 //! approximation with finite-population correction), the online-
-//! aggregation interface of [65]. Contrast with the raster join's
+//! aggregation interface of \[65\]. Contrast with the raster join's
 //! *deterministic* result ranges (§5): those are hard bounds from
 //! boundary pixels, these are probabilistic bounds from sampling theory.
 

@@ -8,7 +8,7 @@
 //! results to the paper-faithful blocking reader).
 
 use proptest::prelude::*;
-use raster_join_repro::data::disk::write_table;
+use raster_join_repro::data::disk::{write_table, write_table_compressed};
 use raster_join_repro::data::generators::{nyc_extent, TaxiModel};
 use raster_join_repro::data::polygons::synthetic_polygons;
 use raster_join_repro::gpu::RasterConfig;
@@ -101,4 +101,76 @@ proptest! {
         }
         std::fs::remove_file(&path).ok();
     }
+}
+
+/// The compressed (v2) table must stream to *exactly* the raw (v1)
+/// table's results under every pipeline config: the planner picks the
+/// same chunk size for both files, the reader re-slices stored blocks to
+/// that delivery size, and decode is bit-exact — so not only counts but
+/// the f32 sum folds are identical, and both match the in-memory
+/// execution of the same plan.
+#[test]
+fn compressed_streaming_matches_raw_and_in_memory_for_all_configs() {
+    let extent = nyc_extent();
+    let polys = synthetic_polygons(10, &extent, 0xC0DE);
+    let pts = TaxiModel::default().generate(12_000, 0xC0DEC);
+    let fare = pts.attr_index("fare").unwrap();
+    let hour = pts.attr_index("hour").unwrap();
+    let q = Query::avg(fare)
+        .with_epsilon(60.0)
+        .with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 120.0)]);
+    let dev = Device::new(DeviceConfig::small(
+        2_500 * PointTable::point_bytes(2),
+        2048,
+    ));
+
+    let raw_path = tmp("allcfg-raw");
+    let z_path = tmp("allcfg-z");
+    write_table(&raw_path, &pts).unwrap();
+    // Stored chunks (1,700 rows) deliberately straddle the delivery
+    // chunks the device budget implies, exercising the re-slicing path.
+    write_table_compressed(&z_path, &pts, 1_700).unwrap();
+
+    for (binning, sharding) in [(false, false), (true, false), (false, true), (true, true)] {
+        let config = RasterConfig { binning, sharding };
+        // One worker: multi-worker sharded accumulation reassociates the
+        // f32 folds nondeterministically run-to-run (orthogonal to
+        // compression), and this test asserts *bitwise* sum equality.
+        let exec = |p: &std::path::Path| {
+            StreamingRasterJoin::new(1)
+                .with_config_override(config)
+                .execute(p, &polys, &q, &dev)
+                .unwrap()
+        };
+        let raw = exec(&raw_path);
+        let z = exec(&z_path);
+        assert_eq!(z.chunk_rows, raw.chunk_rows, "{config:?}");
+        assert_eq!(z.rows, raw.rows);
+        assert!(
+            z.read_bytes < raw.read_bytes,
+            "{config:?}: compressed scan must read fewer bytes ({} vs {})",
+            z.read_bytes,
+            raw.read_bytes
+        );
+        assert_eq!(z.output.counts, raw.output.counts, "{config:?}");
+        // Bit-exact decode + identical chunking ⇒ identical fold order.
+        assert_eq!(z.output.sums, raw.output.sums, "{config:?}");
+
+        let reference = raw.plan.execute(&pts, &polys, &q, &dev);
+        assert_eq!(raw.output.counts, reference.counts, "{config:?}");
+        for (i, (g, w)) in z
+            .output
+            .values(Aggregate::Avg(fare))
+            .iter()
+            .zip(&reference.values(Aggregate::Avg(fare)))
+            .enumerate()
+        {
+            assert!(
+                (g - w).abs() <= 1e-5 * w.abs().max(1.0),
+                "{config:?} slot {i}: {g} vs {w}"
+            );
+        }
+    }
+    std::fs::remove_file(&raw_path).ok();
+    std::fs::remove_file(&z_path).ok();
 }
