@@ -39,6 +39,11 @@ enum Status {
     Improved,
     Regressed,
     Missing,
+    /// Present in the fresh run but absent from the committed baseline:
+    /// a newly added bench arm. Passes with a note — the gate must not
+    /// demand hand-editing the baseline before an arm can land; the next
+    /// baseline refresh starts gating it.
+    New,
 }
 
 #[derive(Debug)]
@@ -100,6 +105,17 @@ fn check_ratios(
 ) {
     let base = extract_numbers(baseline, key);
     let new = extract_numbers(fresh, key);
+    if base.is_empty() && !new.is_empty() {
+        rows.push(Row {
+            bench,
+            metric: key.to_string(),
+            baseline: "absent".into(),
+            fresh: format!("{} values", new.len()),
+            status: Status::New,
+            detail: "new bench arm — no baseline yet; gated after the next baseline refresh".into(),
+        });
+        return;
+    }
     if base.is_empty() || base.len() != new.len() {
         rows.push(Row {
             bench,
@@ -158,6 +174,30 @@ fn check_ratios(
 fn check_flags(rows: &mut Vec<Row>, bench: &'static str, key: &str, baseline: &str, fresh: &str) {
     let base = extract_bools(baseline, key);
     let new = extract_bools(fresh, key);
+    if base.is_empty() && !new.is_empty() {
+        // Exactness flags are absolute — they need no baseline to judge.
+        // A brand-new arm may pass with a note, but only if its flags
+        // hold; shipping a new arm that is already inexact is a
+        // regression, not a novelty.
+        let false_count = new.iter().filter(|b| !**b).count();
+        rows.push(Row {
+            bench,
+            metric: key.to_string(),
+            baseline: "absent".into(),
+            fresh: format!("{}/{} true", new.iter().filter(|b| **b).count(), new.len()),
+            status: if false_count > 0 {
+                Status::Regressed
+            } else {
+                Status::New
+            },
+            detail: if false_count > 0 {
+                format!("new exactness flag is false in {false_count} occurrence(s)")
+            } else {
+                "new bench arm — no baseline yet; gated after the next baseline refresh".into()
+            },
+        });
+        return;
+    }
     if base.is_empty() || base.len() != new.len() {
         rows.push(Row {
             bench,
@@ -297,38 +337,22 @@ fn check_bench(
             );
         }
         "stream" => {
-            check_ratios(
-                rows,
-                bench,
+            for key in [
                 "prefetch_speedup",
-                HigherIsBetter,
-                tol,
-                &baseline,
-                &fresh,
-            );
-            check_ratios(
-                rows,
-                bench,
                 "bytes_reduction",
-                HigherIsBetter,
-                tol,
-                &baseline,
-                &fresh,
-            );
-            check_ratios(
-                rows,
-                bench,
                 "compressed_speedup_vs_raw",
-                HigherIsBetter,
-                tol,
-                &baseline,
-                &fresh,
-            );
+                "pruned_bytes_reduction",
+                "pruned_speedup_vs_full",
+            ] {
+                check_ratios(rows, bench, key, HigherIsBetter, tol, &baseline, &fresh);
+            }
             for key in [
                 "counts_exact",
                 "sums_within_tolerance",
                 "compressed_counts_exact",
                 "compressed_sums_exact",
+                "pruned_counts_exact",
+                "pruned_sums_exact",
             ] {
                 check_flags(rows, bench, key, &baseline, &fresh);
             }
@@ -358,6 +382,7 @@ fn render_markdown(rows: &[Row], tol: f64, failed: bool) -> String {
             Status::Improved => "🎉 improved",
             Status::Regressed => "❌ REGRESSED",
             Status::Missing => "❌ missing",
+            Status::New => "🆕 new",
         };
         let _ = writeln!(
             s,
@@ -420,6 +445,19 @@ mod tests {
     use super::*;
 
     const STREAM_BASE: &str = r#"{
+      "bench": "stream", "quick": true,
+      "summary": {
+        "prefetch_speedup": 1.50,
+        "bytes_reduction": 2.30, "compressed_speedup_vs_raw": 1.80,
+        "pruned_bytes_reduction": 1.25, "pruned_speedup_vs_full": 1.05,
+        "compressed_counts_exact": true, "compressed_sums_exact": true,
+        "pruned_counts_exact": true, "pruned_sums_exact": true,
+        "counts_exact": true, "sums_within_tolerance": true
+      }
+    }"#;
+
+    /// A baseline from before the pruned arm existed.
+    const STREAM_BASE_PRE_PRUNING: &str = r#"{
       "bench": "stream", "quick": true,
       "summary": {
         "prefetch_speedup": 1.50,
@@ -501,6 +539,54 @@ mod tests {
         let rows = stream_rows(STREAM_BASE, &fresh);
         assert!(!any_regression(&rows), "{rows:?}");
         assert!(rows.iter().any(|r| r.status == Status::Improved));
+    }
+
+    #[test]
+    fn new_arm_without_baseline_passes_with_note() {
+        // A fresh run carrying arms the committed baseline predates must
+        // pass (with a 🆕 note), not demand a hand-edited baseline.
+        let rows = stream_rows(STREAM_BASE_PRE_PRUNING, STREAM_BASE);
+        assert!(!any_regression(&rows), "{rows:?}");
+        let new: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.status == Status::New)
+            .map(|r| r.metric.as_str())
+            .collect();
+        assert_eq!(
+            new,
+            vec![
+                "pruned_bytes_reduction",
+                "pruned_speedup_vs_full",
+                "pruned_counts_exact",
+                "pruned_sums_exact"
+            ]
+        );
+        let md = render_markdown(&rows, 0.25, false);
+        assert!(md.contains("🆕 new"), "{md}");
+        // A new arm whose exactness flag is already false is a
+        // regression, not a novelty — flags are absolute.
+        let broken_new = STREAM_BASE.replace(
+            "\"pruned_sums_exact\": true",
+            "\"pruned_sums_exact\": false",
+        );
+        let rows = stream_rows(STREAM_BASE_PRE_PRUNING, &broken_new);
+        let bad = rows
+            .iter()
+            .find(|r| r.metric == "pruned_sums_exact")
+            .expect("flag row");
+        assert_eq!(bad.status, Status::Regressed, "{rows:?}");
+        // Once both sides carry the arm, it is gated normally: a pruned
+        // exactness flip now fails.
+        let broken = STREAM_BASE.replace(
+            "\"pruned_sums_exact\": true",
+            "\"pruned_sums_exact\": false",
+        );
+        let rows = stream_rows(STREAM_BASE, &broken);
+        assert!(any_regression(&rows), "{rows:?}");
+        // A metric present in the baseline but gone from the fresh run is
+        // still a hard failure (stale gate config, not a new arm).
+        let rows = stream_rows(STREAM_BASE, STREAM_BASE_PRE_PRUNING);
+        assert!(any_regression(&rows), "{rows:?}");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `bench_stream` — the disk-resident streaming executor benchmark
 //! (the Fig. 13 cell, §7.7, run through `StreamingRasterJoin`).
 //!
-//! Five measurements into `BENCH_stream.json`:
+//! Six measurements into `BENCH_stream.json`:
 //!
 //! 1. **Prefetch vs blocking** at the headline cell (default: 2 M Twitter
 //!    points ⋈ US counties, ε = 1 km, 250 k-point device budget): total
@@ -12,13 +12,19 @@
 //!    so the arm shows how much of the bandwidth-bound read the codecs
 //!    buy back (and what the overlapped decode costs). Counts must be
 //!    bit-identical and sums exactly equal to the raw streaming arm.
-//! 3. **Chunk-size grid**: fixed chunk sizes (fractions of the device
+//! 3. **Pruned vs full columns**: a `SELECT AVG(favorites) … WHERE
+//!    hour < 84` over the compressed table with projection pushdown (the
+//!    default) against the same scan forced to read every column (the
+//!    PR-4 behaviour). The pruned arm must read strictly fewer bytes —
+//!    `retweets` never leaves the disk — with counts bit-identical and
+//!    sums exactly equal; per-column `column_io` attributes the win.
+//! 4. **Chunk-size grid**: fixed chunk sizes (fractions of the device
 //!    budget) against the planner-chosen chunk, to verify the planner's
 //!    batch model is a sound chunk-size oracle (within 20% of the best
 //!    fixed size).
-//! 4. **Equality**: streamed counts must equal the in-memory execution of
+//! 5. **Equality**: streamed counts must equal the in-memory execution of
 //!    the same plan bit-for-bit; sums within f32 reassociation tolerance.
-//! 5. **Reader throughput**: processing-free chunked scans of both files,
+//! 6. **Reader throughput**: processing-free chunked scans of both files,
 //!    documenting the positioned-read reader and the raw decode cost.
 //!
 //! ```text
@@ -144,7 +150,14 @@ fn main() {
     // Reads are paced to the modelled disk (see MODELLED_DISK_BANDWIDTH):
     // this box's page cache serves the table at RAM speed, which would
     // reduce the §7.7 "disk-resident" experiment to an in-memory one.
-    let stream = || StreamingRasterJoin::new(workers).with_disk_bandwidth(MODELLED_DISK_BANDWIDTH);
+    // The reader-scheduling and codec arms read *every* column (pruning
+    // off), matching the PR-3/PR-4 baselines they are compared against;
+    // projection pushdown is isolated in its own arm below.
+    let stream = || {
+        StreamingRasterJoin::new(workers)
+            .with_disk_bandwidth(MODELLED_DISK_BANDWIDTH)
+            .with_column_pruning(false)
+    };
     let prefetch = best_of(reps, || run(&stream()));
     let blocking = best_of(reps, || run(&stream().blocking()));
     let planner_chunk = prefetch.out.chunk_rows;
@@ -193,6 +206,74 @@ fn main() {
         compressed.out.read_bytes,
         prefetch.out.read_bytes,
     );
+
+    // --------------------------------------------- projection-pushdown arm
+    // The acceptance query: AVG of one attribute, one predicate on a
+    // *different* attribute — materializes x, y, favorites, hour and
+    // prunes retweets. Both arms stream the same compressed file; only
+    // the projection differs.
+    let hour = pts.attr_index("hour").expect("hour attr");
+    let q2 = Query::avg(favorites)
+        .with_epsilon(1_000.0)
+        .with_predicates(vec![raster_data::Predicate::new(
+            hour,
+            raster_data::CmpOp::Lt,
+            84.0,
+        )]);
+    let dev2 = Device::new(DeviceConfig::small(
+        budget_points * PointTable::point_bytes(q2.attrs_uploaded()),
+        8192,
+    ));
+    let pruned_stream =
+        || StreamingRasterJoin::new(workers).with_disk_bandwidth(MODELLED_DISK_BANDWIDTH);
+    match pruned_stream().explain(&pathz, polys, &q2, &dev2) {
+        Ok(plan) => eprint!("{plan}"),
+        Err(e) => eprintln!("explain failed: {e}"),
+    }
+    let run2 = |stream: &StreamingRasterJoin| -> Run {
+        let t0 = Instant::now();
+        let out = stream.execute(&pathz, polys, &q2, &dev2).expect("stream");
+        Run {
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            out,
+        }
+    };
+    let pruned = best_of(reps, || run2(&pruned_stream()));
+    let full_cols = best_of(reps, || run2(&pruned_stream().with_column_pruning(false)));
+    let pruned_bytes_reduction =
+        full_cols.out.read_bytes as f64 / pruned.out.read_bytes.max(1) as f64;
+    let pruned_beats_full = disk_plus_processing_ms(&pruned) < disk_plus_processing_ms(&full_cols);
+    let pruned_counts_exact = pruned.out.output.counts == full_cols.out.output.counts;
+    // Sum exactness probed deterministically (single worker, unpaced,
+    // fixed chunk), like the compressed arm above.
+    let prune_probe = |prune: bool| {
+        StreamingRasterJoin::new(1)
+            .with_chunk_rows(pruned.out.chunk_rows)
+            .with_column_pruning(prune)
+            .execute(&pathz, polys, &q2, &dev2)
+            .expect("pruned exactness probe")
+            .output
+    };
+    let (probe_pruned, probe_full) = (prune_probe(true), prune_probe(false));
+    let pruned_sums_exact =
+        probe_pruned.sums == probe_full.sums && probe_pruned.counts == probe_full.counts;
+    eprintln!(
+        "pruned: {:.1} ms disk+proc, {} bytes vs {} full ({pruned_bytes_reduction:.2}x) | beats \
+         full: {pruned_beats_full} | counts exact: {pruned_counts_exact}, sums exact: \
+         {pruned_sums_exact}",
+        disk_plus_processing_ms(&pruned),
+        pruned.out.read_bytes,
+        full_cols.out.read_bytes,
+    );
+    for c in &pruned.out.column_io {
+        eprintln!(
+            "  column {:>10}: {:>9} bytes, {:>6.1} ms decode{}",
+            c.name,
+            c.bytes_read,
+            c.decode_time.as_secs_f64() * 1e3,
+            if c.bytes_read == 0 { "  (pruned)" } else { "" }
+        );
+    }
 
     // ------------------------------------------------------ equality check
     let reference = prefetch.out.plan.execute(&pts, polys, &q, &dev);
@@ -244,6 +325,14 @@ fn main() {
         counts_exact: compressed_counts_exact,
         sums_exact: compressed_sums_exact,
     };
+    let parm = PrunedArm {
+        pruned: &pruned,
+        full_cols: &full_cols,
+        bytes_reduction: pruned_bytes_reduction,
+        beats_full: pruned_beats_full,
+        counts_exact: pruned_counts_exact,
+        sums_exact: pruned_sums_exact,
+    };
     let json = render_json(
         quick,
         reps,
@@ -256,6 +345,7 @@ fn main() {
         &prefetch,
         &blocking,
         &arm,
+        &parm,
         &grid,
         best_chunk,
         within_20pct,
@@ -281,6 +371,16 @@ struct CompressedArm<'a> {
     sums_exact: bool,
 }
 
+/// The projection-pushdown arm's metrics, bundled for `render_json`.
+struct PrunedArm<'a> {
+    pruned: &'a Run,
+    full_cols: &'a Run,
+    bytes_reduction: f64,
+    beats_full: bool,
+    counts_exact: bool,
+    sums_exact: bool,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     quick: bool,
@@ -294,6 +394,7 @@ fn render_json(
     prefetch: &Run,
     blocking: &Run,
     arm: &CompressedArm,
+    parm: &PrunedArm,
     grid: &[(usize, Run)],
     best_chunk: usize,
     within_20pct: bool,
@@ -338,6 +439,22 @@ fn render_json(
     let _ = writeln!(s, "  \"prefetch\": {},", run_obj(prefetch));
     let _ = writeln!(s, "  \"blocking\": {},", run_obj(blocking));
     let _ = writeln!(s, "  \"compressed\": {},", run_obj(arm.run));
+    let _ = writeln!(s, "  \"pruned\": {},", run_obj(parm.pruned));
+    let _ = writeln!(s, "  \"full_cols\": {},", run_obj(parm.full_cols));
+    // Per-column attribution of the pruned arm's bytes/decode (pruned
+    // columns at zero — the satellite visibility of the win).
+    s.push_str("  \"pruned_column_io\": [");
+    for (i, c) in parm.pruned.out.column_io.iter().enumerate() {
+        let _ = write!(
+            s,
+            "{}{{\"col\": \"{}\", \"bytes\": {}, \"decode_ms\": {:.2}}}",
+            if i > 0 { ", " } else { "" },
+            c.name,
+            c.bytes_read,
+            c.decode_time.as_secs_f64() * 1e3
+        );
+    }
+    s.push_str("],\n");
     s.push_str("  \"grid\": [\n");
     for (i, (chunk, r)) in grid.iter().enumerate() {
         let _ = write!(
@@ -399,6 +516,28 @@ fn render_json(
         s,
         "    \"compressed_counts_exact\": {}, \"compressed_sums_exact\": {},",
         arm.counts_exact, arm.sums_exact
+    );
+    let pruned_ms = disk_plus_processing_ms(parm.pruned);
+    let full_cols_ms = disk_plus_processing_ms(parm.full_cols);
+    let _ = writeln!(
+        s,
+        "    \"pruned_ms\": {pruned_ms:.2}, \"full_cols_ms\": {full_cols_ms:.2}, \
+         \"pruned_speedup_vs_full\": {:.3},",
+        full_cols_ms / pruned_ms.max(1e-9)
+    );
+    let _ = writeln!(
+        s,
+        "    \"pruned_read_bytes\": {}, \"full_cols_read_bytes\": {}, \
+         \"pruned_bytes_reduction\": {:.3}, \"pruned_beats_full_compressed\": {},",
+        parm.pruned.out.read_bytes,
+        parm.full_cols.out.read_bytes,
+        parm.bytes_reduction,
+        parm.beats_full
+    );
+    let _ = writeln!(
+        s,
+        "    \"pruned_counts_exact\": {}, \"pruned_sums_exact\": {},",
+        parm.counts_exact, parm.sums_exact
     );
     let _ = writeln!(
         s,

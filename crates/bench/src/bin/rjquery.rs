@@ -184,22 +184,11 @@ fn main() {
         let polys = synthetic_polygons(args.polygons, &nyc_extent(), 1);
         let device = Device::default();
         if is_explain {
-            let meta = match raster_data::disk::table_meta(std::path::Path::new(&source)) {
-                Ok(m) => m,
-                Err(e) => {
-                    eprintln!("error reading `{source}`: {e}");
-                    std::process::exit(1);
-                }
-            };
-            let names: Vec<&str> = meta.attr_names.iter().map(String::as_str).collect();
-            let schema = PointTable::with_capacity(0, &names);
-            match raster_join::sql::explain_query(
-                &args.sql,
-                &schema,
-                meta.rows as usize,
-                &polys,
-                &device,
-            ) {
+            // The streaming EXPLAIN: the exact plan the chunk loop would
+            // run, plus the pruned column set and predicted read bytes
+            // (explain_sql strips the EXPLAIN keyword itself).
+            let stream = raster_join::StreamingRasterJoin::default();
+            match stream.explain_sql(&args.sql, Some(args.epsilon), &polys, &device) {
                 Ok(plan) => {
                     print!("{plan}");
                     return;
@@ -224,6 +213,19 @@ fn main() {
                     s.output.stats.disk,
                     s.read_time
                 );
+                let total_attrs = s.column_io.len().saturating_sub(2);
+                match &s.projection {
+                    Some(p) => println!(
+                        "scan: {} bytes read, pruned to {} of {} attribute column(s)",
+                        s.read_bytes,
+                        p.len(),
+                        total_attrs
+                    ),
+                    None => println!(
+                        "scan: {} bytes read, all {} attribute column(s)",
+                        s.read_bytes, total_attrs
+                    ),
+                }
                 print_results(&s.output.values(query.aggregate), args.top);
                 return;
             }

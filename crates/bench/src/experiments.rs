@@ -544,6 +544,8 @@ pub fn fig13(scale: Scale) -> Report {
             "total",
             "disk wait",
             "read",
+            "read MB",
+            "cols",
             "processing",
             "transfer(model)",
             "1-CPU(mem)",
@@ -553,7 +555,10 @@ pub fn fig13(scale: Scale) -> Report {
     r.note("paper shape: disk I/O dominates totals, GPU processing stays consistent");
     r.note("with the in-memory runs; >1 order of magnitude over the CPU baseline.");
     r.note("beyond the paper: the prefetch reader overlaps I/O, so 'disk wait' <<");
-    r.note("'read'; the blocking ablation arm lives in bench_stream.");
+    r.note("'read'; the blocking ablation arm lives in bench_stream. Projection");
+    r.note("pushdown prunes every column COUNT(*) does not touch — 'cols' lists");
+    r.note("what was materialized, 'read MB' the bytes actually fetched (x/y only:");
+    r.note("16 of 28 B/row).");
     let polys = workloads::counties();
     let w = default_workers();
     let q = Query::count().with_epsilon(1_000.0);
@@ -587,6 +592,13 @@ pub fn fig13(scale: Scale) -> Report {
             .execute(&pts, polys, &q, &paper_device())
             .stats
             .processing;
+        // Materialized columns (per-column I/O counters with bytes).
+        let cols: Vec<&str> = s
+            .column_io
+            .iter()
+            .filter(|c| c.bytes_read > 0)
+            .map(|c| c.name.as_str())
+            .collect();
         r.row(vec![
             n.to_string(),
             s.chunk_rows.to_string(),
@@ -594,6 +606,8 @@ pub fn fig13(scale: Scale) -> Report {
             format!("{} ms", ms(total)),
             format!("{} ms", ms(s.output.stats.disk)),
             format!("{} ms", ms(s.read_time)),
+            format!("{:.1}", s.read_bytes as f64 / 1e6),
+            cols.join("+"),
             format!("{} ms", ms(s.output.stats.processing)),
             format!("{} ms", ms(s.output.stats.transfer)),
             format!("{} ms", ms(t1)),

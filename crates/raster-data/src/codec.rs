@@ -7,35 +7,45 @@
 //! block-level storage). This module provides the codecs; the file layout
 //! that embeds them is `disk.rs`'s format v2 (`write_table_compressed`).
 //!
-//! # On-disk format v2 (header layout)
+//! # On-disk format v2/v3 (header layout)
 //!
 //! All integers little-endian:
 //!
 //! ```text
 //! magic      u64   = 0x524a_5054_424c_3032 ("RJPTBL02")
+//!                  | 0x524a_5054_424c_3033 ("RJPTBL03")
 //! rows       u64
 //! ncols      u32
 //! per column: name_len u32, name bytes (UTF-8)
 //! chunk_rows u64         stored-chunk granularity (last chunk short)
 //! n_chunks   u32
-//! per chunk:  block_len u64
+//! v2 directory: per chunk, block_len u64
+//! v3 directory: per chunk, per stored column, entry_len u32
 //! then the chunk blocks back to back; each block holds, for every
-//! stored column in order (xs, ys, attr 0, attr 1, …):
+//! stored column in order (xs, ys, attr 0, attr 1, …), one *entry*:
 //!   codec    u8          one of the CODEC_* ids below
 //!   enc_len  u32         payload byte length
 //!   payload  enc_len bytes
 //! ```
 //!
+//! The v2 and v3 data sections are byte-identical; they differ only in
+//! the directory. v3's per-column entry lengths (`entry_len` = 5 +
+//! `enc_len`) make every column of every chunk independently addressable,
+//! which is what lets a pruned scan (`disk.rs`,
+//! `ChunkedReader::open_projected`) fetch *only* the columns a query
+//! touches with positioned reads — the pruned-read protocol. A v2 reader
+//! can only fetch whole blocks, so pruning there projects after decode.
+//!
 //! The v1 header differs only in the magic (`…3031`) and has no chunk
 //! directory — its data section is raw contiguous columns. Readers accept
-//! both.
+//! all three.
 //!
 //! **Forward-compat rule:** the trailing magic byte is the format
 //! version. A reader must accept any version ≤ its own and reject newer
 //! ones with [`FormatError::UnsupportedVersion`] (never attempt a decode);
 //! within a version, unknown codec ids are a hard
-//! [`FormatError::Corrupt`] error. Writers may only add codec ids
-//! together with a version bump.
+//! [`FormatError::Corrupt`] error. Writers may only add codec ids — or
+//! change the directory layout, as v3 did — together with a version bump.
 //!
 //! # Codecs
 //!

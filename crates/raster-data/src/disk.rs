@@ -9,9 +9,9 @@
 //! prefetching streaming executor that overlaps these reads with join
 //! processing lives in `raster-join::stream`.)
 //!
-//! Two format versions share the magic prefix and differ in the trailing
-//! version byte (see [`crate::codec`] for the full v2 layout and the
-//! forward-compat rule):
+//! Three format versions share the magic prefix and differ in the
+//! trailing version byte (see [`crate::codec`] for the full v2/v3 layout
+//! and the forward-compat rule):
 //!
 //! * **v1** (`RJPTBL01`, [`write_table`]) — raw contiguous columns. Each
 //!   chunk is read with one *positioned* read per column (`pread`-style
@@ -20,13 +20,37 @@
 //!   degenerates to one sequential pass over the data section. Column
 //!   bytes are decoded straight into the final column `Vec`s
 //!   ([`PointTable::from_columns`]) through one reused scratch buffer.
-//! * **v2** (`RJPTBL02`, [`write_table_compressed`]) — chunked compressed
-//!   columns: the data section is a sequence of stored-chunk blocks, each
-//!   holding every column of its row range encoded with the per-chunk
-//!   codec choice of [`crate::codec`]. A block is fetched with a single
-//!   positioned read and decoded column-wise; [`ChunkedReader`] re-slices
-//!   stored chunks to whatever delivery chunk size the caller asked for,
-//!   so v1 and v2 files behave identically above this module.
+//! * **v2** (`RJPTBL02`, [`write_table_compressed_v2`]) — chunked
+//!   compressed columns: the data section is a sequence of stored-chunk
+//!   blocks, each holding every column of its row range encoded with the
+//!   per-chunk codec choice of [`crate::codec`]. A block is fetched with
+//!   a single positioned read and decoded column-wise; [`ChunkedReader`]
+//!   re-slices stored chunks to whatever delivery chunk size the caller
+//!   asked for, so v1 and v2 files behave identically above this module.
+//! * **v3** (`RJPTBL03`, [`write_table_compressed`]) — v2's blocks behind
+//!   a *per-column* chunk directory: the header records the encoded byte
+//!   length of every column entry of every stored chunk, so the reader
+//!   can address any single column's bytes with one positioned read.
+//!
+//! # Pruned reads (projection pushdown)
+//!
+//! [`ChunkedReader::open_projected`] takes the set of attribute columns a
+//! query actually touches and materializes only those (the coordinate
+//! columns are always read). The bytes of pruned-away columns never leave
+//! the disk where the format allows it:
+//!
+//! * v1: the per-column positioned reads simply skip pruned columns;
+//! * v3: the per-column directory turns each needed column entry into its
+//!   own positioned read (adjacent needed entries coalesce into one);
+//! * v2: blocks are only addressable whole, so the reader fetches the
+//!   full block but *skips the decode* of pruned columns — a post-decode
+//!   projection, byte-identical in results, saving CPU but not I/O.
+//!
+//! Delivered chunks hold exactly the projected columns (in stored order),
+//! and [`ChunkedReader::column_io`] attributes bytes read and decode time
+//! to every stored column, so pruning wins are visible per column. File
+//! validation is projection-aware: a file truncated inside pruned-away
+//! trailing bytes still serves the projected scan.
 //!
 //! Structural defects (foreign magic, newer version, truncation,
 //! undecodable payloads) surface as [`FormatError`] wrapped in an
@@ -54,6 +78,7 @@ use std::time::{Duration, Instant};
 
 const MAGIC: u64 = 0x524a_5054_424c_3031;
 const MAGIC_V2: u64 = 0x524a_5054_424c_3032;
+const MAGIC_V3: u64 = 0x524a_5054_424c_3033;
 /// The shared `RJPTBL0` prefix; the low byte is the ASCII version digit.
 const MAGIC_PREFIX: u64 = 0x524a_5054_424c_3000;
 
@@ -97,11 +122,12 @@ pub fn write_table(path: &Path, table: &PointTable) -> io::Result<()> {
     w.flush()
 }
 
-/// Serialize a table to the compressed chunked format (v2): every column
+/// Serialize a table to the compressed chunked format (v3): every column
 /// of every `chunk_rows`-row stored chunk is encoded with the smallest
-/// applicable codec ([`crate::codec`]) and the chunk blocks are indexed
-/// by a directory in the header, so the reader can fetch any block with
-/// one positioned read.
+/// applicable codec ([`crate::codec`]) and indexed by a *per-column*
+/// directory in the header, so the reader can fetch any block — or any
+/// single column of any block, for pruned scans — with one positioned
+/// read.
 ///
 /// Blocks are encoded and written one at a time — peak extra memory is a
 /// single encoded block, not the whole compressed file — and the header's
@@ -112,13 +138,40 @@ pub fn write_table_compressed(
     table: &PointTable,
     chunk_rows: usize,
 ) -> io::Result<()> {
+    write_compressed_impl(path, table, chunk_rows, true)
+}
+
+/// Serialize with the legacy v2 layout: identical blocks, but the header
+/// directory records only whole-block lengths, so a pruned scan must
+/// fetch full blocks and project after decode. Kept so the v2 read path
+/// stays covered and older files stay reproducible; new files should use
+/// [`write_table_compressed`].
+pub fn write_table_compressed_v2(
+    path: &Path,
+    table: &PointTable,
+    chunk_rows: usize,
+) -> io::Result<()> {
+    write_compressed_impl(path, table, chunk_rows, false)
+}
+
+fn write_compressed_impl(
+    path: &Path,
+    table: &PointTable,
+    chunk_rows: usize,
+    per_column_directory: bool,
+) -> io::Result<()> {
     let chunk_rows = chunk_rows.max(1);
     let n_chunks = table.len().div_ceil(chunk_rows);
+    let stored_cols = 2 + table.attr_count();
 
     let f = File::create(path)?;
     let mut w = BufWriter::new(f);
     let mut header = BytesMut::new();
-    header.put_u64_le(MAGIC_V2);
+    header.put_u64_le(if per_column_directory {
+        MAGIC_V3
+    } else {
+        MAGIC_V2
+    });
     header.put_u64_le(table.len() as u64);
     header.put_u32_le(table.attr_count() as u32);
     for name in table.attr_names() {
@@ -128,18 +181,23 @@ pub fn write_table_compressed(
     header.put_u64_le(chunk_rows as u64);
     header.put_u32_le(n_chunks as u32);
     let dir_offset = header.len() as u64;
-    for _ in 0..n_chunks {
-        header.put_u64_le(0); // directory placeholder, patched below
-    }
+    let dir_bytes = if per_column_directory {
+        n_chunks * stored_cols * 4
+    } else {
+        n_chunks * 8
+    };
+    header.put_slice(&vec![0u8; dir_bytes]); // directory placeholder, patched below
     w.write_all(&header)?;
 
-    let mut lens = BytesMut::with_capacity(n_chunks * 8);
+    let mut dir = BytesMut::with_capacity(dir_bytes);
     let mut block = Vec::new();
     let mut start = 0usize;
     while start < table.len() {
         let end = (start + chunk_rows).min(table.len());
         block.clear();
+        let mut entry_lens: Vec<u32> = Vec::with_capacity(stored_cols);
         let mut put = |col: codec::EncodedColumn| {
+            entry_lens.push(5 + col.bytes.len() as u32);
             block.push(col.codec);
             block.extend_from_slice(&(col.bytes.len() as u32).to_le_bytes());
             block.extend_from_slice(&col.bytes);
@@ -150,12 +208,18 @@ pub fn write_table_compressed(
             put(codec::encode_f32s(&table.attr(c)[start..end]));
         }
         w.write_all(&block)?;
-        lens.put_u64_le(block.len() as u64);
+        if per_column_directory {
+            for &l in &entry_lens {
+                dir.put_u32_le(l);
+            }
+        } else {
+            dir.put_u64_le(block.len() as u64);
+        }
         start = end;
     }
     w.flush()?;
     let f = w.into_inner().map_err(|e| e.into_error())?;
-    write_at(&f, dir_offset, &lens)
+    write_at(&f, dir_offset, &dir)
 }
 
 /// Positioned write for the directory back-patch (`pwrite`-style on
@@ -179,12 +243,16 @@ pub struct TableMeta {
     pub rows: u64,
     pub attr_names: Vec<String>,
     header_bytes: u64,
-    /// Format version (1 = raw columns, 2 = compressed chunk blocks).
+    /// Format version (1 = raw columns, 2/3 = compressed chunk blocks).
     version: u32,
-    /// v2 only: stored-chunk granularity (last chunk short).
+    /// v2/v3 only: stored-chunk granularity (last chunk short).
     chunk_rows: u64,
-    /// v2 only: byte length of each stored-chunk block.
+    /// v2/v3 only: byte length of each stored-chunk block.
     chunk_lens: Vec<u64>,
+    /// v3 only: encoded byte length of every column entry of every stored
+    /// chunk, flat with stride [`TableMeta::stored_cols`] — the per-column
+    /// directory that makes pruned block reads addressable.
+    col_lens: Vec<u32>,
 }
 
 impl TableMeta {
@@ -212,7 +280,7 @@ impl TableMeta {
         }
     }
 
-    /// Format version (1 = raw columns, 2 = compressed chunk blocks).
+    /// Format version (1 = raw columns, 2/3 = compressed chunk blocks).
     pub fn version(&self) -> u32 {
         self.version
     }
@@ -220,6 +288,64 @@ impl TableMeta {
     /// Does the data section hold compressed chunk blocks?
     pub fn is_compressed(&self) -> bool {
         self.version >= 2
+    }
+
+    /// Names of the stored columns in file order: the two coordinate
+    /// columns, then every attribute.
+    pub fn stored_column_names(&self) -> Vec<String> {
+        let mut v = vec!["x".to_string(), "y".to_string()];
+        v.extend(self.attr_names.iter().cloned());
+        v
+    }
+
+    /// Stored bytes of each column over the whole data section, when the
+    /// format records them (v1: fixed-width columns; v3: per-column
+    /// directory). `None` for v2, whose directory only has block totals.
+    pub fn column_scan_bytes(&self) -> Option<Vec<u64>> {
+        match self.version {
+            1 => {
+                let mut v = vec![self.rows * 8, self.rows * 8];
+                v.extend(std::iter::repeat_n(self.rows * 4, self.col_count()));
+                Some(v)
+            }
+            3 => {
+                let sc = self.stored_cols();
+                let mut v = vec![0u64; sc];
+                for (i, &l) in self.col_lens.iter().enumerate() {
+                    v[i % sc] += l as u64;
+                }
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Bytes a scan that materializes only the `attrs` attribute columns
+    /// (plus the coordinates) fetches from storage: the per-column pruned
+    /// total for v1/v3, the full block bytes for v2 — its blocks are only
+    /// addressable whole, so pruning there saves decode CPU, not I/O.
+    pub fn pruned_scan_bytes(&self, attrs: &[usize]) -> u64 {
+        match self.column_scan_bytes() {
+            Some(cols) => cols[0] + cols[1] + attrs.iter().map(|&a| cols[2 + a]).sum::<u64>(),
+            None => self.scan_bytes(),
+        }
+    }
+
+    /// v3 only: the file byte range `(offset, len)` of stored column
+    /// `stored_col` (0 = x, 1 = y, 2+i = attribute i) within stored chunk
+    /// `chunk` — one independently fetchable column entry (codec id,
+    /// payload length, payload). `None` for v1/v2 files or out-of-range
+    /// arguments.
+    pub fn column_block_range(&self, chunk: usize, stored_col: usize) -> Option<(u64, u64)> {
+        if self.version < 3 || chunk >= self.chunk_lens.len() || stored_col >= self.stored_cols() {
+            return None;
+        }
+        let sc = self.stored_cols();
+        let mut off = self.header_bytes + self.chunk_lens[..chunk].iter().sum::<u64>();
+        for c in 0..stored_col {
+            off += self.col_lens[chunk * sc + c] as u64;
+        }
+        Some((off, self.col_lens[chunk * sc + stored_col] as u64))
     }
 
     /// Logical (uncompressed) bytes per row: two f64 coordinates plus one
@@ -251,7 +377,8 @@ fn read_meta<R: Read>(r: &mut R, file_len: u64) -> io::Result<TableMeta> {
     let version = match magic {
         MAGIC => 1,
         MAGIC_V2 => 2,
-        m if m & !0xFF == MAGIC_PREFIX && (m & 0xFF) as u8 > b'2' => {
+        MAGIC_V3 => 3,
+        m if m & !0xFF == MAGIC_PREFIX && (m & 0xFF) as u8 > b'3' => {
             return Err(FormatError::UnsupportedVersion((m & 0xFF) as u32 - b'0' as u32).into());
         }
         _ => return Err(FormatError::BadMagic.into()),
@@ -276,7 +403,7 @@ fn read_meta<R: Read>(r: &mut R, file_len: u64) -> io::Result<TableMeta> {
             })?,
         );
     }
-    let (chunk_rows, chunk_lens) = if version >= 2 {
+    let (chunk_rows, chunk_lens, col_lens) = if version >= 2 {
         let mut fixed = [0u8; 12];
         r.read_exact(&mut fixed)?;
         let mut b = &fixed[..];
@@ -297,10 +424,6 @@ fn read_meta<R: Read>(r: &mut R, file_len: u64) -> io::Result<TableMeta> {
             ))
             .into());
         }
-        if header_bytes + n_chunks * 8 > file_len {
-            return Err(FormatError::Corrupt("chunk directory runs past the file".into()).into());
-        }
-        let mut lens = Vec::with_capacity(n_chunks as usize);
         // Checked accumulation: a corrupted directory entry (e.g.
         // u64::MAX) must surface as a typed error here, not overflow the
         // later prefix sums / size checks into a wrap-around that passes
@@ -310,21 +433,60 @@ fn read_meta<R: Read>(r: &mut R, file_len: u64) -> io::Result<TableMeta> {
                 "chunk directory lengths overflow".into(),
             ))
         };
+        let mut lens = Vec::with_capacity(n_chunks as usize);
+        let mut col_lens = Vec::new();
         let mut total = 0u64;
-        for _ in 0..n_chunks {
-            let mut lb = [0u8; 8];
-            r.read_exact(&mut lb)?;
-            let len = u64::from_le_bytes(lb);
-            total = total.checked_add(len).ok_or_else(overflow)?;
-            lens.push(len);
+        if version >= 3 {
+            // Per-column directory: stored_cols u32 entry lengths per
+            // chunk; a block's length is the sum of its column entries.
+            let stored_cols = 2 + names.len() as u64;
+            let dir_entries = n_chunks.checked_mul(stored_cols).ok_or_else(overflow)?;
+            if header_bytes + dir_entries * 4 > file_len {
+                return Err(
+                    FormatError::Corrupt("chunk directory runs past the file".into()).into(),
+                );
+            }
+            col_lens.reserve(dir_entries as usize);
+            for _ in 0..n_chunks {
+                let mut block = 0u64;
+                for _ in 0..stored_cols {
+                    let mut lb = [0u8; 4];
+                    r.read_exact(&mut lb)?;
+                    let len = u32::from_le_bytes(lb);
+                    if len < 5 {
+                        return Err(FormatError::Corrupt(
+                            "column entry shorter than its header".into(),
+                        )
+                        .into());
+                    }
+                    block = block.checked_add(len as u64).ok_or_else(overflow)?;
+                    col_lens.push(len);
+                }
+                total = total.checked_add(block).ok_or_else(overflow)?;
+                lens.push(block);
+            }
+            header_bytes += dir_entries * 4;
+        } else {
+            if header_bytes + n_chunks * 8 > file_len {
+                return Err(
+                    FormatError::Corrupt("chunk directory runs past the file".into()).into(),
+                );
+            }
+            for _ in 0..n_chunks {
+                let mut lb = [0u8; 8];
+                r.read_exact(&mut lb)?;
+                let len = u64::from_le_bytes(lb);
+                total = total.checked_add(len).ok_or_else(overflow)?;
+                lens.push(len);
+            }
+            header_bytes += n_chunks * 8;
         }
-        header_bytes += n_chunks * 8;
         // Non-overflowing but file-exceeding totals are ordinary
         // truncation, reported as such by validate_size.
         total.checked_add(header_bytes).ok_or_else(overflow)?;
-        (chunk_rows, lens)
+        (chunk_rows, lens, col_lens)
     } else {
-        (0, Vec::new())
+        (0, Vec::new(), Vec::new())
     };
     Ok(TableMeta {
         rows,
@@ -333,6 +495,7 @@ fn read_meta<R: Read>(r: &mut R, file_len: u64) -> io::Result<TableMeta> {
         version,
         chunk_rows,
         chunk_lens,
+        col_lens,
     })
 }
 
@@ -347,13 +510,26 @@ pub fn read_table(path: &Path) -> io::Result<PointTable> {
 
 /// Read just the header of a columnar table file (schema discovery for
 /// the SQL `FROM 'path.bin'` source and the streaming planner), with the
-/// same truncation validation as [`ChunkedReader::open`].
+/// same whole-file truncation validation as [`ChunkedReader::open`].
 pub fn table_meta(path: &Path) -> io::Result<TableMeta> {
     let mut f = File::open(path)?;
     let actual_bytes = f.metadata()?.len();
     let meta = read_meta(&mut f, actual_bytes)?;
     validate_size(&meta, actual_bytes)?;
     Ok(meta)
+}
+
+/// [`table_meta`] without the whole-file size check: the header itself is
+/// still fully validated (magic, version, directory consistency), but a
+/// data section shorter than the header claims is tolerated. This is the
+/// schema-resolution entry point for pruned scans — whether missing
+/// trailing bytes matter depends on the columns the query needs, which
+/// only the projected open ([`ChunkedReader::open_projected`]) can judge,
+/// so a file truncated inside pruned-away columns must not fail here.
+pub fn table_schema(path: &Path) -> io::Result<TableMeta> {
+    let mut f = File::open(path)?;
+    let actual_bytes = f.metadata()?.len();
+    read_meta(&mut f, actual_bytes)
 }
 
 fn validate_size(meta: &TableMeta, actual_bytes: u64) -> io::Result<()> {
@@ -371,38 +547,161 @@ fn validate_size(meta: &TableMeta, actual_bytes: u64) -> io::Result<()> {
     Ok(())
 }
 
+/// Projection-aware truncation check: only the bytes a pruned scan will
+/// actually touch must exist, so a file truncated (or garbled) inside
+/// pruned-away trailing columns still serves the projected query. With
+/// every column needed this degenerates to [`validate_size`].
+fn validate_size_projected(meta: &TableMeta, actual_bytes: u64, needed: &[bool]) -> io::Result<()> {
+    let required = match meta.version {
+        1 => {
+            // End offset of the deepest stored column the scan touches.
+            let last = needed.iter().rposition(|&n| n).unwrap_or(1);
+            match last {
+                0 => meta.ys_offset(),
+                1 => meta.ys_offset() + meta.rows * 8,
+                c => meta.attr_offset(c - 2) + meta.rows * 4,
+            }
+        }
+        // v2 blocks are fetched whole; the full file must be there.
+        2 => meta.file_bytes(),
+        _ => match meta.chunk_lens.len() {
+            0 => meta.header_bytes,
+            nb => {
+                // The deepest needed byte lives in the last stored block.
+                let sc = meta.stored_cols();
+                let last_block = meta.header_bytes + meta.chunk_lens[..nb - 1].iter().sum::<u64>();
+                let mut end = last_block;
+                let mut upto = last_block;
+                for (c, &l) in meta.col_lens[(nb - 1) * sc..nb * sc].iter().enumerate() {
+                    upto += l as u64;
+                    if needed[c] {
+                        end = upto;
+                    }
+                }
+                end
+            }
+        },
+    };
+    if actual_bytes < required {
+        return Err(FormatError::Truncated {
+            expected: required,
+            actual: actual_bytes,
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// Per-column I/O accounting of one [`ChunkedReader`]: bytes fetched from
+/// storage and time spent decoding, attributable per stored column.
+/// Pruned columns stay at zero — that is the win these counters make
+/// visible per column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnIo {
+    /// Stored column name (`x`, `y`, then the attribute names).
+    pub name: String,
+    pub bytes_read: u64,
+    pub decode_time: Duration,
+}
+
 /// Streams record batches of at most `chunk_rows` from a columnar file
-/// (either format version; compressed stored chunks are decoded and
-/// re-sliced transparently).
+/// (any format version; compressed stored chunks are decoded and
+/// re-sliced transparently), optionally materializing only a projected
+/// subset of the attribute columns ([`ChunkedReader::open_projected`]).
 #[derive(Debug)]
 pub struct ChunkedReader {
     file: File,
     meta: TableMeta,
     cursor: u64,
     chunk_rows: usize,
-    /// Reused raw-byte buffer: one column (v1) or one stored block (v2)
-    /// at a time is decoded through it, so a chunk's footprint is its own
-    /// storage plus this single scratch allocation.
+    /// Reused raw-byte buffer: one column (v1), one stored block (v2) or
+    /// one needed-column run (v3) at a time is decoded through it, so a
+    /// chunk's footprint is its own storage plus this single scratch
+    /// allocation.
     scratch: Vec<u8>,
-    /// v2: index of the next stored block to fetch.
+    /// v2/v3: index of the next stored block to fetch.
     next_block: usize,
-    /// v2: file offset of each stored block (prefix sums of the chunk
+    /// v2/v3: file offset of each stored block (prefix sums of the chunk
     /// directory, computed once — a scan must not re-sum the prefix per
     /// fetch, which would be O(blocks²) over the whole file).
     block_offsets: Vec<u64>,
-    /// v2: decoded stored chunk not yet fully delivered, plus the rows of
-    /// it already taken.
+    /// v2/v3: decoded stored chunk not yet fully delivered, plus the rows
+    /// of it already taken.
     pending: Option<(PointTable, usize)>,
+    /// Attribute columns to materialize (sorted, deduped); `None` = all.
+    projection: Option<Vec<usize>>,
+    /// The attribute columns actually materialized, ascending (the
+    /// projection, or every column).
+    mat_attrs: Vec<usize>,
+    /// Stored-column mask implied by the projection (coordinates always
+    /// on).
+    needed: Vec<bool>,
+    /// Per stored column I/O counters.
+    col_io: Vec<ColumnIo>,
     bytes_read: u64,
     decode_time: Duration,
 }
 
 impl ChunkedReader {
     pub fn open(path: &Path, chunk_rows: usize) -> io::Result<Self> {
+        Self::open_projected(path, chunk_rows, None)
+    }
+
+    /// Open with projection pushdown: materialize only the `attrs`
+    /// attribute columns (plus the coordinates, always read). Delivered
+    /// chunks hold exactly those columns in stored order; the bytes of
+    /// pruned columns are never fetched where the format allows it (v1
+    /// and v3 — v2 fetches whole blocks and skips the pruned decode).
+    /// `None` materializes every column, exactly like [`Self::open`].
+    ///
+    /// Fails with `InvalidInput` when `attrs` references a column the
+    /// file does not have.
+    pub fn open_projected(
+        path: &Path,
+        chunk_rows: usize,
+        attrs: Option<&[usize]>,
+    ) -> io::Result<Self> {
         let mut file = File::open(path)?;
         let actual_bytes = file.metadata()?.len();
         let meta = read_meta(&mut file, actual_bytes)?;
-        validate_size(&meta, actual_bytes)?;
+        let projection = match attrs {
+            Some(a) => {
+                let mut p = a.to_vec();
+                p.sort_unstable();
+                p.dedup();
+                if let Some(&bad) = p.iter().find(|&&c| c >= meta.col_count()) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "projection references attribute column {bad}, file has {}",
+                            meta.col_count()
+                        ),
+                    ));
+                }
+                Some(p)
+            }
+            None => None,
+        };
+        let mat_attrs: Vec<usize> = match &projection {
+            Some(p) => p.clone(),
+            None => (0..meta.col_count()).collect(),
+        };
+        let mut needed = vec![true; meta.stored_cols()];
+        if let Some(p) = &projection {
+            for (c, need) in needed.iter_mut().enumerate().skip(2) {
+                *need = p.binary_search(&(c - 2)).is_ok();
+            }
+        }
+        validate_size_projected(&meta, actual_bytes, &needed)?;
+        let col_io: Vec<ColumnIo> = meta
+            .stored_column_names()
+            .into_iter()
+            .map(|name| ColumnIo {
+                name,
+                bytes_read: 0,
+                decode_time: Duration::ZERO,
+            })
+            .collect();
         let mut block_offsets = Vec::with_capacity(meta.chunk_lens.len());
         let mut at = meta.header_bytes;
         for len in &meta.chunk_lens {
@@ -418,6 +717,10 @@ impl ChunkedReader {
             next_block: 0,
             block_offsets,
             pending: None,
+            projection,
+            mat_attrs,
+            needed,
+            col_io,
             bytes_read: 0,
             decode_time: Duration::ZERO,
         })
@@ -425,6 +728,17 @@ impl ChunkedReader {
 
     pub fn meta(&self) -> &TableMeta {
         &self.meta
+    }
+
+    /// The attribute columns this reader materializes; `None` = all.
+    pub fn projection(&self) -> Option<&[usize]> {
+        self.projection.as_deref()
+    }
+
+    /// Per stored column I/O counters (coordinates first, then every
+    /// attribute of the file schema; pruned columns stay at zero).
+    pub fn column_io(&self) -> &[ColumnIo] {
+        &self.col_io
     }
 
     /// Rows already consumed.
@@ -484,13 +798,15 @@ impl ChunkedReader {
 
     /// Read the next chunk, or `None` at end of data.
     ///
-    /// * v1: one positioned read per column in ascending offset order;
-    ///   when the chunk covers the whole remainder this is a single
-    ///   sequential pass over the rest of the file.
-    /// * v2: whole stored blocks are fetched with one positioned read
-    ///   each and decoded; the decoded rows are re-sliced to the
-    ///   requested delivery chunk size (a stored chunk that exactly fills
-    ///   the request is handed over without copying).
+    /// * v1: one positioned read per *materialized* column in ascending
+    ///   offset order (pruned columns are skipped entirely); when the
+    ///   chunk covers the whole remainder this is a single sequential
+    ///   pass over the rest of the data the scan touches.
+    /// * v2/v3: stored blocks are fetched with positioned reads (v3
+    ///   prunes down to the needed column entries) and decoded; the
+    ///   decoded rows are re-sliced to the requested delivery chunk size
+    ///   (a stored chunk that exactly fills the request is handed over
+    ///   without copying).
     pub fn next_chunk(&mut self) -> io::Result<Option<PointTable>> {
         if self.meta.is_compressed() {
             return self.next_chunk_v2();
@@ -499,7 +815,6 @@ impl ChunkedReader {
             return Ok(None);
         }
         let n = (self.meta.rows - self.cursor).min(self.chunk_rows as u64) as usize;
-        self.bytes_read += (n * self.meta.row_bytes()) as u64;
 
         let raw = self.read_at(self.meta.xs_offset() + self.cursor * 8, n * 8)?;
         let xs: Vec<f64> = raw
@@ -511,18 +826,27 @@ impl ChunkedReader {
             .chunks_exact(8)
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
             .collect();
+        self.col_io[0].bytes_read += (n * 8) as u64;
+        self.col_io[1].bytes_read += (n * 8) as u64;
 
-        let mut attr_vals: Vec<Vec<f32>> = Vec::with_capacity(self.meta.col_count());
-        for c in 0..self.meta.col_count() {
+        let mut attr_vals: Vec<Vec<f32>> = Vec::with_capacity(self.mat_attrs.len());
+        for i in 0..self.mat_attrs.len() {
+            let c = self.mat_attrs[i];
             let raw = self.read_at(self.meta.attr_offset(c) + self.cursor * 4, n * 4)?;
             attr_vals.push(
                 raw.chunks_exact(4)
                     .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
                     .collect(),
             );
+            self.col_io[2 + c].bytes_read += (n * 4) as u64;
         }
+        self.bytes_read += (n * (16 + 4 * self.mat_attrs.len())) as u64;
 
-        let names: Vec<&str> = self.meta.attr_names.iter().map(String::as_str).collect();
+        let names: Vec<&str> = self
+            .mat_attrs
+            .iter()
+            .map(|&c| self.meta.attr_names[c].as_str())
+            .collect();
         self.cursor += n as u64;
         Ok(Some(PointTable::from_columns(xs, ys, &names, attr_vals)))
     }
@@ -574,21 +898,45 @@ impl ChunkedReader {
         }
     }
 
-    /// Fetch stored block `idx` with one positioned read and decode every
-    /// column. All payload lengths are validated against the block, so a
-    /// corrupted directory or payload yields a typed error, not a panic
-    /// or a garbage table.
+    /// Rows held by stored block `idx` (the last block may be short).
+    fn block_rows(&self, idx: usize) -> usize {
+        let rows_before = idx as u64 * self.meta.chunk_rows;
+        (self.meta.rows - rows_before).min(self.meta.chunk_rows) as usize
+    }
+
+    /// Names of the materialized attribute columns, in stored order.
+    fn mat_names(&self) -> Vec<&str> {
+        self.mat_attrs
+            .iter()
+            .map(|&c| self.meta.attr_names[c].as_str())
+            .collect()
+    }
+
+    /// Fetch stored block `idx`. v3 issues positioned reads only for the
+    /// needed column entries (adjacent entries coalesce into one read);
+    /// v2 blocks are only addressable whole, so the full block is fetched
+    /// and pruned columns merely skip their decode.
     fn fetch_block(&mut self, idx: usize) -> io::Result<PointTable> {
+        if self.meta.version >= 3 {
+            self.fetch_block_v3(idx)
+        } else {
+            self.fetch_block_full(idx)
+        }
+    }
+
+    /// v2 path: one positioned read for the whole block, then walk its
+    /// column entries, decoding the needed ones. All payload lengths are
+    /// validated against the block, so a corrupted directory or payload
+    /// yields a typed error, not a panic or a garbage table.
+    fn fetch_block_full(&mut self, idx: usize) -> io::Result<PointTable> {
         let offset = self.block_offsets[idx];
         let len = self.meta.chunk_lens[idx] as usize;
-        let rows_before = idx as u64 * self.meta.chunk_rows;
-        let n = (self.meta.rows - rows_before).min(self.meta.chunk_rows) as usize;
+        let n = self.block_rows(idx);
         let stored_cols = self.meta.stored_cols();
         self.bytes_read += len as u64;
 
         // Fill scratch with the block, then walk its column entries.
         self.read_at(offset, len)?;
-        let t0 = Instant::now();
         let mut at = 0usize;
         let mut next_col = |scratch: &[u8]| -> io::Result<(u8, std::ops::Range<usize>)> {
             if at + 5 > len {
@@ -608,14 +956,24 @@ impl ChunkedReader {
             at += 5 + plen;
             Ok((codec, range))
         };
-        let (c, r) = next_col(&self.scratch)?;
-        let xs = codec::decode_f64s(c, n, &self.scratch[r])?;
-        let (c, r) = next_col(&self.scratch)?;
-        let ys = codec::decode_f64s(c, n, &self.scratch[r])?;
-        let mut attr_vals = Vec::with_capacity(stored_cols - 2);
-        for _ in 2..stored_cols {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut attr_vals = Vec::with_capacity(self.mat_attrs.len());
+        for col in 0..stored_cols {
             let (c, r) = next_col(&self.scratch)?;
-            attr_vals.push(codec::decode_f32s(c, n, &self.scratch[r])?);
+            let entry = 5 + r.len() as u64;
+            if self.needed[col] {
+                let t0 = Instant::now();
+                match col {
+                    0 => xs = codec::decode_f64s(c, n, &self.scratch[r])?,
+                    1 => ys = codec::decode_f64s(c, n, &self.scratch[r])?,
+                    _ => attr_vals.push(codec::decode_f32s(c, n, &self.scratch[r])?),
+                }
+                let dt = t0.elapsed();
+                self.col_io[col].decode_time += dt;
+                self.decode_time += dt;
+            }
+            self.col_io[col].bytes_read += entry;
         }
         if at != len {
             return Err(FormatError::Corrupt(format!(
@@ -624,10 +982,74 @@ impl ChunkedReader {
             ))
             .into());
         }
-        let names: Vec<&str> = self.meta.attr_names.iter().map(String::as_str).collect();
-        let table = PointTable::from_columns(xs, ys, &names, attr_vals);
-        self.decode_time += t0.elapsed();
-        Ok(table)
+        let names = self.mat_names();
+        Ok(PointTable::from_columns(xs, ys, &names, attr_vals))
+    }
+
+    /// v3 path: the per-column directory locates every column entry, so
+    /// only the needed entries are fetched — adjacent needed entries
+    /// coalesce into a single positioned read, and a pruned column's
+    /// bytes (however garbled) are never touched.
+    fn fetch_block_v3(&mut self, idx: usize) -> io::Result<PointTable> {
+        let sc = self.meta.stored_cols();
+        let n = self.block_rows(idx);
+        let lens: Vec<u64> = self.meta.col_lens[idx * sc..(idx + 1) * sc]
+            .iter()
+            .map(|&l| l as u64)
+            .collect();
+
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut attr_vals: Vec<Vec<f32>> = Vec::with_capacity(self.mat_attrs.len());
+
+        let mut col = 0usize;
+        let mut entry_off = self.block_offsets[idx];
+        while col < sc {
+            if !self.needed[col] {
+                entry_off += lens[col];
+                col += 1;
+                continue;
+            }
+            // Coalesce the run of adjacent needed entries into one read.
+            let run_start = col;
+            let run_off = entry_off;
+            let mut run_len = 0u64;
+            while col < sc && self.needed[col] {
+                run_len += lens[col];
+                entry_off += lens[col];
+                col += 1;
+            }
+            self.read_at(run_off, run_len as usize)?;
+            self.bytes_read += run_len;
+            // Walk the entries inside the run.
+            let mut at = 0usize;
+            for (c, &entry_len) in lens.iter().enumerate().take(col).skip(run_start) {
+                let entry = entry_len as usize;
+                let codec_id = self.scratch[at];
+                let plen =
+                    u32::from_le_bytes(self.scratch[at + 1..at + 5].try_into().unwrap()) as usize;
+                if plen + 5 != entry {
+                    return Err(FormatError::Corrupt(
+                        "column payload length disagrees with the chunk directory".into(),
+                    )
+                    .into());
+                }
+                let payload = at + 5..at + entry;
+                let t0 = Instant::now();
+                match c {
+                    0 => xs = codec::decode_f64s(codec_id, n, &self.scratch[payload])?,
+                    1 => ys = codec::decode_f64s(codec_id, n, &self.scratch[payload])?,
+                    _ => attr_vals.push(codec::decode_f32s(codec_id, n, &self.scratch[payload])?),
+                }
+                let dt = t0.elapsed();
+                self.col_io[c].bytes_read += entry as u64;
+                self.col_io[c].decode_time += dt;
+                self.decode_time += dt;
+                at += entry;
+            }
+        }
+        let names = self.mat_names();
+        Ok(PointTable::from_columns(xs, ys, &names, attr_vals))
     }
 }
 
@@ -818,7 +1240,7 @@ mod tests {
         let t = sample(2_500);
         write_table_compressed(&path, &t, 700).unwrap();
         let meta = table_meta(&path).unwrap();
-        assert_eq!(meta.version(), 2);
+        assert_eq!(meta.version(), 3);
         assert!(meta.is_compressed());
         assert_eq!(meta.file_bytes(), std::fs::metadata(&path).unwrap().len());
         let back = read_table(&path).unwrap();
@@ -890,15 +1312,15 @@ mod tests {
 
     #[test]
     fn newer_version_yields_typed_unsupported() {
-        // "RJPTBL03" — our prefix, a future version byte.
+        // "RJPTBL04" — our prefix, a future version byte.
         let path = tmp("future.bin");
-        let mut bytes = (MAGIC_V2 + 1).to_le_bytes().to_vec();
+        let mut bytes = (MAGIC_V3 + 1).to_le_bytes().to_vec();
         bytes.extend_from_slice(&[0u8; 56]);
         std::fs::write(&path, &bytes).unwrap();
         let err = ChunkedReader::open(&path, 10).unwrap_err();
         assert_eq!(
             FormatError::of(&err),
-            Some(&FormatError::UnsupportedVersion(3))
+            Some(&FormatError::UnsupportedVersion(4))
         );
         std::fs::remove_file(&path).ok();
     }
@@ -921,7 +1343,7 @@ mod tests {
     #[test]
     fn corrupted_compressed_payload_is_an_error_not_garbage() {
         // Flip bytes inside the first block's first column header so the
-        // payload length disagrees with the block — the reader must
+        // payload length disagrees with the directory — the reader must
         // return a typed error instead of panicking or decoding garbage.
         let path = tmp("z-corrupt.binz");
         let t = sample(1_000);
@@ -929,6 +1351,8 @@ mod tests {
         let clean = std::fs::read(&path).unwrap();
         let meta = table_meta(&path).unwrap();
         let header = (clean.len() as u64 - meta.scan_bytes()) as usize;
+        let stored_cols = 2 + meta.attr_names.len();
+        let dir_bytes = meta.chunk_lens.len() * stored_cols * 4;
 
         // Corrupt the codec id of the first column.
         let mut bad = clean.clone();
@@ -940,6 +1364,69 @@ mod tests {
             matches!(FormatError::of(&err), Some(FormatError::Corrupt(_))),
             "{err}"
         );
+
+        // Corrupt the payload length so it disagrees with the directory.
+        let mut bad = clean.clone();
+        bad[header + 1..header + 5].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        let mut r = ChunkedReader::open(&path, 100).unwrap();
+        assert!(r.next_chunk().is_err());
+
+        // Corrupt the chunk directory count.
+        let mut bad = clean.clone();
+        let ndir = header - dir_bytes - 4;
+        bad[ndir..ndir + 4].copy_from_slice(&1_000u32.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            FormatError::of(&ChunkedReader::open(&path, 100).unwrap_err()),
+            Some(FormatError::Corrupt(_))
+        ));
+
+        // A directory entry shorter than its 5-byte column header: typed
+        // error at open, never a decode of misaligned garbage.
+        let mut bad = clean.clone();
+        let dir0 = header - dir_bytes;
+        bad[dir0..dir0 + 4].copy_from_slice(&3u32.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            FormatError::of(&ChunkedReader::open(&path, 100).unwrap_err()),
+            Some(FormatError::Corrupt(_))
+        ));
+
+        // An oversized directory entry implies more data than the file
+        // holds — ordinary truncation, caught at open.
+        let mut bad = clean;
+        bad[dir0..dir0 + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            FormatError::of(&ChunkedReader::open(&path, 100).unwrap_err()),
+            Some(FormatError::Truncated { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_legacy_v2_payload_is_an_error_not_garbage() {
+        // The legacy whole-block directory keeps its own corruption
+        // coverage: payload overrun, count mismatch and the u64::MAX
+        // overflow guard.
+        let path = tmp("z2-corrupt.binz");
+        let t = sample(1_000);
+        write_table_compressed_v2(&path, &t, 512).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        let meta = table_meta(&path).unwrap();
+        assert_eq!(meta.version(), 2);
+        let header = (clean.len() as u64 - meta.scan_bytes()) as usize;
+
+        // Corrupt the codec id of the first column.
+        let mut bad = clean.clone();
+        bad[header] = 99;
+        std::fs::write(&path, &bad).unwrap();
+        let mut r = ChunkedReader::open(&path, 100).unwrap();
+        assert!(matches!(
+            FormatError::of(&r.next_chunk().unwrap_err()),
+            Some(FormatError::Corrupt(_))
+        ));
 
         // Corrupt the payload length so it runs past the block.
         let mut bad = clean.clone();
@@ -968,6 +1455,193 @@ mod tests {
             FormatError::of(&ChunkedReader::open(&path, 100).unwrap_err()),
             Some(FormatError::Corrupt(_))
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The materialized columns of a projected read, reassembled whole.
+    fn scan_projected(path: &Path, chunk: usize, attrs: Option<&[usize]>) -> (PointTable, u64) {
+        let mut r = ChunkedReader::open_projected(path, chunk, attrs).unwrap();
+        let names: Vec<String> = match attrs {
+            Some(a) => a.iter().map(|&c| r.meta().attr_names[c].clone()).collect(),
+            None => r.meta().attr_names.clone(),
+        };
+        let names: Vec<&str> = names.iter().map(String::as_str).collect();
+        let mut whole = PointTable::with_capacity(0, &names);
+        while let Some(c) = r.next_chunk().unwrap() {
+            whole.extend(&c);
+        }
+        (whole, r.bytes_read())
+    }
+
+    #[test]
+    fn projected_v1_scan_skips_pruned_columns() {
+        let path = tmp("proj-v1.bin");
+        let t = sample(1_003);
+        write_table(&path, &t).unwrap();
+        let (pruned, pruned_bytes) = scan_projected(&path, 100, Some(&[1]));
+        let (full, full_bytes) = scan_projected(&path, 100, None);
+        assert_eq!(full, t);
+        assert_eq!(pruned.attr_names(), vec!["bb"]);
+        assert_eq!(pruned.xs(), t.xs());
+        assert_eq!(pruned.attr(0), t.attr(1));
+        assert!(pruned_bytes < full_bytes, "{pruned_bytes} vs {full_bytes}");
+        assert_eq!(pruned_bytes, 1_003 * (16 + 4));
+        let meta = table_meta(&path).unwrap();
+        assert_eq!(meta.pruned_scan_bytes(&[1]), pruned_bytes);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn projected_v3_scan_reads_only_needed_column_entries() {
+        let path = tmp("proj-v3.binz");
+        let t = sample(2_000);
+        write_table_compressed(&path, &t, 600).unwrap();
+        let meta = table_meta(&path).unwrap();
+        for (attrs, label) in [
+            (vec![], "coords only"),
+            (vec![0], "first attr"),
+            (vec![1], "second attr"),
+            (vec![0, 1], "all attrs"),
+        ] {
+            let (pruned, bytes) = scan_projected(&path, 256, Some(&attrs));
+            assert_eq!(pruned.len(), t.len(), "{label}");
+            assert_eq!(pruned.xs(), t.xs(), "{label}");
+            assert_eq!(pruned.ys(), t.ys(), "{label}");
+            for (i, &a) in attrs.iter().enumerate() {
+                assert_eq!(pruned.attr(i), t.attr(a), "{label}");
+            }
+            assert_eq!(bytes, meta.pruned_scan_bytes(&attrs), "{label}");
+            if attrs.len() < 2 {
+                assert!(bytes < meta.scan_bytes(), "{label}");
+            } else {
+                assert_eq!(bytes, meta.scan_bytes(), "{label}");
+            }
+        }
+        // Per-column attribution: a pruned column's counters stay zero
+        // and the read columns' bytes sum to the total.
+        let mut r = ChunkedReader::open_projected(&path, 256, Some(&[1])).unwrap();
+        while r.next_chunk().unwrap().is_some() {}
+        let io = r.column_io();
+        assert_eq!(io.len(), 4);
+        assert_eq!(io[0].name, "x");
+        assert_eq!(io[2].name, "a");
+        assert_eq!(io[2].bytes_read, 0, "pruned column fetched no bytes");
+        assert_eq!(io[2].decode_time, Duration::ZERO);
+        assert!(io[3].bytes_read > 0);
+        assert_eq!(io.iter().map(|c| c.bytes_read).sum::<u64>(), r.bytes_read());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn projected_v2_scan_projects_after_decode() {
+        // Legacy v2 blocks are only addressable whole: a projected scan
+        // fetches every byte but skips the pruned columns' decode and
+        // still delivers the pruned schema.
+        let path = tmp("proj-v2.binz");
+        let t = sample(1_500);
+        write_table_compressed_v2(&path, &t, 400).unwrap();
+        let meta = table_meta(&path).unwrap();
+        assert_eq!(meta.column_scan_bytes(), None);
+        assert_eq!(meta.pruned_scan_bytes(&[0]), meta.scan_bytes());
+        let (pruned, bytes) = scan_projected(&path, 333, Some(&[0]));
+        assert_eq!(pruned.attr_names(), vec!["a"]);
+        assert_eq!(pruned.attr(0), t.attr(0));
+        assert_eq!(bytes, meta.scan_bytes(), "v2 fetches whole blocks");
+        let mut r = ChunkedReader::open_projected(&path, 333, Some(&[0])).unwrap();
+        while r.next_chunk().unwrap().is_some() {}
+        let io = r.column_io();
+        assert!(io[3].bytes_read > 0, "pruned column's bytes still fetched");
+        assert_eq!(io[3].decode_time, Duration::ZERO, "…but never decoded");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_pruned_column_is_never_read_corrupt_required_is_typed() {
+        let path = tmp("proj-corrupt.binz");
+        let t = sample(1_200);
+        write_table_compressed(&path, &t, 500).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        let meta = table_meta(&path).unwrap();
+
+        // Garble the whole entry of attribute `a` (stored col 2) in every
+        // chunk — including its codec id, which would be a hard Corrupt
+        // error if ever read: a scan pruning it must not notice.
+        let mut bad = clean.clone();
+        for chunk in 0..3 {
+            let (off, len) = meta.column_block_range(chunk, 2).unwrap();
+            bad[off as usize] = 99; // unknown codec id
+            for b in &mut bad[off as usize + 5..(off + len) as usize] {
+                *b ^= 0xA5;
+            }
+        }
+        std::fs::write(&path, &bad).unwrap();
+        let (pruned, _) = scan_projected(&path, 500, Some(&[1]));
+        assert_eq!(
+            pruned.attr(0),
+            t.attr(1),
+            "pruned-away corruption is invisible"
+        );
+
+        // The same scan *requiring* the garbled column fails with a typed
+        // error, never a panic or silent garbage.
+        let mut r = ChunkedReader::open_projected(&path, 500, Some(&[0])).unwrap();
+        let err = r.next_chunk().unwrap_err();
+        assert!(
+            matches!(FormatError::of(&err), Some(FormatError::Corrupt(_))),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_tail_truncation_spares_pruned_scans() {
+        // Chop into the last attribute column's region: a scan that
+        // prunes it still works; an unprojected open reports Truncated.
+        let path = tmp("proj-trunc.bin");
+        let t = sample(400);
+        write_table(&path, &t).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 100]).unwrap();
+        let err = ChunkedReader::open(&path, 100).unwrap_err();
+        assert!(matches!(
+            FormatError::of(&err),
+            Some(FormatError::Truncated { .. })
+        ));
+        let (pruned, _) = scan_projected(&path, 100, Some(&[0]));
+        assert_eq!(pruned.len(), 400);
+        assert_eq!(pruned.attr(0), t.attr(0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn projection_out_of_range_is_invalid_input() {
+        let path = tmp("proj-oob.bin");
+        write_table(&path, &sample(10)).unwrap();
+        let err = ChunkedReader::open_projected(&path, 10, Some(&[2])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn column_block_ranges_tile_the_data_section() {
+        let path = tmp("proj-ranges.binz");
+        let t = sample(1_000);
+        write_table_compressed(&path, &t, 300).unwrap();
+        let meta = table_meta(&path).unwrap();
+        let mut at = meta.file_bytes() - meta.scan_bytes();
+        let mut per_col = vec![0u64; 4];
+        for chunk in 0..meta.chunk_lens.len() {
+            for (col, total) in per_col.iter_mut().enumerate() {
+                let (off, len) = meta.column_block_range(chunk, col).unwrap();
+                assert_eq!(off, at, "chunk {chunk} col {col}");
+                at += len;
+                *total += len;
+            }
+        }
+        assert_eq!(at, meta.file_bytes());
+        assert_eq!(meta.column_scan_bytes().unwrap(), per_col);
+        assert_eq!(meta.column_block_range(99, 0), None);
+        assert_eq!(meta.column_block_range(0, 9), None);
         std::fs::remove_file(&path).ok();
     }
 

@@ -119,13 +119,19 @@ pub struct Workload {
     /// Σ polygon-MBR areas — drives the index-build cell count.
     pub bbox_area: f64,
     pub extent: BBox,
-    /// Storage bytes fetched per row when the points stream off disk
-    /// (compressed files read fewer than the logical row width's worth);
+    /// Storage bytes fetched per row when the points stream off disk.
+    /// This is the *pruned* storage profile: the streaming executor
+    /// derives it from the file's per-column stored sizes
+    /// (`TableMeta::pruned_scan_bytes`) over the column set the query
+    /// actually touches, so compressed files read fewer than the logical
+    /// row width's worth and column-pruned scans fewer still — the
+    /// [`W_READ_BYTE`] feature scales with what the scan really fetches.
     /// `0.0` for in-memory workloads — the disk features vanish.
     pub stored_row_bytes: f64,
-    /// Stored columns decompressed per row (coordinates + attributes) on
-    /// a compressed scan; `0.0` for raw or in-memory sources. Together
-    /// with `stored_row_bytes` this is the planner's
+    /// Stored columns decompressed per row (coordinates + *materialized*
+    /// attributes — pruned columns are never decoded) on a compressed
+    /// scan; `0.0` for raw or in-memory sources. Together with
+    /// `stored_row_bytes` this is the planner's
     /// decode-cost-vs-bytes-saved trade: compressed chunks are cheaper
     /// to read ([`W_READ_BYTE`] × fewer bytes) but cost decode CPU
     /// ([`W_DECODE_VAL`] × values).

@@ -87,13 +87,53 @@ impl Query {
     /// Number of attribute columns that must be transferred with the
     /// points: filter attributes plus the aggregated attribute (§5).
     pub fn attrs_uploaded(&self) -> usize {
+        self.attr_columns().len()
+    }
+
+    /// The distinct attribute columns this query touches (filter
+    /// attributes plus the aggregated attribute), ascending. This is the
+    /// set the streaming scan materializes — every other column is
+    /// pruned and its bytes never leave the disk (§7.1: "the required
+    /// columns are loaded into main memory").
+    pub fn attr_columns(&self) -> Vec<usize> {
         let mut attrs = attrs_referenced(&self.predicates);
         if let Some(a) = self.aggregate.attr() {
             if !attrs.contains(&a) {
                 attrs.push(a);
+                attrs.sort_unstable();
             }
         }
-        attrs.len()
+        attrs
+    }
+
+    /// Rewrite the query's attribute indices into positions within
+    /// `columns` — the column order of a projected table that
+    /// materializes exactly those attribute columns (ascending, a
+    /// superset of [`Query::attr_columns`]). The streaming executor
+    /// pairs this with a column-pruned reader so predicates and the
+    /// aggregate address the pruned table correctly.
+    ///
+    /// Panics if the query references an attribute not in `columns`.
+    pub fn project_attrs(&self, columns: &[usize]) -> Query {
+        let pos = |a: usize| {
+            columns
+                .iter()
+                .position(|&c| c == a)
+                .unwrap_or_else(|| panic!("attribute column {a} is not in the projection"))
+        };
+        Query {
+            aggregate: match self.aggregate {
+                Aggregate::Count => Aggregate::Count,
+                Aggregate::Sum(a) => Aggregate::Sum(pos(a)),
+                Aggregate::Avg(a) => Aggregate::Avg(pos(a)),
+            },
+            predicates: self
+                .predicates
+                .iter()
+                .map(|p| Predicate::new(pos(p.attr), p.op, p.value))
+                .collect(),
+            epsilon: self.epsilon,
+        }
     }
 }
 
@@ -239,6 +279,41 @@ mod tests {
         assert_eq!(q.attrs_uploaded(), 2);
         assert_eq!(Query::count().attrs_uploaded(), 0);
         assert_eq!(Query::sum(3).attrs_uploaded(), 1);
+    }
+
+    #[test]
+    fn attr_columns_is_the_sorted_union() {
+        let q = Query::avg(1).with_predicates(vec![
+            Predicate::new(4, CmpOp::Gt, 0.0),
+            Predicate::new(0, CmpOp::Lt, 5.0),
+        ]);
+        assert_eq!(q.attr_columns(), vec![0, 1, 4]);
+        assert!(Query::count().attr_columns().is_empty());
+        assert_eq!(Query::sum(3).attr_columns(), vec![3]);
+        // Aggregate attr coinciding with a filter attr is not duplicated.
+        let q = Query::sum(2).with_predicates(vec![Predicate::new(2, CmpOp::Gt, 0.0)]);
+        assert_eq!(q.attr_columns(), vec![2]);
+    }
+
+    #[test]
+    fn project_attrs_remaps_into_projected_positions() {
+        let q = Query::avg(4).with_predicates(vec![Predicate::new(1, CmpOp::Lt, 9.0)]);
+        // A pruned table materializing stored columns {1, 4} holds them
+        // at positions 0 and 1.
+        let p = q.project_attrs(&[1, 4]);
+        assert_eq!(p.aggregate, Aggregate::Avg(1));
+        assert_eq!(p.predicates, vec![Predicate::new(0, CmpOp::Lt, 9.0)]);
+        assert_eq!(p.epsilon, q.epsilon);
+        // COUNT with no predicates projects to itself.
+        let c = Query::count().project_attrs(&[]);
+        assert_eq!(c.aggregate, Aggregate::Count);
+        assert!(c.predicates.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the projection")]
+    fn project_attrs_rejects_uncovered_attributes() {
+        let _ = Query::sum(3).project_attrs(&[0, 1]);
     }
 
     #[test]

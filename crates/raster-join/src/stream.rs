@@ -8,8 +8,9 @@
 //! sits idle while the disk runs. [`StreamingRasterJoin`] keeps that
 //! blocking loop as the paper-faithful ablation arm (`prefetch: false`)
 //! and adds the production path: a background reader thread feeding a
-//! bounded two-slot channel, so the read of chunk *k+1* (and *k+2*)
-//! overlaps the point/polygon processing of chunk *k* — the
+//! bounded *readahead ring* ([`DEFAULT_READAHEAD`] decoded chunks deep,
+//! [`StreamingRasterJoin::with_readahead`]), so the reads of chunks
+//! *k+1 … k+R* overlap the point/polygon processing of chunk *k* — the
 //! storage/compute pipelining that SPADE-style disk-resident engines
 //! show is where out-of-core spatial aggregation wins.
 //!
@@ -41,13 +42,32 @@
 //! and streams via [`StreamingRasterJoin::execute_sql`].
 //!
 //! Compressed tables (`raster_data::disk::write_table_compressed`, format
-//! v2) stream through the identical loop: the reader decodes stored
+//! v2/v3) stream through the identical loop: the reader decodes stored
 //! chunk blocks transparently, the prefetch thread overlaps that decode
 //! with both the next read and the join processing, the modelled disk
 //! charges the *compressed* bytes (that is the whole win — the §7.7
 //! experiment is bandwidth-bound), and the planner's workload carries the
 //! storage profile ([`Workload`]'s `stored_row_bytes`/`decode_cols`) so
 //! plan costs reflect the decode-CPU-vs-bytes-saved trade.
+//!
+//! # Projection pushdown (column pruning)
+//!
+//! The executor computes the set of attribute columns the query actually
+//! touches ([`Query::attr_columns`]: coordinates + aggregate attribute +
+//! predicate attributes) and opens the reader with exactly that
+//! projection (`ChunkedReader::open_projected`): v1 files skip the
+//! positioned reads of pruned columns, v3 files fetch only the needed
+//! column entries of each block via the per-column directory, and legacy
+//! v2 files fall back to full-block reads with a post-decode projection —
+//! behavior is uniform, only the bytes differ. The query's attribute
+//! indices are remapped onto the pruned table
+//! ([`Query::project_attrs`]), the planner's `read_byte`/`decode_val`
+//! features are charged for the *pruned* storage profile, the modelled
+//! disk paces by the bytes actually fetched, and
+//! [`StreamOutput::column_io`] attributes bytes and decode time per
+//! column so the pruning win is auditable. `with_column_pruning(false)`
+//! restores the full-column scan (the ablation arm `bench_stream`
+//! compares against).
 //!
 //! # Accounting
 //!
@@ -62,7 +82,7 @@
 use crate::optimizer::{cost, AutoRasterJoin, Plan, Variant, Workload};
 use crate::query::{result_slots, AggregateMerger, JoinOutput, Query};
 use crate::sql::{file_source, parse_query, ParseError};
-use raster_data::disk::{table_meta, ChunkedReader};
+use raster_data::disk::{table_schema, ChunkedReader, ColumnIo};
 use raster_data::PointTable;
 use raster_geom::Polygon;
 use raster_gpu::exec::default_workers;
@@ -91,6 +111,16 @@ const SAMPLE_ROWS: usize = 4096;
 /// their modelled duration.
 pub const MODELLED_DISK_BANDWIDTH: f64 = 1.5e9 / raster_gpu::device::SIM_SLOWDOWN;
 
+/// Default depth of the prefetch readahead ring: how many decoded chunks
+/// the background reader may buffer ahead of the join
+/// ([`StreamingRasterJoin::with_readahead`] overrides per scan). One more
+/// chunk is always in flight inside the reader itself, so depth 3 keeps
+/// up to 4 pruned chunk reads ahead of processing — enough to ride out
+/// per-chunk processing jitter against the modelled disk without
+/// buffering an unbounded slice of the table in memory (peak extra
+/// footprint ≈ `readahead + 1` decoded chunks).
+pub const DEFAULT_READAHEAD: usize = 3;
+
 /// One streamed query's result and provenance.
 #[derive(Debug, Clone)]
 pub struct StreamOutput {
@@ -118,6 +148,13 @@ pub struct StreamOutput {
     /// files) — overlapped with join processing in prefetch mode, and
     /// with the modelled disk budget in both modes.
     pub decode_time: Duration,
+    /// Attribute columns the scan materialized, ascending stored indices
+    /// (`None` when pruning was off — every column was read).
+    pub projection: Option<Vec<usize>>,
+    /// Per stored column I/O: bytes fetched and decode time, pruned
+    /// columns at zero — the per-column breakdown of `read_bytes` and
+    /// `decode_time` that makes pruning wins attributable.
+    pub column_io: Vec<ColumnIo>,
 }
 
 /// Errors from the SQL-over-file entry point.
@@ -168,6 +205,12 @@ struct ScanSetup {
     wl: Workload,
     plan: Plan,
     chunk_rows: usize,
+    /// The query with attribute indices remapped onto the projected
+    /// table's column order (identical to the caller's query when
+    /// pruning is off).
+    exec_query: Query,
+    /// Attribute columns materialized (`None` = all, pruning off).
+    projection: Option<Vec<usize>>,
 }
 
 /// One (possibly paced) read: pulls the next chunk and, when a modelled
@@ -206,6 +249,13 @@ pub struct StreamingRasterJoin {
     /// thread (the default). `false` is the paper-faithful §7.7 blocking
     /// reader, kept as the ablation arm.
     pub prefetch: bool,
+    /// Depth of the prefetch readahead ring: decoded chunks the reader
+    /// may buffer ahead of the join ([`DEFAULT_READAHEAD`]); clamped to
+    /// ≥ 1. Ignored in blocking mode.
+    pub readahead: usize,
+    /// Materialize only the columns the query touches (the default).
+    /// `false` reads every column — the full-scan ablation arm.
+    pub prune_columns: bool,
     /// Fixed chunk-size override (bench grids, tests). `None` — the
     /// default — lets the planner's batch model choose.
     pub chunk_rows: Option<usize>,
@@ -221,6 +271,8 @@ impl Default for StreamingRasterJoin {
         StreamingRasterJoin {
             workers: default_workers(),
             prefetch: true,
+            readahead: DEFAULT_READAHEAD,
+            prune_columns: true,
             chunk_rows: None,
             disk_bandwidth: None,
             planner: AutoRasterJoin::default(),
@@ -242,6 +294,19 @@ impl StreamingRasterJoin {
     /// The §7.7 blocking reader (builder form).
     pub fn blocking(mut self) -> Self {
         self.prefetch = false;
+        self
+    }
+
+    /// Set the readahead ring depth (builder form; clamped to ≥ 1).
+    pub fn with_readahead(mut self, depth: usize) -> Self {
+        self.readahead = depth.max(1);
+        self
+    }
+
+    /// Toggle projection pushdown (builder form): `false` reads every
+    /// column — the full-scan ablation arm.
+    pub fn with_column_pruning(mut self, on: bool) -> Self {
+        self.prune_columns = on;
         self
     }
 
@@ -300,9 +365,10 @@ impl StreamingRasterJoin {
             .clamp(1, capacity.max(1))
     }
 
-    /// Open the table, read the (paced) sample chunk, summarise the
+    /// Open the table (projected down to the query's column set when
+    /// pruning is on), read the (paced) sample chunk, summarise the
     /// workload and pick the plan + chunk size — everything before the
-    /// chunk loop, shared by `plan_scan` and `execute`.
+    /// chunk loop, shared by `plan_scan`, `explain` and `execute`.
     fn open_and_plan(
         &self,
         path: &Path,
@@ -310,19 +376,37 @@ impl StreamingRasterJoin {
         query: &Query,
         device: &Device,
     ) -> io::Result<ScanSetup> {
-        let mut reader = ChunkedReader::open(path, SAMPLE_ROWS)?;
+        // Projection pushdown: the reader materializes only the columns
+        // the query touches, and the query's attribute indices are
+        // remapped onto the pruned table.
+        let (projection, exec_query) = if self.prune_columns {
+            let required = query.attr_columns();
+            let exec = query.project_attrs(&required);
+            (Some(required), exec)
+        } else {
+            (None, query.clone())
+        };
+        let mut reader = ChunkedReader::open_projected(path, SAMPLE_ROWS, projection.as_deref())?;
         let rows = reader.meta().rows;
-        // Storage profile for the planner's disk features: bytes a full
-        // scan fetches per row (compressed files fetch fewer than the
-        // logical row width) and, when compressed, the stored columns
-        // each row pays to decode.
+        // Storage profile for the planner's disk features: bytes this
+        // scan fetches per row — the *pruned* column set's stored bytes,
+        // derived from the file's per-column block sizes (compressed
+        // files fetch fewer than the logical row width; pruned scans
+        // fewer still) — and the stored columns each row pays to decode.
+        let scan_bytes = match &projection {
+            Some(p) => reader.meta().pruned_scan_bytes(p),
+            None => reader.meta().scan_bytes(),
+        };
         let stored_row_bytes = if rows > 0 {
-            reader.meta().scan_bytes() as f64 / rows as f64
+            scan_bytes as f64 / rows as f64
         } else {
             0.0
         };
         let decode_cols = if reader.meta().is_compressed() {
-            (2 + reader.meta().attr_names.len()) as f64
+            let mat = projection
+                .as_ref()
+                .map_or(reader.meta().attr_names.len(), Vec::len);
+            (2 + mat) as f64
         } else {
             0.0
         };
@@ -337,10 +421,14 @@ impl StreamingRasterJoin {
             n_points: rows as usize,
             stored_row_bytes,
             decode_cols,
-            ..Workload::sample(&sample, polys, query)
+            ..Workload::sample(&sample, polys, &exec_query)
         };
-        let plan = self.planner.plan_summary(&wl, query, device).best().plan;
-        let chunk_rows = self.chunk_size_for(&plan, query, device);
+        let plan = self
+            .planner
+            .plan_summary(&wl, &exec_query, device)
+            .best()
+            .plan;
+        let chunk_rows = self.chunk_size_for(&plan, &exec_query, device);
         reader.set_chunk_rows(chunk_rows);
         Ok(ScanSetup {
             reader,
@@ -350,6 +438,8 @@ impl StreamingRasterJoin {
             wl,
             plan,
             chunk_rows,
+            exec_query,
+            projection,
         })
     }
 
@@ -369,7 +459,12 @@ impl StreamingRasterJoin {
             wl,
             plan,
             chunk_rows,
+            exec_query,
+            projection,
         } = self.open_and_plan(path, polys, query, device)?;
+        // Every chunk below is a *projected* table, so the remapped
+        // query addresses it (identical to `query` when pruning is off).
+        let query = &exec_query;
 
         // Prepare the polygon side once; every chunk is one device batch
         // (the executors come from the same plan→executor mapping as
@@ -399,6 +494,7 @@ impl StreamingRasterJoin {
         // hands its counters back on join).
         let mut read_bytes = reader.bytes_read();
         let mut decode_time = reader.decode_time();
+        let mut column_io = reader.column_io().to_vec();
 
         let mut run_chunk = |chunk: &PointTable| {
             let out = match &prepared {
@@ -435,11 +531,16 @@ impl StreamingRasterJoin {
             // thread is spawned, so the read of chunk #2 overlaps it.
             if self.prefetch {
                 let bandwidth = self.disk_bandwidth;
-                let (tx, rx) = mpsc::sync_channel::<io::Result<(PointTable, Duration)>>(1);
+                // The readahead ring: a bounded channel holding up to
+                // `readahead` decoded chunks, with one more always in
+                // flight inside the reader — several pruned chunk reads
+                // stay ahead of the join instead of the old two slots.
+                let (tx, rx) =
+                    mpsc::sync_channel::<io::Result<(PointTable, Duration)>>(self.readahead.max(1));
                 // The reader thread reads AND decodes: decompression of
                 // chunk k+1 overlaps the join processing of chunk k just
                 // like the read itself does. It hands its cumulative
-                // byte/decode counters back when it finishes.
+                // byte/decode/per-column counters back when it finishes.
                 let handle = std::thread::spawn(move || {
                     loop {
                         match paced_next(&mut reader, bandwidth) {
@@ -455,7 +556,11 @@ impl StreamingRasterJoin {
                             }
                         }
                     }
-                    (reader.bytes_read(), reader.decode_time())
+                    (
+                        reader.bytes_read(),
+                        reader.decode_time(),
+                        reader.column_io().to_vec(),
+                    )
                 });
                 run_chunk(&sample);
                 loop {
@@ -474,9 +579,10 @@ impl StreamingRasterJoin {
                         Err(_) => break, // reader finished and hung up
                     }
                 }
-                let (bytes, decode) = handle.join().expect("prefetch reader thread panicked");
+                let (bytes, decode, cols) = handle.join().expect("prefetch reader thread panicked");
                 read_bytes = bytes;
                 decode_time = decode;
+                column_io = cols;
             } else {
                 // Paper-faithful §7.7: read, then process, strictly
                 // alternating on one buffer.
@@ -488,6 +594,7 @@ impl StreamingRasterJoin {
                 }
                 read_bytes = reader.bytes_read();
                 decode_time = reader.decode_time();
+                column_io = reader.column_io().to_vec();
             }
         }
 
@@ -515,7 +622,43 @@ impl StreamingRasterJoin {
             read_time,
             read_bytes,
             decode_time,
+            projection,
+            column_io,
         })
+    }
+
+    /// Resolve a SQL query's quoted FROM file source: the table path plus
+    /// the query parsed against the file header's schema (shared by
+    /// [`StreamingRasterJoin::execute_sql`] and
+    /// [`StreamingRasterJoin::explain_sql`]).
+    fn resolve_sql(
+        &self,
+        sql: &str,
+        epsilon: Option<f64>,
+    ) -> Result<(PathBuf, Query), StreamError> {
+        let source = file_source(sql).ok_or(StreamError::NoFileSource)?;
+        let path = PathBuf::from(&source);
+        // Name the path in the error: the no-escape tokenizer truncates a
+        // quoted path at its first apostrophe, and a bare NotFound for
+        // the wrong path is otherwise hard to diagnose. Schema resolution
+        // must not demand the whole data section (`table_schema`, not
+        // `table_meta`): whether missing trailing bytes matter depends on
+        // the columns the query needs, which the projected open judges —
+        // a file truncated inside pruned-away columns still serves its
+        // queries through this entry point.
+        let meta = table_schema(&path).map_err(|e| {
+            StreamError::Io(io::Error::new(
+                e.kind(),
+                format!("table source '{source}': {e}"),
+            ))
+        })?;
+        let names: Vec<&str> = meta.attr_names.iter().map(String::as_str).collect();
+        let schema = PointTable::with_capacity(0, &names);
+        let mut query = parse_query(sql, &schema)?;
+        if let Some(eps) = epsilon {
+            query = query.with_epsilon(eps);
+        }
+        Ok((path, query))
     }
 
     /// Run a SQL query whose FROM clause names a columnar table file
@@ -532,25 +675,115 @@ impl StreamingRasterJoin {
         polys: &[Polygon],
         device: &Device,
     ) -> Result<(Query, StreamOutput), StreamError> {
-        let source = file_source(sql).ok_or(StreamError::NoFileSource)?;
-        let path = PathBuf::from(&source);
-        // Name the path in the error: the no-escape tokenizer truncates a
-        // quoted path at its first apostrophe, and a bare NotFound for
-        // the wrong path is otherwise hard to diagnose.
-        let meta = table_meta(&path).map_err(|e| {
-            StreamError::Io(io::Error::new(
-                e.kind(),
-                format!("table source '{source}': {e}"),
-            ))
-        })?;
-        let names: Vec<&str> = meta.attr_names.iter().map(String::as_str).collect();
-        let schema = PointTable::with_capacity(0, &names);
-        let mut query = parse_query(sql, &schema)?;
-        if let Some(eps) = epsilon {
-            query = query.with_epsilon(eps);
-        }
+        let (path, query) = self.resolve_sql(sql, epsilon)?;
         let out = self.execute(&path, polys, &query, device)?;
         Ok((query, out))
+    }
+
+    /// EXPLAIN for a streamed scan: the plan the chunk loop would run,
+    /// the chunk/readahead layout, the pruned column set and the
+    /// planner's predicted read bytes (which reflect the pruning —
+    /// computed from the file's per-column stored sizes). Shares the
+    /// open/sample/summarise/plan preamble with
+    /// [`StreamingRasterJoin::execute`], so the advertised plan is
+    /// exactly what an execution would run.
+    pub fn explain(
+        &self,
+        path: &Path,
+        polys: &[Polygon],
+        query: &Query,
+        device: &Device,
+    ) -> io::Result<String> {
+        use std::fmt::Write as _;
+        let setup = self.open_and_plan(path, polys, query, device)?;
+        let meta = setup.reader.meta();
+        let total_attrs = meta.attr_names.len();
+        let mut out = String::new();
+        out.push_str("RasterJoin streaming scan\n");
+        let _ = writeln!(
+            out,
+            "  source: '{}' (format v{}, {} rows, {} attribute column(s))",
+            path.display(),
+            meta.version(),
+            meta.rows,
+            total_attrs
+        );
+        let _ = writeln!(out, "  operator: {}", setup.plan.describe());
+        let _ = writeln!(
+            out,
+            "  chunk: {} row(s), readahead {} chunk(s) ({})",
+            setup.chunk_rows,
+            if self.prefetch {
+                self.readahead.max(1)
+            } else {
+                0
+            },
+            if self.prefetch {
+                "prefetching reader"
+            } else {
+                "blocking reader"
+            }
+        );
+        match &setup.projection {
+            Some(p) => {
+                let mut cols = vec!["x".to_string(), "y".to_string()];
+                cols.extend(p.iter().map(|&a| meta.attr_names[a].clone()));
+                let _ = writeln!(
+                    out,
+                    "  columns: {} — pruned {} of {} attribute column(s)",
+                    cols.join(", "),
+                    total_attrs - p.len(),
+                    total_attrs
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  columns: all {total_attrs} attribute column(s) (pruning off)"
+                );
+            }
+        }
+        let scan_bytes = (setup.wl.stored_row_bytes * meta.rows as f64).round() as u64;
+        let full_bytes = meta.scan_bytes();
+        let _ = writeln!(
+            out,
+            "  predicted read bytes: {} of {} full-scan bytes ({:.2}x fewer)",
+            scan_bytes,
+            full_bytes,
+            full_bytes as f64 / scan_bytes.max(1) as f64
+        );
+        let _ = writeln!(
+            out,
+            "  selectivity: {:.4} predicate, {:.4} surviving ({})",
+            setup.wl.selectivity,
+            setup.wl.surviving,
+            if setup.wl.sampled_rows > 0 {
+                format!("sampled {} rows", setup.wl.sampled_rows)
+            } else {
+                "assumed; no sample rows".to_string()
+            }
+        );
+        Ok(out)
+    }
+
+    /// [`StreamingRasterJoin::explain`] for a SQL query with a quoted
+    /// FROM file source; the schema comes from the file header, like
+    /// [`StreamingRasterJoin::execute_sql`]. A leading `EXPLAIN` keyword
+    /// (any case) is accepted and ignored, like [`crate::sql::explain_query`].
+    pub fn explain_sql(
+        &self,
+        sql: &str,
+        epsilon: Option<f64>,
+        polys: &[Polygon],
+        device: &Device,
+    ) -> Result<String, StreamError> {
+        let trimmed = sql.trim_start();
+        let body = match trimmed.get(..7) {
+            Some(kw) if kw.eq_ignore_ascii_case("EXPLAIN") => &trimmed[7..],
+            _ => trimmed,
+        };
+        let (path, query) = self.resolve_sql(body, epsilon)?;
+        Ok(self.explain(&path, polys, &query, device)?)
     }
 }
 
@@ -797,6 +1030,206 @@ mod tests {
         assert!(s.read_bytes < 7_000 * 36, "compressed bytes on the wire");
         let reference = s.plan.execute(&pts, &polys, &q, &dev);
         assert_eq!(s.output.counts, reference.counts);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pruned_scan_matches_full_scan_and_reads_fewer_bytes() {
+        use raster_data::disk::write_table_compressed;
+        use raster_data::{CmpOp, Predicate};
+        let pts = TaxiModel::default().generate(10_000, 320);
+        let fare = pts.attr_index("fare").unwrap();
+        let hour = pts.attr_index("hour").unwrap();
+        let polys = synthetic_polygons(8, &nyc_extent(), 321);
+        // Predicate column ≠ aggregate column; both remapped onto the
+        // pruned table.
+        let q = Query::avg(fare)
+            .with_epsilon(40.0)
+            .with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 84.0)]);
+        let dev = small_device(2_000, q.attrs_uploaded(), 8192);
+        let raw = tmp("prune.bin");
+        let z = tmp("prune.binz");
+        write_table(&raw, &pts).unwrap();
+        write_table_compressed(&z, &pts, 1_024).unwrap();
+
+        for path in [&raw, &z] {
+            // One worker + fixed chunk: deterministic fold order, so the
+            // pruned and full scans must agree *bitwise* on sums.
+            let exec = |prune: bool| {
+                StreamingRasterJoin::new(1)
+                    .with_chunk_rows(997)
+                    .with_column_pruning(prune)
+                    .execute(path, &polys, &q, &dev)
+                    .unwrap()
+            };
+            let pruned = exec(true);
+            let full = exec(false);
+            assert_eq!(pruned.output.counts, full.output.counts);
+            assert_eq!(pruned.output.sums, full.output.sums, "bitwise sums");
+            assert_eq!(pruned.projection.as_deref(), Some(&[fare, hour][..]));
+            assert_eq!(full.projection, None);
+            assert!(
+                pruned.read_bytes < full.read_bytes,
+                "{path:?}: {} vs {}",
+                pruned.read_bytes,
+                full.read_bytes
+            );
+            // Per-column attribution: the pruned columns fetched nothing.
+            let by_name = |s: &StreamOutput, n: &str| {
+                s.column_io.iter().find(|c| c.name == n).unwrap().clone()
+            };
+            assert_eq!(by_name(&pruned, "tip").bytes_read, 0);
+            assert_eq!(by_name(&pruned, "distance").bytes_read, 0);
+            assert!(by_name(&pruned, "fare").bytes_read > 0);
+            assert!(by_name(&full, "tip").bytes_read > 0);
+            assert_eq!(
+                pruned.column_io.iter().map(|c| c.bytes_read).sum::<u64>(),
+                pruned.read_bytes
+            );
+            // The in-memory reference with the *original* query agrees.
+            let reference = pruned.plan.execute(&pts, &polys, &q, &dev);
+            assert_eq!(pruned.output.counts, reference.counts);
+        }
+        std::fs::remove_file(&raw).ok();
+        std::fs::remove_file(&z).ok();
+    }
+
+    #[test]
+    fn readahead_ring_depth_is_result_invariant() {
+        let pts = TaxiModel::default().generate(12_000, 330);
+        let polys = synthetic_polygons(6, &nyc_extent(), 331);
+        let q = Query::count().with_epsilon(30.0);
+        let dev = small_device(1_500, 0, 8192);
+        let path = tmp("ring.bin");
+        write_table(&path, &pts).unwrap();
+        let base = StreamingRasterJoin::new(2)
+            .with_readahead(1)
+            .execute(&path, &polys, &q, &dev)
+            .unwrap();
+        assert_eq!(StreamingRasterJoin::default().readahead, DEFAULT_READAHEAD);
+        for depth in [2usize, 4, 8] {
+            let s = StreamingRasterJoin::new(2)
+                .with_readahead(depth)
+                .execute(&path, &polys, &q, &dev)
+                .unwrap();
+            assert_eq!(s.output.counts, base.output.counts, "depth {depth}");
+            assert_eq!(s.chunks, base.chunks);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn explain_shows_pruned_columns_and_predicted_bytes() {
+        use raster_data::disk::write_table_compressed;
+        let pts = TaxiModel::default().generate(6_000, 340);
+        let fare = pts.attr_index("fare").unwrap();
+        let polys = synthetic_polygons(6, &nyc_extent(), 341);
+        let q = Query::avg(fare).with_epsilon(40.0);
+        let dev = small_device(2_000, 1, 8192);
+        let path = tmp("explain.binz");
+        write_table_compressed(&path, &pts, 1_024).unwrap();
+
+        let stream = StreamingRasterJoin::new(2);
+        let text = stream.explain(&path, &polys, &q, &dev).unwrap();
+        assert!(text.contains("streaming scan"), "{text}");
+        assert!(text.contains("columns: x, y, fare"), "{text}");
+        assert!(text.contains("pruned 4 of 5 attribute column(s)"), "{text}");
+        assert!(text.contains("readahead 3 chunk(s)"), "{text}");
+        // Predicted read bytes reflect the pruned column set exactly.
+        let meta = raster_data::disk::table_meta(&path).unwrap();
+        let expect = meta.pruned_scan_bytes(&[fare]);
+        assert!(
+            text.contains(&format!("predicted read bytes: {expect} of ")),
+            "{expect} missing in:\n{text}"
+        );
+        // …and the execution fetches exactly what EXPLAIN predicted.
+        let s = stream.execute(&path, &polys, &q, &dev).unwrap();
+        assert_eq!(s.read_bytes, expect);
+
+        // Pruning off: all columns, full-scan bytes.
+        let full = stream
+            .with_column_pruning(false)
+            .explain(&path, &polys, &q, &dev)
+            .unwrap();
+        assert!(full.contains("all 5 attribute column(s)"), "{full}");
+        assert!(
+            full.contains(&format!(
+                "predicted read bytes: {} of {}",
+                meta.scan_bytes(),
+                meta.scan_bytes()
+            )),
+            "{full}"
+        );
+
+        // The SQL form resolves the schema from the header and strips the
+        // EXPLAIN keyword itself (any case).
+        for kw in ["EXPLAIN", "Explain", ""] {
+            let sql = format!(
+                "{kw} SELECT AVG(fare) FROM '{}', R \
+                 WHERE P.loc INSIDE R.geometry GROUP BY R.id",
+                path.display()
+            );
+            let via_sql = StreamingRasterJoin::new(2)
+                .explain_sql(&sql, Some(40.0), &polys, &dev)
+                .unwrap();
+            assert!(via_sql.contains("pruned 4 of 5"), "{kw}: {via_sql}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sql_over_tail_truncated_file_works_when_pruning_spares_it() {
+        // The SQL entry point must honour projection-aware truncation
+        // tolerance: schema resolution reads only the header, and the
+        // projected open decides whether the missing tail matters.
+        let pts = TaxiModel::default().generate(3_000, 360);
+        let polys = synthetic_polygons(5, &nyc_extent(), 361);
+        let path = tmp("trunc-sql.bin");
+        write_table(&path, &pts).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Chop into the last attribute column ('hour')'s region.
+        std::fs::write(&path, &full[..full.len() - 64]).unwrap();
+        let dev = small_device(1_000, 1, 8192);
+        let sql = format!(
+            "SELECT AVG(fare) FROM '{}', R WHERE P.loc INSIDE R.geometry GROUP BY R.id",
+            path.display()
+        );
+        let stream = StreamingRasterJoin::new(1);
+        let (q, s) = stream.execute_sql(&sql, Some(40.0), &polys, &dev).unwrap();
+        assert_eq!(s.rows, 3_000);
+        let reference = s.plan.execute(&pts, &polys, &q, &dev);
+        assert_eq!(s.output.counts, reference.counts);
+        // A query needing the truncated column still fails, with a typed
+        // error.
+        let sql_hour = format!(
+            "SELECT AVG(hour) FROM '{}', R WHERE P.loc INSIDE R.geometry GROUP BY R.id",
+            path.display()
+        );
+        match stream.execute_sql(&sql_hour, Some(40.0), &polys, &dev) {
+            Err(StreamError::Io(e)) => {
+                use raster_data::codec::FormatError;
+                assert!(
+                    matches!(FormatError::of(&e), Some(FormatError::Truncated { .. })),
+                    "{e}"
+                );
+            }
+            other => panic!("expected truncation error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn query_referencing_missing_column_is_invalid_input() {
+        let pts = TaxiModel::default().generate(1_000, 350);
+        let polys = synthetic_polygons(4, &nyc_extent(), 351);
+        let path = tmp("badattr.bin");
+        write_table(&path, &pts).unwrap();
+        // Attribute index 9 does not exist in the 5-column taxi schema.
+        let q = Query::sum(9).with_epsilon(40.0);
+        let err = StreamingRasterJoin::new(1)
+            .execute(&path, &polys, &q, &Device::default())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         std::fs::remove_file(&path).ok();
     }
 

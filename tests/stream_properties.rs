@@ -8,7 +8,10 @@
 //! results to the paper-faithful blocking reader).
 
 use proptest::prelude::*;
-use raster_join_repro::data::disk::{write_table, write_table_compressed};
+use raster_join_repro::data::codec::FormatError;
+use raster_join_repro::data::disk::{
+    table_meta, write_table, write_table_compressed, write_table_compressed_v2,
+};
 use raster_join_repro::data::generators::{nyc_extent, TaxiModel};
 use raster_join_repro::data::polygons::synthetic_polygons;
 use raster_join_repro::gpu::RasterConfig;
@@ -173,4 +176,153 @@ fn compressed_streaming_matches_raw_and_in_memory_for_all_configs() {
     }
     std::fs::remove_file(&raw_path).ok();
     std::fs::remove_file(&z_path).ok();
+}
+
+/// Projection pushdown must be invisible in results across the whole
+/// matrix: pruned scan ≡ full scan ≡ in-memory for all four
+/// `RasterConfig`s, over v1 (raw), v2 (legacy compressed, full-block
+/// fallback) and v3 (per-column directory) files, at an odd chunk size,
+/// with a query whose predicate column is *not* its aggregate column.
+/// Counts bit-identical; sums *bitwise* equal (single worker + fixed
+/// chunking ⇒ identical fold order, and pruning must not perturb it).
+#[test]
+fn pruned_scan_equals_full_scan_and_in_memory_for_all_configs_and_formats() {
+    let extent = nyc_extent();
+    let polys = synthetic_polygons(9, &extent, 0x11AD);
+    let pts = TaxiModel::default().generate(9_000, 0x11AD5);
+    let fare = pts.attr_index("fare").unwrap();
+    let hour = pts.attr_index("hour").unwrap();
+    // Aggregate on `fare`, predicate on `hour`: the projection {fare,
+    // hour} exercises the remap of both, and `tip`/`distance`/
+    // `passengers` are pruned away.
+    let q = Query::avg(fare)
+        .with_epsilon(70.0)
+        .with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 100.0)]);
+    let dev = Device::new(DeviceConfig::small(
+        2_000 * PointTable::point_bytes(2),
+        2048,
+    ));
+
+    let v1 = tmp("prune-v1");
+    let v2 = tmp("prune-v2");
+    let v3 = tmp("prune-v3");
+    write_table(&v1, &pts).unwrap();
+    // Stored chunks straddle the odd 997-row delivery chunks.
+    write_table_compressed_v2(&v2, &pts, 1_300).unwrap();
+    write_table_compressed(&v3, &pts, 1_300).unwrap();
+
+    for (path, fmt) in [(&v1, "v1"), (&v2, "v2"), (&v3, "v3")] {
+        for (binning, sharding) in [(false, false), (true, false), (false, true), (true, true)] {
+            let config = RasterConfig { binning, sharding };
+            let exec = |prune: bool| {
+                StreamingRasterJoin::new(1)
+                    .with_config_override(config)
+                    .with_chunk_rows(997)
+                    .with_column_pruning(prune)
+                    .execute(path, &polys, &q, &dev)
+                    .unwrap()
+            };
+            let pruned = exec(true);
+            let full = exec(false);
+            assert_eq!(pruned.rows, 9_000, "{fmt} {config:?}");
+            assert_eq!(pruned.output.counts, full.output.counts, "{fmt} {config:?}");
+            assert_eq!(
+                pruned.output.sums, full.output.sums,
+                "{fmt} {config:?}: sums must be bitwise equal"
+            );
+            // v1 and v3 prune bytes off the wire; v2 can only skip decode.
+            if fmt == "v2" {
+                assert_eq!(pruned.read_bytes, full.read_bytes, "{fmt} {config:?}");
+            } else {
+                assert!(
+                    pruned.read_bytes < full.read_bytes,
+                    "{fmt} {config:?}: {} vs {}",
+                    pruned.read_bytes,
+                    full.read_bytes
+                );
+            }
+            // In-memory reference: the exact plan the stream executed,
+            // over the unprojected table with the original query. Counts
+            // bit-identical; sums within the f64 chunk-reassociation
+            // tolerance (the chunk loop folds per-chunk partial sums in a
+            // different order than the one-shot in-memory batch — the
+            // *bitwise* guarantee is pruned ≡ full above, which share the
+            // chunking).
+            let reference = pruned.plan.execute(&pts, &polys, &q, &dev);
+            assert_eq!(pruned.output.counts, reference.counts, "{fmt} {config:?}");
+            for (i, (g, w)) in pruned.output.sums.iter().zip(&reference.sums).enumerate() {
+                assert!(
+                    (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+                    "{fmt} {config:?} slot {i}: {g} vs {w}"
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&v1).ok();
+    std::fs::remove_file(&v2).ok();
+    std::fs::remove_file(&v3).ok();
+}
+
+/// Corrupt-file regression at the query level: a garbled block of a
+/// *pruned-away* column must not fail (or change) the query, while a
+/// corrupted *required* column surfaces a typed `FormatError` — never a
+/// panic — through both the blocking and the prefetching reader.
+#[test]
+fn corruption_in_pruned_columns_is_invisible_and_in_required_columns_typed() {
+    let extent = nyc_extent();
+    let polys = synthetic_polygons(7, &extent, 0xBAD);
+    let pts = TaxiModel::default().generate(6_000, 0xBAD5);
+    let fare = pts.attr_index("fare").unwrap();
+    let q = Query::avg(fare).with_epsilon(70.0);
+    let dev = Device::new(DeviceConfig::small(
+        2_000 * PointTable::point_bytes(1),
+        2048,
+    ));
+    let path = tmp("corrupt-prune");
+    write_table_compressed(&path, &pts, 1_024).unwrap();
+    let clean_bytes = std::fs::read(&path).unwrap();
+    let meta = table_meta(&path).unwrap();
+    let clean = StreamingRasterJoin::new(1)
+        .with_chunk_rows(800)
+        .execute(&path, &polys, &q, &dev)
+        .unwrap();
+
+    // Garble the full entry of `tip` (stored column 3) in every chunk —
+    // codec id included, a guaranteed hard error if ever decoded:
+    // AVG(fare) never touches it, so the answer is bit-identical.
+    let mut bad = clean_bytes.clone();
+    for chunk in 0..meta.rows.div_ceil(1_024) as usize {
+        let (off, len) = meta.column_block_range(chunk, 3).unwrap();
+        bad[off as usize] = 99; // unknown codec id
+        for b in &mut bad[off as usize + 5..(off + len) as usize] {
+            *b = !*b;
+        }
+    }
+    std::fs::write(&path, &bad).unwrap();
+    for stream in [
+        StreamingRasterJoin::new(1).with_chunk_rows(800),
+        StreamingRasterJoin::new(1).with_chunk_rows(800).blocking(),
+    ] {
+        let s = stream.execute(&path, &polys, &q, &dev).unwrap();
+        assert_eq!(s.output.counts, clean.output.counts);
+        assert_eq!(s.output.sums, clean.output.sums);
+    }
+
+    // Garble `fare` itself (stored column 2): required, so the scan must
+    // fail with a typed error in both reader modes.
+    let mut bad = clean_bytes;
+    let (off, _) = meta.column_block_range(0, 2).unwrap();
+    bad[off as usize] = 99; // unknown codec id
+    std::fs::write(&path, &bad).unwrap();
+    for stream in [
+        StreamingRasterJoin::new(1).with_chunk_rows(800),
+        StreamingRasterJoin::new(1).with_chunk_rows(800).blocking(),
+    ] {
+        let err = stream.execute(&path, &polys, &q, &dev).unwrap_err();
+        assert!(
+            matches!(FormatError::of(&err), Some(FormatError::Corrupt(_))),
+            "{err}"
+        );
+    }
+    std::fs::remove_file(&path).ok();
 }
