@@ -343,6 +343,10 @@ fn check_bench(
                 "compressed_speedup_vs_raw",
                 "pruned_bytes_reduction",
                 "pruned_speedup_vs_full",
+                // Chunk-pool arm: near 1.0 on a single core (both sides
+                // run the same plan, and thread time-slicing can put the
+                // pool slightly under), genuinely >1 with real cores.
+                "parallel_speedup_vs_sequential",
             ] {
                 check_ratios(rows, bench, key, HigherIsBetter, tol, &baseline, &fresh);
             }
@@ -353,6 +357,10 @@ fn check_bench(
                 "compressed_sums_exact",
                 "pruned_counts_exact",
                 "pruned_sums_exact",
+                // Pool determinism: counts vs the in-memory reference,
+                // sums bitwise vs the blocking path at the same width.
+                "parallel_counts_exact",
+                "parallel_sums_exact",
             ] {
                 check_flags(rows, bench, key, &baseline, &fresh);
             }
@@ -450,13 +458,15 @@ mod tests {
         "prefetch_speedup": 1.50,
         "bytes_reduction": 2.30, "compressed_speedup_vs_raw": 1.80,
         "pruned_bytes_reduction": 1.25, "pruned_speedup_vs_full": 1.05,
+        "parallel_speedup_vs_sequential": 1.02,
         "compressed_counts_exact": true, "compressed_sums_exact": true,
         "pruned_counts_exact": true, "pruned_sums_exact": true,
+        "parallel_counts_exact": true, "parallel_sums_exact": true,
         "counts_exact": true, "sums_within_tolerance": true
       }
     }"#;
 
-    /// A baseline from before the pruned arm existed.
+    /// A baseline from before the pruned and chunk-pool arms existed.
     const STREAM_BASE_PRE_PRUNING: &str = r#"{
       "bench": "stream", "quick": true,
       "summary": {
@@ -557,8 +567,11 @@ mod tests {
             vec![
                 "pruned_bytes_reduction",
                 "pruned_speedup_vs_full",
+                "parallel_speedup_vs_sequential",
                 "pruned_counts_exact",
-                "pruned_sums_exact"
+                "pruned_sums_exact",
+                "parallel_counts_exact",
+                "parallel_sums_exact"
             ]
         );
         let md = render_markdown(&rows, 0.25, false);

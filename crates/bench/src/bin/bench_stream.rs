@@ -1,7 +1,9 @@
 //! `bench_stream` — the disk-resident streaming executor benchmark
 //! (the Fig. 13 cell, §7.7, run through `StreamingRasterJoin`).
 //!
-//! Six measurements into `BENCH_stream.json`:
+//! Seven measurements into `BENCH_stream.json` (`RJ_WORKERS` overrides
+//! the worker autodetection for every arm, see
+//! `raster_gpu::exec::default_workers`):
 //!
 //! 1. **Prefetch vs blocking** at the headline cell (default: 2 M Twitter
 //!    points ⋈ US counties, ε = 1 km, 250 k-point device budget): total
@@ -18,13 +20,21 @@
 //!    PR-4 behaviour). The pruned arm must read strictly fewer bytes —
 //!    `retweets` never leaves the disk — with counts bit-identical and
 //!    sums exactly equal; per-column `column_io` attributes the win.
-//! 4. **Chunk-size grid**: fixed chunk sizes (fractions of the device
+//! 4. **Chunk-parallel pool**: the pruned cell with a chunk pool of
+//!    ≥ 4 workers against the forced-sequential 1-worker scan. On a
+//!    multi-core box the pool overlaps the decode+join of several chunks
+//!    and the speedup lands in disk+processing; on a single-core box it
+//!    degenerates to ~1x. The pool must agree **bitwise** (counts and
+//!    sums) with the blocking arm at the same width — the sequential
+//!    execution of the identical plan — and counts must match the
+//!    in-memory reference bit-for-bit.
+//! 5. **Chunk-size grid**: fixed chunk sizes (fractions of the device
 //!    budget) against the planner-chosen chunk, to verify the planner's
 //!    batch model is a sound chunk-size oracle (within 20% of the best
 //!    fixed size).
-//! 5. **Equality**: streamed counts must equal the in-memory execution of
+//! 6. **Equality**: streamed counts must equal the in-memory execution of
 //!    the same plan bit-for-bit; sums within f32 reassociation tolerance.
-//! 6. **Reader throughput**: processing-free chunked scans of both files,
+//! 7. **Reader throughput**: processing-free chunked scans of both files,
 //!    documenting the positioned-read reader and the raw decode cost.
 //!
 //! ```text
@@ -275,6 +285,43 @@ fn main() {
         );
     }
 
+    // -------------------------------------------------- chunk-parallel arm
+    // The pruned cell again, chunk pool of ≥ 4 workers vs the forced
+    // 1-worker sequential scan (both paced, both pruned).
+    let par_workers = workers.max(4);
+    let par_stream =
+        |w: usize| StreamingRasterJoin::new(w).with_disk_bandwidth(MODELLED_DISK_BANDWIDTH);
+    let parallel = best_of(reps, || run2(&par_stream(par_workers)));
+    let sequential = best_of(reps, || run2(&par_stream(1)));
+    let parallel_ms = disk_plus_processing_ms(&parallel);
+    let sequential_ms = disk_plus_processing_ms(&sequential);
+    let parallel_speedup = sequential_ms / parallel_ms.max(1e-9);
+    // Exactness probe: unpaced, fixed chunk, same width — the blocking
+    // arm disables the pool but keeps the identical plan, so pool vs
+    // blocking is exactly parallel vs sequential execution of one plan.
+    // Bitwise equality, no tolerance.
+    let par_probe = |blocking: bool| {
+        let mut s = StreamingRasterJoin::new(par_workers).with_chunk_rows(parallel.out.chunk_rows);
+        if blocking {
+            s = s.blocking();
+        }
+        s.execute(&pathz, polys, &q2, &dev2)
+            .expect("parallel exactness probe")
+    };
+    let (probe_pool, probe_blk) = (par_probe(false), par_probe(true));
+    let parallel_sums_exact = probe_pool.output.sums == probe_blk.output.sums
+        && probe_pool.output.counts == probe_blk.output.counts;
+    // Counts are integer folds: bit-identical to the in-memory execution
+    // of the parallel arm's own plan.
+    let reference_par = parallel.out.plan.execute(&pts, polys, &q2, &dev2);
+    let parallel_counts_exact = parallel.out.output.counts == reference_par.counts;
+    eprintln!(
+        "parallel({} worker(s), pool {}): {parallel_ms:.1} ms disk+proc vs sequential \
+         {sequential_ms:.1} ms → {parallel_speedup:.2}x | counts exact: {parallel_counts_exact}, \
+         sums exact vs sequential: {parallel_sums_exact}",
+        par_workers, parallel.out.pool_workers,
+    );
+
     // ------------------------------------------------------ equality check
     let reference = prefetch.out.plan.execute(&pts, polys, &q, &dev);
     let counts_exact = prefetch.out.output.counts == reference.counts
@@ -333,6 +380,14 @@ fn main() {
         counts_exact: pruned_counts_exact,
         sums_exact: pruned_sums_exact,
     };
+    let warm = ParallelArm {
+        parallel: &parallel,
+        sequential: &sequential,
+        requested_workers: par_workers,
+        speedup: parallel_speedup,
+        counts_exact: parallel_counts_exact,
+        sums_exact: parallel_sums_exact,
+    };
     let json = render_json(
         quick,
         reps,
@@ -346,6 +401,7 @@ fn main() {
         &blocking,
         &arm,
         &parm,
+        &warm,
         &grid,
         best_chunk,
         within_20pct,
@@ -381,6 +437,16 @@ struct PrunedArm<'a> {
     sums_exact: bool,
 }
 
+/// The chunk-parallel pool arm's metrics, bundled for `render_json`.
+struct ParallelArm<'a> {
+    parallel: &'a Run,
+    sequential: &'a Run,
+    requested_workers: usize,
+    speedup: f64,
+    counts_exact: bool,
+    sums_exact: bool,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     quick: bool,
@@ -395,6 +461,7 @@ fn render_json(
     blocking: &Run,
     arm: &CompressedArm,
     parm: &PrunedArm,
+    warm: &ParallelArm,
     grid: &[(usize, Run)],
     best_chunk: usize,
     within_20pct: bool,
@@ -408,7 +475,7 @@ fn render_json(
             "{{\"disk_plus_processing_ms\": {:.2}, \"wall_ms\": {:.2}, \"total_ms\": {:.2}, \
              \"disk_wait_ms\": {:.2}, \"read_ms\": {:.2}, \"decode_ms\": {:.2}, \
              \"processing_ms\": {:.2}, \"transfer_ms\": {:.2}, \"read_bytes\": {}, \
-             \"chunk_rows\": {}, \"chunks\": {}}}",
+             \"chunk_rows\": {}, \"chunks\": {}, \"pool_workers\": {}}}",
             disk_plus_processing_ms(r),
             r.wall_ms,
             st.total().as_secs_f64() * 1e3,
@@ -419,7 +486,8 @@ fn render_json(
             st.transfer.as_secs_f64() * 1e3,
             r.out.read_bytes,
             r.out.chunk_rows,
-            r.out.chunks
+            r.out.chunks,
+            r.out.pool_workers
         )
     };
     let mut s = String::new();
@@ -441,6 +509,8 @@ fn render_json(
     let _ = writeln!(s, "  \"compressed\": {},", run_obj(arm.run));
     let _ = writeln!(s, "  \"pruned\": {},", run_obj(parm.pruned));
     let _ = writeln!(s, "  \"full_cols\": {},", run_obj(parm.full_cols));
+    let _ = writeln!(s, "  \"parallel\": {},", run_obj(warm.parallel));
+    let _ = writeln!(s, "  \"sequential\": {},", run_obj(warm.sequential));
     // Per-column attribution of the pruned arm's bytes/decode (pruned
     // columns at zero — the satellite visibility of the win).
     s.push_str("  \"pruned_column_io\": [");
@@ -538,6 +608,24 @@ fn render_json(
         s,
         "    \"pruned_counts_exact\": {}, \"pruned_sums_exact\": {},",
         parm.counts_exact, parm.sums_exact
+    );
+    let parallel_ms = disk_plus_processing_ms(warm.parallel);
+    let sequential_ms = disk_plus_processing_ms(warm.sequential);
+    let _ = writeln!(
+        s,
+        "    \"parallel_ms\": {parallel_ms:.2}, \"sequential_ms\": {sequential_ms:.2}, \
+         \"parallel_speedup_vs_sequential\": {:.3},",
+        warm.speedup
+    );
+    let _ = writeln!(
+        s,
+        "    \"parallel_pool_workers\": {}, \"parallel_requested_workers\": {},",
+        warm.parallel.out.pool_workers, warm.requested_workers
+    );
+    let _ = writeln!(
+        s,
+        "    \"parallel_counts_exact\": {}, \"parallel_sums_exact\": {},",
+        warm.counts_exact, warm.sums_exact
     );
     let _ = writeln!(
         s,

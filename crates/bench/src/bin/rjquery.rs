@@ -9,7 +9,7 @@
 //! rjquery --points taxi.bin --polygons 64 \
 //!         --sql "SELECT AVG(fare) FROM P, R WHERE P.loc INSIDE R.geometry \
 //!                AND passengers >= 2 GROUP BY R.id" \
-//!         [--epsilon 10] [--exact] [--auto]
+//!         [--epsilon 10] [--exact] [--auto] [--workers N]
 //!
 //! # no --points: generate a synthetic taxi workload of N points
 //! rjquery --generate 1000000 --polygons 32 --sql "..." --epsilon 20
@@ -24,6 +24,11 @@
 //! rjquery --sql "SELECT AVG(fare) FROM 'taxi.bin', R \
 //!         WHERE P.loc INSIDE R.geometry GROUP BY R.id" --epsilon 20
 //! ```
+//!
+//! `--workers N` caps the executors' parallelism (the streaming scan's
+//! chunk pool and the in-memory joins' intra-batch fan-out); without it
+//! the `RJ_WORKERS` environment variable, then the detected core count,
+//! decide (`raster_gpu::exec::default_workers`).
 
 use raster_data::generators::{nyc_extent, TaxiModel};
 use raster_data::polygons::synthetic_polygons;
@@ -42,6 +47,7 @@ struct Args {
     exact: bool,
     auto: bool,
     top: usize,
+    workers: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -54,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         exact: false,
         auto: false,
         top: 10,
+        workers: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -86,6 +93,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--top" => {
                 a.top = need(i, &argv)?.parse().map_err(|_| "bad --top")?;
+                i += 2;
+            }
+            "--workers" => {
+                let w: usize = need(i, &argv)?.parse().map_err(|_| "bad --workers")?;
+                if w == 0 {
+                    return Err("bad --workers (must be >= 1)".into());
+                }
+                a.workers = Some(w);
                 i += 2;
             }
             "--exact" => {
@@ -183,11 +198,16 @@ fn main() {
         }
         let polys = synthetic_polygons(args.polygons, &nyc_extent(), 1);
         let device = Device::default();
+        let mk_stream = || match args.workers {
+            Some(w) => raster_join::StreamingRasterJoin::new(w),
+            None => raster_join::StreamingRasterJoin::default(),
+        };
         if is_explain {
             // The streaming EXPLAIN: the exact plan the chunk loop would
-            // run, plus the pruned column set and predicted read bytes
-            // (explain_sql strips the EXPLAIN keyword itself).
-            let stream = raster_join::StreamingRasterJoin::default();
+            // run, plus the chunk-pool width, the pruned column set and
+            // predicted read bytes (explain_sql strips the EXPLAIN
+            // keyword itself).
+            let stream = mk_stream();
             match stream.explain_sql(&args.sql, Some(args.epsilon), &polys, &device) {
                 Ok(plan) => {
                     print!("{plan}");
@@ -199,16 +219,17 @@ fn main() {
                 }
             }
         }
-        let stream = raster_join::StreamingRasterJoin::default();
+        let stream = mk_stream();
         match stream.execute_sql(&args.sql, Some(args.epsilon), &polys, &device) {
             Ok((query, s)) => {
                 println!("executor: streamed {}", s.plan.describe());
                 println!(
-                    "streamed {} rows in {} chunk(s) of {} ({:?} processing, {:?} disk wait, \
-                     {:?} read)",
+                    "streamed {} rows in {} chunk(s) of {} on {} pool worker(s) \
+                     ({:?} processing, {:?} disk wait, {:?} read)",
                     s.rows,
                     s.chunks,
                     s.chunk_rows,
+                    s.pool_workers,
                     s.output.stats.processing,
                     s.output.stats.disk,
                     s.read_time
@@ -269,17 +290,29 @@ fn main() {
     };
 
     let (label, out) = if args.auto {
-        let (plan, out) = AutoRasterJoin::default().execute(&points, &polys, &query, &device);
+        let mut auto = AutoRasterJoin::default();
+        if let Some(w) = args.workers {
+            auto.workers = w;
+        }
+        let (plan, out) = auto.execute(&points, &polys, &query, &device);
         (format!("auto → {}", plan.describe()), out)
     } else if args.exact {
+        let mut exec = AccurateRasterJoin::default();
+        if let Some(w) = args.workers {
+            exec.workers = w;
+        }
         (
             "accurate".to_string(),
-            AccurateRasterJoin::default().execute(&points, &polys, &query, &device),
+            exec.execute(&points, &polys, &query, &device),
         )
     } else {
+        let mut exec = BoundedRasterJoin::default();
+        if let Some(w) = args.workers {
+            exec.workers = w;
+        }
         (
             format!("bounded ε={}", query.epsilon),
-            BoundedRasterJoin::default().execute(&points, &polys, &query, &device),
+            exec.execute(&points, &polys, &query, &device),
         )
     };
 

@@ -69,6 +69,13 @@ impl Default for RasterConfig {
 /// entries per pixel the atomic path's contention is cheaper than the
 /// merge bandwidth, so a sharding-enabled config still uses atomics for
 /// sparse tiles. (The ablation bench runs well above this density.)
+///
+/// The density crossover was re-measured under the chunk-parallel
+/// streaming pool: with a single worker there is no atomic contention at
+/// all — the shard merge is pure overhead at *any* density — so the gate
+/// now also requires `workers > 1`. Above one worker the 0.5 entries per
+/// pixel threshold still holds: contention on the shared FBO grows with
+/// the entry density, while the merge cost is flat in it.
 pub const SHARD_MIN_DENSITY: f64 = 0.5;
 
 impl RasterConfig {
@@ -83,8 +90,11 @@ impl RasterConfig {
     /// The sharding density gate, shared by every executor (bounded,
     /// accurate) and mirrored by the planner's cost model: does this
     /// tile's expected point load justify the O(pixels × shards) merge?
-    pub fn use_shards(&self, entries: usize, pixels: usize) -> bool {
-        self.sharding && entries as f64 >= SHARD_MIN_DENSITY * pixels as f64
+    /// A single worker never shards — private shards only pay off against
+    /// atomic contention, which needs at least two blending threads (see
+    /// [`SHARD_MIN_DENSITY`] for the density crossover).
+    pub fn use_shards(&self, entries: usize, pixels: usize, workers: usize) -> bool {
+        self.sharding && workers > 1 && entries as f64 >= SHARD_MIN_DENSITY * pixels as f64
     }
 }
 
@@ -599,6 +609,20 @@ mod tests {
             assert_eq!(ai, bi, "tile {ti} pixel indices");
             assert_eq!(av, bv, "tile {ti} values");
         }
+    }
+
+    #[test]
+    fn shard_gate_needs_contention_and_density() {
+        let cfg = RasterConfig::default();
+        // A single worker never shards, no matter how dense the tile:
+        // there is no atomic contention to escape from.
+        assert!(!cfg.use_shards(1_000_000, 100, 1));
+        // With ≥ 2 workers the 0.5 entries/pixel crossover decides.
+        assert!(cfg.use_shards(50, 100, 2));
+        assert!(cfg.use_shards(50, 100, 8));
+        assert!(!cfg.use_shards(49, 100, 2));
+        // Sharding disabled by config wins over everything.
+        assert!(!RasterConfig::naive().use_shards(1_000, 10, 4));
     }
 
     #[test]

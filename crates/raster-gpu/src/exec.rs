@@ -8,8 +8,18 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-/// Number of workers: the available CPU parallelism (or 1 when unknown).
+/// Number of workers: the `RJ_WORKERS` environment variable when set to a
+/// positive integer, otherwise the available CPU parallelism (or 1 when
+/// unknown). The override lets a 1-core CI box exercise the multi-worker
+/// paths — and a many-core dev box pin them down — without code edits.
 pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("RJ_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

@@ -348,6 +348,13 @@ impl ShardSet {
 /// instead, so steady-state execution performs no allocation at all —
 /// the software analog of a GL implementation reusing FBO attachments
 /// across `glClear` calls rather than reallocating textures.
+///
+/// Both free lists sit behind `parking_lot` mutexes, so a prepared
+/// executor shared across the streaming chunk pool's workers hands out
+/// buffers safely: each worker `acquire`s a private FBO (or
+/// [`ShardSet`]) for the tile it is blending, and ownership is exclusive
+/// until `release` — the locks guard only the free lists, never the
+/// pixels, so concurrent chunks never contend on buffer contents.
 #[derive(Default)]
 pub struct FboPool {
     fbos: parking_lot::Mutex<Vec<PointFbo>>,

@@ -274,7 +274,7 @@ impl AccurateRasterJoin {
             device.record_upload(((end - start) * point_bytes) as u64);
             stats.batches += 1;
             let survivors = crate::bounded::estimate_survivors(points, start, end, preds, vp);
-            if self.config.use_shards(survivors, pixels) {
+            if self.config.use_shards(survivors, pixels, self.workers) {
                 // Sharded interior blend: each shard worker scans its
                 // point subrange privately; boundary points take the
                 // exact PIP path inline, as before (SSBO atomics are

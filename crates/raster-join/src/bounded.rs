@@ -370,7 +370,10 @@ impl BoundedRasterJoin {
         if idx.is_empty() {
             return;
         }
-        if self.config.use_shards(idx.len(), vp.pixel_count()) {
+        if self
+            .config
+            .use_shards(idx.len(), vp.pixel_count(), self.workers)
+        {
             let mut shards = pool.acquire_shards(vp.pixel_count(), self.workers);
             shards.accumulate(idx, vals);
             let t0 = Instant::now();
@@ -412,7 +415,10 @@ impl BoundedRasterJoin {
         stats: &mut ExecStats,
     ) {
         let preds = &query.predicates;
-        if self.config.use_shards(est_tile_entries, vp.pixel_count()) {
+        if self
+            .config
+            .use_shards(est_tile_entries, vp.pixel_count(), self.workers)
+        {
             // Sharding without binning (ablation): every shard worker
             // still rescans its point subrange per tile, but blends into
             // private buffers instead of the shared atomics.

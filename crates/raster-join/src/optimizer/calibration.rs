@@ -50,15 +50,21 @@ use super::cost::{Weights, NWEIGHTS, WEIGHT_NAMES};
 use std::io;
 use std::path::Path;
 
-/// Plan-key count: {Bounded, Accurate} × binning × sharding. The accurate
-/// variant ignores binning, but the encoding stays uniform. Online
-/// corrections are attributed to the *effective* pipeline
+/// Plan-key count: {Bounded, Accurate} × binning × sharding × worker
+/// bucket. The accurate variant ignores binning, but the encoding stays
+/// uniform. Online corrections are attributed to the *effective* pipeline
 /// (`cost::effective_key`) — binning skipped on single-tile canvases, the
 /// shard gate possibly not engaging — so labels that resolve to the same
-/// execution share one correction.
-pub const NKEYS: usize = 8;
+/// execution share one correction. The worker bucket
+/// (`cost::worker_bucket`: 1 / 2–3 / 4–7 / 8+) strides the key by 8, so
+/// the amortization model's systematic error at one pool size never
+/// contaminates the correction learned at another.
+pub const NKEYS: usize = 32;
 
-/// Stable names for plan keys — `variant*4 + binning*2 + sharding`.
+/// Stable names for plan keys — `variant*4 + binning*2 + sharding`, then
+/// a `_w2`/`_w4`/`_w8` suffix per worker bucket (bare names are the
+/// single-worker bucket, which keeps pre-worker-dimension calibration
+/// files loading into the right slots).
 pub const KEY_NAMES: [&str; NKEYS] = [
     "bounded_rescan",
     "bounded_rescan_sharded",
@@ -68,6 +74,30 @@ pub const KEY_NAMES: [&str; NKEYS] = [
     "accurate_sharded",
     "accurate_binned",
     "accurate_binned_sharded",
+    "bounded_rescan_w2",
+    "bounded_rescan_sharded_w2",
+    "bounded_binned_w2",
+    "bounded_binned_sharded_w2",
+    "accurate_w2",
+    "accurate_sharded_w2",
+    "accurate_binned_w2",
+    "accurate_binned_sharded_w2",
+    "bounded_rescan_w4",
+    "bounded_rescan_sharded_w4",
+    "bounded_binned_w4",
+    "bounded_binned_sharded_w4",
+    "accurate_w4",
+    "accurate_sharded_w4",
+    "accurate_binned_w4",
+    "accurate_binned_sharded_w4",
+    "bounded_rescan_w8",
+    "bounded_rescan_sharded_w8",
+    "bounded_binned_w8",
+    "bounded_binned_sharded_w8",
+    "accurate_w8",
+    "accurate_sharded_w8",
+    "accurate_binned_w8",
+    "accurate_binned_sharded_w8",
 ];
 
 /// EMA step for the online feedback loop.
@@ -83,8 +113,10 @@ pub struct Calibration {
     pub weights: Weights,
     /// Multiplicative correction per plan key, updated by feedback.
     pub scale: [f64; NKEYS],
-    /// Running global units→seconds factor (informational; rankings only
-    /// depend on the per-key residuals).
+    /// Cumulative mean units→seconds factor across all observations —
+    /// the common denominator per-key residuals are measured against
+    /// (rankings only depend on the per-key residuals, which stay
+    /// comparable precisely because this denominator is burst-stable).
     pub unit: f64,
     /// Number of measured samples the weights were fitted from (0 ⇒
     /// built-in constants).
@@ -136,15 +168,18 @@ impl Calibration {
             return;
         }
         let r = actual_secs / predicted_raw;
-        self.unit = if self.observations == 0 {
-            r
-        } else {
-            self.unit * (1.0 - ALPHA) + r * ALPHA
-        };
+        // The global unit is a *cumulative* mean of r, not a recency EMA:
+        // it is the common denominator every per-key residual is measured
+        // against, so it must stay put when one plan family is observed
+        // in a burst. A recency-weighted unit would chase the burst
+        // (r/unit → 1), letting a slow newly-explored plan wash out its
+        // own penalty while silently devaluing every other key's stored
+        // scale.
+        self.observations += 1;
+        self.unit += (r - self.unit) / self.observations as f64;
         let residual = r / self.unit.max(1e-300);
         let k = key.min(NKEYS - 1);
         self.scale[k] = (self.scale[k] * (1.0 - ALPHA) + residual * ALPHA).clamp(0.05, 20.0);
-        self.observations += 1;
     }
 
     /// Fit weights from `(features, measured_seconds)` samples. Returns
@@ -471,6 +506,32 @@ mod tests {
         let mut f = [0.0; NWEIGHTS];
         f[super::super::cost::W_BLEND] = 1000.0;
         assert!(cal.predict(3, &f) > cal.predict(0, &f));
+    }
+
+    #[test]
+    fn observe_burst_does_not_dilute_penalty() {
+        // A newly-explored slow pipeline observed in a *burst* (as the
+        // planner's closed feedback loop does when it escapes into an
+        // unmeasured family) must still end up penalized relative to a
+        // well-measured fast key. With a recency-EMA unit the burst
+        // would drag the denominator to its own level and the residual
+        // would collapse toward 1.
+        let mut cal = Calibration::builtin();
+        for _ in 0..40 {
+            cal.observe(0, 1000.0, 1.0e-3);
+        }
+        for _ in 0..8 {
+            cal.observe(3, 1000.0, 3.0e-3);
+        }
+        assert!(
+            cal.scale[3] > 1.5 * cal.scale[0],
+            "burst-observed slow key must stay penalized ({} vs {})",
+            cal.scale[3],
+            cal.scale[0]
+        );
+        let mut f = [0.0; NWEIGHTS];
+        f[super::super::cost::W_BLEND] = 1000.0;
+        assert!(cal.predict(3, &f) > 1.5 * cal.predict(0, &f));
     }
 
     #[test]

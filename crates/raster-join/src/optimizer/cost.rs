@@ -17,6 +17,20 @@
 //! ([`raster_gpu::RasterConfig::use_shards`]) decides whether the shard
 //! merge runs,
 //! and single-tile canvases skip binning entirely.
+//!
+//! # The worker-count dimension
+//!
+//! `Plan::workers` is a real plan dimension: the planner enumerates
+//! halving worker counts and costs each one. Stages that parallelize
+//! (filter, bin, blend, fragments, PIP, decode, …) amortize by
+//! `1 + PARALLEL_EFFICIENCY·(w−1)`; the shard merge *grows* with the
+//! worker count (`1 + MERGE_CONTENTION·(w−1)` — more shards to fold),
+//! and fixed per-pass/per-batch overheads plus the storage-byte term stay
+//! serial (one paced reader). Which stages shard at all depends on the
+//! *intra-chunk* worker count ([`intra_workers`]): streaming chunks run
+//! their join single-threaded inside the chunk pool (the determinism
+//! rule in `stream.rs`), so their shard gate is evaluated at one worker
+//! and never engages.
 
 use super::{Plan, Variant};
 use crate::query::Query;
@@ -96,6 +110,42 @@ impl Weights {
 
 /// How many rows the deterministic selectivity sample visits at most.
 pub const SELECTIVITY_SAMPLE: usize = 1024;
+
+/// Fraction of the ideal per-worker speedup the parallel stages actually
+/// realize (scheduling overhead, memory-bandwidth sharing): a parallel
+/// feature is divided by `1 + PARALLEL_EFFICIENCY·(workers − 1)`.
+pub const PARALLEL_EFFICIENCY: f64 = 0.85;
+
+/// Per-extra-worker growth of the shard-merge term: every worker owns a
+/// private shard, so the merge folds `O(pixels × workers)` and contends
+/// on the shared FBO; [`W_MERGE_PX`] is multiplied by
+/// `1 + MERGE_CONTENTION·(workers − 1)`.
+pub const MERGE_CONTENTION: f64 = 0.6;
+
+/// The worker count the *join inside one unit of work* runs at. Streaming
+/// workloads (`stored_row_bytes > 0`) parallelize across chunks, not
+/// within them — every chunk executes single-threaded so f32 blend order
+/// (hence AVG sums) is bitwise identical at any pool size — while
+/// in-memory workloads fan the batch itself out over `plan.workers`.
+pub fn intra_workers(plan: &Plan, wl: &Workload) -> usize {
+    if wl.stored_row_bytes > 0.0 {
+        1
+    } else {
+        plan.workers.max(1)
+    }
+}
+
+/// Calibration key bucket for a worker count: 1 / 2–3 / 4–7 / 8+. Worker
+/// counts in one bucket share a per-pipeline correction scale, so online
+/// feedback learned at one pool size never pollutes another's.
+pub fn worker_bucket(workers: usize) -> usize {
+    match workers {
+        0 | 1 => 0,
+        2..=3 => 1,
+        4..=7 => 2,
+        _ => 3,
+    }
+}
 
 /// Everything the cost model needs to know about one (points, polygons,
 /// query) triple, summarised so plan enumeration is O(plans) not
@@ -227,6 +277,7 @@ fn fragments(area: f64, perimeter: f64, pixel_side: f64) -> f64 {
 pub fn shape(plan: &Plan, wl: &Workload, device: &Device) -> PlanShape {
     let batches = wl.n_points.div_ceil(plan.batch_points.max(1)).max(1) as u32;
     let max_dim = device.config().max_fbo_dim;
+    let intra = intra_workers(plan, wl);
     match plan.variant {
         Variant::Bounded => {
             let (w, h) = resolution_for_epsilon(&wl.extent, wl.epsilon);
@@ -235,9 +286,10 @@ pub fn shape(plan: &Plan, wl: &Workload, device: &Device) -> PlanShape {
             let tile_px = pixels / tiles as f64;
             let surv_per_tile = wl.n_points as f64 * wl.surviving / batches as f64 / tiles as f64;
             // Mirrors the executor: with binning on, a single-tile canvas
-            // skips both the binner and the shard path; the shard gate
-            // then applies per tile.
-            let shard_possible = plan.config.sharding && !(plan.config.binning && tiles <= 1);
+            // skips both the binner and the shard path; a single blending
+            // worker never shards; the density gate then applies per tile.
+            let shard_possible =
+                plan.config.sharding && intra > 1 && !(plan.config.binning && tiles <= 1);
             let sharded = shard_possible && surv_per_tile >= SHARD_MIN_DENSITY * tile_px;
             PlanShape {
                 tiles,
@@ -255,7 +307,7 @@ pub fn shape(plan: &Plan, wl: &Workload, device: &Device) -> PlanShape {
             let surv_per_batch = wl.n_points as f64 * wl.surviving / batches as f64;
             let sharded = plan
                 .config
-                .use_shards(surv_per_batch as usize, pixels as usize);
+                .use_shards(surv_per_batch as usize, pixels as usize, intra);
             PlanShape {
                 tiles: 1,
                 batches,
@@ -270,11 +322,14 @@ pub fn shape(plan: &Plan, wl: &Workload, device: &Device) -> PlanShape {
 }
 
 /// The *effective* pipeline a plan resolves to on a workload, encoded
-/// like [`Plan::key`]: binning is skipped on single-tile canvases and the
-/// sharding density gate may not engage, so distinct configs can collapse
-/// to the identical execution. The bench evaluation compares decisions by
-/// effective pipeline rather than by label, so noise between physically
-/// identical runs never scores as a planner error.
+/// like [`Plan::key`] plus a [`worker_bucket`] stride: binning is skipped
+/// on single-tile canvases and the sharding density gate may not engage,
+/// so distinct configs can collapse to the identical execution. The bench
+/// evaluation compares decisions by effective pipeline rather than by
+/// label, so noise between physically identical runs never scores as a
+/// planner error. The worker bucket keeps online feedback separated per
+/// pool size — the cost model's amortization error is systematic in the
+/// worker count, and a shared scale would smear it across counts.
 pub fn effective_key(plan: &Plan, wl: &Workload, device: &Device) -> usize {
     effective_key_of(plan, &shape(plan, wl, device))
 }
@@ -286,7 +341,7 @@ pub fn effective_key_of(plan: &Plan, sh: &PlanShape) -> usize {
         Variant::Bounded => 0,
         Variant::Accurate => 4,
     };
-    v + (binning as usize) * 2 + sh.sharded as usize
+    v + (binning as usize) * 2 + sh.sharded as usize + 8 * worker_bucket(plan.workers)
 }
 
 /// The feature vector of one plan over one workload: how many times each
@@ -371,6 +426,26 @@ pub fn features_for(
             }
         }
     }
+    // Worker-count scaling (see the module docs): per-point and per-pixel
+    // stages amortize over the pool, the shard merge grows with it, and
+    // fixed per-pass/per-batch overheads plus the paced storage read stay
+    // serial. Uniform in everything but `plan.workers`, so relative plan
+    // ranking at a fixed worker count is unchanged.
+    let w = plan.workers.max(1) as f64;
+    let amort = 1.0 + PARALLEL_EFFICIENCY * (w - 1.0);
+    for slot in [
+        W_FILTER,
+        W_BIN,
+        W_BLEND,
+        W_CLEAR_PX,
+        W_FRAG,
+        W_PIP_VERTEX,
+        W_POINT_ACC,
+        W_DECODE_VAL,
+    ] {
+        f[slot] /= amort;
+    }
+    f[W_MERGE_PX] *= 1.0 + MERGE_CONTENTION * (w - 1.0);
     f
 }
 
@@ -380,18 +455,30 @@ mod tests {
     use raster_data::filter::{CmpOp, Predicate};
     use raster_data::generators::{nyc_extent, TaxiModel};
     use raster_data::polygons::synthetic_polygons;
-    use raster_gpu::exec::default_workers;
     use raster_gpu::RasterConfig;
 
-    fn plan(variant: Variant, binning: bool, sharding: bool, batch: usize) -> Plan {
+    // Fixed at 4 workers (not `default_workers()`): the shard gate needs
+    // a multi-worker blend to engage at all, and the tests must not
+    // depend on the host's core count.
+    fn plan_w(
+        variant: Variant,
+        binning: bool,
+        sharding: bool,
+        batch: usize,
+        workers: usize,
+    ) -> Plan {
         Plan {
             variant,
             config: RasterConfig { binning, sharding },
             batch_points: batch,
             canvas_dim: 2048,
             index_dim: 1024,
-            workers: default_workers(),
+            workers,
         }
+    }
+
+    fn plan(variant: Variant, binning: bool, sharding: bool, batch: usize) -> Plan {
+        plan_w(variant, binning, sharding, batch, 4)
     }
 
     #[test]
@@ -419,9 +506,23 @@ mod tests {
         let q = Query::count().with_epsilon(12.0);
         let wl = Workload::assumed(1_000_000, &polys, &q);
         let dev = Device::new(raster_gpu::DeviceConfig::small(3 << 30, 2048));
-        let binned = features(&plan(Variant::Bounded, true, false, usize::MAX), &wl, &dev);
-        let rescan = features(&plan(Variant::Bounded, false, false, usize::MAX), &wl, &dev);
-        let sh = shape(&plan(Variant::Bounded, true, false, usize::MAX), &wl, &dev);
+        // One worker: feature values are raw stage counts (no
+        // amortization), so the exact-count assertions below hold.
+        let binned = features(
+            &plan_w(Variant::Bounded, true, false, usize::MAX, 1),
+            &wl,
+            &dev,
+        );
+        let rescan = features(
+            &plan_w(Variant::Bounded, false, false, usize::MAX, 1),
+            &wl,
+            &dev,
+        );
+        let sh = shape(
+            &plan_w(Variant::Bounded, true, false, usize::MAX, 1),
+            &wl,
+            &dev,
+        );
         assert!(sh.tiles > 1, "ε=12 over NYC must tile at max_fbo=2048");
         assert_eq!(rescan[W_FILTER], binned[W_FILTER] * sh.tiles as f64);
         assert_eq!(binned[W_BIN], 1_000_000.0);
@@ -464,6 +565,70 @@ mod tests {
         let f4 = features(&plan(Variant::Bounded, true, true, 250_000), &wl, &dev);
         assert!(f4[W_BATCH] > f1[W_BATCH]);
         assert!(f4[W_CLEAR_PX] > f1[W_CLEAR_PX]);
+    }
+
+    #[test]
+    fn worker_scaling_amortizes_parallel_stages_only() {
+        let polys = synthetic_polygons(8, &nyc_extent(), 3);
+        let q = Query::count().with_epsilon(12.0);
+        let wl = Workload::assumed(50_000_000, &polys, &q);
+        let dev = Device::new(raster_gpu::DeviceConfig::small(3 << 30, 2048));
+        let f1 = features(
+            &plan_w(Variant::Bounded, true, true, usize::MAX, 1),
+            &wl,
+            &dev,
+        );
+        let f4 = features(
+            &plan_w(Variant::Bounded, true, true, usize::MAX, 4),
+            &wl,
+            &dev,
+        );
+        let amort = 1.0 + PARALLEL_EFFICIENCY * 3.0;
+        assert_eq!(f4[W_FILTER], f1[W_FILTER] / amort);
+        assert_eq!(f4[W_BLEND], f1[W_BLEND] / amort);
+        // Serial slots are untouched.
+        assert_eq!(f4[W_PASS], f1[W_PASS]);
+        assert_eq!(f4[W_BATCH], f1[W_BATCH]);
+        // The dense workload shards at 4 workers but cannot at 1 — merge
+        // cost appears and carries the contention factor.
+        assert_eq!(f1[W_MERGE_PX], 0.0);
+        assert!(f4[W_MERGE_PX] > 0.0);
+    }
+
+    #[test]
+    fn streaming_chunks_never_shard() {
+        // A stored (streaming) workload executes each chunk at one
+        // intra-chunk worker, so the shard gate must stay closed however
+        // dense the data and however wide the pool.
+        let polys = synthetic_polygons(8, &nyc_extent(), 3);
+        let q = Query::count().with_epsilon(12.0);
+        let mut wl = Workload::assumed(50_000_000, &polys, &q);
+        let dev = Device::new(raster_gpu::DeviceConfig::small(3 << 30, 2048));
+        let p = plan_w(Variant::Bounded, true, true, usize::MAX, 8);
+        assert!(shape(&p, &wl, &dev).sharded, "in-memory baseline shards");
+        wl.stored_row_bytes = 20.0;
+        assert_eq!(intra_workers(&p, &wl), 1);
+        assert!(!shape(&p, &wl, &dev).sharded);
+    }
+
+    #[test]
+    fn effective_key_strides_by_worker_bucket() {
+        let polys = synthetic_polygons(8, &nyc_extent(), 3);
+        let q = Query::count().with_epsilon(12.0);
+        let wl = Workload::assumed(1_000, &polys, &q);
+        let dev = Device::default();
+        for (w, bucket) in [(1, 0), (2, 1), (3, 1), (4, 2), (7, 2), (8, 3), (64, 3)] {
+            let p = plan_w(Variant::Bounded, true, false, usize::MAX, w);
+            let base = effective_key_of(
+                &plan_w(Variant::Bounded, true, false, usize::MAX, 1),
+                &shape(&p, &wl, &dev),
+            );
+            assert_eq!(
+                effective_key(&p, &wl, &dev),
+                base + 8 * bucket,
+                "workers {w}"
+            );
+        }
     }
 
     #[test]

@@ -21,8 +21,13 @@
 //! count. [`plan_workload`] enumerates the candidates (bounded: all four
 //! binning × sharding combinations; accurate: sharding on/off — it has no
 //! tiles to bin; batch sizes: device-capacity fill plus a half-capacity
-//! alternative when the workload is out-of-core), costs each with the
-//! per-stage model of [`cost`], and ranks them.
+//! alternative when the workload is out-of-core; worker counts: halving
+//! steps from the available pool down to 1, costed with the
+//! amortization/contention scaling in [`cost`]), costs each with the
+//! per-stage model of [`cost`], and ranks them. For streaming scans the
+//! chosen `Plan::workers` is the *chunk pool* width (each chunk's join
+//! runs single-threaded — see `stream.rs`); for in-memory execution it is
+//! the intra-batch fan-out.
 //!
 //! # Cost model and calibration
 //!
@@ -110,17 +115,19 @@ impl Plan {
     pub fn describe(&self) -> String {
         match self.variant {
             Variant::Bounded => format!(
-                "BOUNDED raster join [binning={}, sharding={}, batch={}]",
+                "BOUNDED raster join [binning={}, sharding={}, batch={}, workers={}]",
                 onoff(self.config.binning),
                 onoff(self.config.sharding),
-                self.batch_points
+                self.batch_points,
+                self.workers
             ),
             Variant::Accurate => format!(
-                "ACCURATE raster join [sharding={}, canvas={}, index={}, batch={}]",
+                "ACCURATE raster join [sharding={}, canvas={}, index={}, batch={}, workers={}]",
                 onoff(self.config.sharding),
                 self.canvas_dim,
                 self.index_dim,
-                self.batch_points
+                self.batch_points,
+                self.workers
             ),
         }
     }
@@ -262,29 +269,34 @@ pub fn plan_workload(
         Some(c) => vec![c.sharding],
         None => vec![true, false],
     };
-    for &batch_points in &batches {
-        for &config in &bounded_configs {
-            plans.push(Plan {
-                variant: Variant::Bounded,
-                config,
-                batch_points,
-                canvas_dim,
-                index_dim,
-                workers,
-            });
-        }
-        for &sharding in &accurate_shardings {
-            plans.push(Plan {
-                variant: Variant::Accurate,
-                config: RasterConfig {
-                    binning: false,
-                    sharding,
-                },
-                batch_points,
-                canvas_dim,
-                index_dim,
-                workers,
-            });
+    // Worker counts, widest first: enumeration order breaks exact cost
+    // ties toward the full pool, so worker enumeration never changes a
+    // decision unless the model actually separates the counts.
+    for &workers in &worker_alternatives(workers) {
+        for &batch_points in &batches {
+            for &config in &bounded_configs {
+                plans.push(Plan {
+                    variant: Variant::Bounded,
+                    config,
+                    batch_points,
+                    canvas_dim,
+                    index_dim,
+                    workers,
+                });
+            }
+            for &sharding in &accurate_shardings {
+                plans.push(Plan {
+                    variant: Variant::Accurate,
+                    config: RasterConfig {
+                        binning: false,
+                        sharding,
+                    },
+                    batch_points,
+                    canvas_dim,
+                    index_dim,
+                    workers,
+                });
+            }
         }
     }
 
@@ -346,6 +358,22 @@ pub fn plan_workload(
         candidates,
         workload: *wl,
     }
+}
+
+/// Candidate worker counts for a pool of `max`: halving steps down to 1
+/// (`[8, 4, 2, 1]` for 8). Widest first — see the enumeration-order note
+/// in [`plan_workload`].
+pub fn worker_alternatives(max: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let mut w = max.max(1);
+    loop {
+        v.push(w);
+        if w == 1 {
+            break;
+        }
+        w /= 2;
+    }
+    v
 }
 
 /// One planner decision plus its measured outcome.
@@ -817,6 +845,88 @@ mod tests {
             *sizes.iter().max().unwrap()
         );
         assert!(choice.best().shape.batches >= 5);
+    }
+
+    #[test]
+    fn planner_enumerates_halving_worker_counts() {
+        assert_eq!(worker_alternatives(8), vec![8, 4, 2, 1]);
+        assert_eq!(worker_alternatives(6), vec![6, 3, 1]);
+        assert_eq!(worker_alternatives(1), vec![1]);
+        assert_eq!(worker_alternatives(0), vec![1]);
+        let (polys, _) = setup();
+        let q = Query::count().with_epsilon(20.0);
+        let wl = Workload::assumed(100_000, &polys, &q);
+        let dev = Device::default();
+        let choice = plan_workload(&wl, &q, &dev, &Calibration::builtin(), 4, 2048, 1024, None);
+        let counts: std::collections::BTreeSet<usize> =
+            choice.candidates.iter().map(|c| c.plan.workers).collect();
+        assert_eq!(
+            counts,
+            [1, 2, 4].into_iter().collect(),
+            "every halving worker count must be enumerated"
+        );
+        // More workers never cost more under the pure amortization model
+        // (contention only bites sharded shapes), so the widest pool wins
+        // here — and exact ties break toward it by enumeration order.
+        assert_eq!(choice.best().plan.workers, 4);
+    }
+
+    /// Worker width is a *per-cell* decision once feedback arrives: a
+    /// cell whose pipeline family measured no gain from widening (what a
+    /// saturated or contended box reports) narrows to one worker, while
+    /// a cell in a family whose amortization held up keeps the full
+    /// pool. Feedback is keyed by `effective_key`, which strides by
+    /// worker bucket, so the penalty lands on the wide buckets only.
+    #[test]
+    fn feedback_differentiates_worker_counts_across_cells() {
+        let (polys, _) = setup();
+        let dev = Device::default();
+        // Big points-dominant cell: bounded wins by a wide margin, so the
+        // worker penalty below can only move its width, not its variant.
+        let q_coarse = Query::count().with_epsilon(20.0);
+        let wl_coarse = Workload::assumed(2_000_000, &polys, &q_coarse);
+        let q_fine = Query::count().with_epsilon(0.05);
+        let wl_fine = Workload::assumed(1_000_000, &polys, &q_fine);
+
+        let mut cal = Calibration::builtin();
+        // Uncorrected amortization opens the pool for both cells.
+        for (wl, q) in [(&wl_coarse, &q_coarse), (&wl_fine, &q_fine)] {
+            let best = plan_workload(wl, q, &dev, &cal, 4, 2048, 1024, None)
+                .best()
+                .plan;
+            assert_eq!(best.workers, 4);
+        }
+
+        // Feed back measurements for the coarse cell's bounded families:
+        // any pool wider than one runs at 6x the single-worker per-unit
+        // rate (more than the model's maximum 4-worker amortization of
+        // 3.55x, i.e. widening strictly lost). The fine cell's accurate
+        // family gets no observations and keeps its clean amortization.
+        for _ in 0..30 {
+            let choice = plan_workload(&wl_coarse, &q_coarse, &dev, &cal, 4, 2048, 1024, None);
+            for c in &choice.candidates {
+                if c.plan.variant != Variant::Bounded {
+                    continue;
+                }
+                let raw = cal.raw(&features(&c.plan, &wl_coarse, &dev));
+                let secs = raw * if c.plan.workers == 1 { 1.0 } else { 6.0 };
+                cal.observe(effective_key(&c.plan, &wl_coarse, &dev), raw, secs);
+            }
+        }
+
+        let coarse = plan_workload(&wl_coarse, &q_coarse, &dev, &cal, 4, 2048, 1024, None)
+            .best()
+            .plan;
+        let fine = plan_workload(&wl_fine, &q_fine, &dev, &cal, 4, 2048, 1024, None)
+            .best()
+            .plan;
+        assert_eq!(
+            coarse.variant,
+            Variant::Bounded,
+            "penalty must not push the coarse cell off its variant"
+        );
+        assert_eq!(coarse.workers, 1, "measured-contended cell narrows");
+        assert_eq!(fine.workers, 4, "unpenalized cell keeps the pool");
     }
 
     #[test]

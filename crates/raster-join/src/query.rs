@@ -186,6 +186,15 @@ pub fn result_slots(polys: &[raster_geom::Polygon]) -> usize {
 /// bytes, batches, passes, work counters); the per-query preparation
 /// times (`triangulation`, `index_build`) take the maximum, since a
 /// prepared chunk loop reports the same one-off preparation each chunk.
+///
+/// `fold` is order-sensitive for the f32-accumulated SUM/AVG slots:
+/// floating-point addition does not associate, so callers that fold the
+/// same chunks in a different order get (tolerably) different sums. The
+/// chunk-parallel streaming executor therefore never folds results in
+/// completion order — workers tag each chunk with its sequence number
+/// and a reorder buffer feeds this merger in ascending chunk order, which
+/// is what makes the pool's sums *bitwise* equal to the sequential scan's
+/// (the determinism rule in `stream.rs`).
 #[derive(Debug, Clone)]
 pub struct AggregateMerger {
     counts: Vec<u64>,

@@ -4,6 +4,16 @@
 //! the GPU) and *memory transfer* (Fig. 9 right, Fig. 11, Fig. 13 right).
 //! Each executor fills an [`ExecStats`] so the bench harness can print the
 //! same decomposition.
+//!
+//! # Parallel executions
+//!
+//! Under the streaming chunk pool (`stream.rs`), per-stage timers
+//! (`binning`, `shard_merge`, `point_stage`, `polygon_stage`) fold
+//! additively across workers, so they report *cumulative worker time*
+//! and may sum past wall clock when chunks overlap. The headline split
+//! stays wall-clock honest instead: `processing` is the union of the
+//! intervals during which ≥ 1 worker was decoding or joining, and `disk`
+//! is the remaining stall, so `total()` still tracks elapsed time.
 
 use std::time::Duration;
 

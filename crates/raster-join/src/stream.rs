@@ -7,12 +7,68 @@
 //! read starts, so the disk sits idle while the join runs and the join
 //! sits idle while the disk runs. [`StreamingRasterJoin`] keeps that
 //! blocking loop as the paper-faithful ablation arm (`prefetch: false`)
-//! and adds the production path: a background reader thread feeding a
-//! bounded *readahead ring* ([`DEFAULT_READAHEAD`] decoded chunks deep,
-//! [`StreamingRasterJoin::with_readahead`]), so the reads of chunks
-//! *k+1 … k+R* overlap the point/polygon processing of chunk *k* — the
-//! storage/compute pipelining that SPADE-style disk-resident engines
-//! show is where out-of-core spatial aggregation wins.
+//! and grows two pipelined paths on top of it, selected by the planner's
+//! chosen worker count:
+//!
+//! ```text
+//! blocking (§7.7 arm):   [fetch+decode] → [join] → [fetch+decode] → …
+//!
+//! 1 worker, prefetch:    reader thread:  [fetch+decode k+1 … k+R] ─┐
+//!                        this thread:    [join k] ←────────────────┘
+//!
+//! pool (workers ≥ 2):    reader thread:  [paced fetch] → ring of
+//!                                        encoded chunks (seq-tagged)
+//!                        W pool workers: steal next chunk →
+//!                                        [decode] → [join, intra=1,
+//!                                        fresh per-chunk Device]
+//!                        this thread:    [join sample (seq 0)], then
+//!                                        reorder buffer → fold in
+//!                                        ascending seq through the
+//!                                        merger + planner feedback
+//! ```
+//!
+//! The single-consumer paths overlap the reads of chunks *k+1 … k+R*
+//! with the processing of chunk *k* via a bounded *readahead ring*
+//! ([`DEFAULT_READAHEAD`] decoded chunks deep,
+//! [`StreamingRasterJoin::with_readahead`]) — the storage/compute
+//! pipelining that SPADE-style disk-resident engines show is where
+//! out-of-core spatial aggregation wins. The pool path additionally
+//! overlaps the *processing* of several chunks with each other: column
+//! decode moves from the reader onto the pool (the reader paces raw
+//! fetches only), and each worker decodes and joins whole chunks
+//! concurrently with its peers.
+//!
+//! # Determinism
+//!
+//! Every chunk joins with **intra-chunk workers = 1 in all modes** —
+//! parallelism lives at chunk granularity only. Each chunk's counts and
+//! sums are therefore bitwise-reproducible, and the consumer folds
+//! finished chunks through the [`AggregateMerger`] **in ascending chunk
+//! order** (a reorder buffer holds early finishers), so the merged
+//! counts are bit-identical and the merged float sums bitwise-equal
+//! across pool sizes {1, 2, 4, …}, the prefetch arm and the blocking
+//! arm. The planner's per-chunk feedback folds in the same order, so
+//! calibration walks are reproducible too. The cost model encodes the
+//! same rule: [`cost::intra_workers`] pins streaming plans (workloads
+//! with `stored_row_bytes > 0`) to intra-chunk width 1, which also keeps
+//! the shard path off ([`RasterConfig::use_shards`] wants intra-chunk
+//! contention), while [`Plan`]'s `workers` dimension — enumerated and
+//! costed with contention-aware amortization — becomes the chunk-pool
+//! width.
+//!
+//! # Sizing: readahead vs. workers
+//!
+//! The ring and the pool size multiply the peak in-flight footprint:
+//! the pool holds up to `max(readahead, workers+1)` fetched-but-unjoined
+//! chunks (a shallow readahead is widened so the ring can feed every
+//! worker), plus one chunk decoding or joining per worker, plus whatever
+//! early finishers the reorder buffer holds while an older chunk is
+//! still in flight. Readahead rides out per-chunk *read* jitter against
+//! the modelled disk; workers ride out per-chunk *processing* jitter and
+//! buy genuine multi-core overlap — on a single-core box the pool
+//! degenerates gracefully (the busy-interval union equals the sum of
+//! busy spans, and 1-worker scans keep the historical pipeline
+//! bit-for-bit).
 //!
 //! The executor is planner-driven end to end:
 //!
@@ -76,20 +132,30 @@
 //! that is the full read time; with prefetching it is only the residual
 //! stall (first chunk plus whatever the reader could not hide), so
 //! `stats.total()` tracks the real wall clock and the prefetch win shows
-//! up as a shrinking `disk` component. The reader thread's own wall time
-//! is reported separately as [`StreamOutput::read_time`].
+//! up as a shrinking `disk` component. The pool path generalizes the
+//! same split: `processing` becomes the *busy-interval union* — wall
+//! time during which at least one worker was decoding or joining — and
+//! `disk` its complement (the sample read plus the time the whole pool
+//! starved for data), so `total()` still tracks the real wall clock and
+//! chunk-level overlap shows up the same way prefetch overlap always
+//! has. Per-stage timers (`point_stage`, `binning`, `shard_merge`, …)
+//! stay cumulative *across* workers and can sum past `processing` when
+//! chunks overlap. The reader thread's own wall time is reported
+//! separately as [`StreamOutput::read_time`].
 
 use crate::optimizer::{cost, AutoRasterJoin, Plan, Variant, Workload};
 use crate::query::{result_slots, AggregateMerger, JoinOutput, Query};
 use crate::sql::{file_source, parse_query, ParseError};
-use raster_data::disk::{table_schema, ChunkedReader, ColumnIo};
+use raster_data::disk::{table_schema, ChunkedReader, ColumnIo, EncodedChunk};
 use raster_data::PointTable;
 use raster_geom::Polygon;
 use raster_gpu::exec::default_workers;
 use raster_gpu::{Device, RasterConfig};
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Rows of the first chunk, read synchronously to sample the workload
@@ -134,6 +200,11 @@ pub struct StreamOutput {
     pub chunk_rows: usize,
     /// Chunks processed (including the sampled first chunk).
     pub chunks: u32,
+    /// Chunk-pool width the scan actually ran with: the plan's worker
+    /// count capped by the executor's configured parallelism; 1 means
+    /// the historical single-consumer pipeline (always 1 in blocking
+    /// mode).
+    pub pool_workers: usize,
     /// Total rows streamed.
     pub rows: u64,
     /// Reader-side wall time summed over all `next_chunk` calls —
@@ -240,6 +311,109 @@ fn paced_next(
         }
     }
     Ok(Some((chunk, dt)))
+}
+
+/// [`paced_next`]'s fetch-only sibling for the chunk-parallel pool: pulls
+/// the next *encoded* chunk and paces the bytes actually fetched, leaving
+/// decode to a pool worker. Only the raw read sits inside the modelled
+/// disk budget here — decode overlaps processing on the workers, which is
+/// exactly the overlap the pool exists to buy (the single-consumer paths
+/// keep decode inside the budget via [`paced_next`], preserving their
+/// historical accounting).
+fn paced_fetch(
+    reader: &mut ChunkedReader,
+    bandwidth: Option<f64>,
+) -> io::Result<Option<(EncodedChunk, Duration)>> {
+    let before = reader.bytes_read();
+    let t0 = Instant::now();
+    let Some(enc) = reader.fetch_chunk()? else {
+        return Ok(None);
+    };
+    let mut dt = t0.elapsed();
+    if let Some(bw) = bandwidth {
+        let bytes = reader.bytes_read() - before;
+        let target = Duration::from_secs_f64(bytes as f64 / bw);
+        if dt < target {
+            std::thread::sleep(target - dt);
+            dt = t0.elapsed();
+        }
+    }
+    Ok(Some((enc, dt)))
+}
+
+/// Busy-interval union for the pool path's `disk` accounting: the total
+/// wall time during which *at least one* worker was decoding or joining a
+/// chunk. `wall − covered()` is then the time the whole pool sat starved
+/// for data — the multi-worker generalization of the single-consumer
+/// recv-stall measurement (with one worker the union degenerates to the
+/// sum of its busy spans and the residual is exactly the old stall).
+struct BusyUnion {
+    inner: parking_lot::Mutex<BusyState>,
+}
+
+struct BusyState {
+    active: usize,
+    since: Instant,
+    covered: Duration,
+}
+
+impl BusyUnion {
+    fn new() -> Self {
+        BusyUnion {
+            inner: parking_lot::Mutex::new(BusyState {
+                active: 0,
+                since: Instant::now(),
+                covered: Duration::ZERO,
+            }),
+        }
+    }
+
+    /// Run `f` with this thread counted busy; nesting across threads
+    /// extends the covered union rather than double-counting overlap.
+    fn track<T>(&self, f: impl FnOnce() -> T) -> T {
+        {
+            let mut g = self.inner.lock();
+            if g.active == 0 {
+                g.since = Instant::now();
+            }
+            g.active += 1;
+        }
+        let out = f();
+        {
+            let mut g = self.inner.lock();
+            g.active -= 1;
+            if g.active == 0 {
+                let since = g.since;
+                g.covered += since.elapsed();
+            }
+        }
+        out
+    }
+
+    fn covered(&self) -> Duration {
+        let g = self.inner.lock();
+        let mut c = g.covered;
+        if g.active > 0 {
+            c += g.since.elapsed();
+        }
+        c
+    }
+}
+
+/// A pool worker's finished chunk, travelling back to the folding
+/// consumer tagged with its sequence number.
+struct ChunkDone {
+    out: JoinOutput,
+    /// Calibration key + raw predicted cost for the planner feedback fold
+    /// (computed on the worker; *fed* by the consumer in chunk order so
+    /// the calibration walk is deterministic).
+    key: usize,
+    raw: f64,
+    /// The reader-side paced fetch time of this chunk.
+    fetch: Duration,
+    /// Worker-side decode wall time and its per-stored-column split.
+    decode: Duration,
+    col_decode: Vec<Duration>,
 }
 
 /// The streaming out-of-core operator (see module docs).
@@ -469,8 +643,21 @@ impl StreamingRasterJoin {
         // Prepare the polygon side once; every chunk is one device batch
         // (the executors come from the same plan→executor mapping as
         // `Plan::execute`, with the chunk as the batch size).
-        let bounded = plan.bounded_executor(chunk_rows);
-        let accurate = plan.accurate_executor(chunk_rows);
+        //
+        // Determinism rule: every chunk joins with intra-chunk workers=1
+        // in *all* modes. Parallelism comes from the chunk pool below
+        // processing several chunks at once; within a chunk the join is
+        // single-threaded, so each chunk's counts and sums are
+        // bitwise-reproducible, and the ordered fold then makes the whole
+        // scan's output bitwise-identical across pool sizes and the
+        // blocking arm. The planner costs the same rule
+        // (`cost::intra_workers` pins streaming plans to intra=1), which
+        // also disables the shard path — `RasterConfig::use_shards` needs
+        // intra-chunk workers > 1 to have contention worth deflecting.
+        let mut bounded = plan.bounded_executor(chunk_rows);
+        bounded.workers = 1;
+        let mut accurate = plan.accurate_executor(chunk_rows);
+        accurate.workers = 1;
         enum Prepared<'a> {
             Bounded(crate::bounded::PreparedBounded),
             Accurate(crate::accurate::PreparedAccurate<'a>),
@@ -496,40 +683,237 @@ impl StreamingRasterJoin {
         let mut decode_time = reader.decode_time();
         let mut column_io = reader.column_io().to_vec();
 
-        let mut run_chunk = |chunk: &PointTable| {
+        // One chunk's join + its planner-feedback ingredients, against an
+        // explicit device so pool workers can substitute a fresh one.
+        // Captures only `Sync` state — safe to share across the pool.
+        let run_chunk_on = |chunk: &PointTable, dev: &Device| -> (JoinOutput, usize, f64) {
             let out = match &prepared {
-                Prepared::Bounded(p) => bounded.execute_prepared(p, chunk, query, device),
-                Prepared::Accurate(p) => accurate.execute_prepared(p, chunk, query, device),
+                Prepared::Bounded(p) => bounded.execute_prepared(p, chunk, query, dev),
+                Prepared::Accurate(p) => accurate.execute_prepared(p, chunk, query, dev),
             };
             let chunk_wl = Workload {
                 n_points: chunk.len(),
                 ..wl
             };
-            let sh = cost::shape(&plan, &chunk_wl, device);
-            let mut features = cost::features_for(&plan, &chunk_wl, device, &sh);
+            let sh = cost::shape(&plan, &chunk_wl, dev);
+            let mut features = cost::features_for(&plan, &chunk_wl, dev, &sh);
             // The accurate variant's outline pass is a per-query one-off
             // that `execute_prepared` (rightly) does not re-run per
             // chunk; its feature must not be charged against per-chunk
             // actuals or every chunk would observe biased-low and drag
             // the plan key's correction down.
             features[cost::W_OUTLINE_PX] = 0.0;
-            // Read and decode happen on the reader side (overlapped with
-            // this processing time in prefetch mode), so they are not in
-            // the measured per-chunk processing either.
+            // Read and decode happen off the join's critical path (the
+            // reader thread or a pool worker overlaps them with other
+            // chunks' processing), so they are not in the measured
+            // per-chunk processing either.
             features[cost::W_READ_BYTE] = 0.0;
             features[cost::W_DECODE_VAL] = 0.0;
-            self.planner.feed(
-                cost::effective_key_of(&plan, &sh),
-                cal.raw(&features),
-                out.stats.processing,
-            );
+            (out, cost::effective_key_of(&plan, &sh), cal.raw(&features))
+        };
+        // The serial fold: planner feedback + merger, always called in
+        // ascending chunk order (the pool's reorder buffer guarantees it)
+        // so calibration walks and merged sums are deterministic.
+        let mut absorb = |out: JoinOutput, key: usize, raw: f64| {
+            self.planner.feed(key, raw, out.stats.processing);
             merger.fold(&out);
         };
+
+        // Chunk-pool width: the planner's chosen worker count, capped by
+        // this executor's configured parallelism. Blocking mode and
+        // width ≤ 1 take the historical single-consumer paths, which keep
+        // chunk decode inside the paced-disk budget; the pool paces raw
+        // fetches only and lets decode overlap processing on the workers.
+        let pool_workers = if self.prefetch {
+            plan.workers.min(self.workers.max(1))
+        } else {
+            1
+        };
+        // Pool-mode (wall, busy-union) pair for the finale's accounting.
+        let mut pool_times: Option<(Duration, Duration)> = None;
 
         if !sample.is_empty() {
             // Defer the sample chunk's processing until after the reader
             // thread is spawned, so the read of chunk #2 overlaps it.
-            if self.prefetch {
+            if self.prefetch && pool_workers > 1 {
+                // Chunk-parallel pool. Three stages:
+                //   reader thread — paced fetch of *encoded* chunks
+                //     (I/O only) into a bounded ring;
+                //   pool workers  — steal the next fetched chunk, decode
+                //     it and run the single-threaded join against a
+                //     fresh per-chunk Device (the transfer ledger is the
+                //     one piece of cross-chunk mutable device state);
+                //   this thread   — processes the sample chunk (seq 0),
+                //     then folds finished chunks in ascending sequence
+                //     through the merger and planner feedback.
+                let bandwidth = self.disk_bandwidth;
+                // The ring must hold at least one fetched chunk per
+                // worker plus one spare, or a shallow readahead setting
+                // would starve the pool it is supposed to feed.
+                let ring = self.readahead.max(1).max(pool_workers + 1);
+                let busy = BusyUnion::new();
+                let wall0 = Instant::now();
+                type Fetched = (u64, io::Result<(EncodedChunk, Duration)>);
+                let (work_tx, work_rx) = mpsc::sync_channel::<Fetched>(ring);
+                let work_rx = Arc::new(parking_lot::Mutex::new(work_rx));
+                let (res_tx, res_rx) = mpsc::channel::<(u64, io::Result<ChunkDone>)>();
+
+                let (first_err, bytes, sample_decode, cols, pool_read, pool_decode, pool_cols) =
+                    crossbeam::thread::scope(|s| {
+                        // Reader: fetch + pace only; decode runs on the
+                        // pool. Hands its byte/per-column counters back.
+                        let reader_handle = s.spawn(move |_| {
+                            let mut seq = 1u64; // the sample is seq 0
+                            loop {
+                                match paced_fetch(&mut reader, bandwidth) {
+                                    Ok(Some(pair)) => {
+                                        if work_tx.send((seq, Ok(pair))).is_err() {
+                                            break; // pool bailed
+                                        }
+                                        seq += 1;
+                                    }
+                                    Ok(None) => break,
+                                    Err(e) => {
+                                        let _ = work_tx.send((seq, Err(e)));
+                                        break;
+                                    }
+                                }
+                            }
+                            (
+                                reader.bytes_read(),
+                                reader.decode_time(),
+                                reader.column_io().to_vec(),
+                            )
+                        });
+                        for _ in 0..pool_workers {
+                            let work_rx = Arc::clone(&work_rx);
+                            let res_tx = res_tx.clone();
+                            let busy = &busy;
+                            let run_chunk_on = &run_chunk_on;
+                            let dev_cfg = device.config();
+                            s.spawn(move |_| loop {
+                                // Work stealing at chunk granularity:
+                                // whichever worker goes idle first takes
+                                // the next fetched chunk off the shared
+                                // ring (a blocking recv under a mutex —
+                                // the queue itself is the steal point).
+                                let Ok((seq, fetched)) = work_rx.lock().recv() else {
+                                    break; // reader hung up, ring drained
+                                };
+                                let done = fetched.and_then(|(enc, fetch)| {
+                                    busy.track(|| {
+                                        enc.decode().map(|dec| {
+                                            let dev = Device::new(dev_cfg);
+                                            let (out, key, raw) = run_chunk_on(&dec.table, &dev);
+                                            ChunkDone {
+                                                out,
+                                                key,
+                                                raw,
+                                                fetch,
+                                                decode: dec.decode_time,
+                                                col_decode: dec.col_decode,
+                                            }
+                                        })
+                                    })
+                                });
+                                if res_tx.send((seq, done)).is_err() {
+                                    break; // consumer bailed
+                                }
+                            });
+                        }
+                        drop(res_tx);
+
+                        // The sample is seq 0: processed here, inside the
+                        // busy union, while the pool already fetches and
+                        // joins chunks 1…R behind it.
+                        let sample_done = busy.track(|| {
+                            let (out, key, raw) = run_chunk_on(&sample, device);
+                            ChunkDone {
+                                out,
+                                key,
+                                raw,
+                                fetch: Duration::ZERO,
+                                decode: Duration::ZERO,
+                                col_decode: Vec::new(),
+                            }
+                        });
+
+                        // Ordered fold: the reorder buffer releases chunks
+                        // in ascending seq, so merged sums, calibration
+                        // feedback and error precedence are identical to
+                        // the sequential loop's.
+                        let mut pending: BTreeMap<u64, io::Result<ChunkDone>> = BTreeMap::new();
+                        pending.insert(0, Ok(sample_done));
+                        let mut next_seq = 0u64;
+                        let mut first_err: Option<io::Error> = None;
+                        let mut pool_read = Duration::ZERO;
+                        let mut pool_decode = Duration::ZERO;
+                        let mut pool_cols: Vec<Duration> = Vec::new();
+                        loop {
+                            while first_err.is_none() {
+                                match pending.remove(&next_seq) {
+                                    Some(Ok(done)) => {
+                                        pool_read += done.fetch;
+                                        pool_decode += done.decode;
+                                        for (ci, d) in done.col_decode.iter().enumerate() {
+                                            if pool_cols.len() <= ci {
+                                                pool_cols.resize(ci + 1, Duration::ZERO);
+                                            }
+                                            pool_cols[ci] += *d;
+                                        }
+                                        absorb(done.out, done.key, done.raw);
+                                        next_seq += 1;
+                                    }
+                                    Some(Err(e)) => first_err = Some(e),
+                                    None => break,
+                                }
+                            }
+                            if first_err.is_some() {
+                                break;
+                            }
+                            match res_rx.recv() {
+                                Ok((seq, done)) => {
+                                    pending.insert(seq, done);
+                                }
+                                Err(_) => break, // every worker finished
+                            }
+                        }
+                        // Unblock the pipeline before the scope joins:
+                        // dropping the receivers fails the workers' sends,
+                        // the workers exit and drop their ring handles,
+                        // and the reader's ring send then fails too.
+                        drop(res_rx);
+                        drop(work_rx);
+                        let (bytes, sample_decode, cols) = reader_handle
+                            .join()
+                            .expect("streaming pool reader thread panicked");
+                        (
+                            first_err,
+                            bytes,
+                            sample_decode,
+                            cols,
+                            pool_read,
+                            pool_decode,
+                            pool_cols,
+                        )
+                    })
+                    .expect("streaming pool worker panicked");
+                if let Some(e) = first_err {
+                    return Err(e);
+                }
+                read_time += pool_read;
+                read_bytes = bytes;
+                // The reader only saw the sample decode; the chunks'
+                // decode ran on the workers.
+                decode_time = sample_decode + pool_decode;
+                column_io = cols;
+                for (ci, d) in pool_cols.iter().enumerate() {
+                    if let Some(c) = column_io.get_mut(ci) {
+                        c.decode_time += *d;
+                    }
+                }
+                pool_times = Some((wall0.elapsed(), busy.covered()));
+            } else if self.prefetch {
                 let bandwidth = self.disk_bandwidth;
                 // The readahead ring: a bounded channel holding up to
                 // `readahead` decoded chunks, with one more always in
@@ -562,14 +946,16 @@ impl StreamingRasterJoin {
                         reader.column_io().to_vec(),
                     )
                 });
-                run_chunk(&sample);
+                let (out, key, raw) = run_chunk_on(&sample, device);
+                absorb(out, key, raw);
                 loop {
                     let w0 = Instant::now();
                     match rx.recv() {
                         Ok(Ok((chunk, dt))) => {
                             stall += w0.elapsed();
                             read_time += dt;
-                            run_chunk(&chunk);
+                            let (out, key, raw) = run_chunk_on(&chunk, device);
+                            absorb(out, key, raw);
                         }
                         Ok(Err(e)) => {
                             drop(rx);
@@ -586,11 +972,13 @@ impl StreamingRasterJoin {
             } else {
                 // Paper-faithful §7.7: read, then process, strictly
                 // alternating on one buffer.
-                run_chunk(&sample);
+                let (out, key, raw) = run_chunk_on(&sample, device);
+                absorb(out, key, raw);
                 while let Some((chunk, dt)) = paced_next(&mut reader, self.disk_bandwidth)? {
                     read_time += dt;
                     stall += dt;
-                    run_chunk(&chunk);
+                    let (out, key, raw) = run_chunk_on(&chunk, device);
+                    absorb(out, key, raw);
                 }
                 read_bytes = reader.bytes_read();
                 decode_time = reader.decode_time();
@@ -606,6 +994,21 @@ impl StreamingRasterJoin {
         }
         let mut output = merger.finish();
         output.stats.disk = stall;
+        if let Some((wall, covered)) = pool_times {
+            // Pool accounting (see module docs): `processing` is the
+            // busy-interval union — wall time during which at least one
+            // worker was decoding or joining — and `disk` its complement:
+            // the sample read plus the wall time the whole pool starved
+            // for data. `total()` then still tracks the real wall clock
+            // (sample_read + wall + modelled transfer), and chunk-level
+            // overlap shows up exactly like prefetch overlap always has:
+            // as a shrinking `disk` component. The per-stage timers
+            // (`point_stage`, `binning`, `shard_merge`, …) remain
+            // cumulative across workers, so they sum over `processing`
+            // when chunks overlapped.
+            output.stats.processing = covered;
+            output.stats.disk = sample_read + wall.saturating_sub(covered);
+        }
         if let Prepared::Accurate(p) = &prepared {
             // The one-off conservative outline pass is processing time,
             // charged exactly once per query (not per chunk).
@@ -618,6 +1021,7 @@ impl StreamingRasterJoin {
             plan,
             chunk_rows,
             chunks,
+            pool_workers,
             rows,
             read_time,
             read_bytes,
@@ -723,6 +1127,20 @@ impl StreamingRasterJoin {
             } else {
                 "blocking reader"
             }
+        );
+        // The same width computation as `execute`: the planner's chosen
+        // worker count capped by the executor's configured parallelism.
+        let pool_workers = if self.prefetch {
+            setup.plan.workers.min(self.workers.max(1))
+        } else {
+            1
+        };
+        let _ = writeln!(
+            out,
+            "  workers: {} chunk-pool worker(s) (planner chose {}, executor caps at {})",
+            pool_workers,
+            setup.plan.workers,
+            self.workers.max(1)
         );
         match &setup.projection {
             Some(p) => {
@@ -1135,6 +1553,22 @@ mod tests {
         assert!(text.contains("columns: x, y, fare"), "{text}");
         assert!(text.contains("pruned 4 of 5 attribute column(s)"), "{text}");
         assert!(text.contains("readahead 3 chunk(s)"), "{text}");
+        // The chosen chunk-pool width is part of the streaming plan.
+        assert!(text.contains("workers:"), "{text}");
+        assert!(
+            text.contains("executor caps at 2"),
+            "workers line should show the executor cap: {text}"
+        );
+        assert!(text.contains(", workers="), "{text}");
+        // Blocking mode always runs the single-consumer loop.
+        let blocking = StreamingRasterJoin::new(2)
+            .blocking()
+            .explain(&path, &polys, &q, &dev)
+            .unwrap();
+        assert!(
+            blocking.contains("workers: 1 chunk-pool worker(s)"),
+            "{blocking}"
+        );
         // Predicted read bytes reflect the pruned column set exactly.
         let meta = raster_data::disk::table_meta(&path).unwrap();
         let expect = meta.pruned_scan_bytes(&[fare]);

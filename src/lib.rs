@@ -67,6 +67,6 @@ pub mod prelude {
     pub use raster_join::{
         AccurateRasterJoin, Aggregate, AggregateMerger, AutoRasterJoin, BoundedRasterJoin,
         ExecStats, IndexJoin, JoinOutput, MaterializingJoin, MomentsQuery, MomentsRasterJoin,
-        Parallelism, Plan, Query, SamplingJoin, StreamingRasterJoin, TwoStepJoin,
+        Parallelism, Plan, Query, SamplingJoin, StreamOutput, StreamingRasterJoin, TwoStepJoin,
     };
 }

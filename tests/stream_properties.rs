@@ -106,6 +106,160 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// The chunk-parallel pool is a pure latency optimisation. For every
+    /// pipeline config, storage format (v1/v2/v3) and odd chunk size:
+    /// at each pool width the prefetching pool and the paper-faithful
+    /// blocking loop execute the *same* plan and must agree **bitwise**
+    /// (counts and f64 sums — intra-chunk joins are single-threaded and
+    /// the fold is chunk-ordered, so nothing reassociates); across pool
+    /// widths the outputs stay bitwise-equal whenever the planner kept
+    /// the same operator; and counts always match the in-memory
+    /// execution of the chosen plan.
+    #[test]
+    fn chunk_pool_is_bitwise_equal_to_sequential_across_widths(
+        seed in any::<u64>(),
+        npts in 4_500usize..7_000,
+        chunk in 301usize..900,
+        binning in any::<bool>(),
+        sharding in any::<bool>(),
+        fmt in 0u8..3,
+        with_pred in any::<bool>(),
+    ) {
+        let extent = nyc_extent();
+        let polys = synthetic_polygons(7, &extent, seed);
+        let pts = TaxiModel::default().generate(npts, seed ^ 0x9001);
+        let fare = pts.attr_index("fare").unwrap();
+        let hour = pts.attr_index("hour").unwrap();
+        let mut q = Query::avg(fare).with_epsilon(60.0);
+        if with_pred {
+            q = q.with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 84.0)]);
+        }
+        let dev = Device::new(DeviceConfig::small(
+            2_000 * PointTable::point_bytes(2),
+            2048,
+        ));
+        let path = tmp(&format!("pool-{seed:x}-{npts}-{chunk}"));
+        match fmt {
+            0 => write_table(&path, &pts).unwrap(),
+            1 => write_table_compressed_v2(&path, &pts, 1_100).unwrap(),
+            _ => write_table_compressed(&path, &pts, 1_100).unwrap(),
+        }
+        let config = RasterConfig { binning, sharding };
+        let mk = |w: usize| {
+            StreamingRasterJoin::new(w)
+                .with_config_override(config)
+                .with_chunk_rows(chunk)
+        };
+        // The operator minus the worker count: widths may legitimately
+        // change the planner's pick (serial stages amortize differently),
+        // and only like plans are comparable bitwise.
+        let sig = |s: &StreamOutput| {
+            let d = s.plan.describe();
+            d[..d.rfind(", workers=").unwrap()].to_string()
+        };
+
+        let base = mk(1).execute(&path, &polys, &q, &dev).unwrap();
+        prop_assert_eq!(base.pool_workers, 1);
+        for w in [2usize, 4] {
+            let pool = mk(w).execute(&path, &polys, &q, &dev).unwrap();
+            let blocking = mk(w).blocking().execute(&path, &polys, &q, &dev).unwrap();
+            // Same planner inputs ⇒ same plan; prefetch/pool is pure
+            // execution strategy.
+            prop_assert_eq!(sig(&pool), sig(&blocking), "width {}", w);
+            prop_assert_eq!(blocking.pool_workers, 1);
+            prop_assert!(pool.pool_workers <= w);
+            prop_assert_eq!(pool.pool_workers, pool.plan.workers.min(w));
+            // Pool ≡ sequential, bitwise.
+            prop_assert_eq!(&pool.output.counts, &blocking.output.counts, "width {}", w);
+            prop_assert_eq!(&pool.output.sums, &blocking.output.sums, "width {}", w);
+            prop_assert_eq!(pool.chunks, blocking.chunks);
+            prop_assert_eq!(pool.rows as usize, npts);
+            // Cross-width: bitwise whenever the operator agrees.
+            if sig(&pool) == sig(&base) {
+                prop_assert_eq!(&pool.output.counts, &base.output.counts, "width {}", w);
+                prop_assert_eq!(&pool.output.sums, &base.output.sums, "width {}", w);
+            }
+            // In-memory reference for the pool's own plan: counts
+            // bit-identical, sums within the chunk-reassociation
+            // tolerance.
+            let reference = pool.plan.execute(&pts, &polys, &q, &dev);
+            prop_assert_eq!(&pool.output.counts, &reference.counts, "width {}", w);
+            assert_sums_close(&pool.output.sums, &reference.sums)?;
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// The pinned determinism matrix (ISSUE 6 acceptance): all four
+/// `RasterConfig`s × pool widths {1, 2, 4} × the blocking arm, at a fixed
+/// seed and an odd chunk size, produce counts bit-identical and sums
+/// bitwise-equal whenever the chosen operator agrees — and the width-1
+/// scan *is* the historical single-consumer pipeline (`pool_workers` 1).
+#[test]
+fn worker_matrix_is_deterministic_for_every_config() {
+    let extent = nyc_extent();
+    let polys = synthetic_polygons(8, &extent, 0xD0_0D);
+    let pts = TaxiModel::default().generate(6_000, 0xD0_0D5);
+    let fare = pts.attr_index("fare").unwrap();
+    let hour = pts.attr_index("hour").unwrap();
+    let q = Query::avg(fare)
+        .with_epsilon(60.0)
+        .with_predicates(vec![Predicate::new(hour, CmpOp::Lt, 100.0)]);
+    let dev = Device::new(DeviceConfig::small(
+        1_500 * PointTable::point_bytes(2),
+        2048,
+    ));
+    let path = tmp("worker-matrix");
+    write_table(&path, &pts).unwrap();
+
+    for (binning, sharding) in [(false, false), (true, false), (false, true), (true, true)] {
+        let config = RasterConfig { binning, sharding };
+        let run = |w: usize, blocking: bool| {
+            let mut s = StreamingRasterJoin::new(w)
+                .with_config_override(config)
+                .with_chunk_rows(997);
+            if blocking {
+                s = s.blocking();
+            }
+            s.execute(&path, &polys, &q, &dev).unwrap()
+        };
+        let base = run(1, false);
+        assert_eq!(base.pool_workers, 1, "{config:?}");
+        let strip = |s: &StreamOutput| {
+            let d = s.plan.describe();
+            d[..d.rfind(", workers=").unwrap()].to_string()
+        };
+        for w in [2usize, 4] {
+            let pool = run(w, false);
+            let blocking = run(w, true);
+            // Same width ⇒ same plan; pool vs blocking is pure execution
+            // strategy and must agree bitwise, counts and sums.
+            assert_eq!(strip(&pool), strip(&blocking), "{config:?} w={w}");
+            assert_eq!(
+                pool.output.counts, blocking.output.counts,
+                "{config:?} w={w}"
+            );
+            assert_eq!(
+                pool.output.sums, blocking.output.sums,
+                "{config:?} w={w}: bitwise sums"
+            );
+            assert_eq!(pool.chunks, blocking.chunks);
+            // Cross-width: bitwise whenever the planner kept the operator.
+            if strip(&pool) == strip(&base) {
+                assert_eq!(pool.output.counts, base.output.counts, "{config:?} w={w}");
+                assert_eq!(
+                    pool.output.sums, base.output.sums,
+                    "{config:?} w={w}: bitwise sums vs width 1"
+                );
+            }
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
 /// The compressed (v2) table must stream to *exactly* the raw (v1)
 /// table's results under every pipeline config: the planner picks the
 /// same chunk size for both files, the reader re-slices stored blocks to
