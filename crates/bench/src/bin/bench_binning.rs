@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `bench_binning` — the binning/sharding ablation benchmark.
 //!
 //! Measures the bounded raster join under the four binning × sharding

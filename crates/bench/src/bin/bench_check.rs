@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `bench_check` — the CI bench-regression gate.
 //!
 //! Compares freshly produced quick-run `BENCH_binning.json` /

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `bench_planner` — planner calibration + decision-quality benchmark.
 //!
 //! Three phases over a micro-workload grid (points × ε × selectivity ×

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `bench_stream` — the disk-resident streaming executor benchmark
 //! (the Fig. 13 cell, §7.7, run through `StreamingRasterJoin`).
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `rjquery` — run a SQL spatial-aggregation query from the command line.
 //!
 //! Ties the whole stack together the way §9 envisions ("easy to

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Benchmark harness for the paper reproduction.
 //!
 //! * [`workloads`] — lazily built, cached data sets shared by all

@@ -1,0 +1,17 @@
+//! Small models of the streaming pool's core state machines.
+//!
+//! Each model is deliberately tiny — a handful of chunks, two to four
+//! workers — because bounded-preemption exploration is exponential in
+//! steps, and every real bug in these protocols already manifests at
+//! width 2–4. The models mirror the production code's *structure*
+//! (same channels, same buffers, same ownership discipline), not its
+//! data: a chunk is a sequence number, a canvas is an id, a fragment is
+//! an increment.
+
+pub mod pool;
+pub mod ring;
+pub mod shard;
+
+pub use pool::{PoolBug, PoolModel};
+pub use ring::{RingBug, RingModel};
+pub use shard::{ShardBug, ShardModel};

@@ -1,0 +1,309 @@
+//! Model of the streaming pool's seq-tagged ring + reorder buffer.
+//!
+//! Mirrors `StreamingRasterJoin::execute`'s pool path (`stream.rs`):
+//!
+//! * **reader** (thread 0) — fetches chunks `1..=chunks`, tagging each
+//!   with its sequence number, into a bounded work ring
+//!   (`mpsc::sync_channel` of capacity `workers + 1`), then drops its
+//!   sender;
+//! * **workers** (threads `1..=workers`) — steal the next fetched chunk
+//!   off the shared ring, "join" it (one step), and send `(seq, chunk)`
+//!   down the unbounded result channel; on ring disconnect they drop
+//!   their result sender and finish;
+//! * **consumer** (last thread) — processes the sample chunk (seq 0)
+//!   first, exactly like the production consumer, then drains the result
+//!   channel through a [`Reorder`] buffer, folding strictly in ascending
+//!   sequence order.
+//!
+//! # Checked invariants
+//!
+//! * every chunk is folded **exactly once** (none lost, none duplicated);
+//! * the fold order is **ascending chunk order** — the bitwise-determinism
+//!   precondition: `AggregateMerger` folds f32/f64 sums, so a reordered
+//!   fold would change results run-to-run;
+//! * the pipeline never deadlocks (ring capacity vs. worker count).
+//!
+//! # Seeded bugs (mutation gate)
+//!
+//! [`RingBug`] variants re-introduce real bugs the checker must catch;
+//! `tests/mutation_gate.rs` proves each one dies.
+
+use crate::sched::{Model, Step};
+use crate::shim::{Chan, Reorder, TryRecv, TrySend};
+
+/// Which seeded bug, if any, to inject into the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RingBug {
+    /// Faithful model of the production pool.
+    #[default]
+    None,
+    /// A worker swallows the result of chunk `.0` (sends nothing): the
+    /// "lost chunk" bug. The fold must come up short.
+    LoseChunk(u64),
+    /// The reader fails to advance the sequence counter after chunk `.0`,
+    /// so two distinct chunks carry the same tag: the "dropped seq tag"
+    /// bug. One of them can never be folded in order.
+    ReuseSeq(u64),
+    /// The consumer folds results in *arrival* order, bypassing the
+    /// reorder buffer: the "out-of-order fold" bug. Any schedule where a
+    /// later chunk finishes first breaks ascending fold order.
+    FoldArrivalOrder,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerState {
+    /// Waiting to steal the next fetched chunk off the ring.
+    Steal,
+    /// Holding a decoded+joined chunk, about to send its result.
+    Send { seq: u64, chunk: u64 },
+    /// Ring disconnected; result sender dropped.
+    Finished,
+}
+
+#[derive(Debug, Clone)]
+pub struct RingModel {
+    workers: usize,
+    chunks: u64,
+    bug: RingBug,
+
+    /// The bounded work ring, `(seq, chunk id)` tagged.
+    work: Chan<(u64, u64)>,
+    /// The unbounded result channel.
+    results: Chan<(u64, u64)>,
+
+    /// Reader program counter: next chunk to fetch (`> chunks` ⇒ closing).
+    next_fetch: u64,
+    /// Next sequence tag the reader will attach.
+    next_seq: u64,
+    reader_finished: bool,
+
+    worker_states: Vec<WorkerState>,
+
+    /// Consumer state: the sample chunk (seq 0) is processed first.
+    sample_processed: bool,
+    reorder: Reorder<u64>,
+    consumer_finished: bool,
+    /// Chunk ids in fold order — the observable output.
+    pub folded: Vec<u64>,
+    /// Set when a seq tag collides in the reorder buffer (duplicate tag).
+    tag_collision: bool,
+}
+
+impl RingModel {
+    /// `workers` pool workers joining `chunks` streamed chunks (plus the
+    /// sample chunk 0 the consumer joins itself). Ring capacity is
+    /// `workers + 1`, the production floor.
+    pub fn new(workers: usize, chunks: u64) -> Self {
+        Self::with_bug(workers, chunks, RingBug::None)
+    }
+
+    pub fn with_bug(workers: usize, chunks: u64, bug: RingBug) -> Self {
+        assert!(workers >= 1 && chunks >= 1);
+        RingModel {
+            workers,
+            chunks,
+            bug,
+            work: Chan::bounded(workers + 1, 1),
+            results: Chan::unbounded(workers),
+            next_fetch: 1,
+            next_seq: 1,
+            reader_finished: false,
+            worker_states: vec![WorkerState::Steal; workers],
+            sample_processed: false,
+            reorder: Reorder::new(0),
+            consumer_finished: false,
+            folded: Vec::new(),
+            tag_collision: false,
+        }
+    }
+
+    fn consumer_tid(&self) -> usize {
+        self.workers + 1
+    }
+
+    fn fold(&mut self, seq: u64, chunk: u64) {
+        if self.bug == RingBug::FoldArrivalOrder {
+            // Seeded bug: bypass the reorder buffer.
+            self.folded.push(chunk);
+            return;
+        }
+        if !self.reorder.insert(seq, chunk) {
+            self.tag_collision = true;
+            return;
+        }
+        while let Some(c) = self.reorder.pop_next() {
+            self.folded.push(c);
+        }
+    }
+
+    fn step_reader(&mut self) -> Step {
+        if self.reader_finished {
+            return Step::Done;
+        }
+        if self.next_fetch > self.chunks {
+            // EOF: drop the ring sender (the reader thread returns).
+            self.work.drop_sender();
+            self.reader_finished = true;
+            return Step::Ran;
+        }
+        let seq = self.next_seq;
+        let chunk = self.next_fetch;
+        match self.work.try_send((seq, chunk)) {
+            TrySend::Sent => {
+                self.next_fetch += 1;
+                if RingBug::ReuseSeq(chunk) != self.bug {
+                    self.next_seq += 1;
+                }
+                Step::Ran
+            }
+            TrySend::Full => Step::Blocked,
+            TrySend::Closed => {
+                // Pool bailed (production: send err → reader breaks).
+                self.reader_finished = true;
+                Step::Ran
+            }
+        }
+    }
+
+    fn step_worker(&mut self, w: usize) -> Step {
+        match self.worker_states[w] {
+            WorkerState::Steal => match self.work.try_recv() {
+                TryRecv::Got((seq, chunk)) => {
+                    // Decode + single-threaded join happen here; the next
+                    // step publishes the result.
+                    self.worker_states[w] = WorkerState::Send { seq, chunk };
+                    Step::Ran
+                }
+                TryRecv::Empty => Step::Blocked,
+                TryRecv::Disconnected => {
+                    self.results.drop_sender();
+                    self.worker_states[w] = WorkerState::Finished;
+                    Step::Ran
+                }
+            },
+            WorkerState::Send { seq, chunk } => {
+                if self.bug != RingBug::LoseChunk(chunk) {
+                    // Unbounded channel: never Full; a Closed result send
+                    // would mean the consumer bailed (it never does here).
+                    let _ = self.results.try_send((seq, chunk));
+                }
+                self.worker_states[w] = WorkerState::Steal;
+                Step::Ran
+            }
+            WorkerState::Finished => Step::Done,
+        }
+    }
+
+    fn step_consumer(&mut self) -> Step {
+        if self.consumer_finished {
+            return Step::Done;
+        }
+        if !self.sample_processed {
+            // The sample chunk is seq 0, joined on the consumer thread
+            // while the pool already runs behind it.
+            self.sample_processed = true;
+            self.fold(0, 0);
+            return Step::Ran;
+        }
+        match self.results.try_recv() {
+            TryRecv::Got((seq, chunk)) => {
+                self.fold(seq, chunk);
+                Step::Ran
+            }
+            TryRecv::Empty => Step::Blocked,
+            TryRecv::Disconnected => {
+                self.consumer_finished = true;
+                Step::Ran
+            }
+        }
+    }
+}
+
+impl Model for RingModel {
+    fn threads(&self) -> usize {
+        self.workers + 2
+    }
+
+    fn step(&mut self, tid: usize) -> Step {
+        if tid == 0 {
+            self.step_reader()
+        } else if tid == self.consumer_tid() {
+            self.step_consumer()
+        } else {
+            self.step_worker(tid - 1)
+        }
+    }
+
+    fn check_step(&self) -> Result<(), String> {
+        if self.tag_collision {
+            return Err("sequence tag collision: two chunks carried the same seq".into());
+        }
+        // Fold order must be ascending at all times — chunk ids are
+        // assigned in fetch order, so ascending chunk id == chunk order.
+        if self.folded.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(format!(
+                "out-of-order fold: chunk order violated in {:?}",
+                self.folded
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        let expect: Vec<u64> = (0..=self.chunks).collect();
+        if self.folded != expect {
+            return Err(format!(
+                "fold mismatch: folded {:?}, expected every chunk 0..={} exactly once in order",
+                self.folded, self.chunks
+            ));
+        }
+        if self.reorder.pending_len() != 0 {
+            return Err("chunks stranded in the reorder buffer".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{finish, step_until_blocked, Explorer};
+
+    #[test]
+    fn sequential_width_one_folds_in_order() {
+        let mut m = RingModel::new(1, 3);
+        assert!(finish(&mut m).is_ok());
+        assert_eq!(m.folded, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn clean_model_survives_exhaustive_width_two() {
+        let report = Explorer::with_preemptions(2).explore(&RingModel::new(2, 3));
+        report.assert_clean("ring w=2");
+        assert!(report.interleavings > 0);
+    }
+
+    /// The satellite regression: results delivered in worst-case
+    /// *reverse* sequence order must still fold ascending. With as many
+    /// workers as chunks, each worker holds one chunk and they publish
+    /// newest-first.
+    #[test]
+    fn reverse_order_completion_still_folds_ascending() {
+        let chunks = 3;
+        let mut m = RingModel::new(chunks as usize, chunks);
+        // Reader fetches everything (ring capacity workers+1 ≥ chunks).
+        assert!(step_until_blocked(&mut m, 0) >= chunks as usize);
+        // Worker w steals chunk w+1 (FIFO ring), stopping before the send.
+        for w in 1..=chunks as usize {
+            assert_eq!(m.step(w), Step::Ran);
+        }
+        // Publish in reverse: worker holding the *highest* seq first.
+        for w in (1..=chunks as usize).rev() {
+            assert_eq!(m.step(w), Step::Ran);
+            // Consumer eagerly drains after every arrival.
+            step_until_blocked(&mut m, chunks as usize + 1);
+        }
+        assert!(finish(&mut m).is_ok());
+        assert_eq!(m.folded, vec![0, 1, 2, 3]);
+    }
+}

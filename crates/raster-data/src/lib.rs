@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Point data management for the raster-join reproduction.
 //!
 //! The paper evaluates on two columnar point data sets — NYC yellow taxi

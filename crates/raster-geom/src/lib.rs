@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Computational-geometry substrate for the raster-join reproduction.
 //!
 //! This crate provides every geometric primitive the paper's pipeline needs:

@@ -364,6 +364,11 @@ where
             }
             if with_values {
                 let vsrc = &l.values[t];
+                // SAFETY: same disjointness argument as the `idx` copy
+                // above — `values` was sized with the same offsets, and
+                // `vsrc.len() == src.len()` for every local buffer, so
+                // this writes the same [offsets[t], offsets[t+1]) segment
+                // of the values array that this tile exclusively owns.
                 unsafe {
                     std::ptr::copy_nonoverlapping(vsrc.as_ptr(), val_ptr.0.add(cursor), vsrc.len());
                 }
@@ -381,9 +386,20 @@ where
 
 /// Raw pointer that may cross scoped-thread boundaries (writes are to
 /// provably disjoint ranges; see the SAFETY comments at use sites).
+///
+/// The `T: Send` bounds are load-bearing: a `SendPtr<Rc<_>>` shared
+/// across threads would otherwise let workers clone non-atomic refcounts
+/// concurrently. The scatter loop only instantiates `T = u32` / `T = f32`.
 struct SendPtr<T>(*mut T);
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
+// SAFETY: moving the wrapper to another thread moves at most the pointee
+// (the pointer itself is plain data), which `T: Send` permits; the
+// wrapper exposes no other capability.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: `&SendPtr<T>` hands every thread the raw `*mut T`, i.e. the
+// ability to move/write `T`s across threads, so `Sync` needs `T: Send`
+// too. Aliasing discipline (disjoint write ranges, no reads until the
+// scope joins) is established at each use site.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Assign one world point to its accepting tile(s): emit `(tile index,
 /// linear pixel index)` for every tile whose `pixel_of` accepts it.

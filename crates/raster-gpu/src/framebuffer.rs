@@ -18,8 +18,18 @@ pub(crate) fn zeroed_atomics(n: usize) -> Vec<AtomicU32> {
     let len = v.len();
     let cap = v.capacity();
     std::mem::forget(v);
-    // SAFETY: AtomicU32 is documented to have the same size and bit
-    // validity as u32, and 0u32 is a valid AtomicU32 bit pattern.
+    // SAFETY: the `Vec::from_raw_parts` contract holds point by point:
+    // * `ptr` came from a live `Vec<u32>` allocated by the global
+    //   allocator, and `mem::forget` above keeps that allocation alive
+    //   (no double free) while transferring ownership here;
+    // * `len`/`cap` are the forgotten vector's exact length/capacity;
+    // * `AtomicU32` is documented to have "the same in-memory
+    //   representation as" `u32` — identical size *and* alignment — so
+    //   the allocation's layout (`cap * 4` bytes, align 4) is exactly
+    //   what a `Vec<AtomicU32>` of this capacity would request, and
+    //   deallocation through the new vector uses the same layout;
+    // * every element is `0u32`, a valid bit pattern for `AtomicU32`
+    //   (atomics have no niches or padding).
     unsafe { Vec::from_raw_parts(ptr.cast::<AtomicU32>(), len, cap) }
 }
 
@@ -98,38 +108,37 @@ impl PointFbo {
         f32::from_bits(self.sums[self.idx(x, y)].load(Ordering::Relaxed))
     }
 
-    /// Read-only view of one count row as plain `u32`s.
+    /// Read-only view of one count row.
     ///
-    /// Soundness: `AtomicU32` has the same representation as `u32`; the
-    /// cast is sound as long as no writer runs concurrently. The pipeline
-    /// guarantees that: DrawPoints fully completes (its thread scope
-    /// joins) before DrawPolygons reads the FBO — the same write-then-
-    /// read hazard ordering the GL pipeline enforces between passes. The
-    /// plain-slice view is what lets LLVM vectorize the span sums.
+    /// This used to transmute the row to `&[u32]` for auto-vectorization;
+    /// the unsafe cast was only sound while no writer ran concurrently, a
+    /// whole-pipeline property no local comment can prove. The safe
+    /// version iterates `Relaxed` loads instead: on every target we
+    /// build for, a relaxed `AtomicU32` load compiles to the same plain
+    /// `mov` as a `u32` read, and the span fold below is memory-bound, so
+    /// the pipeline-level hazard ordering (DrawPoints' scope joins before
+    /// DrawPolygons reads) is now a performance footnote rather than a
+    /// soundness precondition.
     #[inline]
-    fn count_row(&self, y: u32) -> &[u32] {
+    fn count_row(&self, y: u32) -> &[AtomicU32] {
         let base = y as usize * self.width as usize;
-        let row = &self.counts[base..base + self.width as usize];
-        // SAFETY: see above — no concurrent writes during read passes.
-        unsafe { &*(row as *const [AtomicU32] as *const [u32]) }
+        &self.counts[base..base + self.width as usize]
     }
 
     #[inline]
-    fn sum_row(&self, y: u32) -> &[u32] {
+    fn sum_row(&self, y: u32) -> &[AtomicU32] {
         let base = y as usize * self.width as usize;
-        let row = &self.sums[base..base + self.width as usize];
-        // SAFETY: as for `count_row`.
-        unsafe { &*(row as *const [AtomicU32] as *const [u32]) }
+        &self.sums[base..base + self.width as usize]
     }
 
     /// Σ count over the pixel span `[x0, x1) × {y}` — the COUNT-query
-    /// fragment fast path (vectorizable plain-integer sum).
+    /// fragment fast path.
     #[inline]
     pub fn span_count(&self, y: u32, x0: u32, x1: u32) -> u64 {
         debug_assert!(x0 <= x1 && x1 <= self.width && y < self.height);
         self.count_row(y)[x0 as usize..x1 as usize]
             .iter()
-            .map(|&c| c as u64)
+            .map(|c| c.load(Ordering::Relaxed) as u64)
             .sum()
     }
 
@@ -144,10 +153,10 @@ impl PointFbo {
         let mut cnt = 0u64;
         let mut sum = 0f64;
         for i in x0 as usize..x1 as usize {
-            let c = counts[i];
+            let c = counts[i].load(Ordering::Relaxed);
             if c != 0 {
                 cnt += c as u64;
-                sum += f32::from_bits(sums[i]) as f64;
+                sum += f32::from_bits(sums[i].load(Ordering::Relaxed)) as f64;
             }
         }
         (cnt, sum)

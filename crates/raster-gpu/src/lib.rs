@@ -1,3 +1,4 @@
+#![deny(unsafe_op_in_unsafe_fn)]
 //! A software model of the GPU rendering pipeline the paper runs on.
 //!
 //! The paper (§3, §6.1) drives an OpenGL pipeline: vertex shaders transform

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Spatial indexes for the raster-join baselines.
 //!
 //! The paper uses a uniform **grid index** over the polygon set everywhere

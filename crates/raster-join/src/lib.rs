@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Raster join: spatial aggregation by rasterization (the paper's core).
 //!
 //! Implements the operators of *GPU Rasterization for Real-Time Spatial

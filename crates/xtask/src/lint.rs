@@ -1,0 +1,666 @@
+//! The lint engine: a token scanner enforcing repo invariants that
+//! clippy cannot express because they are *policy*, not syntax.
+//!
+//! The scanner strips comments and string literals (tracking `SAFETY:`
+//! markers and `#[cfg(test)]` regions by brace depth), then applies
+//! path-scoped rules:
+//!
+//! | rule              | invariant                                           |
+//! |-------------------|-----------------------------------------------------|
+//! | `unsafe-module`   | `unsafe` appears only in [`UNSAFE_ALLOWLIST`] files |
+//! | `unsafe-safety`   | every `unsafe` token carries a contiguous           |
+//! |                   | `// SAFETY:` comment directly above (or inline)     |
+//! | `forbid-unsafe`   | crates needing no unsafe say so with                |
+//! |                   | `#![forbid(unsafe_code)]` at every crate root       |
+//! | `deny-unsafe-op`  | crates keeping unsafe carry                         |
+//! |                   | `#![deny(unsafe_op_in_unsafe_fn)]`                  |
+//! | `no-panic-decode` | decode/read paths ([`NO_PANIC_PATHS`]) never        |
+//! |                   | `unwrap`/`expect`/`panic!` — corrupted bytes must   |
+//! |                   | surface as typed `FormatError`s                     |
+//! | `no-clock-result` | result-affecting code ([`NO_CLOCK_PATHS`]) never    |
+//! |                   | touches `Instant`/`SystemTime` — the `stream.rs`    |
+//! |                   | determinism rule, mechanized                        |
+//!
+//! `#[cfg(test)]` regions are exempt from the panic and clock rules
+//! (tests may time things and unwrap freely) but **not** from the unsafe
+//! rules: unsafe test code still wants an audit trail.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Files allowed to contain `unsafe` at all. Every block still needs its
+/// own `// SAFETY:` comment; this list only bounds *where* unsafe may
+/// live so a new block elsewhere fails loudly in review.
+pub const UNSAFE_ALLOWLIST: &[&str] = &[
+    "crates/raster-gpu/src/bin.rs",
+    "crates/raster-gpu/src/framebuffer.rs",
+];
+
+/// Crate roots that must declare `#![forbid(unsafe_code)]`: every crate
+/// (and binary target — each is its own crate root) that needs no unsafe.
+/// A missing file is itself a violation, so renames can't silently drop
+/// coverage.
+pub const FORBID_UNSAFE_ROOTS: &[&str] = &[
+    "src/lib.rs",
+    "crates/raster-data/src/lib.rs",
+    "crates/raster-geom/src/lib.rs",
+    "crates/raster-index/src/lib.rs",
+    "crates/raster-join/src/lib.rs",
+    "crates/bench/src/lib.rs",
+    "crates/bench/src/bin/bench_binning.rs",
+    "crates/bench/src/bin/bench_check.rs",
+    "crates/bench/src/bin/bench_planner.rs",
+    "crates/bench/src/bin/bench_stream.rs",
+    "crates/bench/src/bin/repro.rs",
+    "crates/bench/src/bin/rjquery.rs",
+    "crates/checker/src/lib.rs",
+    "crates/checker/src/bin/modelcheck.rs",
+    "crates/xtask/src/main.rs",
+];
+
+/// Crate roots that keep unsafe and must therefore make every unsafe
+/// operation explicit inside `unsafe fn` bodies.
+pub const DENY_UNSAFE_OP_ROOTS: &[&str] = &["crates/raster-gpu/src/lib.rs"];
+
+/// Decode/read paths: bytes from disk are untrusted, so these files must
+/// return typed `FormatError`s instead of panicking.
+pub const NO_PANIC_PATHS: &[&str] = &[
+    "crates/raster-data/src/codec.rs",
+    "crates/raster-data/src/disk.rs",
+];
+
+/// Result-affecting code: wall-clock reads here could leak timing into
+/// query results, breaking the bitwise-determinism contract. Prefix
+/// matches (a trailing `/` scopes a whole directory).
+pub const NO_CLOCK_PATHS: &[&str] = &[
+    "crates/raster-geom/src/",
+    "crates/raster-index/src/",
+    "crates/raster-data/src/codec.rs",
+    "crates/raster-gpu/src/framebuffer.rs",
+    "crates/raster-gpu/src/bin.rs",
+    "crates/raster-gpu/src/raster.rs",
+    "crates/raster-gpu/src/viewport.rs",
+    "crates/raster-join/src/query.rs",
+];
+
+/// How far above an `unsafe` token the contiguous `// SAFETY:` comment
+/// block may start.
+const SAFETY_WINDOW: usize = 12;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One source line after comment/string stripping.
+#[derive(Debug, Default, Clone)]
+struct Line {
+    /// Code with comments removed and string/char literal *contents*
+    /// blanked (delimiters kept), so token searches can't match inside
+    /// literals.
+    code: String,
+    /// `true` when a comment on this line contains `SAFETY:`.
+    safety: bool,
+    /// `true` when the line holds only comment/whitespace.
+    comment_only: bool,
+}
+
+/// Split source into per-line code/comment views. Handles nested block
+/// comments, line comments, string/char/byte literals, raw strings, and
+/// lifetimes. This is a scanner, not a parser: pathological token streams
+/// (e.g. a brace inside a macro-generated string passed through
+/// `concat!`) could in principle confuse it, but plain rustfmt'd code —
+/// which CI enforces — cannot.
+fn split_lines(text: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let mut cur = Line::default();
+    let mut had_comment = false;
+    let bytes: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    let mut block_depth = 0usize;
+    let n = bytes.len();
+
+    let flush = |cur: &mut Line, had_comment: &mut bool, out: &mut Vec<Line>| {
+        cur.comment_only = cur.code.trim().is_empty() && *had_comment;
+        out.push(std::mem::take(cur));
+        *had_comment = false;
+    };
+
+    while i < n {
+        let c = bytes[i];
+        if c == '\n' {
+            flush(&mut cur, &mut had_comment, &mut out);
+            i += 1;
+            continue;
+        }
+        if block_depth > 0 {
+            had_comment = true;
+            if c == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                block_depth -= 1;
+                i += 2;
+                continue;
+            }
+            if c == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                block_depth += 1;
+                i += 2;
+                continue;
+            }
+            if bytes[i..]
+                .iter()
+                .take(7)
+                .collect::<String>()
+                .starts_with("SAFETY:")
+            {
+                cur.safety = true;
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                // Line comment: scan it for SAFETY:, then drop it.
+                had_comment = true;
+                let rest: String = bytes[i..].iter().take_while(|&&b| b != '\n').collect();
+                if rest.contains("SAFETY:") {
+                    cur.safety = true;
+                }
+                i += rest.chars().count();
+            }
+            '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                had_comment = true;
+                block_depth += 1;
+                i += 2;
+            }
+            '"' => {
+                cur.code.push('"');
+                i += 1;
+                while i < n && bytes[i] != '"' {
+                    if bytes[i] == '\\' {
+                        i += 2; // skip the escaped char (incl. \")
+                        continue;
+                    }
+                    if bytes[i] == '\n' {
+                        flush(&mut cur, &mut had_comment, &mut out);
+                    }
+                    i += 1;
+                }
+                cur.code.push('"');
+                i += 1; // closing quote
+            }
+            'r' if i + 1 < n && (bytes[i + 1] == '"' || bytes[i + 1] == '#') => {
+                // Possible raw string r"…" / r#"…"#.
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < n && bytes[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && bytes[j] == '"' {
+                    cur.code.push('"');
+                    j += 1;
+                    'raw: while j < n {
+                        if bytes[j] == '\n' {
+                            flush(&mut cur, &mut had_comment, &mut out);
+                        }
+                        if bytes[j] == '"' {
+                            let mut k = j + 1;
+                            let mut seen = 0;
+                            while k < n && bytes[k] == '#' && seen < hashes {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break 'raw;
+                            }
+                        }
+                        j += 1;
+                    }
+                    cur.code.push('"');
+                    i = j;
+                } else {
+                    cur.code.push('r');
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal ('a', '\n') vs lifetime ('a). A literal
+                // closes with ' one or two (escaped) chars later.
+                let is_escaped = i + 1 < n && bytes[i + 1] == '\\';
+                let closes_short = i + 2 < n && bytes[i + 2] == '\'';
+                if is_escaped || closes_short {
+                    cur.code.push_str("''");
+                    let mut j = i + 1;
+                    if bytes[j] == '\\' {
+                        j += 1;
+                    }
+                    while j < n && bytes[j] != '\'' {
+                        j += 1;
+                    }
+                    i = j + 1;
+                } else {
+                    cur.code.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                cur.code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if !cur.code.is_empty() || had_comment {
+        flush(&mut cur, &mut had_comment, &mut out);
+    }
+    out
+}
+
+/// Mark which lines sit inside `#[cfg(test)]` items, by brace depth.
+fn test_regions(lines: &[Line]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut depth = 0i64;
+    let mut pending_cfg = false;
+    let mut region_floor: Option<i64> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if region_floor.is_some() {
+            in_test[idx] = true;
+        }
+        if region_floor.is_none() && code.contains("#[cfg(test)]") {
+            pending_cfg = true;
+            in_test[idx] = true;
+        } else if pending_cfg && region_floor.is_none() {
+            in_test[idx] = true;
+            if code.contains('{') {
+                region_floor = Some(depth);
+                pending_cfg = false;
+            } else if code.trim_end().ends_with(';') {
+                // `#[cfg(test)] use …;` — single-item scope.
+                pending_cfg = false;
+            }
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(floor) = region_floor {
+            if depth <= floor {
+                region_floor = None;
+            }
+        }
+    }
+    in_test
+}
+
+/// Word-boundary search: `word` not embedded in a larger identifier.
+fn find_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before = at == 0 || {
+            let b = bytes[at - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        let end = at + word.len();
+        let after = end >= bytes.len() || {
+            let b = bytes[end];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before && after {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+fn path_matches(rel: &str, pattern: &str) -> bool {
+    if let Some(dir) = pattern.strip_suffix('/') {
+        rel.starts_with(dir)
+    } else {
+        rel == pattern
+    }
+}
+
+/// Lint one file's source. Pure — the unit tests feed it fixtures.
+pub fn lint_source(rel: &str, text: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines = split_lines(text);
+    let in_test = test_regions(&lines);
+
+    let unsafe_allowed = UNSAFE_ALLOWLIST.contains(&rel);
+    let no_panic = NO_PANIC_PATHS.iter().any(|p| path_matches(rel, p));
+    let no_clock = NO_CLOCK_PATHS.iter().any(|p| path_matches(rel, p));
+    let needs_forbid = FORBID_UNSAFE_ROOTS.contains(&rel);
+    let needs_deny_op = DENY_UNSAFE_OP_ROOTS.contains(&rel);
+
+    let mut has_forbid = false;
+    let mut has_deny_op = false;
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = line.code.as_str();
+        if code.contains("#![forbid(unsafe_code)]") {
+            has_forbid = true;
+        }
+        if code.contains("#![deny(unsafe_op_in_unsafe_fn)]") {
+            has_deny_op = true;
+        }
+
+        if find_word(code, "unsafe") {
+            if !unsafe_allowed {
+                out.push(Violation {
+                    file: rel.into(),
+                    line: lineno,
+                    rule: "unsafe-module",
+                    message: "`unsafe` outside the allowlisted modules \
+                              (crates/xtask/src/lint.rs UNSAFE_ALLOWLIST)"
+                        .into(),
+                });
+            } else if !safety_documented(&lines, idx) {
+                out.push(Violation {
+                    file: rel.into(),
+                    line: lineno,
+                    rule: "unsafe-safety",
+                    message: "`unsafe` without a contiguous `// SAFETY:` comment \
+                              directly above"
+                        .into(),
+                });
+            }
+        }
+
+        if no_panic && !in_test[idx] {
+            for pat in [
+                ".unwrap(",
+                ".expect(",
+                "panic!(",
+                "unreachable!(",
+                "todo!(",
+                "unimplemented!(",
+            ] {
+                if code.contains(pat) {
+                    out.push(Violation {
+                        file: rel.into(),
+                        line: lineno,
+                        rule: "no-panic-decode",
+                        message: format!(
+                            "`{pat}…` in a decode/read path — corrupted bytes must \
+                             surface as typed FormatError, never a panic"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if no_clock
+            && !in_test[idx]
+            && (find_word(code, "Instant") || find_word(code, "SystemTime"))
+        {
+            out.push(Violation {
+                file: rel.into(),
+                line: lineno,
+                rule: "no-clock-result",
+                message: "wall-clock read in result-affecting code — timing must \
+                          never influence query results (stream.rs determinism rule)"
+                    .into(),
+            });
+        }
+    }
+
+    if needs_forbid && !has_forbid {
+        out.push(Violation {
+            file: rel.into(),
+            line: 1,
+            rule: "forbid-unsafe",
+            message: "crate root must declare #![forbid(unsafe_code)]".into(),
+        });
+    }
+    if needs_deny_op && !has_deny_op {
+        out.push(Violation {
+            file: rel.into(),
+            line: 1,
+            rule: "deny-unsafe-op",
+            message: "crate root keeps unsafe and must declare \
+                      #![deny(unsafe_op_in_unsafe_fn)]"
+                .into(),
+        });
+    }
+    out
+}
+
+/// Is there a contiguous `// SAFETY:` comment block directly above
+/// `idx` (attributes and blank lines allowed between), or inline on the
+/// same line?
+fn safety_documented(lines: &[Line], idx: usize) -> bool {
+    if lines[idx].safety {
+        return true;
+    }
+    for back in 1..=SAFETY_WINDOW.min(idx) {
+        let line = &lines[idx - back];
+        let trimmed = line.code.trim();
+        let is_gap = trimmed.is_empty() || trimmed.starts_with("#[") || trimmed.starts_with("#![");
+        if line.safety {
+            return true;
+        }
+        if !line.comment_only && !is_gap {
+            return false; // hit real code before any SAFETY comment
+        }
+    }
+    false
+}
+
+/// Recursively collect `.rs` files under `root`, skipping build output.
+fn walk(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole tree rooted at the workspace root. Scans `src/`,
+/// `crates/` and `vendor/`.
+pub fn lint_tree(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "vendor"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+
+    let mut out = Vec::new();
+    let mut seen_roots: Vec<&str> = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if let Some(r) = FORBID_UNSAFE_ROOTS
+            .iter()
+            .chain(DENY_UNSAFE_OP_ROOTS)
+            .find(|r| **r == rel)
+        {
+            seen_roots.push(r);
+        }
+        let text = fs::read_to_string(path)?;
+        out.extend(lint_source(&rel, &text));
+    }
+
+    // A configured crate root that no longer exists is a silent coverage
+    // hole — fail loudly so the allowlist tracks renames.
+    for r in FORBID_UNSAFE_ROOTS.iter().chain(DENY_UNSAFE_OP_ROOTS) {
+        if !seen_roots.contains(r) {
+            out.push(Violation {
+                file: (*r).into(),
+                line: 0,
+                rule: "missing-root",
+                message: "configured crate root not found — update the lint \
+                          config in crates/xtask/src/lint.rs"
+                    .into(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GPU_BIN: &str = "crates/raster-gpu/src/bin.rs";
+
+    #[test]
+    fn safety_comment_directly_above_passes() {
+        let src = "fn f(p: *mut u8) {\n    // SAFETY: caller guarantees exclusivity.\n    unsafe { p.write(0) };\n}\n";
+        assert!(lint_source(GPU_BIN, src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_fails() {
+        let src = "fn f(p: *mut u8) {\n    unsafe { p.write(0) };\n}\n";
+        let v = lint_source(GPU_BIN, src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe-safety");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn safety_comment_does_not_leak_past_code() {
+        // A SAFETY comment above *other code* must not license a later
+        // unsafe block.
+        let src = "// SAFETY: for the first block only.\nlet a = 1;\nunsafe { q.write(a) };\n";
+        let v = lint_source(GPU_BIN, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "unsafe-safety");
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_fails_even_with_safety() {
+        let src = "// SAFETY: documented but in the wrong crate.\nunsafe { core::hint::unreachable_unchecked() }\n";
+        let v = lint_source("crates/raster-join/src/stream.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe-module");
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_strings_is_ignored() {
+        let src = "// this code is unsafe in spirit\nlet s = \"unsafe { }\";\nlet t = 'u';\n";
+        assert!(lint_source("crates/raster-join/src/stream.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_suffix_identifiers_are_not_matched() {
+        let src = "#![forbid(unsafe_code)]\nfn unsafe_code_free() {}\n";
+        assert!(lint_source("crates/raster-join/src/stream.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_decode_path_fails() {
+        let src =
+            "fn decode(b: &[u8]) -> u32 {\n    u32::from_le_bytes(b.try_into().unwrap())\n}\n";
+        let v = lint_source("crates/raster-data/src/codec.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-panic-decode");
+    }
+
+    #[test]
+    fn unwrap_or_in_decode_path_is_fine() {
+        let src = "fn decode(b: Option<u32>) -> u32 {\n    b.unwrap_or(0).max(b.unwrap_or_default())\n}\n";
+        assert!(lint_source("crates/raster-data/src/codec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_in_decode_test_module_is_fine() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); panic!(\"x\"); }\n}\n";
+        assert!(lint_source("crates/raster-data/src/disk.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_in_result_affecting_code_fails() {
+        let src = "use std::time::Instant;\n";
+        let v = lint_source("crates/raster-geom/src/polygon.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-clock-result");
+    }
+
+    #[test]
+    fn instant_in_stats_code_is_fine() {
+        let src = "use std::time::Instant;\n";
+        assert!(lint_source("crates/raster-gpu/src/exec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn missing_forbid_attribute_fails() {
+        let v = lint_source("crates/raster-geom/src/lib.rs", "//! docs\npub fn f() {}\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "forbid-unsafe");
+    }
+
+    #[test]
+    fn forbid_attribute_in_comment_does_not_count() {
+        let v = lint_source(
+            "crates/raster-geom/src/lib.rs",
+            "//! says #![forbid(unsafe_code)] in docs only\npub fn f() {}\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "forbid-unsafe");
+    }
+
+    #[test]
+    fn deny_unsafe_op_required_in_gpu_root() {
+        let v = lint_source("crates/raster-gpu/src/lib.rs", "pub mod framebuffer;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "deny-unsafe-op");
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_do_not_confuse_the_scanner() {
+        let src = "let a = r#\"unsafe panic!( \"#;\nlet b = '\\'';\nlet c: &'static str = \"x\";\n";
+        assert!(lint_source("crates/raster-data/src/codec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let src = "/* outer /* inner unsafe */ still comment panic!( */\nfn ok() {}\n";
+        assert!(lint_source("crates/raster-data/src/codec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_region_tracking_ends_at_closing_brace() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\nfn after(b: Option<u8>) { b.unwrap(); }\n";
+        let v = lint_source("crates/raster-data/src/disk.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 5);
+    }
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # raster-join-repro
 //!
 //! A from-scratch Rust reproduction of **"GPU Rasterization for Real-Time
