@@ -121,7 +121,38 @@ fn parse_args() -> Result<Args, String> {
     Ok(a)
 }
 
-fn load_points(args: &Args) -> Result<PointTable, String> {
+/// Exit codes, one per failure class, so scripts can branch without
+/// parsing stderr: 2 = bad usage or SQL, 3 = plain I/O failure, 4 =
+/// on-disk format damage (a typed [`raster_data::codec::FormatError`]
+/// rides inside the I/O error), 5 = a contained pipeline panic
+/// surfaced as [`raster_join::StreamError::WorkerPanicked`].
+const EXIT_USAGE: i32 = 2;
+const EXIT_IO: i32 = 3;
+const EXIT_CORRUPT: i32 = 4;
+const EXIT_PANIC: i32 = 5;
+
+fn io_exit_code(e: &std::io::Error) -> i32 {
+    if raster_data::codec::FormatError::of(e).is_some() {
+        EXIT_CORRUPT
+    } else {
+        EXIT_IO
+    }
+}
+
+/// Print the one-line message and exit with the class code for a
+/// streaming-executor error.
+fn fail_stream(e: raster_join::StreamError) -> ! {
+    use raster_join::StreamError;
+    let code = match &e {
+        StreamError::Parse(_) | StreamError::NoFileSource => EXIT_USAGE,
+        StreamError::Io(io) => io_exit_code(io),
+        StreamError::WorkerPanicked(_) => EXIT_PANIC,
+    };
+    eprintln!("rjquery: {e}");
+    std::process::exit(code);
+}
+
+fn load_points(args: &Args) -> Result<PointTable, (i32, String)> {
     match &args.points {
         Some(path) => {
             let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
@@ -130,8 +161,8 @@ fn load_points(args: &Args) -> Result<PointTable, String> {
                 // named in the header are not introspected here — use the
                 // binary format for full schemas.
                 let spec = raster_data::csv::CsvSpec::new(0, 1);
-                let (t, stats) =
-                    raster_data::csv::read_csv_file(path, &spec).map_err(|e| e.to_string())?;
+                let (t, stats) = raster_data::csv::read_csv_file(path, &spec)
+                    .map_err(|e| (io_exit_code(&e), e.to_string()))?;
                 eprintln!(
                     "loaded {} rows from {} ({} skipped)",
                     stats.rows_ok,
@@ -140,7 +171,7 @@ fn load_points(args: &Args) -> Result<PointTable, String> {
                 );
                 Ok(t)
             } else {
-                raster_data::disk::read_table(path).map_err(|e| e.to_string())
+                raster_data::disk::read_table(path).map_err(|e| (io_exit_code(&e), e.to_string()))
             }
         }
         None => {
@@ -166,7 +197,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     };
     let is_explain = args
@@ -188,14 +219,14 @@ fn main() {
                 "error: --exact cannot be combined with a quoted FROM file source \
                  (the streaming planner chooses the variant)"
             );
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
         if args.points.is_some() {
             eprintln!(
                 "error: --points conflicts with the quoted FROM file source `{source}` \
                  (the SQL names the table)"
             );
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
         let polys = synthetic_polygons(args.polygons, &nyc_extent(), 1);
         let device = Device::default();
@@ -214,10 +245,7 @@ fn main() {
                     print!("{plan}");
                     return;
                 }
-                Err(e) => {
-                    eprintln!("{e}");
-                    std::process::exit(2);
-                }
+                Err(e) => fail_stream(e),
             }
         }
         let stream = mk_stream();
@@ -251,18 +279,15 @@ fn main() {
                 print_results(&s.output.values(query.aggregate), args.top);
                 return;
             }
-            Err(e) => {
-                eprintln!("{e}");
-                std::process::exit(1);
-            }
+            Err(e) => fail_stream(e),
         }
     }
 
     let points = match load_points(&args) {
         Ok(p) => p,
-        Err(e) => {
-            eprintln!("error loading points: {e}");
-            std::process::exit(1);
+        Err((code, msg)) => {
+            eprintln!("rjquery: error loading points: {msg}");
+            std::process::exit(code);
         }
     };
     let polys = synthetic_polygons(args.polygons, &nyc_extent(), 1);
@@ -277,7 +302,7 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("{e}");
-                std::process::exit(2);
+                std::process::exit(EXIT_USAGE);
             }
         }
     }
@@ -286,7 +311,7 @@ fn main() {
         Ok(q) => q.with_epsilon(args.epsilon),
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
     };
 

@@ -7,7 +7,9 @@
 //! cargo run --release -p checker --bin modelcheck
 //! ```
 
-use checker::models::{PoolBug, PoolModel, RingBug, RingModel, ShardBug, ShardModel};
+use checker::models::{
+    ErrBug, ErrModel, FaultAt, PoolBug, PoolModel, RingBug, RingModel, ShardBug, ShardModel,
+};
 use checker::sched::{Explorer, Model, Report};
 use std::process::ExitCode;
 
@@ -108,6 +110,38 @@ fn main() -> ExitCode {
         &ex,
         &mut ok,
     );
+    // The error-path model sweeps every fault placement: each must
+    // terminate, drain and report deterministically on every schedule.
+    explore_clean(
+        "errs  w=2 healthy   p=3",
+        &ErrModel::new(2, 3, FaultAt::None),
+        &ex,
+        &mut ok,
+    );
+    explore_clean(
+        "errs  w=2 reader@1  p=3",
+        &ErrModel::new(2, 3, FaultAt::Reader { after: 1 }),
+        &ex,
+        &mut ok,
+    );
+    explore_clean(
+        "errs  w=2 worker@1  p=3",
+        &ErrModel::new(2, 3, FaultAt::Worker { on_seq: 1 }),
+        &ex,
+        &mut ok,
+    );
+    explore_clean(
+        "errs  w=2 worker@3  p=3",
+        &ErrModel::new(2, 3, FaultAt::Worker { on_seq: 3 }),
+        &ex,
+        &mut ok,
+    );
+    explore_clean(
+        "errs  w=2 cancel@2  p=3",
+        &ErrModel::new(2, 3, FaultAt::ConsumerCancel { after_folds: 2 }),
+        &ex,
+        &mut ok,
+    );
 
     println!("mutation gate (each seeded bug must be caught):");
     expect_caught(
@@ -155,6 +189,35 @@ fn main() -> ExitCode {
     expect_caught(
         "pool/SkipClear",
         &PoolModel::with_bug(2, 2, PoolBug::SkipClear),
+        &ex,
+        &mut ok,
+    );
+    expect_caught(
+        "errs/FoldAfterError",
+        &ErrModel::with_bug(2, 3, FaultAt::Worker { on_seq: 1 }, ErrBug::FoldAfterError),
+        &ex,
+        &mut ok,
+    );
+    expect_caught(
+        "errs/LeakCanvasOnError",
+        &ErrModel::with_bug(
+            2,
+            2,
+            FaultAt::Worker { on_seq: 1 },
+            ErrBug::LeakCanvasOnError,
+        ),
+        &ex,
+        &mut ok,
+    );
+    expect_caught(
+        "errs/SwallowError",
+        &ErrModel::with_bug(2, 3, FaultAt::Reader { after: 1 }, ErrBug::SwallowError),
+        &ex,
+        &mut ok,
+    );
+    expect_caught(
+        "errs/NoUnblock",
+        &ErrModel::with_bug(2, 7, FaultAt::Worker { on_seq: 1 }, ErrBug::NoUnblock),
         &ex,
         &mut ok,
     );

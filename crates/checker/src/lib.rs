@@ -13,7 +13,10 @@
 //! 2. the **shard merge** (accumulate races nothing, merge runs strictly
 //!    after the scope join) — [`models::ShardModel`];
 //! 3. the **FBO pool** (recycled canvases are exclusively owned and
-//!    cleared; the free list never aliases) — [`models::PoolModel`].
+//!    cleared; the free list never aliases) — [`models::PoolModel`];
+//! 4. the **first-error shutdown** (any fault placement terminates, the
+//!    error wins over partial results, canvases and chunks are fully
+//!    accounted) — [`models::ErrModel`].
 //!
 //! CI runs on few cores, where real interleavings rarely happen; the
 //! checker explores them *synthetically*. [`sched::Explorer`] drives each
@@ -22,9 +25,11 @@
 //! and reports the exact reproducing schedule on any violation.
 //!
 //! Trustworthiness is itself tested: every model carries seeded-bug
-//! variants (`RingBug`, `ShardBug`, `PoolBug`) re-creating real bugs —
-//! lost chunk, dropped seq tag, out-of-order fold, merge-before-join,
-//! shared-shard RMW, early recycle, double recycle, skipped clear — and
+//! variants (`RingBug`, `ShardBug`, `PoolBug`, `ErrBug`) re-creating real
+//! bugs — lost chunk, dropped seq tag, out-of-order fold,
+//! merge-before-join, shared-shard RMW, early recycle, double recycle,
+//! skipped clear, fold-after-error, leaked canvas, swallowed error,
+//! missing shutdown unblock — and
 //! `tests/mutation_gate.rs` fails the build unless the checker catches
 //! **each one**. A checker that stops seeing seeded bugs is broken, not
 //! lucky.

@@ -8,10 +8,12 @@
 //! data: a chunk is a sequence number, a canvas is an id, a fragment is
 //! an increment.
 
+pub mod errors;
 pub mod pool;
 pub mod ring;
 pub mod shard;
 
+pub use errors::{ErrBug, ErrModel, FaultAt};
 pub use pool::{PoolBug, PoolModel};
 pub use ring::{RingBug, RingModel};
 pub use shard::{ShardBug, ShardModel};

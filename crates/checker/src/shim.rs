@@ -115,6 +115,13 @@ impl<T: Clone> Chan<T> {
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// The values still buffered, front to back — end-state accounting
+    /// hooks (e.g. the error model's chunk-conservation audit) count what
+    /// a shutdown stranded in flight.
+    pub fn buffered(&self) -> impl Iterator<Item = &T> {
+        self.queue.iter()
+    }
 }
 
 /// Model of a scope join: `need` workers must `arrive` before the code
@@ -184,6 +191,12 @@ impl<T: Clone> Reorder<T> {
 
     pub fn pending_len(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The buffered out-of-order values — like [`Chan::buffered`], for
+    /// end-state accounting of what an error shutdown left behind.
+    pub fn pending_values(&self) -> impl Iterator<Item = &T> {
+        self.pending.values()
     }
 }
 

@@ -7,7 +7,9 @@
 //! seeded-bug inventory, so a scheduler regression that silently shrinks
 //! the explored space breaks the build here rather than hiding forever.
 
-use checker::models::{PoolBug, PoolModel, RingBug, RingModel, ShardBug, ShardModel};
+use checker::models::{
+    ErrBug, ErrModel, FaultAt, PoolBug, PoolModel, RingBug, RingModel, ShardBug, ShardModel,
+};
 use checker::sched::Explorer;
 
 /// Explore with enough preemption budget to express each seeded bug's
@@ -111,6 +113,47 @@ fn gate_shared_shard_rmw_is_caught() {
     );
 }
 
+#[test]
+fn gate_fold_after_error_is_caught() {
+    assert_caught(
+        &ErrModel::with_bug(2, 3, FaultAt::Worker { on_seq: 1 }, ErrBug::FoldAfterError),
+        "error must win",
+        "errors/FoldAfterError",
+    );
+}
+
+#[test]
+fn gate_leaked_canvas_on_error_is_caught() {
+    assert_caught(
+        &ErrModel::with_bug(
+            2,
+            2,
+            FaultAt::Worker { on_seq: 1 },
+            ErrBug::LeakCanvasOnError,
+        ),
+        "never returned to the pool",
+        "errors/LeakCanvasOnError",
+    );
+}
+
+#[test]
+fn gate_swallowed_error_is_caught() {
+    assert_caught(
+        &ErrModel::with_bug(2, 3, FaultAt::Reader { after: 1 }, ErrBug::SwallowError),
+        "swallowed",
+        "errors/SwallowError",
+    );
+}
+
+#[test]
+fn gate_missing_shutdown_unblock_is_caught() {
+    assert_caught(
+        &ErrModel::with_bug(2, 7, FaultAt::Worker { on_seq: 1 }, ErrBug::NoUnblock),
+        "deadlock",
+        "errors/NoUnblock",
+    );
+}
+
 /// The other half of the gate: the *clean* models must pass the exact
 /// same exploration, or the "caught" assertions above prove nothing.
 #[test]
@@ -124,6 +167,16 @@ fn gate_clean_models_pass_the_same_exploration() {
     explorer()
         .explore(&ShardModel::new(2, 2))
         .assert_clean("shard");
+    for fault in [
+        FaultAt::None,
+        FaultAt::Reader { after: 1 },
+        FaultAt::Worker { on_seq: 2 },
+        FaultAt::ConsumerCancel { after_folds: 2 },
+    ] {
+        explorer()
+            .explore(&ErrModel::new(2, 3, fault))
+            .assert_clean(&format!("errors under {fault:?}"));
+    }
 }
 
 /// Acceptance floor: ≥ 1000 distinct interleavings per model at width ≥ 2.

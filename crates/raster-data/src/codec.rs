@@ -181,9 +181,21 @@ impl From<FormatError> for std::io::Error {
 
 impl FormatError {
     /// Recover the typed error from an [`std::io::Error`] produced by the
-    /// disk reader, if it carries one.
+    /// disk reader, if it carries one — at any depth of the source chain,
+    /// so context wrappers (and nested `io::Error` layers, whose payload
+    /// hides behind `get_ref` rather than `source`) don't mask it.
     pub fn of(e: &std::io::Error) -> Option<&FormatError> {
-        e.get_ref().and_then(|inner| inner.downcast_ref())
+        let mut src: Option<&(dyn std::error::Error + 'static)> = e.get_ref().map(|b| b as _);
+        while let Some(err) = src {
+            if let Some(fe) = err.downcast_ref::<FormatError>() {
+                return Some(fe);
+            }
+            src = match err.downcast_ref::<std::io::Error>() {
+                Some(io) => io.get_ref().map(|b| b as _),
+                None => err.source(),
+            };
+        }
+        None
     }
 
     fn corrupt(what: impl Into<String>) -> FormatError {
@@ -430,6 +442,11 @@ pub fn decode_f32s(codec: u8, n: usize, payload: &[u8]) -> Result<Vec<f32>, Form
 }
 
 fn decode<T: Value>(codec: u8, n: usize, payload: &[u8]) -> Result<Vec<T>, FormatError> {
+    // CODEC_DECODE failpoint: any armed kind decodes as corrupt payload —
+    // the one typed failure a codec can produce.
+    if crate::faults::hit(crate::faults::CODEC_DECODE).is_some() {
+        return Err(FormatError::corrupt("injected fault: decode"));
+    }
     match codec {
         CODEC_RAW => decode_raw(n, payload),
         CODEC_FOR => decode_for(n, payload),

@@ -24,6 +24,7 @@
 pub mod codec;
 pub mod csv;
 pub mod disk;
+pub mod faults;
 pub mod filter;
 pub mod generators;
 pub mod polygons;

@@ -7,7 +7,7 @@
 //! `AtomicU32` cells (counts) and CAS loops over f32 bit patterns (sums) —
 //! exactly the 32-bit-per-channel layout of the hardware (§3).
 
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Allocate `n` zeroed atomics via the `vec![0u32; n]` calloc fast path —
 /// element-wise `resize_with(AtomicU32::new(0))` shows up hard in profiles
@@ -368,6 +368,14 @@ impl ShardSet {
 pub struct FboPool {
     fbos: parking_lot::Mutex<Vec<PointFbo>>,
     shards: parking_lot::Mutex<Vec<ShardSet>>,
+    /// Buffers handed out and not yet released (FBOs + shard sets
+    /// together). Error-path accounting: after a scan shuts down on the
+    /// non-panic error paths this must be zero — a worker that exits
+    /// without returning its canvas has wedged it in a channel or a dead
+    /// thread. (A *contained panic* mid-pass instead drops its canvas
+    /// during unwind — memory-safe, but deliberately never recycled — so
+    /// the counter then records the forfeited buffer.)
+    outstanding: AtomicUsize,
 }
 
 impl FboPool {
@@ -375,9 +383,18 @@ impl FboPool {
         FboPool::default()
     }
 
+    /// Buffers currently acquired but not released (or forfeited by a
+    /// contained panic). Zero whenever no render pass is in flight; the
+    /// streaming executor's error-path tests assert it returns to zero
+    /// after a failed scan drains.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.load(Ordering::Acquire)
+    }
+
     /// A cleared `width × height` FBO, recycled when a matching one was
     /// released, freshly allocated otherwise.
     pub fn acquire(&self, width: u32, height: u32) -> PointFbo {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
         let mut free = self.fbos.lock();
         if let Some(pos) = free
             .iter()
@@ -394,11 +411,13 @@ impl FboPool {
 
     pub fn release(&self, fbo: PointFbo) {
         self.fbos.lock().push(fbo);
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// A cleared shard set covering `pixels`, with `shards` shards
     /// (clamped to [`ShardSet::MAX_SHARDS`]).
     pub fn acquire_shards(&self, pixels: usize, shards: usize) -> ShardSet {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
         let want = shards.clamp(1, ShardSet::MAX_SHARDS);
         let mut free = self.shards.lock();
         if let Some(pos) = free
@@ -416,6 +435,7 @@ impl FboPool {
 
     pub fn release_shards(&self, set: ShardSet) {
         self.shards.lock().push(set);
+        self.outstanding.fetch_sub(1, Ordering::AcqRel);
     }
 }
 

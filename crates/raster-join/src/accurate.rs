@@ -112,6 +112,13 @@ impl PreparedAccurate<'_> {
     pub fn outline_time(&self) -> std::time::Duration {
         self.outline
     }
+
+    /// Canvases checked out of this preparation's pool right now. Zero
+    /// between passes; the streaming error-path tests assert it drains
+    /// back to zero after a failed scan.
+    pub fn outstanding_canvases(&self) -> usize {
+        self.pool.outstanding()
+    }
 }
 
 impl AccurateRasterJoin {

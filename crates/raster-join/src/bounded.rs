@@ -134,6 +134,13 @@ impl PreparedBounded {
     pub fn passes_per_batch(&self) -> u32 {
         self.tiling.as_ref().map_or(0, |t| t.tile_count()) as u32
     }
+
+    /// Canvases checked out of this preparation's pool right now. Zero
+    /// between passes; the streaming error-path tests assert it drains
+    /// back to zero after a failed scan.
+    pub fn outstanding_canvases(&self) -> usize {
+        self.pool.outstanding()
+    }
 }
 
 impl BoundedRasterJoin {

@@ -32,6 +32,7 @@
 pub mod accuracy;
 pub mod accurate;
 pub mod bounded;
+mod containment;
 pub mod index_join;
 pub mod lod;
 pub mod materializing;

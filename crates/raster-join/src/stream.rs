@@ -151,10 +151,12 @@
 //! chunks overlap. The reader thread's own wall time is reported
 //! separately as [`StreamOutput::read_time`].
 
+use crate::containment;
 use crate::optimizer::{cost, AutoRasterJoin, Plan, Variant, Workload};
 use crate::query::{result_slots, AggregateMerger, JoinOutput, Query};
 use crate::sql::{file_source, parse_query, ParseError};
-use raster_data::disk::{table_schema, ChunkedReader, ColumnIo, EncodedChunk};
+use raster_data::disk::{table_schema, ChunkedReader, ColumnIo, EncodedChunk, FaultRecovery};
+use raster_data::faults;
 use raster_data::PointTable;
 use raster_geom::Polygon;
 use raster_gpu::exec::default_workers;
@@ -234,15 +236,24 @@ pub struct StreamOutput {
     /// columns at zero — the per-column breakdown of `read_bytes` and
     /// `decode_time` that makes pruning wins attributable.
     pub column_io: Vec<ColumnIo>,
+    /// Retry / degradation counters of the scan's reader: transient-read
+    /// retries absorbed, corrupt blocks recovered by re-read, and whether
+    /// the v3 column directory was rebuilt. All-zero on a healthy scan.
+    pub recovery: FaultRecovery,
 }
 
-/// Errors from the SQL-over-file entry point.
+/// Errors from the streaming executor and the SQL-over-file entry point.
 #[derive(Debug)]
 pub enum StreamError {
     Io(io::Error),
     Parse(ParseError),
     /// The FROM clause does not name a file source.
     NoFileSource,
+    /// A pool thread (reader or worker) panicked mid-scan. The panic was
+    /// contained (the `containment` module): the pipeline drained, every
+    /// canvas returned to its pool, and the query failed with this typed
+    /// error instead of aborting the process.
+    WorkerPanicked(String),
 }
 
 impl std::fmt::Display for StreamError {
@@ -256,6 +267,9 @@ impl std::fmt::Display for StreamError {
                     "query has no file table source (FROM 'path.bin' expected)"
                 )
             }
+            StreamError::WorkerPanicked(msg) => {
+                write!(f, "streaming pool thread panicked: {msg}")
+            }
         }
     }
 }
@@ -263,14 +277,43 @@ impl std::fmt::Display for StreamError {
 impl std::error::Error for StreamError {}
 
 impl From<io::Error> for StreamError {
+    /// Classify an error off the pipeline's result channels: a contained
+    /// panic travelling as a `containment::PanicMarker` becomes the
+    /// typed [`StreamError::WorkerPanicked`]; everything else stays I/O.
     fn from(e: io::Error) -> Self {
-        StreamError::Io(e)
+        match containment::panic_of(&e) {
+            Some(msg) => StreamError::WorkerPanicked(msg.to_string()),
+            None => StreamError::Io(e),
+        }
     }
 }
 
 impl From<ParseError> for StreamError {
     fn from(e: ParseError) -> Self {
         StreamError::Parse(e)
+    }
+}
+
+/// Wraps a table-open error with the file path it came from while keeping
+/// the original error reachable through [`std::error::Error::source`].
+/// Formatting the path into a string would flatten a typed
+/// `FormatError` payload into text; this keeps the chain intact so
+/// `FormatError::of` (and rjquery's exit-code mapping) still see it.
+#[derive(Debug)]
+struct SourceContext {
+    source: String,
+    inner: io::Error,
+}
+
+impl std::fmt::Display for SourceContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "table source '{}': {}", self.source, self.inner)
+    }
+}
+
+impl std::error::Error for SourceContext {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.inner)
     }
 }
 
@@ -574,7 +617,7 @@ impl StreamingRasterJoin {
         polys: &[Polygon],
         query: &Query,
         device: &Device,
-    ) -> io::Result<(Plan, usize)> {
+    ) -> Result<(Plan, usize), StreamError> {
         let setup = self.open_and_plan(path, polys, query, device)?;
         Ok((setup.plan, setup.chunk_rows))
     }
@@ -665,13 +708,20 @@ impl StreamingRasterJoin {
     }
 
     /// Stream the columnar table at `path` through the join.
+    ///
+    /// Error paths are hardened: transient read faults are retried and
+    /// recoverable corruption degrades inside the reader (see
+    /// [`FaultRecovery`] echoed in [`StreamOutput::recovery`]); a panic on
+    /// a pool thread is contained and surfaces as
+    /// [`StreamError::WorkerPanicked`] after the pipeline drains — never a
+    /// process abort, never a silent partial aggregate.
     pub fn execute(
         &self,
         path: &Path,
         polys: &[Polygon],
         query: &Query,
         device: &Device,
-    ) -> io::Result<StreamOutput> {
+    ) -> Result<StreamOutput, StreamError> {
         let ScanSetup {
             mut reader,
             rows,
@@ -729,6 +779,9 @@ impl StreamingRasterJoin {
         let mut read_bytes = reader.bytes_read();
         let mut decode_time = reader.decode_time();
         let mut column_io = reader.column_io().to_vec();
+        // Retry/degradation counters; the reader threads hand their final
+        // tallies back on join, superseding this open-time snapshot.
+        let mut recovery = reader.recovery().clone();
 
         // One chunk's join + its planner-feedback ingredients, against an
         // explicit device so pool workers can substitute a fresh one.
@@ -805,13 +858,25 @@ impl StreamingRasterJoin {
                 let work_rx = Arc::new(parking_lot::Mutex::new(work_rx));
                 let (res_tx, res_rx) = mpsc::channel::<(u64, io::Result<ChunkDone>)>();
 
-                let (first_err, bytes, sample_decode, cols, pool_read, pool_decode, pool_cols) =
+                let (first_err, bytes, sample_decode, cols, rec, pool_read, pool_decode, pool_cols) =
                     crossbeam::thread::scope(|s| {
                         // Reader: fetch + pace only; decode runs on the
                         // pool. Hands its byte/per-column counters back.
+                        // The fetch loop runs contained: a panic inside
+                        // the reader (or the `stream.reader` failpoint's
+                        // panic kind) becomes one more error on the ring,
+                        // taking the same first-error shutdown path as an
+                        // I/O failure.
                         let reader_handle = s.spawn(move |_| {
                             let mut seq = 1u64; // the sample is seq 0
-                            loop {
+                            let ran = containment::contained(|| loop {
+                                if let Some(kind) = faults::hit(faults::STREAM_READER) {
+                                    if kind == faults::FaultKind::Panic {
+                                        panic!("injected fault: stream.reader");
+                                    }
+                                    let _ = work_tx.send((seq, Err(faults::io_error(kind))));
+                                    break;
+                                }
                                 match paced_fetch(&mut reader, bandwidth) {
                                     Ok(Some(pair)) => {
                                         if work_tx.send((seq, Ok(pair))).is_err() {
@@ -825,11 +890,15 @@ impl StreamingRasterJoin {
                                         break;
                                     }
                                 }
+                            });
+                            if let Err(msg) = ran {
+                                let _ = work_tx.send((seq, Err(containment::panic_error(msg))));
                             }
                             (
                                 reader.bytes_read(),
                                 reader.decode_time(),
                                 reader.column_io().to_vec(),
+                                reader.recovery().clone(),
                             )
                         });
                         for _ in 0..pool_workers {
@@ -847,22 +916,41 @@ impl StreamingRasterJoin {
                                 let Ok((seq, fetched)) = work_rx.lock().recv() else {
                                     break; // reader hung up, ring drained
                                 };
-                                let done = fetched.and_then(|(enc, fetch)| {
-                                    busy.track(|| {
-                                        enc.decode().map(|dec| {
-                                            let dev = Device::new(dev_cfg);
-                                            let (out, key, raw) = run_chunk_on(&dec.table, &dev);
-                                            ChunkDone {
-                                                out,
-                                                key,
-                                                raw,
-                                                fetch,
-                                                decode: dec.decode_time,
-                                                col_decode: dec.col_decode,
+                                // Contained decode+join: a panicking
+                                // worker still sends *something* for its
+                                // claimed seq — otherwise the consumer's
+                                // reorder buffer would wait on that seq
+                                // forever and the query would either hang
+                                // or fold a silent partial aggregate.
+                                let done = match containment::contained(|| {
+                                    fetched.and_then(|(enc, fetch)| {
+                                        match faults::hit(faults::STREAM_WORKER) {
+                                            Some(faults::FaultKind::Panic) => {
+                                                panic!("injected fault: stream.worker")
                                             }
+                                            Some(kind) => return Err(faults::io_error(kind)),
+                                            None => {}
+                                        }
+                                        busy.track(|| {
+                                            enc.decode().map(|dec| {
+                                                let dev = Device::new(dev_cfg);
+                                                let (out, key, raw) =
+                                                    run_chunk_on(&dec.table, &dev);
+                                                ChunkDone {
+                                                    out,
+                                                    key,
+                                                    raw,
+                                                    fetch,
+                                                    decode: dec.decode_time,
+                                                    col_decode: dec.col_decode,
+                                                }
+                                            })
                                         })
                                     })
-                                });
+                                }) {
+                                    Ok(done) => done,
+                                    Err(msg) => Err(containment::panic_error(msg)),
+                                };
                                 if res_tx.send((seq, done)).is_err() {
                                     break; // consumer bailed
                                 }
@@ -930,23 +1018,40 @@ impl StreamingRasterJoin {
                         // and the reader's ring send then fails too.
                         drop(res_rx);
                         drop(work_rx);
-                        let (bytes, sample_decode, cols) = reader_handle
-                            .join()
-                            .expect("streaming pool reader thread panicked");
+                        // The reader loop itself is contained, so a join
+                        // error here means the panic escaped the fetch
+                        // loop (e.g. inside the counter hand-back). Fold
+                        // it into the error slot instead of aborting; the
+                        // counters are unknowable, so they stay zero.
+                        let (bytes, sample_decode, cols, rec) = match reader_handle.join() {
+                            Ok(counters) => counters,
+                            Err(p) => {
+                                let msg = containment::panic_msg(p.as_ref());
+                                first_err.get_or_insert_with(|| containment::panic_error(msg));
+                                (0, Duration::ZERO, Vec::new(), FaultRecovery::default())
+                            }
+                        };
                         (
                             first_err,
                             bytes,
                             sample_decode,
                             cols,
+                            rec,
                             pool_read,
                             pool_decode,
                             pool_cols,
                         )
                     })
-                    .expect("streaming pool worker panicked");
+                    .map_err(|p| {
+                        // A pool worker's spawn closure unwound outside
+                        // its contained region; crossbeam re-raises it at
+                        // scope exit. Surface it typed.
+                        StreamError::WorkerPanicked(containment::panic_msg(p.as_ref()))
+                    })?;
                 if let Some(e) = first_err {
-                    return Err(e);
+                    return Err(e.into());
                 }
+                recovery = rec;
                 read_time += pool_read;
                 read_bytes = bytes;
                 // The reader only saw the sample decode; the chunks'
@@ -972,7 +1077,17 @@ impl StreamingRasterJoin {
                 // like the read itself does. It hands its cumulative
                 // byte/decode/per-column counters back when it finishes.
                 let handle = std::thread::spawn(move || {
-                    loop {
+                    // Contained like the pool reader: a panic becomes one
+                    // more error on the ring and the consumer below turns
+                    // it into a typed `WorkerPanicked`.
+                    let ran = containment::contained(|| loop {
+                        if let Some(kind) = faults::hit(faults::STREAM_READER) {
+                            if kind == faults::FaultKind::Panic {
+                                panic!("injected fault: stream.reader");
+                            }
+                            let _ = tx.send(Err(faults::io_error(kind)));
+                            break;
+                        }
                         match paced_next(&mut reader, bandwidth) {
                             Ok(Some(pair)) => {
                                 if tx.send(Ok(pair)).is_err() {
@@ -985,11 +1100,15 @@ impl StreamingRasterJoin {
                                 break;
                             }
                         }
+                    });
+                    if let Err(msg) = ran {
+                        let _ = tx.send(Err(containment::panic_error(msg)));
                     }
                     (
                         reader.bytes_read(),
                         reader.decode_time(),
                         reader.column_io().to_vec(),
+                        reader.recovery().clone(),
                     )
                 });
                 let (out, key, raw) = run_chunk_on(&sample, device);
@@ -1006,15 +1125,23 @@ impl StreamingRasterJoin {
                         Ok(Err(e)) => {
                             drop(rx);
                             let _ = handle.join();
-                            return Err(e);
+                            return Err(e.into());
                         }
                         Err(_) => break, // reader finished and hung up
                     }
                 }
-                let (bytes, decode, cols) = handle.join().expect("prefetch reader thread panicked");
+                let (bytes, decode, cols, rec) = match handle.join() {
+                    Ok(counters) => counters,
+                    Err(p) => {
+                        return Err(StreamError::WorkerPanicked(containment::panic_msg(
+                            p.as_ref(),
+                        )));
+                    }
+                };
                 read_bytes = bytes;
                 decode_time = decode;
                 column_io = cols;
+                recovery = rec;
             } else {
                 // Paper-faithful §7.7: read, then process, strictly
                 // alternating on one buffer.
@@ -1029,6 +1156,7 @@ impl StreamingRasterJoin {
                 read_bytes = reader.bytes_read();
                 decode_time = reader.decode_time();
                 column_io = reader.column_io().to_vec();
+                recovery = reader.recovery().clone();
             }
         }
 
@@ -1074,6 +1202,7 @@ impl StreamingRasterJoin {
             decode_time,
             projection,
             column_io,
+            recovery,
         })
     }
 
@@ -1081,6 +1210,11 @@ impl StreamingRasterJoin {
     /// the query parsed against the file header's schema (shared by
     /// [`StreamingRasterJoin::execute_sql`] and
     /// [`StreamingRasterJoin::explain_sql`]).
+    ///
+    /// Schema errors are wrapped in a [`SourceContext`] naming the path —
+    /// as a *source-chain* layer, not a formatted string, so a typed
+    /// `FormatError` underneath stays recoverable via `FormatError::of`
+    /// (rjquery keys its exit codes on it).
     fn resolve_sql(
         &self,
         sql: &str,
@@ -1097,10 +1231,7 @@ impl StreamingRasterJoin {
         // a file truncated inside pruned-away columns still serves its
         // queries through this entry point.
         let meta = table_schema(&path).map_err(|e| {
-            StreamError::Io(io::Error::new(
-                e.kind(),
-                format!("table source '{source}': {e}"),
-            ))
+            StreamError::Io(io::Error::new(e.kind(), SourceContext { source, inner: e }))
         })?;
         let names: Vec<&str> = meta.attr_names.iter().map(String::as_str).collect();
         let schema = PointTable::with_capacity(0, &names);
@@ -1143,7 +1274,7 @@ impl StreamingRasterJoin {
         polys: &[Polygon],
         query: &Query,
         device: &Device,
-    ) -> io::Result<String> {
+    ) -> Result<String, StreamError> {
         use std::fmt::Write as _;
         let setup = self.open_and_plan(path, polys, query, device)?;
         let meta = setup.reader.meta();
@@ -1227,6 +1358,29 @@ impl StreamingRasterJoin {
                 "assumed; no sample rows".to_string()
             }
         );
+        // Degradation already observed while opening + sampling: a scan
+        // that needed the v3 directory rebuilt or reads retried says so
+        // up front rather than silently serving from the fallback path.
+        let rec = setup.reader.recovery();
+        if rec.any() {
+            let _ = writeln!(
+                out,
+                "  resilience: degraded source ({} read retries, {} block re-reads{})",
+                rec.io_retries,
+                rec.block_rereads,
+                if rec.dir_rebuilt {
+                    ", column directory rebuilt — full-block reads"
+                } else {
+                    ""
+                }
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  resilience: healthy source (retry budget {} per read)",
+                raster_data::disk::READ_RETRIES
+            );
+        }
         Ok(out)
     }
 
@@ -1247,7 +1401,7 @@ impl StreamingRasterJoin {
             _ => trimmed,
         };
         let (path, query) = self.resolve_sql(body, epsilon)?;
-        Ok(self.explain(&path, polys, &query, device)?)
+        self.explain(&path, polys, &query, device)
     }
 }
 
@@ -1709,6 +1863,9 @@ mod tests {
         let err = StreamingRasterJoin::new(1)
             .execute(&path, &polys, &q, &Device::default())
             .unwrap_err();
+        let StreamError::Io(err) = err else {
+            panic!("expected an I/O error, got {err:?}");
+        };
         assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
         std::fs::remove_file(&path).ok();
     }
@@ -1724,6 +1881,9 @@ mod tests {
                 &Device::default(),
             )
             .unwrap_err();
+        let StreamError::Io(err) = err else {
+            panic!("expected an I/O error, got {err:?}");
+        };
         assert_eq!(err.kind(), io::ErrorKind::NotFound);
     }
 

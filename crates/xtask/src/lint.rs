@@ -20,6 +20,13 @@
 //! | `no-clock-result` | result-affecting code ([`NO_CLOCK_PATHS`]) never    |
 //! |                   | touches `Instant`/`SystemTime` — the `stream.rs`    |
 //! |                   | determinism rule, mechanized                        |
+//! | `catch-unwind-containment` | first-party `catch_unwind` lives only in   |
+//! |                   | the panic-containment module                        |
+//! |                   | ([`CATCH_UNWIND_ALLOWLIST`])                        |
+//! | `no-join-expect`  | thread joins in `raster-join`                       |
+//! |                   | ([`NO_JOIN_EXPECT_PATHS`]) never `.expect()` — a    |
+//! |                   | panicked pool thread must surface as a typed        |
+//! |                   | `StreamError::WorkerPanicked`, not abort the scan   |
 //!
 //! `#[cfg(test)]` regions are exempt from the panic and clock rules
 //! (tests may time things and unwrap freely) but **not** from the unsafe
@@ -83,6 +90,20 @@ pub const NO_CLOCK_PATHS: &[&str] = &[
     "crates/raster-gpu/src/viewport.rs",
     "crates/raster-join/src/query.rs",
 ];
+
+/// The one first-party module allowed to call `catch_unwind`: the
+/// streaming pool's panic containment. Keeping the allowlist at exactly
+/// one file is what makes "every contained panic becomes a typed error"
+/// auditable — a second catch site elsewhere could swallow panics
+/// without the classification discipline. Vendored third-party code
+/// (`vendor/`) is out of scope for this policy.
+pub const CATCH_UNWIND_ALLOWLIST: &[&str] = &["crates/raster-join/src/containment.rs"];
+
+/// Paths where `.expect()` on a thread-join result is banned: the
+/// streaming operators must propagate worker panics as
+/// `StreamError::WorkerPanicked`, never abort mid-scan. Prefix matches
+/// like [`NO_CLOCK_PATHS`].
+pub const NO_JOIN_EXPECT_PATHS: &[&str] = &["crates/raster-join/src/"];
 
 /// How far above an `unsafe` token the contiguous `// SAFETY:` comment
 /// block may start.
@@ -349,6 +370,8 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Violation> {
     let unsafe_allowed = UNSAFE_ALLOWLIST.contains(&rel);
     let no_panic = NO_PANIC_PATHS.iter().any(|p| path_matches(rel, p));
     let no_clock = NO_CLOCK_PATHS.iter().any(|p| path_matches(rel, p));
+    let catch_allowed = rel.starts_with("vendor/") || CATCH_UNWIND_ALLOWLIST.contains(&rel);
+    let no_join_expect = NO_JOIN_EXPECT_PATHS.iter().any(|p| path_matches(rel, p));
     let needs_forbid = FORBID_UNSAFE_ROOTS.contains(&rel);
     let needs_deny_op = DENY_UNSAFE_OP_ROOTS.contains(&rel);
 
@@ -410,6 +433,35 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Violation> {
             }
         }
 
+        if !catch_allowed && find_word(code, "catch_unwind") {
+            out.push(Violation {
+                file: rel.into(),
+                line: lineno,
+                rule: "catch-unwind-containment",
+                message: "`catch_unwind` outside the panic-containment module \
+                          (crates/xtask/src/lint.rs CATCH_UNWIND_ALLOWLIST) — \
+                          contain panics in raster-join/src/containment.rs so \
+                          every one becomes a typed error"
+                    .into(),
+            });
+        }
+
+        if no_join_expect && !in_test[idx] {
+            let continued = code.trim_start().starts_with(".expect(")
+                && prev_code_line_ends_with(&lines, idx, ".join()");
+            if code.contains("join().expect(") || continued {
+                out.push(Violation {
+                    file: rel.into(),
+                    line: lineno,
+                    rule: "no-join-expect",
+                    message: "`.expect()` on a thread join — a panicked pool \
+                              thread must surface as StreamError::WorkerPanicked, \
+                              never abort the scan"
+                        .into(),
+                });
+            }
+        }
+
         if no_clock
             && !in_test[idx]
             && (find_word(code, "Instant") || find_word(code, "SystemTime"))
@@ -444,6 +496,16 @@ pub fn lint_source(rel: &str, text: &str) -> Vec<Violation> {
         });
     }
     out
+}
+
+/// Does the nearest preceding line with real code end with `suffix`?
+/// (Catches rustfmt splitting `handle.join()\n    .expect(…)`.)
+fn prev_code_line_ends_with(lines: &[Line], idx: usize, suffix: &str) -> bool {
+    lines[..idx]
+        .iter()
+        .rev()
+        .find(|l| !l.code.trim().is_empty())
+        .is_some_and(|l| l.code.trim_end().ends_with(suffix))
 }
 
 /// Is there a contiguous `// SAFETY:` comment block directly above
@@ -654,6 +716,47 @@ mod tests {
     fn block_comments_nest() {
         let src = "/* outer /* inner unsafe */ still comment panic!( */\nfn ok() {}\n";
         assert!(lint_source("crates/raster-data/src/codec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_outside_containment_fails() {
+        let src = "use std::panic::catch_unwind;\nfn f() { let _ = catch_unwind(|| 1); }\n";
+        let v = lint_source("crates/raster-join/src/stream.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "catch-unwind-containment"));
+    }
+
+    #[test]
+    fn catch_unwind_in_containment_and_vendor_is_fine() {
+        let src = "use std::panic::catch_unwind;\n";
+        assert!(lint_source("crates/raster-join/src/containment.rs", src).is_empty());
+        assert!(lint_source("vendor/crossbeam/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn join_expect_in_raster_join_fails() {
+        let src =
+            "fn f(h: std::thread::JoinHandle<()>) { h.join().expect(\"worker panicked\"); }\n";
+        let v = lint_source("crates/raster-join/src/stream.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-join-expect");
+    }
+
+    #[test]
+    fn join_expect_split_across_lines_fails() {
+        let src = "fn f(h: std::thread::JoinHandle<()>) {\n    h.join()\n        .expect(\"worker panicked\");\n}\n";
+        let v = lint_source("crates/raster-join/src/multi.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-join-expect");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn join_expect_in_tests_or_other_crates_is_fine() {
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn t(h: std::thread::JoinHandle<()>) { h.join().expect(\"x\"); }\n}\n";
+        assert!(lint_source("crates/raster-join/src/stream.rs", test_src).is_empty());
+        let src = "fn f(h: std::thread::JoinHandle<()>) { h.join().expect(\"x\"); }\n";
+        assert!(lint_source("crates/raster-gpu/src/exec.rs", src).is_empty());
     }
 
     #[test]

@@ -73,7 +73,7 @@ fn run_lint(root: &std::path::Path) -> ExitCode {
         }
     };
     if violations.is_empty() {
-        println!("xtask lint: clean ({} invariant rules)", 6);
+        println!("xtask lint: clean ({} invariant rules)", 8);
         return ExitCode::SUCCESS;
     }
     for v in &violations {

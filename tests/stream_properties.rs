@@ -473,8 +473,11 @@ fn corruption_in_pruned_columns_is_invisible_and_in_required_columns_typed() {
         StreamingRasterJoin::new(1).with_chunk_rows(800).blocking(),
     ] {
         let err = stream.execute(&path, &polys, &q, &dev).unwrap_err();
+        let raster_join_repro::join::StreamError::Io(io) = &err else {
+            panic!("expected an I/O-class error, got {err}");
+        };
         assert!(
-            matches!(FormatError::of(&err), Some(FormatError::Corrupt(_))),
+            matches!(FormatError::of(io), Some(FormatError::Corrupt(_))),
             "{err}"
         );
     }
